@@ -1,0 +1,324 @@
+// Command gea is the Gene Expression Analyzer command-line front end: the
+// CLI analogue of the thesis's GUI. It generates synthetic SAGE corpora,
+// runs the cleaning pipeline, mines fascicles, builds GAP tables and answers
+// the search operations of Chapter 4.
+//
+// Usage:
+//
+//	gea gen    -out DIR [-full] [-seed N]      generate a synthetic corpus
+//	gea clean  -in DIR -out DIR                run the Section 4.2 pipeline
+//	gea info   -in DIR                         corpus and tissue statistics
+//	gea library -in DIR -name NAME             library-information search
+//	gea fascicles -in DIR -tissue T [-kpct P] [-minsize M] [-greedy]
+//	gea gap    -in DIR -tissue T [-kpct P] [-top X]
+//	gea table31                                print thesis Table 3.1
+//	gea case   -n 1..5                         run a case study end to end
+//	gea xprofiler -in DIR -tissue T            pooled differential test
+//	gea annotate -tags T1,T2                   gene-database lookups
+//	gea session -run|-show -dir D              persistent sessions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gea"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = cmdGen(args)
+	case "clean":
+		err = cmdClean(args)
+	case "info":
+		err = cmdInfo(args)
+	case "library":
+		err = cmdLibrary(args)
+	case "fascicles":
+		err = cmdFascicles(args)
+	case "gap":
+		err = cmdGap(args)
+	case "table31":
+		err = cmdTable31(args)
+	case "case":
+		err = cmdCase(args)
+	case "xprofiler":
+		err = cmdXProfiler(args)
+	case "annotate":
+		err = cmdAnnotate(args)
+	case "session":
+		err = cmdSession(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gea: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gea %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gea <command> [flags]
+
+commands:
+  gen        generate a synthetic SAGE corpus into a directory
+  clean      run the error-removal and normalization pipeline
+  info       print corpus statistics and tissue types
+  library    search library information by name or ID
+  fascicles  mine fascicles for a tissue type
+  gap        full case-study-1 pipeline: mine, purity check, diff, top gaps
+  table31    print Table 3.1 (indices required for w hits)
+  case       run one of the five thesis case studies (synthetic data)
+  xprofiler  pooled Audic-Claverie comparison (the NCBI tool)
+  annotate   resolve tags through the auxiliary gene databases
+  session    run-and-save or inspect a persistent GEA session
+
+run "gea <command> -h" for command flags`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "SageLibrary", "output directory")
+	full := fs.Bool("full", false, "full-scale corpus (100 libraries, 60k genes) instead of the small one")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+
+	cfg := gea.SmallConfig()
+	if *full {
+		cfg = gea.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	res, err := gea.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := gea.SaveCorpus(*out, res.Corpus); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d libraries (%d unique tags) to %s\n",
+		len(res.Corpus.Libraries), res.Corpus.TotalUniqueTags(), *out)
+	return nil
+}
+
+func cmdClean(args []string) error {
+	fs := flag.NewFlagSet("clean", flag.ExitOnError)
+	in := fs.String("in", "SageLibrary", "input corpus directory")
+	out := fs.String("out", "SageClean", "output directory")
+	tol := fs.Float64("tolerance", 1, "minimum tolerance: remove tags at or below this count in all libraries")
+	fs.Parse(args)
+
+	corpus, err := gea.LoadCorpus(*in)
+	if err != nil {
+		return err
+	}
+	cleaned, rep, err := gea.Clean(corpus, gea.CleanOptions{MinTolerance: *tol, ScaleTo: gea.NormalTotal})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("unique tags: %d -> %d (%.1f%% removed)\n",
+		rep.UniqueTagsBefore, rep.UniqueTagsAfter, 100*rep.RemovedTagFraction())
+	for _, lr := range rep.Libraries {
+		fmt.Printf("  %-32s removed %5.1f%% of total count, scaled x%.2f\n",
+			lr.Name, 100*lr.RemovedFraction, lr.ScaleFactor)
+	}
+	return gea.SaveCorpus(*out, cleaned)
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "SageLibrary", "corpus directory")
+	fs.Parse(args)
+
+	corpus, err := gea.LoadCorpus(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("libraries: %d\nunique tags: %d\nsingleton fraction: %.2f\n",
+		len(corpus.Libraries), corpus.TotalUniqueTags(), gea.SingletonFraction(corpus))
+	for _, t := range corpus.TissueTypes() {
+		libs := corpus.ByTissue(t)
+		cancer := 0
+		for _, l := range libs {
+			if l.Meta.State == gea.Cancer {
+				cancer++
+			}
+		}
+		fmt.Printf("  %-10s %2d libraries (%d cancer, %d normal)\n", t, len(libs), cancer, len(libs)-cancer)
+	}
+	return nil
+}
+
+func cmdLibrary(args []string) error {
+	fs := flag.NewFlagSet("library", flag.ExitOnError)
+	in := fs.String("in", "SageLibrary", "corpus directory")
+	name := fs.String("name", "", "library name or ID")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	corpus, err := gea.LoadCorpus(*in)
+	if err != nil {
+		return err
+	}
+	for _, l := range corpus.Libraries {
+		if l.Meta.Name == *name || fmt.Sprint(l.Meta.ID) == *name {
+			m := l.Meta
+			fmt.Printf("name: %s\nID: %d\ntissue: %s\nstate: %s\nsource: %s\ntotal tags: %.0f\nunique tags: %d\n",
+				m.Name, m.ID, m.Tissue, m.State, m.Source, l.Total(), l.Unique())
+			return nil
+		}
+	}
+	return fmt.Errorf("no library %q", *name)
+}
+
+// setupSession loads a corpus and builds a session with a mined tissue.
+func setupSession(in, tissue string, kpct, minsize int, greedy bool) (*gea.System, []string, error) {
+	corpus, err := gea.LoadCorpus(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := gea.NewSystem(corpus, gea.SystemOptions{User: "cli"})
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := sys.CreateTissueDataset(tissue)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sys.GenerateMetadata(tissue, 10); err != nil {
+		return nil, nil, err
+	}
+	alg := gea.LatticeAlgorithm
+	if greedy {
+		alg = gea.GreedyAlgorithm
+	}
+	names, err := sys.CalculateFascicles(tissue, gea.FascicleOptions{
+		K: d.NumTags() * kpct / 100, MinSize: minsize, Algorithm: alg,
+	})
+	return sys, names, err
+}
+
+func cmdFascicles(args []string) error {
+	fs := flag.NewFlagSet("fascicles", flag.ExitOnError)
+	in := fs.String("in", "SageLibrary", "corpus directory")
+	tissue := fs.String("tissue", "brain", "tissue type")
+	kpct := fs.Int("kpct", 55, "compact attributes as a percentage of tags")
+	minsize := fs.Int("minsize", 3, "minimum libraries per fascicle")
+	greedy := fs.Bool("greedy", false, "use the single-pass greedy miner")
+	fs.Parse(args)
+
+	sys, names, err := setupSession(*in, *tissue, *kpct, *minsize, *greedy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d fascicles:\n", len(names))
+	for _, n := range names {
+		f, err := sys.Fascicle(n)
+		if err != nil {
+			return err
+		}
+		purity := "mixed"
+		switch {
+		case f.Enum.IsPure(gea.PropCancer):
+			purity = "PURE cancer"
+		case f.Enum.IsPure(gea.PropNormal):
+			purity = "PURE normal"
+		}
+		fmt.Printf("  %-16s size=%d compact=%d %s: %v\n",
+			n, f.Fascicle.Size(), f.Fascicle.NumCompact(), purity, f.Enum.LibraryNames())
+	}
+	return nil
+}
+
+func cmdGap(args []string) error {
+	fs := flag.NewFlagSet("gap", flag.ExitOnError)
+	in := fs.String("in", "SageLibrary", "corpus directory")
+	tissue := fs.String("tissue", "brain", "tissue type")
+	kpct := fs.Int("kpct", 55, "compact attributes as a percentage of tags")
+	top := fs.Int("top", 10, "top gaps to display")
+	fs.Parse(args)
+
+	sys, names, err := setupSession(*in, *tissue, *kpct, 3, false)
+	if err != nil {
+		return err
+	}
+	pure, best := "", -1
+	for _, n := range names {
+		if ok, _ := sys.PurityCheck(n, gea.PropCancer); !ok {
+			continue
+		}
+		f, _ := sys.Fascicle(n)
+		if f.Fascicle.NumCompact() > best {
+			best, pure = f.Fascicle.NumCompact(), n
+		}
+	}
+	if pure == "" {
+		return fmt.Errorf("no pure cancerous fascicle at kpct=%d; try other parameters", *kpct)
+	}
+	fmt.Printf("fascicle %s is pure cancer\n", pure)
+	groups, err := sys.FormSUM(pure, *tissue)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.CreateGap(pure+"_canvsnor", groups.InFascicle, groups.Opposite); err != nil {
+		return err
+	}
+	topGap, err := sys.CalculateTopGap(pure+"_canvsnor", *top)
+	if err != nil {
+		return err
+	}
+	fmt.Println("top gaps (cancer-in-fascicle vs normal):")
+	for _, r := range topGap.Rows {
+		fmt.Printf("  %s_%s\n", r.Tag, r.Values[0])
+	}
+	return nil
+}
+
+func cmdTable31(args []string) error {
+	fs := flag.NewFlagSet("table31", flag.ExitOnError)
+	n := fs.Int("n", 60000, "total tags")
+	p := fs.Int("p", 25000, "tags in the SUMY table")
+	maxW := fs.Int("w", 10, "max index hits")
+	fs.Parse(args)
+
+	rows, err := gea.Table31(*n, *p, *maxW, gea.DefaultConfidence)
+	if err != nil {
+		return err
+	}
+	fmt.Println("At Least w Indices Hit | Number of Indices Required (m)")
+	for _, r := range rows {
+		fmt.Printf("%22d | %d\n", r.W, r.M)
+	}
+	return nil
+}
+
+func cmdCase(args []string) error {
+	fs := flag.NewFlagSet("case", flag.ExitOnError)
+	n := fs.Int("n", 1, "case study number (1-5)")
+	fs.Parse(args)
+	if *n < 1 || *n > 5 {
+		return fmt.Errorf("case study must be 1-5")
+	}
+	fmt.Printf("case study %d runs via the example programs:\n", *n)
+	switch *n {
+	case 1, 2:
+		fmt.Println("  go run ./examples/brainstudy")
+	case 3, 4:
+		fmt.Println("  go run ./examples/crosstissue")
+	default:
+		fmt.Println("  go run ./examples/lineage")
+	}
+	return nil
+}

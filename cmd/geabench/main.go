@@ -1,0 +1,130 @@
+// Command geabench regenerates every table and figure of the thesis's
+// evaluation on synthetic data. Each experiment prints rows in the paper's
+// format so paper-vs-measured comparisons (EXPERIMENTS.md) are mechanical.
+//
+// Usage:
+//
+//	geabench -exp all                 run every experiment
+//	geabench -exp table2.2            the Table 2.2 fascicle example
+//	geabench -exp table3.1            indices required (exact reproduction)
+//	geabench -exp table3.2            populate() time saving vs index hits
+//	geabench -exp cleaning            Section 4.2 cleaning statistics
+//	geabench -exp fig4.2|fig4.3|fig4.11   marker-gene figures
+//	geabench -exp case3|case4|case5   the cross-tissue case studies
+//	geabench -exp baselines           one-step clusterers vs fascicles
+//	geabench -exp cleaning-ablation   mining raw vs cleaned data
+//	geabench -exp scaling             operator complexity (Section 3.3.1)
+//	geabench -full                    use the 100-library full-scale corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gea"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*env) error
+}
+
+// env carries the shared corpus/session so experiments don't regenerate it.
+type env struct {
+	cfg    gea.GenConfig
+	res    *gea.GenResult
+	full   bool
+	seed   int64
+	kpct   int
+	topX   int
+	system *gea.System // lazily built
+
+	// Cached brain pipeline outputs shared across experiments.
+	brainPure   string
+	brainGroups gea.CaseGroups
+}
+
+func (e *env) sys() (*gea.System, error) {
+	if e.system != nil {
+		return e.system, nil
+	}
+	sys, err := gea.NewSystem(e.res.Corpus, gea.SystemOptions{
+		User: "geabench", Catalog: e.res.Catalog, GeneDBSeed: e.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.system = sys
+	return sys, nil
+}
+
+func main() {
+	expName := flag.String("exp", "all", "experiment id (or 'all', or 'list')")
+	full := flag.Bool("full", false, "full-scale corpus (100 libraries, 60k genes); slower")
+	seed := flag.Int64("seed", 1, "generator seed")
+	kpct := flag.Int("kpct", 55, "compact-attribute percentage for fascicle mining")
+	topX := flag.Int("top", 10, "top gaps to display")
+	flag.Parse()
+
+	exps := []experiment{
+		{"table2.2", "fascicle worked example on the Table 2.2 fragment", expTable22},
+		{"table3.1", "indices required for w hits (exact)", expTable31},
+		{"table3.2", "populate() time saving vs indices hit", expTable32},
+		{"table4.1", "Allen's thirteen basic interval relations", expTable41},
+		{"cleaning", "Section 4.2 cleaning statistics", expCleaning},
+		{"fig4.2", "RIBOSOMAL PROTEIN L12: fascicle vs normal", figMarker(gea.GeneRibosomalL12)},
+		{"fig4.3", "ALPHA TUBULIN: fascicle vs normal", figMarker(gea.GeneAlphaTubulin)},
+		{"fig4.11", "ADP PROTEIN: inside vs outside fascicle", figMarker(gea.GeneADPProtein)},
+		{"case3", "genes always lower/higher in cancer across tissues", expCase3},
+		{"case4", "genes unique to one type of cancer", expCase4},
+		{"case5", "verification with user-defined ENUM tables", expCase5},
+		{"baselines", "one-step clusterers vs fascicle mining", expBaselines},
+		{"xprofiler", "pooled Audic-Claverie test vs GEA gap analysis", expXProfiler},
+		{"cleaning-ablation", "fascicle purity on raw vs cleaned data", expCleaningAblation},
+		{"scaling", "operator complexity (Section 3.3.1)", expScaling},
+		{"seeds", "robustness: pipeline outcome across generator seeds", expSeeds},
+	}
+
+	if *expName == "list" {
+		for _, e := range exps {
+			fmt.Printf("%-18s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	cfg := gea.SmallConfig()
+	if *full {
+		cfg = gea.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	res, err := gea.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geabench:", err)
+		os.Exit(1)
+	}
+	e := &env{cfg: cfg, res: res, full: *full, seed: *seed, kpct: *kpct, topX: *topX}
+
+	ran := 0
+	for _, ex := range exps {
+		if *expName != "all" && ex.name != *expName {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", ex.name, ex.desc)
+		if err := ex.run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "geabench %s: %v\n", ex.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "geabench: unknown experiment %q (use -exp list)\n", *expName)
+		os.Exit(2)
+	}
+}
+
+// sectionRule prints a thin separator.
+func rule() { fmt.Println(strings.Repeat("-", 64)) }

@@ -1,0 +1,159 @@
+// Command brainstudy reproduces case studies 1 and 2 of the thesis on
+// synthetic data: cancerous brain versus normal brain tissue (Figures 4.2
+// and 4.3) and cancerous brain inside versus outside the fascicle
+// (Figure 4.11). For each marker gene it prints the per-library expression
+// levels in the three groups, as the thesis's bar charts do.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"gea"
+)
+
+func main() {
+	log.SetFlags(0)
+	res, err := gea.Generate(gea.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := gea.NewSystem(res.Corpus, gea.SystemOptions{
+		User: "brainstudy", Catalog: res.Catalog, GeneDBSeed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Steps 1-5 of case study 1.
+	brain, err := sys.CreateTissueDataset("brain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.GenerateMetadata("brain", 10); err != nil {
+		log.Fatal(err)
+	}
+	pure, err := sys.FindPureFascicle("brain", gea.PropCancer, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := sys.FormSUM(pure, "brain")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 6: GAP1 = diff(SUMY1, SUMY3) — cancer-in-fascicle vs normal.
+	gap1, err := sys.CreateGap("gap_canvsnor", groups.InFascicle, groups.Opposite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Case 2: GAP2 = diff(SUMY1, SUMY2) — inside vs outside the fascicle.
+	gap2, err := sys.CreateGap("gap_canvscnif", groups.InFascicle, groups.SameNotInFascicle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 4.2 / 4.3 / 4.11: marker-gene distributions.
+	fas, _ := sys.Fascicle(pure)
+	inFas := map[string]bool{}
+	for _, n := range fas.Fascicle.LibraryNames(brain) {
+		inFas[n] = true
+	}
+	for _, marker := range []struct {
+		gene, figure, contrast string
+	}{
+		{gea.GeneRibosomalL12, "Figure 4.2", "higher in cancerous-in-fascicle than normal"},
+		{gea.GeneAlphaTubulin, "Figure 4.3", "near zero in cancerous-in-fascicle, high in normal"},
+		{gea.GeneADPProtein, "Figure 4.11", "lower inside the fascicle than outside"},
+	} {
+		g, ok := res.Catalog.ByName(marker.gene)
+		if !ok {
+			log.Fatalf("marker %s missing", marker.gene)
+		}
+		fmt.Printf("\n%s — %s (%s): %s\n", marker.figure, marker.gene, g.Tag, marker.contrast)
+		printDistribution(sys, brain, g.Tag, inFas)
+	}
+
+	// Step 7 outputs: the sorted non-overlapping gaps.
+	fmt.Println("\ncase 1 — top gaps, cancer-in-fascicle vs normal (Figure 4.9 list):")
+	printTop(sys, gap1.Name, 10)
+	fmt.Println("\ncase 2 — top gaps, inside vs outside the fascicle (Figure 4.12 list):")
+	printTop(sys, gap2.Name, 10)
+
+	// The thesis's observation: gaps against normal are larger than gaps
+	// against cancer-outside.
+	sumAbs := func(g *gea.Gap) (s float64) {
+		for _, r := range g.Rows {
+			if !r.Values[0].Null {
+				if r.Values[0].V < 0 {
+					s -= r.Values[0].V
+				} else {
+					s += r.Values[0].V
+				}
+			}
+		}
+		return s
+	}
+	fmt.Printf("\ntotal |gap| vs normal: %.0f   vs cancer-outside: %.0f  (normal should dominate)\n",
+		sumAbs(gap1), sumAbs(gap2))
+}
+
+// printDistribution plots a tag's expression values per library group, with
+// a crude text bar per library (the Figure 4.10 visualization).
+func printDistribution(sys *gea.System, brain *gea.Dataset, tag gea.TagID, inFas map[string]bool) {
+	fr, names, err := gea.SingleTagSearch(brain, tag, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups := []struct {
+		label string
+		match func(gea.LibraryMeta) bool
+	}{
+		{"cancer in fascicle", func(m gea.LibraryMeta) bool { return m.State == gea.Cancer && inFas[m.Name] }},
+		{"cancer not in fascicle", func(m gea.LibraryMeta) bool { return m.State == gea.Cancer && !inFas[m.Name] }},
+		{"normal", func(m gea.LibraryMeta) bool { return m.State == gea.Normal }},
+	}
+	var max float64
+	for _, v := range fr.Values {
+		if v > max {
+			max = v
+		}
+	}
+	for _, grp := range groups {
+		var sum float64
+		var n int
+		for i, name := range names {
+			m, err := sys.LibraryInfo(name)
+			if err != nil || !grp.match(m) {
+				continue
+			}
+			bar := 0
+			if max > 0 {
+				bar = int(40 * fr.Values[i] / max)
+			}
+			fmt.Printf("  %-28s %10.1f %s\n", name, fr.Values[i], strings.Repeat("*", bar))
+			sum += fr.Values[i]
+			n++
+		}
+		if n > 0 {
+			fmt.Printf("  %-28s %10.1f  (average over %d)\n", "["+grp.label+"]", sum/float64(n), n)
+		}
+	}
+}
+
+func printTop(sys *gea.System, gapName string, x int) {
+	top, err := sys.CalculateTopGap(gapName, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range top.Rows {
+		gene := ""
+		if sys.GeneDB != nil {
+			if g, err := sys.GeneDB.GeneForTag(r.Tag); err == nil {
+				gene = g
+			}
+		}
+		fmt.Printf("  %s_%s  %s\n", r.Tag, r.Values[0], gene)
+	}
+}

@@ -1,0 +1,164 @@
+// Command crosstissue reproduces case studies 3 and 4 of the thesis on
+// synthetic data: genes that always have lower (or higher) expression in
+// cancerous tissue across both brain and breast (Figure 4.13 — selection,
+// projection and intersection of GAP tables, plus the thirteen comparison
+// queries), and genes unique to one type of cancer (Figure 4.14 — set minus
+// between GAP tables).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gea"
+)
+
+// buildTissueGap runs the case-study-1 pipeline for one tissue and returns
+// the name of its cancer-in-fascicle vs normal GAP table. Cluster analysis
+// is a multi-step process: the right compact-attribute count k differs per
+// tissue (the thesis's CDInfo relation stores a per-tissue threshold), so we
+// scan k from strict to loose until a pure cancerous fascicle appears.
+func buildTissueGap(sys *gea.System, tissue string) (string, error) {
+	d, err := sys.CreateTissueDataset(tissue)
+	if err != nil {
+		return "", err
+	}
+	if err := sys.GenerateMetadata(tissue, 10); err != nil {
+		return "", err
+	}
+	_ = d
+	pure, err := sys.FindPureFascicle(tissue, gea.PropCancer, 3)
+	if err != nil {
+		return "", err
+	}
+	groups, err := sys.FormSUM(pure, tissue)
+	if err != nil {
+		return "", err
+	}
+	gapName := tissue + "_canvsnor_gap"
+	if _, err := sys.CreateGap(gapName, groups.InFascicle, groups.Opposite); err != nil {
+		return "", err
+	}
+	return gapName, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	res, err := gea.Generate(gea.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := gea.NewSystem(res.Corpus, gea.SystemOptions{
+		User: "crosstissue", Catalog: res.Catalog, GeneDBSeed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	brainGap, err := buildTissueGap(sys, "brain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	breastGap, err := buildTissueGap(sys, "breast")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %s and %s\n", brainGap, breastGap)
+
+	// ----- Case 3: genes always lower in cancer in BOTH tissue types. -----
+	// The thesis route: select negative gaps per tissue, project to tags,
+	// intersect. The GEA's compare window does this in one step: intersect
+	// the gaps and run query 2.
+	inter, err := sys.CompareGaps("brainBreastIntersect1", brainGap, breastGap, gea.OpIntersect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lower, err := gea.ApplyQuery("alwaysLower", inter, gea.QLowerInABoth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncase 3 — tags always LOWER in cancer (both tissues): %d\n", lower.Len())
+	printGapRows(sys, lower, 10)
+
+	higher, err := gea.ApplyQuery("alwaysHigher", inter, gea.QHigherInABoth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncase 3 — tags always HIGHER in cancer (both tissues): %d (possible drug targets)\n",
+		higher.Len())
+	printGapRows(sys, higher, 10)
+
+	// Housekeeping-style sanity: query 5 counts tags with a real contrast in
+	// both tissues.
+	both, err := gea.ApplyQuery("bothNonNull", inter, gea.QNonNullBoth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntags with non-null gaps in both tissues: %d of %d common tags\n",
+		both.Len(), inter.Len())
+
+	// ----- Case 4: genes unique to one type of cancer. -----
+	// First select the tags with a real contrast in each tissue (non-null
+	// gaps), then set-minus: responsive in brain, unresponsive in breast.
+	bg, err := sys.Gap(brainGap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rg, err := sys.Gap(breastGap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	brainNN, err := gea.SelectGap("brainNonNull", bg, gea.GapNonNull(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	breastNN, err := gea.SelectGap("breastNonNull", rg, gea.GapNonNull(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff, err := gea.MinusGap("brainBreastDiff1", brainNN, breastNN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RegisterGap(diff, "minus", brainGap, breastGap); err != nil {
+		log.Fatal(err)
+	}
+	uniqueLower, err := gea.ApplyQuery("uniqueLower", diff, gea.QLowerInABoth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncase 4 — tags with a cancer contrast ONLY in brain, lower in cancer: %d\n",
+		uniqueLower.Len())
+	printGapRows(sys, uniqueLower, 10)
+
+	uniqueHigher, err := gea.ApplyQuery("uniqueHigher", diff, gea.QHigherInABoth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncase 4 — tags with a cancer contrast ONLY in brain, higher in cancer: %d\n",
+		uniqueHigher.Len())
+	printGapRows(sys, uniqueHigher, 10)
+
+	fmt.Println("\nlineage of this analysis:")
+	fmt.Print(sys.Lineage.Tree())
+}
+
+func printGapRows(sys *gea.System, g *gea.Gap, max int) {
+	for i, r := range g.Rows {
+		if i >= max {
+			fmt.Printf("  ... and %d more\n", g.Len()-max)
+			return
+		}
+		gene := ""
+		if sys.GeneDB != nil {
+			if gn, err := sys.GeneDB.GeneForTag(r.Tag); err == nil {
+				gene = gn
+			}
+		}
+		line := "  " + r.Tag.String()
+		for _, v := range r.Values {
+			line += "_" + v.String()
+		}
+		fmt.Printf("%s  %s\n", line, gene)
+	}
+}

@@ -1,0 +1,87 @@
+// Command quickstart is the smallest end-to-end GEA run: generate a
+// synthetic SAGE corpus, clean it, mine fascicles on brain tissue, contrast
+// the pure cancerous fascicle against normal tissue, and print the candidate
+// genes with their annotations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gea"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A synthetic SAGE corpus (substitute for the NCBI download).
+	res, err := gea.Generate(gea.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d libraries over tissues %v\n",
+		len(res.Corpus.Libraries), res.Corpus.TissueTypes())
+
+	// 2. A GEA session: cleaning + catalog + gene databases.
+	sys, err := gea.NewSystem(res.Corpus, gea.SystemOptions{
+		User: "quickstart", Catalog: res.Catalog, GeneDBSeed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := sys.CleanReport
+	fmt.Printf("cleaning: %d -> %d unique tags (%.0f%% removed)\n",
+		rep.UniqueTagsBefore, rep.UniqueTagsAfter, 100*rep.RemovedTagFraction())
+
+	// 3. The brain tissue-type data set and its tolerance vector (10% of
+	// each attribute's width).
+	brain, err := sys.CreateTissueDataset("brain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.GenerateMetadata("brain", 10); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4-5. Mine fascicles, scanning the compact-attribute requirement from
+	// strict to loose until a pure cancerous fascicle appears, and take the
+	// tightest one.
+	_ = brain
+	pure, err := sys.FindPureFascicle("brain", gea.PropCancer, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, _ := sys.Fascicle(pure)
+	fmt.Printf("fascicle %s is PURE cancer: %d libraries, %d compact tags\n",
+		pure, f.Fascicle.Size(), f.Fascicle.NumCompact())
+
+	// 6. Control groups and the GAP against normal tissue.
+	groups, err := sys.FormSUM(pure, "brain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.CreateGap("canvsnor", groups.InFascicle, groups.Opposite); err != nil {
+		log.Fatal(err)
+	}
+	top, err := sys.CalculateTopGap("canvsnor", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 7. Candidate genes with integrated genomic annotations.
+	fmt.Println("\ntop gaps (cancer-in-fascicle vs normal):")
+	var tags []gea.TagID
+	for _, r := range top.Rows {
+		fmt.Printf("  %s  gap=%s\n", r.Tag, r.Values[0])
+		tags = append(tags, r.Tag)
+	}
+	anns, err := sys.GeneDB.AnnotateTags(tags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncandidate genes:")
+	for _, a := range anns {
+		fmt.Printf("  %-14s %-22s family=%-16s disease=%s\n",
+			a.Tag, a.Gene, a.Family, a.Disease)
+	}
+}

@@ -1,0 +1,3 @@
+module gea
+
+go 1.22

@@ -1,0 +1,190 @@
+package clean
+
+import (
+	"math"
+	"testing"
+
+	"gea/internal/sage"
+	"gea/internal/sagegen"
+)
+
+func mkLib(name, tissue string, counts map[string]float64) *sage.Library {
+	l := sage.NewLibrary(sage.LibraryMeta{Name: name, Tissue: tissue})
+	for s, v := range counts {
+		l.Add(sage.MustParseTag(s), v)
+	}
+	l.RefreshMeta()
+	return l
+}
+
+func TestCleanRemovesUbiquitousSingletons(t *testing.T) {
+	c := &sage.Corpus{Libraries: []*sage.Library{
+		mkLib("L1", "brain", map[string]float64{
+			"AAAAAAAAAA": 100, // kept: abundant
+			"CCCCCCCCCC": 1,   // removed: <=1 everywhere
+			"GGGGGGGGGG": 1,   // kept: 1 here but 5 in L2
+		}),
+		mkLib("L2", "brain", map[string]float64{
+			"AAAAAAAAAA": 80,
+			"CCCCCCCCCC": 1,
+			"GGGGGGGGGG": 5,
+		}),
+	}}
+	out, rep, err := Clean(c, Options{MinTolerance: 1, ScaleTo: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UniqueTagsBefore != 3 || rep.UniqueTagsAfter != 2 {
+		t.Errorf("unique tags %d -> %d, want 3 -> 2", rep.UniqueTagsBefore, rep.UniqueTagsAfter)
+	}
+	l1 := out.Libraries[0]
+	if l1.Count(sage.MustParseTag("CCCCCCCCCC")) != 0 {
+		t.Error("ubiquitous singleton survived")
+	}
+	if l1.Count(sage.MustParseTag("GGGGGGGGGG")) != 1 {
+		t.Error("legitimately low tag was removed")
+	}
+	// Input corpus untouched.
+	if c.Libraries[0].Count(sage.MustParseTag("CCCCCCCCCC")) != 1 {
+		t.Error("Clean mutated its input")
+	}
+}
+
+func TestCleanNormalization(t *testing.T) {
+	c := &sage.Corpus{Libraries: []*sage.Library{
+		mkLib("L1", "brain", map[string]float64{"AAAAAAAAAA": 30, "CCCCCCCCCC": 70}),
+		mkLib("L2", "brain", map[string]float64{"AAAAAAAAAA": 10}),
+	}}
+	out, rep, err := Clean(c, Options{MinTolerance: 0, ScaleTo: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range out.Libraries {
+		if got := l.Total(); math.Abs(got-1000) > 1e-9 {
+			t.Errorf("library %d total = %v, want 1000", i, got)
+		}
+	}
+	// Relative abundances preserved.
+	if got := out.Libraries[0].Count(sage.MustParseTag("AAAAAAAAAA")); math.Abs(got-300) > 1e-9 {
+		t.Errorf("scaled count = %v, want 300", got)
+	}
+	if rep.Libraries[0].ScaleFactor != 10 {
+		t.Errorf("scale factor = %v, want 10", rep.Libraries[0].ScaleFactor)
+	}
+	// MinTolerance 0 removes nothing with positive counts.
+	if rep.UniqueTagsAfter != rep.UniqueTagsBefore {
+		t.Error("MinTolerance 0 removed tags")
+	}
+}
+
+func TestCleanDefaultsAndErrors(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.MinTolerance != 1 || opts.ScaleTo != NormalTotal {
+		t.Errorf("DefaultOptions = %+v", opts)
+	}
+	if _, _, err := Clean(&sage.Corpus{}, opts); err == nil {
+		t.Error("Clean(empty): expected error")
+	}
+	c := &sage.Corpus{Libraries: []*sage.Library{mkLib("L", "t", map[string]float64{"AAAAAAAAAA": 2})}}
+	if _, _, err := Clean(c, Options{MinTolerance: -1}); err == nil {
+		t.Error("Clean(negative tolerance): expected error")
+	}
+	// ScaleTo 0 means the thesis default of 300,000.
+	out, _, err := Clean(c, Options{MinTolerance: 1, ScaleTo: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Libraries[0].Total(); math.Abs(got-NormalTotal) > 1e-6 {
+		t.Errorf("default scale total = %v", got)
+	}
+}
+
+// TestCleaningStatistics reproduces the Section 4.2 shape on synthetic data:
+// the tag union shrinks drastically (350k -> 60k in the paper), most removed
+// tags are error singletons, and each library loses a modest share (5-15%)
+// of its total count.
+func TestCleaningStatistics(t *testing.T) {
+	res, err := sagegen.Generate(sagegen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf := SingletonFraction(res.Corpus); sf < 0.5 {
+		t.Errorf("singleton fraction %.2f; expected a majority of raw tags to be singletons", sf)
+	}
+	out, rep, err := Clean(res.Corpus, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedTagFraction() < 0.5 {
+		t.Errorf("cleaning removed only %.1f%% of unique tags; the paper removes ~83%%",
+			100*rep.RemovedTagFraction())
+	}
+	for _, lr := range rep.Libraries {
+		if lr.RemovedFraction < 0.01 || lr.RemovedFraction > 0.25 {
+			t.Errorf("%s: removed %.1f%% of total count, outside the plausible band",
+				lr.Name, 100*lr.RemovedFraction)
+		}
+	}
+	// Real genes overwhelmingly survive.
+	survivors := map[sage.TagID]bool{}
+	for _, tag := range out.Libraries[0].Tags() {
+		survivors[tag] = true
+	}
+	for _, l := range out.Libraries {
+		total := l.Total()
+		if math.Abs(total-NormalTotal) > 1e-6 {
+			t.Errorf("%s: normalized total %v", l.Meta.Name, total)
+		}
+	}
+}
+
+func TestSingletonFractionEmpty(t *testing.T) {
+	if got := SingletonFraction(&sage.Corpus{}); got != 0 {
+		t.Errorf("SingletonFraction(empty) = %v", got)
+	}
+}
+
+func TestToleranceVector(t *testing.T) {
+	c := &sage.Corpus{Libraries: []*sage.Library{
+		mkLib("L1", "brain", map[string]float64{"AAAAAAAAAA": 0, "CCCCCCCCCC": 100}),
+		mkLib("L2", "brain", map[string]float64{"AAAAAAAAAA": 200, "CCCCCCCCCC": 100}),
+	}}
+	ds := sage.Build(c)
+	tol, err := ToleranceVector(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tol[sage.MustParseTag("AAAAAAAAAA")]; got != 20 {
+		t.Errorf("tolerance = %v, want 20 (10%% of width 200)", got)
+	}
+	if got := tol[sage.MustParseTag("CCCCCCCCCC")]; got != 0 {
+		t.Errorf("constant tag tolerance = %v, want 0", got)
+	}
+	if _, err := ToleranceVector(ds, -1); err == nil {
+		t.Error("negative percent: expected error")
+	}
+	if _, err := ToleranceVector(ds, 101); err == nil {
+		t.Error("percent > 100: expected error")
+	}
+}
+
+func TestTopVariableTags(t *testing.T) {
+	c := &sage.Corpus{Libraries: []*sage.Library{
+		mkLib("L1", "brain", map[string]float64{"AAAAAAAAAA": 0, "CCCCCCCCCC": 5, "GGGGGGGGGG": 50}),
+		mkLib("L2", "brain", map[string]float64{"AAAAAAAAAA": 100, "CCCCCCCCCC": 5, "GGGGGGGGGG": 60}),
+	}}
+	ds := sage.Build(c)
+	top := TopVariableTags(ds, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d tags", len(top))
+	}
+	if top[0] != sage.MustParseTag("AAAAAAAAAA") { // width 100
+		t.Errorf("top[0] = %v", top[0])
+	}
+	if top[1] != sage.MustParseTag("GGGGGGGGGG") { // width 10
+		t.Errorf("top[1] = %v", top[1])
+	}
+	if got := TopVariableTags(ds, 99); len(got) != 3 {
+		t.Errorf("n beyond tag count: %d", len(got))
+	}
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds a k-means clustering.
+type KMeansResult struct {
+	Labels    []int       // cluster of each row
+	Centroids [][]float64 // k centroids
+	Inertia   float64     // sum of squared distances to assigned centroids
+	Iters     int         // iterations until convergence
+}
+
+// KMeans clusters rows into k groups with Lloyd's algorithm, seeded by
+// k-means++ from the given source. It is the "top-down" method of
+// Section 2.3.1 where "the user pre-defines the number of clusters ... the
+// clusters are initially assigned randomly and the genes are regrouped
+// iteratively until they are optimally clustered".
+func KMeans(rows [][]float64, k int, rng *rand.Rand, maxIters int) (*KMeansResult, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no rows")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d]", k, n)
+	}
+	dim := len(rows[0])
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("cluster: row %d has dimension %d, want %d", i, len(r), dim)
+		}
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+
+	centroids := kmeansPlusPlusInit(rows, k, rng)
+	labels := make([]int, n)
+	res := &KMeansResult{Labels: labels, Centroids: centroids}
+
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, r := range rows {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				d := sqDist(r, centroids[c])
+				if d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		res.Iters = iter + 1
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, r := range rows {
+			c := labels[i]
+			counts[c]++
+			for j, v := range r {
+				next[c][j] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the farthest point, a standard
+				// Lloyd's repair.
+				far, farD := 0, -1.0
+				for i, r := range rows {
+					d := sqDist(r, centroids[labels[i]])
+					if d > farD {
+						farD = d
+						far = i
+					}
+				}
+				copy(next[c], rows[far])
+				continue
+			}
+			for j := range next[c] {
+				next[c][j] /= float64(counts[c])
+			}
+		}
+		centroids = next
+		res.Centroids = centroids
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	var inertia float64
+	for i, r := range rows {
+		inertia += sqDist(r, centroids[labels[i]])
+	}
+	res.Inertia = inertia
+	return res, nil
+}
+
+// kmeansPlusPlusInit seeds centroids with the k-means++ strategy.
+func kmeansPlusPlusInit(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(rows)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64{}, rows[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var sum float64
+		for i, r := range rows {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(r, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		var pick int
+		if sum == 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * sum
+			for i, d := range d2 {
+				target -= d
+				if target <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64{}, rows[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file renders clustering results as text: the dendrogram tree, the
+// Eisen-style clustered heat map (the thesis reviews Eisen et al.'s colored
+// images and notes they become unreadable as data grows — a text rendering
+// at least scales predictably), and the OPTICS reachability plot whose
+// valleys are clusters.
+
+// RenderDendrogram draws the merge tree with one leaf per line, labelled.
+// Merge heights are shown on the internal nodes.
+func RenderDendrogram(d *Dendrogram, labels []string) (string, error) {
+	if len(labels) != d.N {
+		return "", fmt.Errorf("cluster: %d labels for %d leaves", len(labels), d.N)
+	}
+	if d.N == 1 {
+		return labels[0] + "\n", nil
+	}
+	var b strings.Builder
+	children := map[int][2]int{}
+	heights := map[int]float64{}
+	for i, m := range d.Merges {
+		children[d.N+i] = [2]int{m.A, m.B}
+		heights[d.N+i] = m.Distance
+	}
+	root := d.N + len(d.Merges) - 1
+	var walk func(id int, prefix string, last bool)
+	walk = func(id int, prefix string, last bool) {
+		connector := "├─"
+		childPrefix := prefix + "│ "
+		if last {
+			connector = "└─"
+			childPrefix = prefix + "  "
+		}
+		if id < d.N {
+			fmt.Fprintf(&b, "%s%s %s\n", prefix, connector, labels[id])
+			return
+		}
+		fmt.Fprintf(&b, "%s%s (d=%.3f)\n", prefix, connector, heights[id])
+		c := children[id]
+		walk(c[0], childPrefix, false)
+		walk(c[1], childPrefix, true)
+	}
+	fmt.Fprintf(&b, "(d=%.3f)\n", heights[root])
+	c := children[root]
+	walk(c[0], "", false)
+	walk(c[1], "", true)
+	return b.String(), nil
+}
+
+// heatShades maps normalized intensity to characters, low to high.
+const heatShades = " .:-=+*#%@"
+
+// TextHeatmap renders a matrix as shaded characters, one row per line with
+// its label. Values are normalized per-row to [0, 1] (expression heat maps
+// compare a gene against itself across conditions, as Eisen's red/green
+// scaling does).
+func TextHeatmap(rows [][]float64, rowLabels []string) (string, error) {
+	if len(rows) != len(rowLabels) {
+		return "", fmt.Errorf("cluster: %d labels for %d rows", len(rowLabels), len(rows))
+	}
+	width := 0
+	for _, l := range rowLabels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, row := range rows {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(&b, "%-*s ", width, rowLabels[i])
+		for _, v := range row {
+			shade := 0
+			if hi > lo {
+				shade = int(float64(len(heatShades)-1) * (v - lo) / (hi - lo))
+			}
+			b.WriteByte(heatShades[shade])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Reorder returns the rows (and labels) permuted by order — typically a
+// dendrogram's leaf order, giving the clustered display.
+func Reorder(rows [][]float64, labels []string, order []int) ([][]float64, []string, error) {
+	if len(order) != len(rows) || len(labels) != len(rows) {
+		return nil, nil, fmt.Errorf("cluster: reorder size mismatch (%d rows, %d labels, %d order)",
+			len(rows), len(labels), len(order))
+	}
+	outR := make([][]float64, len(rows))
+	outL := make([]string, len(rows))
+	seen := make([]bool, len(rows))
+	for i, o := range order {
+		if o < 0 || o >= len(rows) || seen[o] {
+			return nil, nil, fmt.Errorf("cluster: order is not a permutation")
+		}
+		seen[o] = true
+		outR[i] = rows[o]
+		outL[i] = labels[o]
+	}
+	return outR, outL, nil
+}
+
+// ReachabilityPlot renders an OPTICS ordering as horizontal bars; valleys
+// separated by tall bars are the clusters.
+func ReachabilityPlot(order []OPTICSPoint, labels []string, width int) (string, error) {
+	if width < 1 {
+		width = 40
+	}
+	maxReach := 0.0
+	for _, p := range order {
+		if !math.IsInf(p.Reachability, 1) && p.Reachability > maxReach {
+			maxReach = p.Reachability
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	for _, p := range order {
+		label := fmt.Sprintf("#%d", p.Index)
+		if p.Index < len(labels) {
+			label = labels[p.Index]
+		}
+		var bar string
+		switch {
+		case math.IsInf(p.Reachability, 1):
+			bar = "∞"
+		case maxReach == 0:
+			bar = ""
+		default:
+			bar = strings.Repeat("█", int(float64(width)*p.Reachability/maxReach))
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", labelWidth, label, bar)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SOMConfig configures a self-organizing map run.
+type SOMConfig struct {
+	// GridW, GridH give the map dimensions. Golub et al. used small maps
+	// (e.g. 2x1 for the ALL/AML split); Tamayo et al. larger grids.
+	GridW, GridH int
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// LearningRate is the initial learning rate (decays linearly to ~0).
+	LearningRate float64
+	// Radius is the initial neighbourhood radius (decays to 0); zero means
+	// max(GridW, GridH)/2.
+	Radius float64
+}
+
+// SOMResult holds a trained map and the assignment of rows to map units.
+type SOMResult struct {
+	Config  SOMConfig
+	Weights [][]float64 // GridW*GridH unit weight vectors
+	Labels  []int       // best-matching unit (y*GridW+x) per row
+}
+
+// SOM trains a self-organizing map on the row vectors, the method "well
+// suited to identifying a small number of prominent classes in a small data
+// set" that Golub et al. used to separate ALL from AML (Section 2.3.2).
+func SOM(rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no rows")
+	}
+	if cfg.GridW < 1 || cfg.GridH < 1 {
+		return nil, fmt.Errorf("cluster: SOM grid %dx%d invalid", cfg.GridW, cfg.GridH)
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.5
+	}
+	if cfg.Radius <= 0 {
+		cfg.Radius = math.Max(float64(cfg.GridW), float64(cfg.GridH)) / 2
+	}
+	dim := len(rows[0])
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("cluster: row %d has dimension %d, want %d", i, len(r), dim)
+		}
+	}
+
+	units := cfg.GridW * cfg.GridH
+	weights := make([][]float64, units)
+	for u := range weights {
+		// Initialize each unit at a random input row plus noise.
+		src := rows[rng.Intn(n)]
+		w := make([]float64, dim)
+		for j := range w {
+			w[j] = src[j] * (1 + 0.01*rng.NormFloat64())
+		}
+		weights[u] = w
+	}
+
+	order := rng.Perm(n)
+	totalSteps := cfg.Epochs * n
+	step := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		// Reshuffle each epoch.
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, ri := range order {
+			frac := float64(step) / float64(totalSteps)
+			lr := cfg.LearningRate * (1 - frac)
+			radius := cfg.Radius * (1 - frac)
+			bmu := bestMatchingUnit(rows[ri], weights)
+			bx, by := bmu%cfg.GridW, bmu/cfg.GridW
+			for u := range weights {
+				ux, uy := u%cfg.GridW, u/cfg.GridW
+				gd := math.Hypot(float64(ux-bx), float64(uy-by))
+				if gd > radius {
+					continue
+				}
+				infl := lr
+				if radius > 0 {
+					infl *= math.Exp(-gd * gd / (2 * (radius/2 + 1e-9) * (radius/2 + 1e-9)))
+				}
+				w := weights[u]
+				for j := range w {
+					w[j] += infl * (rows[ri][j] - w[j])
+				}
+			}
+			step++
+		}
+	}
+
+	labels := make([]int, n)
+	for i, r := range rows {
+		labels[i] = bestMatchingUnit(r, weights)
+	}
+	return &SOMResult{Config: cfg, Weights: weights, Labels: labels}, nil
+}
+
+func bestMatchingUnit(r []float64, weights [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for u, w := range weights {
+		if d := sqDist(r, w); d < bestD {
+			bestD = d
+			best = u
+		}
+	}
+	return best
+}

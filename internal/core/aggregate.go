@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"gea/internal/interval"
+	"gea/internal/stats"
+)
+
+// AggregateOptions extends the basic SUMY aggregates.
+type AggregateOptions struct {
+	// WithMedian adds a "median" extra column. The thesis calls this out as
+	// the aggregate that raises the cost from one pass to O(n log n).
+	WithMedian bool
+}
+
+// Aggregate converts a cluster from its extensional form to its intensional
+// form: for each tag of the Enum, the range, mean and standard deviation of
+// its expression levels across the member libraries (the aggregate()
+// operator of Figure 3.1, the inverse of populate).
+func Aggregate(name string, e *Enum, opts AggregateOptions) (*Sumy, error) {
+	if e.Size() == 0 {
+		return nil, fmt.Errorf("core: aggregate %s: enum %s has no libraries", name, e.Name)
+	}
+	var extraCols []string
+	if opts.WithMedian {
+		extraCols = []string{"median"}
+	}
+	rows := make([]SumyRow, 0, e.NumTags())
+	vals := make([]float64, e.Size())
+	for j := 0; j < e.NumTags(); j++ {
+		col := e.Cols[j]
+		lo := e.Data.Expr[e.Rows[0]][col]
+		hi := lo
+		for i, r := range e.Rows {
+			v := e.Data.Expr[r][col]
+			vals[i] = v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mean, std := stats.MeanStd(vals)
+		row := SumyRow{
+			Tag:   e.Data.Tags[col],
+			Range: interval.Interval{Min: lo, Max: hi},
+			Mean:  mean,
+			Std:   std,
+		}
+		if opts.WithMedian {
+			med, err := stats.Median(vals)
+			if err != nil {
+				return nil, err
+			}
+			row.Extra = map[string]float64{"median": med}
+		}
+		rows = append(rows, row)
+	}
+	return NewSumy(name, rows, extraCols), nil
+}
+
+// SumyPredicate decides whether a SUMY row qualifies for selection.
+type SumyPredicate func(SumyRow) bool
+
+// SelectSumy applies relational selection to a SUMY table, producing another
+// SUMY table (Section 3.2.3).
+func SelectSumy(name string, s *Sumy, pred SumyPredicate) *Sumy {
+	var rows []SumyRow
+	for _, r := range s.Rows {
+		if pred(r) {
+			rows = append(rows, r)
+		}
+	}
+	return NewSumy(name, rows, s.ExtraCols)
+}
+
+// RangeRelation returns a predicate that holds when the row's range stands
+// in Allen relation rel to query — the range arithmetic of Section 4.4.1.
+func RangeRelation(rel interval.Relation, query interval.Interval) SumyPredicate {
+	return func(r SumyRow) bool { return interval.Holds(rel, r.Range, query) }
+}
+
+// RangeAnyOverlap returns a predicate that holds when the row's range shares
+// at least one point with query — the broad "overlaps" of the range-search
+// GUI (Figure 4.17).
+func RangeAnyOverlap(query interval.Interval) SumyPredicate {
+	return func(r SumyRow) bool { return interval.AnyOverlap(r.Range, query) }
+}
+
+// ProjectSumy drops extra aggregate columns, keeping only the named ones
+// (the standard projection operator on SUMY tables).
+func ProjectSumy(name string, s *Sumy, keep ...string) *Sumy {
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	var cols []string
+	for _, c := range s.ExtraCols {
+		if keepSet[c] {
+			cols = append(cols, c)
+		}
+	}
+	rows := make([]SumyRow, len(s.Rows))
+	for i, r := range s.Rows {
+		nr := r
+		if len(cols) == 0 {
+			nr.Extra = nil
+		} else {
+			nr.Extra = make(map[string]float64, len(cols))
+			for _, c := range cols {
+				if v, ok := r.Extra[c]; ok {
+					nr.Extra[c] = v
+				}
+			}
+		}
+		rows[i] = nr
+	}
+	return NewSumy(name, rows, cols)
+}
+
+// MinusSumy extracts the tags appearing in a but missing in b (tag-level set
+// minus, Section 3.2.3).
+func MinusSumy(name string, a, b *Sumy) *Sumy {
+	var rows []SumyRow
+	for _, r := range a.Rows {
+		if _, ok := b.Row(r.Tag); !ok {
+			rows = append(rows, r)
+		}
+	}
+	return NewSumy(name, rows, a.ExtraCols)
+}
+
+// IntersectSumy keeps the tags of a that also appear in b, with a's
+// aggregates.
+func IntersectSumy(name string, a, b *Sumy) *Sumy {
+	var rows []SumyRow
+	for _, r := range a.Rows {
+		if _, ok := b.Row(r.Tag); ok {
+			rows = append(rows, r)
+		}
+	}
+	return NewSumy(name, rows, a.ExtraCols)
+}
+
+// UnionSumy concatenates a with the b-only tags (a's values win on common
+// tags; extra columns from a).
+func UnionSumy(name string, a, b *Sumy) *Sumy {
+	rows := make([]SumyRow, 0, a.Len()+b.Len())
+	rows = append(rows, a.Rows...)
+	for _, r := range b.Rows {
+		if _, ok := a.Row(r.Tag); !ok {
+			rows = append(rows, r)
+		}
+	}
+	return NewSumy(name, rows, a.ExtraCols)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gea/internal/sage"
+)
+
+// TagIndexes is a set of sorted per-tag column indexes over a dataset — the
+// structure behind the optimized populate() of Section 3.3.2. Build it once
+// on the top-entropy tags (see internal/indexsel) and share it across
+// populate calls.
+type TagIndexes struct {
+	data    *sage.Dataset
+	byCol   map[int][]indexEntry // sorted by value
+	colList []int
+}
+
+type indexEntry struct {
+	v   float64
+	row int
+}
+
+// BuildTagIndexes creates sorted indexes on the given dataset columns.
+func BuildTagIndexes(d *sage.Dataset, cols []int) (*TagIndexes, error) {
+	ti := &TagIndexes{data: d, byCol: make(map[int][]indexEntry, len(cols))}
+	for _, c := range cols {
+		if c < 0 || c >= d.NumTags() {
+			return nil, fmt.Errorf("core: index column %d out of range [0, %d)", c, d.NumTags())
+		}
+		if _, dup := ti.byCol[c]; dup {
+			continue
+		}
+		entries := make([]indexEntry, d.NumLibraries())
+		for i := range d.Expr {
+			entries[i] = indexEntry{v: d.Expr[i][c], row: i}
+		}
+		sort.SliceStable(entries, func(a, b int) bool { return entries[a].v < entries[b].v })
+		ti.byCol[c] = entries
+		ti.colList = append(ti.colList, c)
+	}
+	sort.Ints(ti.colList)
+	return ti, nil
+}
+
+// NumIndexes returns how many columns carry indexes.
+func (ti *TagIndexes) NumIndexes() int { return len(ti.byCol) }
+
+// Columns returns the indexed column positions, ascending.
+func (ti *TagIndexes) Columns() []int { return ti.colList }
+
+// rangeRows returns the rows whose value in column c lies in [lo, hi].
+func (ti *TagIndexes) rangeRows(c int, lo, hi float64) []int {
+	entries := ti.byCol[c]
+	start := sort.Search(len(entries), func(i int) bool { return entries[i].v >= lo })
+	var rows []int
+	for i := start; i < len(entries); i++ {
+		if entries[i].v > hi {
+			break
+		}
+		rows = append(rows, entries[i].row)
+	}
+	return rows
+}
+
+// PopulateStats reports how much work a populate() call did, so the Table
+// 3.2 experiment can relate index hits to saved effort.
+type PopulateStats struct {
+	// IndexesHit is the number of SUMY tags that had indexes (w in the
+	// thesis's analysis).
+	IndexesHit int
+	// CandidateRows is how many rows survived the index intersection and
+	// were verified against the remaining conditions (equals the total row
+	// count when no index was hit).
+	CandidateRows int
+	// ConditionsChecked counts individual range-condition evaluations.
+	ConditionsChecked int
+}
+
+// PopulateOptions tune the populate() evaluation.
+type PopulateOptions struct {
+	// SimulateRowFetch charges the cost of materializing each examined row
+	// (a full pass over its expression vector), modeling the storage read a
+	// disk-resident DBMS performs per candidate row. The thesis's Table 3.2
+	// measures populate() against DB2, where the sequential scan's dominant
+	// cost is exactly that fetch; in-memory early-exit verification is
+	// otherwise so cheap that index savings would be invisible in wall
+	// time.
+	SimulateRowFetch bool
+}
+
+// Populate finds all libraries of the dataset satisfying every tag range of
+// the SUMY table — the populate() operator of Figure 3.1, converting a
+// cluster from intensional to extensional form. Tags of the SUMY table
+// absent from the dataset are treated as expression level 0.
+//
+// When idx is non-nil, the conjunction is evaluated index-first: each SUMY
+// tag with an index contributes a candidate row set by range scan; the sets
+// are intersected (smallest first) and only the surviving candidates are
+// verified against the remaining conditions. With no index (or no hits) the
+// operator degrades to the sequential scan.
+func Populate(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes) (*Enum, PopulateStats, error) {
+	return PopulateWithOptions(name, s, d, idx, PopulateOptions{})
+}
+
+// PopulateWithOptions is Populate with evaluation options.
+func PopulateWithOptions(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, opts PopulateOptions) (*Enum, PopulateStats, error) {
+	var st PopulateStats
+	if s.Len() == 0 {
+		return nil, st, fmt.Errorf("core: populate %s: SUMY %s is empty", name, s.Name)
+	}
+	if idx != nil && idx.data != d {
+		return nil, st, fmt.Errorf("core: populate %s: indexes were built on a different dataset", name)
+	}
+
+	// Split conditions into indexed and residual.
+	type cond struct {
+		col    int // -1 when the tag is absent from the dataset
+		lo, hi float64
+	}
+	var indexed, residual []cond
+	var cols []int
+	for _, r := range s.Rows {
+		c := cond{col: -1, lo: r.Range.Min, hi: r.Range.Max}
+		if j, ok := d.TagColumn(r.Tag); ok {
+			c.col = j
+			cols = append(cols, j)
+		}
+		if c.col >= 0 && idx != nil {
+			if _, ok := idx.byCol[c.col]; ok {
+				indexed = append(indexed, c)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	st.IndexesHit = len(indexed)
+
+	var candidates []int
+	if len(indexed) > 0 {
+		// Gather candidate sets (sorted by row), intersect smallest-first
+		// with a sorted merge.
+		sets := make([][]int, len(indexed))
+		for i, c := range indexed {
+			rows := idx.rangeRows(c.col, c.lo, c.hi)
+			sort.Ints(rows)
+			sets[i] = rows
+		}
+		sort.Slice(sets, func(a, b int) bool { return len(sets[a]) < len(sets[b]) })
+		candidates = append([]int(nil), sets[0]...)
+		for _, set := range sets[1:] {
+			if len(candidates) == 0 {
+				break
+			}
+			kept := candidates[:0]
+			i, j := 0, 0
+			for i < len(candidates) && j < len(set) {
+				switch {
+				case candidates[i] < set[j]:
+					i++
+				case candidates[i] > set[j]:
+					j++
+				default:
+					kept = append(kept, candidates[i])
+					i++
+					j++
+				}
+			}
+			candidates = kept
+		}
+	} else {
+		candidates = make([]int, d.NumLibraries())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	st.CandidateRows = len(candidates)
+
+	var rows []int
+	var fetchSink float64
+	for _, r := range candidates {
+		if opts.SimulateRowFetch {
+			for _, v := range d.Expr[r] {
+				fetchSink += v
+			}
+		}
+		ok := true
+		for _, c := range residual {
+			st.ConditionsChecked++
+			v := 0.0
+			if c.col >= 0 {
+				v = d.Expr[r][c.col]
+			}
+			if v < c.lo || v > c.hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+
+	_ = fetchSink
+	e, err := NewEnum(name, d, rows, cols)
+	if err != nil {
+		return nil, st, err
+	}
+	return e, st, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"gea/internal/interval"
+	"gea/internal/sage"
+)
+
+// This file implements the search operations of Section 4.4: range
+// arithmetic over multiple SUMY tables (Figures 4.16-4.17) and the general
+// expression-value lookups of the SAGE database (Figures 4.23-4.26).
+
+// RangeOutcome is one cell of a range-arithmetic search result.
+type RangeOutcome int
+
+// Outcomes, matching the GUI's display codes.
+const (
+	// RangeSatisfied: the relation holds; the actual range is reported.
+	RangeSatisfied RangeOutcome = iota
+	// RangeNo ("NO"): the tag exists but the relation does not hold.
+	RangeNo
+	// RangeNotExist ("NE"): the tag does not exist in the SUMY table.
+	RangeNotExist
+)
+
+// String renders the outcome code as the GUI does.
+func (o RangeOutcome) String() string {
+	switch o {
+	case RangeSatisfied:
+		return "OK"
+	case RangeNo:
+		return "NO"
+	default:
+		return "NE"
+	}
+}
+
+// RangeCell is the outcome for one (tag, SUMY) pair.
+type RangeCell struct {
+	Outcome RangeOutcome
+	Range   interval.Interval // valid when Outcome == RangeSatisfied
+}
+
+// RangeSearchRow is one row of a multi-SUMY range search.
+type RangeSearchRow struct {
+	Tag   sage.TagID
+	Cells []RangeCell // parallel to the searched SUMY tables
+}
+
+// RangeCondition decides whether a tag's range satisfies a range-arithmetic
+// search. Use StrictRelation for one of Allen's thirteen relations or
+// BroadOverlap for the GUI's inclusive "overlaps" (any shared point).
+type RangeCondition func(interval.Interval) bool
+
+// StrictRelation holds when the range stands in exactly relation rel to
+// query.
+func StrictRelation(rel interval.Relation, query interval.Interval) RangeCondition {
+	return func(r interval.Interval) bool { return interval.Holds(rel, r, query) }
+}
+
+// BroadOverlap holds when the range shares at least one point with query —
+// the semantics of the Figure 4.16 "Overlaps" search, where the tag range
+// [20, 616] satisfies the query [10, 700] even though Allen classifies the
+// pair as "during".
+func BroadOverlap(query interval.Interval) RangeCondition {
+	return func(r interval.Interval) bool { return interval.AnyOverlap(r, query) }
+}
+
+// RangeSearch checks, for each tag in [firstTag, lastTag], whether its range
+// in each SUMY table satisfies the condition — the Figure 4.16 search. Tags
+// outside every table are omitted.
+func RangeSearch(sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeCondition) ([]RangeSearchRow, error) {
+	if len(sumys) == 0 {
+		return nil, fmt.Errorf("core: range search needs at least one SUMY table")
+	}
+	if firstTag > lastTag {
+		return nil, fmt.Errorf("core: tag range %v-%v is inverted", firstTag, lastTag)
+	}
+	// Collect candidate tags in range from all tables.
+	tagSet := map[sage.TagID]bool{}
+	for _, s := range sumys {
+		for _, r := range s.Rows {
+			if r.Tag >= firstTag && r.Tag <= lastTag {
+				tagSet[r.Tag] = true
+			}
+		}
+	}
+	tags := make([]sage.TagID, 0, len(tagSet))
+	for t := range tagSet {
+		tags = append(tags, t)
+	}
+	sortTags(tags)
+
+	out := make([]RangeSearchRow, 0, len(tags))
+	for _, t := range tags {
+		row := RangeSearchRow{Tag: t, Cells: make([]RangeCell, len(sumys))}
+		for i, s := range sumys {
+			sr, ok := s.Row(t)
+			switch {
+			case !ok:
+				row.Cells[i] = RangeCell{Outcome: RangeNotExist}
+			case cond(sr.Range):
+				row.Cells[i] = RangeCell{Outcome: RangeSatisfied, Range: sr.Range}
+			default:
+				row.Cells[i] = RangeCell{Outcome: RangeNo}
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// AnyTagSearch returns every tag of the SUMY table whose range satisfies the
+// condition — the "Any" mode of Figure 4.17. Non-satisfying tags are
+// omitted.
+func AnyTagSearch(s *Sumy, cond RangeCondition) []SumyRow {
+	var out []SumyRow
+	for _, r := range s.Rows {
+		if cond(r.Range) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sortTags(tags []sage.TagID) {
+	for i := 1; i < len(tags); i++ {
+		for j := i; j > 0 && tags[j-1] > tags[j]; j-- {
+			tags[j-1], tags[j] = tags[j], tags[j-1]
+		}
+	}
+}
+
+// FrequencyResult is one row of an expression-value search: a tag's levels
+// across the selected libraries (Figure 4.25).
+type FrequencyResult struct {
+	Tag    sage.TagID
+	Values []float64 // parallel to the library selection
+}
+
+// FrequencySearch extracts expression values for every tag in
+// [firstTag, lastTag] across the named libraries; nil names means all
+// libraries. Tags absent from the dataset's universe are omitted; absent
+// counts are 0.
+func FrequencySearch(d *sage.Dataset, firstTag, lastTag sage.TagID, libNames []string) ([]FrequencyResult, []string, error) {
+	if firstTag > lastTag {
+		return nil, nil, fmt.Errorf("core: tag range %v-%v is inverted", firstTag, lastTag)
+	}
+	var rows []int
+	var names []string
+	if libNames == nil {
+		for i, m := range d.Libs {
+			rows = append(rows, i)
+			names = append(names, m.Name)
+		}
+	} else {
+		for _, n := range libNames {
+			i, ok := d.LibraryRow(n)
+			if !ok {
+				return nil, nil, fmt.Errorf("core: unknown library %q", n)
+			}
+			rows = append(rows, i)
+			names = append(names, n)
+		}
+	}
+	var out []FrequencyResult
+	for j, t := range d.Tags {
+		if t < firstTag || t > lastTag {
+			continue
+		}
+		vals := make([]float64, len(rows))
+		for k, r := range rows {
+			vals[k] = d.Expr[r][j]
+		}
+		out = append(out, FrequencyResult{Tag: t, Values: vals})
+	}
+	return out, names, nil
+}
+
+// SingleTagSearch extracts one tag's expression values across the named
+// libraries (Figure 4.26).
+func SingleTagSearch(d *sage.Dataset, tag sage.TagID, libNames []string) (FrequencyResult, []string, error) {
+	res, names, err := FrequencySearch(d, tag, tag, libNames)
+	if err != nil {
+		return FrequencyResult{}, nil, err
+	}
+	if len(res) == 0 {
+		return FrequencyResult{}, nil, fmt.Errorf("core: tag %v not in the dataset", tag)
+	}
+	return res[0], names, nil
+}

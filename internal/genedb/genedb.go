@@ -1,0 +1,362 @@
+// Package genedb implements the GEA's integrated genomic analysis (thesis
+// Section 5.2): the auxiliary databases — UNIGENE (tag -> gene), SWISSPROT
+// (gene -> protein sequence), PFAM (protein -> family), KEGG (gene ->
+// pathway), GENBANK (gene -> DNA sequence), OMIM (gene -> disease) and
+// PUBMED (gene -> publications) — held as ordinary relations in the embedded
+// relational engine, queried through the join expressions of the thesis,
+// e.g.
+//
+//	GeneRel = π unigene.gene (σ TagRel.tag = unigene.tag (TagRel ⋈ Unigene))
+//
+// The real databases are external downloads; here they are synthesized from
+// the generator's gene catalog with referential consistency (every tag maps
+// to a gene, every gene to a protein, and so on), which exercises the same
+// query plans.
+package genedb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gea/internal/relational"
+	"gea/internal/sage"
+	"gea/internal/sagegen"
+)
+
+// Table names in the store.
+const (
+	TableUnigene   = "Unigene"
+	TableSwissprot = "Swissprot"
+	TablePfam      = "Pfam"
+	TableKegg      = "Kegg"
+	TableGenbank   = "Genbank"
+	TableOmim      = "Omim"
+	TablePubmed    = "Pubmed"
+)
+
+// DB bundles the auxiliary relations.
+type DB struct {
+	Store *relational.Store
+}
+
+// pathway/family/disease vocabularies for the synthetic annotations.
+var (
+	pathways = []string{
+		"glycolysis", "citrate cycle", "oxidative phosphorylation",
+		"MAPK signaling", "p53 signaling", "cell cycle", "apoptosis",
+		"Wnt signaling", "DNA replication", "mismatch repair",
+	}
+	families = []string{
+		"kinase", "zinc finger", "immunoglobulin", "ribosomal", "tubulin",
+		"ABC transporter", "homeobox", "GPCR", "protease", "histone",
+	}
+	diseases = []string{
+		"glioblastoma", "breast carcinoma", "renal carcinoma",
+		"colorectal cancer", "pancreatic cancer", "melanoma",
+		"ovarian carcinoma", "prostate carcinoma", "hypertension", "none known",
+	}
+)
+
+// Build synthesizes the auxiliary databases from a gene catalog. Generation
+// is deterministic for a given seed.
+func Build(cat *sagegen.Catalog, seed int64) (*DB, error) {
+	if cat == nil || len(cat.Genes) == 0 {
+		return nil, fmt.Errorf("genedb: empty catalog")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := relational.NewStore()
+
+	unigene, err := s.Create(TableUnigene, relational.Schema{
+		{Name: "tag", Kind: relational.KindString},
+		{Name: "gene", Kind: relational.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	swissprot, err := s.Create(TableSwissprot, relational.Schema{
+		{Name: "gene", Kind: relational.KindString},
+		{Name: "protein", Kind: relational.KindString},
+		{Name: "sequence", Kind: relational.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pfam, err := s.Create(TablePfam, relational.Schema{
+		{Name: "protein", Kind: relational.KindString},
+		{Name: "family", Kind: relational.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	kegg, err := s.Create(TableKegg, relational.Schema{
+		{Name: "gene", Kind: relational.KindString},
+		{Name: "pathway", Kind: relational.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	genbank, err := s.Create(TableGenbank, relational.Schema{
+		{Name: "gene", Kind: relational.KindString},
+		{Name: "dna", Kind: relational.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	omim, err := s.Create(TableOmim, relational.Schema{
+		{Name: "gene", Kind: relational.KindString},
+		{Name: "disease", Kind: relational.KindString},
+		{Name: "chromosome", Kind: relational.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pubmed, err := s.Create(TablePubmed, relational.Schema{
+		{Name: "gene", Kind: relational.KindString},
+		{Name: "pmid", Kind: relational.KindInt},
+		{Name: "title", Kind: relational.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pmid := int64(10000000)
+	for _, g := range cat.Genes {
+		unigene.MustInsert(relational.S(g.Tag.String()), relational.S(g.Name))
+		protein := "P_" + g.Name
+		swissprot.MustInsert(relational.S(g.Name), relational.S(protein),
+			relational.S(proteinSequence(rng)))
+		pfam.MustInsert(relational.S(protein), relational.S(families[rng.Intn(len(families))]))
+		// Genes sit on 1-3 pathways.
+		n := 1 + rng.Intn(3)
+		for _, p := range rng.Perm(len(pathways))[:n] {
+			kegg.MustInsert(relational.S(g.Name), relational.S(pathways[p]))
+		}
+		genbank.MustInsert(relational.S(g.Name), relational.S(dnaSequence(rng)))
+		omim.MustInsert(relational.S(g.Name), relational.S(diseases[rng.Intn(len(diseases))]),
+			relational.I(int64(1+rng.Intn(23))))
+		// 0-3 publications per gene.
+		for k := 0; k < rng.Intn(4); k++ {
+			pmid++
+			pubmed.MustInsert(relational.S(g.Name), relational.I(pmid),
+				relational.S(fmt.Sprintf("Expression of %s in neoplastic tissue, part %d", g.Name, k+1)))
+		}
+	}
+	return &DB{Store: s}, nil
+}
+
+const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
+
+func proteinSequence(rng *rand.Rand) string {
+	n := 60 + rng.Intn(120)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = aminoAcids[rng.Intn(len(aminoAcids))]
+	}
+	return string(b)
+}
+
+func dnaSequence(rng *rand.Rand) string {
+	const bases = "ACGT"
+	n := 120 + rng.Intn(240)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[rng.Intn(len(bases))]
+	}
+	return string(b)
+}
+
+// TagRel builds a single-column relation of tags — the TagRel of the
+// thesis's join expressions, typically the tag list of a SUMY, GAP or top
+// gap table.
+func TagRel(name string, tags []sage.TagID) *relational.Table {
+	t := relational.NewTable(name, relational.Schema{{Name: "tag", Kind: relational.KindString}})
+	for _, tg := range tags {
+		t.MustInsert(relational.S(tg.String()))
+	}
+	return t
+}
+
+// GenesForTags evaluates GeneRel = π gene (σ tag match (TagRel ⋈ Unigene)):
+// the tag-to-gene mapper of Section 5.2.1. Unknown tags (sequencing errors)
+// simply produce no row.
+func (db *DB) GenesForTags(tags []sage.TagID) (*relational.Table, error) {
+	unigene, err := db.Store.Get(TableUnigene)
+	if err != nil {
+		return nil, err
+	}
+	j, err := TagRel("TagRel", tags).Join(unigene, "tag", "tag")
+	if err != nil {
+		return nil, err
+	}
+	p, err := j.Project("gene")
+	if err != nil {
+		return nil, err
+	}
+	return p.Distinct(), nil
+}
+
+// GeneForTag is the single-tag convenience form of the tag-to-gene mapper
+// (the Figure 4.22 search box).
+func (db *DB) GeneForTag(tag sage.TagID) (string, error) {
+	t, err := db.GenesForTags([]sage.TagID{tag})
+	if err != nil {
+		return "", err
+	}
+	if t.Len() == 0 {
+		return "", fmt.Errorf("genedb: no gene for tag %v", tag)
+	}
+	return t.Rows[0][0].Str(), nil
+}
+
+// ProteinsForGenes evaluates ProtRel = π protein, sequence (GeneRel ⋈
+// Swissprot) — Section 5.2.2.
+func (db *DB) ProteinsForGenes(geneRel *relational.Table) (*relational.Table, error) {
+	swissprot, err := db.Store.Get(TableSwissprot)
+	if err != nil {
+		return nil, err
+	}
+	j, err := geneRel.Join(swissprot, "gene", "gene")
+	if err != nil {
+		return nil, err
+	}
+	return j.Project("protein", "sequence")
+}
+
+// FamiliesForProteins joins ProtRel with PFAM — Section 5.2.3.
+func (db *DB) FamiliesForProteins(protRel *relational.Table) (*relational.Table, error) {
+	pfam, err := db.Store.Get(TablePfam)
+	if err != nil {
+		return nil, err
+	}
+	j, err := protRel.Join(pfam, "protein", "protein")
+	if err != nil {
+		return nil, err
+	}
+	p, err := j.Project("protein", "family")
+	if err != nil {
+		return nil, err
+	}
+	return p.Distinct(), nil
+}
+
+// PathwaysForGenes joins GeneRel with KEGG — Section 5.2.4.
+func (db *DB) PathwaysForGenes(geneRel *relational.Table) (*relational.Table, error) {
+	kegg, err := db.Store.Get(TableKegg)
+	if err != nil {
+		return nil, err
+	}
+	j, err := geneRel.Join(kegg, "gene", "gene")
+	if err != nil {
+		return nil, err
+	}
+	p, err := j.Project("gene", "pathway")
+	if err != nil {
+		return nil, err
+	}
+	return p.Distinct(), nil
+}
+
+// DNAForGene looks up the GENBANK sequence — Section 5.2.5.
+func (db *DB) DNAForGene(gene string) (string, error) {
+	genbank, err := db.Store.Get(TableGenbank)
+	if err != nil {
+		return "", err
+	}
+	hits := genbank.Select(genbank.ColEq("gene", relational.S(gene)))
+	if hits.Len() == 0 {
+		return "", fmt.Errorf("genedb: no GENBANK entry for gene %q", gene)
+	}
+	return hits.Rows[0][1].Str(), nil
+}
+
+// DiseasesForGenes answers the OMIM questions of Section 5.2.6, e.g. "what
+// human genes are related to hypertension, and which of those are on
+// chromosome 17?" — pass the disease and an optional chromosome (0 = any).
+func (db *DB) DiseasesForGenes(disease string, chromosome int) (*relational.Table, error) {
+	omim, err := db.Store.Get(TableOmim)
+	if err != nil {
+		return nil, err
+	}
+	pred := omim.ColEq("disease", relational.S(disease))
+	if chromosome > 0 {
+		pred = relational.And(pred, omim.ColEq("chromosome", relational.I(int64(chromosome))))
+	}
+	return omim.Select(pred).Project("gene", "chromosome")
+}
+
+// PublicationsForGene lists the PUBMED entries for a gene — Section 5.2.7.
+func (db *DB) PublicationsForGene(gene string) (*relational.Table, error) {
+	pubmed, err := db.Store.Get(TablePubmed)
+	if err != nil {
+		return nil, err
+	}
+	return pubmed.Select(pubmed.ColEq("gene", relational.S(gene))).Project("pmid", "title")
+}
+
+// Annotate runs the full integration pipeline of Section 5.2 for a list of
+// candidate tags and returns one report line per resolved gene.
+type Annotation struct {
+	Tag      sage.TagID
+	Gene     string
+	Protein  string
+	Family   string
+	Pathways []string
+	Disease  string
+	PubMed   []string
+}
+
+// AnnotateTags resolves each tag through every auxiliary database. Tags
+// without a gene mapping (sequencing errors) are skipped.
+func (db *DB) AnnotateTags(tags []sage.TagID) ([]Annotation, error) {
+	unigene, err := db.Store.Get(TableUnigene)
+	if err != nil {
+		return nil, err
+	}
+	swissprot, err := db.Store.Get(TableSwissprot)
+	if err != nil {
+		return nil, err
+	}
+	pfam, err := db.Store.Get(TablePfam)
+	if err != nil {
+		return nil, err
+	}
+	kegg, err := db.Store.Get(TableKegg)
+	if err != nil {
+		return nil, err
+	}
+	omim, err := db.Store.Get(TableOmim)
+	if err != nil {
+		return nil, err
+	}
+	pubmed, err := db.Store.Get(TablePubmed)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Annotation
+	for _, tg := range tags {
+		hit := unigene.Select(unigene.ColEq("tag", relational.S(tg.String())))
+		if hit.Len() == 0 {
+			continue
+		}
+		gene := hit.Rows[0][1].Str()
+		a := Annotation{Tag: tg, Gene: gene}
+		if sp := swissprot.Select(swissprot.ColEq("gene", relational.S(gene))); sp.Len() > 0 {
+			a.Protein = sp.Rows[0][1].Str()
+		}
+		if pf := pfam.Select(pfam.ColEq("protein", relational.S(a.Protein))); pf.Len() > 0 {
+			a.Family = pf.Rows[0][1].Str()
+		}
+		for _, r := range kegg.Select(kegg.ColEq("gene", relational.S(gene))).Rows {
+			a.Pathways = append(a.Pathways, r[1].Str())
+		}
+		if om := omim.Select(omim.ColEq("gene", relational.S(gene))); om.Len() > 0 {
+			a.Disease = om.Rows[0][1].Str()
+		}
+		for _, r := range pubmed.Select(pubmed.ColEq("gene", relational.S(gene))).Rows {
+			a.PubMed = append(a.PubMed, r[2].Str())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package genedb
+
+import (
+	"strings"
+	"testing"
+
+	"gea/internal/sage"
+	"gea/internal/sagegen"
+)
+
+func buildDB(t *testing.T) (*DB, *sagegen.Catalog) {
+	t.Helper()
+	res, err := sagegen.Generate(sagegen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Build(res.Catalog, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, res.Catalog
+}
+
+func TestBuildRejectsEmptyCatalog(t *testing.T) {
+	if _, err := Build(nil, 1); err == nil {
+		t.Error("nil catalog: expected error")
+	}
+	if _, err := Build(&sagegen.Catalog{}, 1); err == nil {
+		t.Error("empty catalog: expected error")
+	}
+}
+
+func TestReferentialConsistency(t *testing.T) {
+	db, cat := buildDB(t)
+	unigene, err := db.Store.Get(TableUnigene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unigene.Len() != len(cat.Genes) {
+		t.Errorf("unigene has %d rows, want %d", unigene.Len(), len(cat.Genes))
+	}
+	// Every gene has exactly one SWISSPROT and GENBANK entry.
+	sp, _ := db.Store.Get(TableSwissprot)
+	gb, _ := db.Store.Get(TableGenbank)
+	if sp.Len() != len(cat.Genes) || gb.Len() != len(cat.Genes) {
+		t.Errorf("swissprot %d / genbank %d rows, want %d", sp.Len(), gb.Len(), len(cat.Genes))
+	}
+}
+
+func TestGeneForTag(t *testing.T) {
+	db, cat := buildDB(t)
+	g, ok := cat.ByName(sagegen.GeneRibosomalL12)
+	if !ok {
+		t.Fatal("L12 missing from catalog")
+	}
+	gene, err := db.GeneForTag(g.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gene != sagegen.GeneRibosomalL12 {
+		t.Errorf("GeneForTag = %q", gene)
+	}
+	// A tag outside the catalog has no gene — the thesis: "there are tags
+	// with no known corresponding genes".
+	if _, err := db.GeneForTag(sage.TagID(12345) ^ g.Tag ^ 0xFFFFF); err == nil {
+		// That arbitrary tag could collide with a real one; check it first.
+		if _, real := cat.ByTag(sage.TagID(12345) ^ g.Tag ^ 0xFFFFF); !real {
+			t.Error("unknown tag: expected error")
+		}
+	}
+}
+
+func TestJoinPipeline(t *testing.T) {
+	db, cat := buildDB(t)
+	tags := []sage.TagID{cat.Genes[0].Tag, cat.Genes[1].Tag, cat.Genes[2].Tag}
+
+	geneRel, err := db.GenesForTags(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geneRel.Len() != 3 {
+		t.Fatalf("GeneRel = %d rows", geneRel.Len())
+	}
+	protRel, err := db.ProteinsForGenes(geneRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if protRel.Len() != 3 {
+		t.Fatalf("ProtRel = %d rows", protRel.Len())
+	}
+	seq := protRel.Rows[0][1].Str()
+	if len(seq) < 60 {
+		t.Errorf("protein sequence too short: %d", len(seq))
+	}
+	famRel, err := db.FamiliesForProteins(protRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if famRel.Len() != 3 {
+		t.Errorf("FamRel = %d rows", famRel.Len())
+	}
+	pathRel, err := db.PathwaysForGenes(geneRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathRel.Len() < 3 { // 1-3 pathways per gene
+		t.Errorf("PathRel = %d rows", pathRel.Len())
+	}
+}
+
+func TestDNAForGene(t *testing.T) {
+	db, cat := buildDB(t)
+	dna, err := db.DNAForGene(cat.Genes[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range dna {
+		if !strings.ContainsRune("ACGT", c) {
+			t.Fatalf("DNA contains %q", c)
+		}
+	}
+	if _, err := db.DNAForGene("NOT A GENE"); err == nil {
+		t.Error("unknown gene: expected error")
+	}
+}
+
+func TestDiseasesForGenes(t *testing.T) {
+	db, _ := buildDB(t)
+	all, err := db.DiseasesForGenes("glioblastoma", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() == 0 {
+		t.Fatal("no glioblastoma genes in synthetic OMIM")
+	}
+	chr17, err := db.DiseasesForGenes("glioblastoma", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chr17.Len() > all.Len() {
+		t.Error("chromosome filter grew the result")
+	}
+	for _, r := range chr17.Rows {
+		if r[1].Int() != 17 {
+			t.Errorf("row %v not on chromosome 17", r)
+		}
+	}
+}
+
+func TestPublicationsForGene(t *testing.T) {
+	db, cat := buildDB(t)
+	// Some gene has publications; find one by scanning the table.
+	pubmed, err := db.Store.Get(TablePubmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubmed.Len() == 0 {
+		t.Fatal("synthetic PUBMED is empty")
+	}
+	gene := pubmed.Rows[0][0].Str()
+	pubs, err := db.PublicationsForGene(gene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubs.Len() == 0 {
+		t.Error("no publications returned")
+	}
+	if !strings.Contains(pubs.Rows[0][1].Str(), gene) {
+		t.Errorf("title %q does not mention %q", pubs.Rows[0][1].Str(), gene)
+	}
+	_ = cat
+}
+
+func TestAnnotateTags(t *testing.T) {
+	db, cat := buildDB(t)
+	g, _ := cat.ByName(sagegen.GeneAlphaTubulin)
+	// One real tag and one (almost certainly) error tag.
+	errTag := g.Tag ^ 0x3
+	tags := []sage.TagID{g.Tag}
+	if _, real := cat.ByTag(errTag); !real {
+		tags = append(tags, errTag)
+	}
+	anns, err := db.AnnotateTags(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 {
+		t.Fatalf("annotated %d tags, want 1", len(anns))
+	}
+	a := anns[0]
+	if a.Gene != sagegen.GeneAlphaTubulin || a.Protein == "" || a.Family == "" ||
+		len(a.Pathways) == 0 || a.Disease == "" {
+		t.Errorf("annotation incomplete: %+v", a)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, cat := buildDB(t)
+	db1, err := Build(cat, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Build(cat, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := db1.Store.Get(TableKegg)
+	k2, _ := db2.Store.Get(TableKegg)
+	if k1.Len() != k2.Len() {
+		t.Error("same seed produced different KEGG sizes")
+	}
+}
+
+func TestJoinQueriesErrorOnMissingTables(t *testing.T) {
+	db, cat := buildDB(t)
+	// Drop the tables to exercise the error paths.
+	db.Store.Drop(TableUnigene)
+	if _, err := db.GenesForTags([]sage.TagID{cat.Genes[0].Tag}); err == nil {
+		t.Error("GenesForTags without UNIGENE: expected error")
+	}
+	if _, err := db.GeneForTag(cat.Genes[0].Tag); err == nil {
+		t.Error("GeneForTag without UNIGENE: expected error")
+	}
+	geneRel := TagRel("g", nil)
+	db.Store.Drop(TableSwissprot)
+	if _, err := db.ProteinsForGenes(geneRel); err == nil {
+		t.Error("ProteinsForGenes without SWISSPROT: expected error")
+	}
+	db.Store.Drop(TablePfam)
+	if _, err := db.FamiliesForProteins(geneRel); err == nil {
+		t.Error("FamiliesForProteins without PFAM: expected error")
+	}
+	db.Store.Drop(TableKegg)
+	if _, err := db.PathwaysForGenes(geneRel); err == nil {
+		t.Error("PathwaysForGenes without KEGG: expected error")
+	}
+	db.Store.Drop(TableGenbank)
+	if _, err := db.DNAForGene("x"); err == nil {
+		t.Error("DNAForGene without GENBANK: expected error")
+	}
+	db.Store.Drop(TableOmim)
+	if _, err := db.DiseasesForGenes("x", 0); err == nil {
+		t.Error("DiseasesForGenes without OMIM: expected error")
+	}
+	db.Store.Drop(TablePubmed)
+	if _, err := db.PublicationsForGene("x"); err == nil {
+		t.Error("PublicationsForGene without PUBMED: expected error")
+	}
+	if _, err := db.AnnotateTags([]sage.TagID{cat.Genes[0].Tag}); err == nil {
+		t.Error("AnnotateTags without tables: expected error")
+	}
+}
+
+func TestTagRelShape(t *testing.T) {
+	_, cat := buildDB(t)
+	rel := TagRel("mine", []sage.TagID{cat.Genes[0].Tag, cat.Genes[1].Tag})
+	if rel.Len() != 2 || rel.Schema[0].Name != "tag" {
+		t.Errorf("TagRel = %d rows, schema %v", rel.Len(), rel.Schema.Names())
+	}
+}

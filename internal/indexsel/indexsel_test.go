@@ -1,0 +1,246 @@
+package indexsel
+
+import (
+	"math/rand"
+	"testing"
+
+	"gea/internal/sage"
+	"gea/internal/sagegen"
+)
+
+// TestTable31Exact reproduces Table 3.1 of the thesis: with n = 60,000 total
+// tags and p = 25,000 tags in a SUMY table, the number of indices required to
+// guarantee w hits with 99.9% probability.
+func TestTable31Exact(t *testing.T) {
+	want := map[int]int{
+		1: 17, 2: 23, 3: 27, 4: 32, 5: 36,
+		6: 40, 7: 44, 8: 48, 9: 51, 10: 55,
+	}
+	rows, err := Table31(60000, 25000, 10, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if want[r.W] != r.M {
+			t.Errorf("w=%d: m=%d, want %d (Table 3.1)", r.W, r.M, want[r.W])
+		}
+	}
+}
+
+func TestIndicesRequiredIsMinimal(t *testing.T) {
+	// m-1 must fall below the confidence, m must reach it.
+	for _, w := range []int{1, 4, 10} {
+		m, err := IndicesRequired(60000, 25000, w, DefaultConfidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atM, _ := HitProbability(60000, 25000, m, w)
+		below, _ := HitProbability(60000, 25000, m-1, w)
+		if atM < DefaultConfidence {
+			t.Errorf("w=%d: P(m=%d) = %v < conf", w, m, atM)
+		}
+		if below >= DefaultConfidence {
+			t.Errorf("w=%d: m=%d not minimal (m-1 already suffices)", w, m)
+		}
+	}
+}
+
+func TestHitProbabilityBoundsAndMonotonicity(t *testing.T) {
+	n, p := 1000, 400
+	prev := -1.0
+	for m := 0; m <= n; m += 50 {
+		pr, err := HitProbability(n, p, m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr < 0 || pr > 1 {
+			t.Fatalf("P out of range: %v", pr)
+		}
+		if pr < prev-1e-12 {
+			t.Fatalf("P not monotone in m at m=%d", m)
+		}
+		prev = pr
+	}
+	// w=0 is certain.
+	if pr, _ := HitProbability(n, p, 0, 0); pr != 1 {
+		t.Errorf("P(w=0) = %v, want 1", pr)
+	}
+	// m=0 with w>=1 is impossible.
+	if pr, _ := HitProbability(n, p, 0, 1); pr != 0 {
+		t.Errorf("P(m=0, w=1) = %v, want 0", pr)
+	}
+}
+
+func TestHitProbabilityErrors(t *testing.T) {
+	cases := [][4]int{
+		{0, 0, 0, 0},   // n=0
+		{10, -1, 0, 0}, // p<0
+		{10, 11, 0, 0}, // p>n
+		{10, 5, -1, 0}, // m<0
+		{10, 5, 11, 0}, // m>n
+		{10, 5, 5, -1}, // w<0
+	}
+	for _, c := range cases {
+		if _, err := HitProbability(c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("HitProbability(%v): expected error", c)
+		}
+	}
+}
+
+func TestIndicesRequiredErrors(t *testing.T) {
+	if _, err := IndicesRequired(100, 50, 1, 0); err == nil {
+		t.Error("conf=0: expected error")
+	}
+	if _, err := IndicesRequired(100, 50, 1, 1); err == nil {
+		t.Error("conf=1: expected error")
+	}
+	if _, err := IndicesRequired(100, 50, 0, 0.9); err == nil {
+		t.Error("w=0: expected error")
+	}
+	if _, err := IndicesRequired(100, 3, 5, 0.9); err == nil {
+		t.Error("w>p: expected error")
+	}
+}
+
+func TestTable31PropagatesErrors(t *testing.T) {
+	if _, err := Table31(100, 2, 5, 0.999); err == nil {
+		t.Error("expected error when w exceeds p")
+	}
+}
+
+func buildEntropyDataset() *sage.Dataset {
+	c := &sage.Corpus{}
+	// Tag A varies wildly; tag C is constant; tag G varies a little.
+	vals := map[string][]float64{
+		"AAAAAAAAAA": {0, 50, 100, 150, 200, 250},
+		"CCCCCCCCCC": {7, 7, 7, 7, 7, 7},
+		"GGGGGGGGGG": {10, 11, 10, 11, 10, 11},
+	}
+	for i := 0; i < 6; i++ {
+		l := sage.NewLibrary(sage.LibraryMeta{ID: i + 1, Name: string(rune('a' + i)), Tissue: "t"})
+		for s, vs := range vals {
+			l.Add(sage.MustParseTag(s), vs[i]+1) // +1 keeps zeros present
+		}
+		c.Libraries = append(c.Libraries, l)
+	}
+	return sage.Build(c)
+}
+
+func TestRankByEntropy(t *testing.T) {
+	ds := buildEntropyDataset()
+	ranked := RankByEntropy(ds)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d tags", len(ranked))
+	}
+	if ranked[0].Tag != sage.MustParseTag("AAAAAAAAAA") {
+		t.Errorf("highest-entropy tag = %v", ranked[0].Tag)
+	}
+	if ranked[2].Tag != sage.MustParseTag("CCCCCCCCCC") || ranked[2].Entropy != 0 {
+		t.Errorf("constant tag should rank last with entropy 0: %+v", ranked[2])
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Entropy > ranked[i-1].Entropy {
+			t.Error("ranking not descending")
+		}
+	}
+}
+
+func TestTopEntropyTags(t *testing.T) {
+	ds := buildEntropyDataset()
+	top := TopEntropyTags(ds, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d", len(top))
+	}
+	if got := TopEntropyTags(ds, 99); len(got) != 3 {
+		t.Errorf("m beyond tags: %d", len(got))
+	}
+	if got := TopEntropyTags(ds, -1); len(got) != 0 {
+		t.Errorf("negative m: %d", len(got))
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	res, err := sagegen.Generate(sagegen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sage.Build(res.Corpus)
+	p := ds.NumTags() / 2
+	tags, err := Advise(ds, p, 2, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM, err := IndicesRequired(ds.NumTags(), p, 2, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != wantM {
+		t.Errorf("Advise returned %d tags, want %d", len(tags), wantM)
+	}
+	// The advised tags should all have positive entropy on real data.
+	for _, rt := range tags {
+		if rt.Entropy <= 0 {
+			t.Errorf("advised tag %v has entropy %v", rt.Tag, rt.Entropy)
+		}
+	}
+	if _, err := Advise(ds, p, 0, DefaultConfidence); err == nil {
+		t.Error("Advise(w=0): expected error")
+	}
+}
+
+// TestHitProbabilityMonteCarlo validates the binomial model of Section 3.3.2
+// empirically: draw random SUMY tag sets and random index placements, count
+// hits, and compare the empirical P(>= w hits) with HitProbability.
+func TestHitProbabilityMonteCarlo(t *testing.T) {
+	const (
+		n      = 2000 // total tags
+		p      = 800  // SUMY tags
+		m      = 40   // indexes
+		trials = 4000
+	)
+	rng := rand.New(rand.NewSource(99))
+	hitCounts := make([]int, trials)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for tr := 0; tr < trials; tr++ {
+		// Random m indexed tags.
+		indexed := map[int]bool{}
+		for len(indexed) < m {
+			indexed[rng.Intn(n)] = true
+		}
+		// Random p-subset as the SUMY tags (partial Fisher-Yates).
+		hits := 0
+		for i := 0; i < p; i++ {
+			j := i + rng.Intn(n-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			if indexed[perm[i]] {
+				hits++
+			}
+		}
+		hitCounts[tr] = hits
+	}
+	for _, w := range []int{1, 5, 10, 16} {
+		ge := 0
+		for _, h := range hitCounts {
+			if h >= w {
+				ge++
+			}
+		}
+		empirical := float64(ge) / trials
+		model, err := HitProbability(n, p, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The thesis's model treats inclusions as independent
+		// (binomial); the true distribution is hypergeometric. At these
+		// parameters they agree to within a few percent.
+		if diff := empirical - model; diff > 0.06 || diff < -0.06 {
+			t.Errorf("w=%d: empirical %.3f vs model %.3f", w, empirical, model)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationSetBasics(t *testing.T) {
+	s := NewRelationSet(Before, Meets, Overlaps)
+	if !s.Contains(Before) || s.Contains(After) {
+		t.Error("Contains wrong")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.String(); got != "{b,m,o}" {
+		t.Errorf("String = %q", got)
+	}
+	u := s.Union(NewRelationSet(After))
+	if u.Len() != 4 {
+		t.Errorf("Union len = %d", u.Len())
+	}
+	i := s.Intersect(NewRelationSet(Meets, Equals))
+	if i.Len() != 1 || !i.Contains(Meets) {
+		t.Errorf("Intersect = %v", i)
+	}
+	if !EmptySet.IsEmpty() || FullSet.IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+	if FullSet.Len() != 13 {
+		t.Errorf("FullSet.Len = %d", FullSet.Len())
+	}
+	if got := len(s.Relations()); got != 3 {
+		t.Errorf("Relations len = %d", got)
+	}
+}
+
+func TestRelationSetConverse(t *testing.T) {
+	s := NewRelationSet(Before, Starts, Includes)
+	c := s.Converse()
+	want := NewRelationSet(After, StartedBy, During)
+	if c != want {
+		t.Errorf("Converse = %v, want %v", c, want)
+	}
+	// Converse is an involution.
+	if c.Converse() != s {
+		t.Error("Converse not involutive")
+	}
+}
+
+// TestComposeClassicalEntries checks well-known cells of Allen's
+// composition table.
+func TestComposeClassicalEntries(t *testing.T) {
+	// before;before = {before}
+	if got := Compose(Before, Before); got != NewRelationSet(Before) {
+		t.Errorf("b;b = %v", got)
+	}
+	// during;during = {during}
+	if got := Compose(During, During); got != NewRelationSet(During) {
+		t.Errorf("d;d = %v", got)
+	}
+	// meets;meets = {before}
+	if got := Compose(Meets, Meets); got != NewRelationSet(Before) {
+		t.Errorf("m;m = %v", got)
+	}
+	// before;after = full ignorance.
+	if got := Compose(Before, After); got != FullSet {
+		t.Errorf("b;bi = %v, want full", got)
+	}
+	// equals is the identity on both sides.
+	for _, r := range Relations {
+		if got := Compose(Equals, r); got != NewRelationSet(r) {
+			t.Errorf("e;%v = %v", r, got)
+		}
+		if got := Compose(r, Equals); got != NewRelationSet(r) {
+			t.Errorf("%v;e = %v", r, got)
+		}
+	}
+	// starts;during = {during}: if A starts B and B during C then A during C.
+	if got := Compose(Starts, During); got != NewRelationSet(During) {
+		t.Errorf("s;d = %v", got)
+	}
+	// overlaps;overlaps = {before, meets, overlaps}.
+	if got := Compose(Overlaps, Overlaps); got != NewRelationSet(Before, Meets, Overlaps) {
+		t.Errorf("o;o = %v", got)
+	}
+}
+
+// Property (soundness): for any proper intervals a, b, c,
+// Classify(a, c) ∈ Compose(Classify(a, b), Classify(b, c)).
+func TestComposeSoundOnRandomTriples(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Interval {
+			lo := rng.Float64() * 10
+			return Interval{Min: lo, Max: lo + 0.01 + rng.Float64()*10}
+		}
+		// Mix in small-integer intervals so coincidences occur.
+		mkInt := func() Interval {
+			lo := rng.Intn(6)
+			hi := lo + 1 + rng.Intn(5)
+			return Interval{Min: float64(lo), Max: float64(hi)}
+		}
+		var a, b, c Interval
+		if rng.Intn(2) == 0 {
+			a, b, c = mk(), mk(), mk()
+		} else {
+			a, b, c = mkInt(), mkInt(), mkInt()
+		}
+		comp := Compose(Classify(a, b), Classify(b, c))
+		return comp.Contains(Classify(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (converse law): (R;S)ˇ = Sˇ;Rˇ.
+func TestComposeConverseLaw(t *testing.T) {
+	for _, r := range Relations {
+		for _, s := range Relations {
+			lhs := Compose(r, s).Converse()
+			rhs := Compose(s.Inverse(), r.Inverse())
+			if lhs != rhs {
+				t.Errorf("(%v;%v)ˇ = %v, want %v", r, s, lhs, rhs)
+			}
+		}
+	}
+}
+
+// Property: composition is associative on sets (Allen's algebra is a
+// relation algebra; associativity must hold for the derived table).
+func TestComposeSetsAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	randSet := func() RelationSet {
+		var s RelationSet
+		for _, r := range Relations {
+			if rng.Intn(4) == 0 {
+				s |= NewRelationSet(r)
+			}
+		}
+		if s.IsEmpty() {
+			s = NewRelationSet(Relations[rng.Intn(len(Relations))])
+		}
+		return s
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randSet(), randSet(), randSet()
+		if ComposeSets(ComposeSets(a, b), c) != ComposeSets(a, ComposeSets(b, c)) {
+			t.Fatalf("associativity fails for %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+// Every composition cell is non-empty (two proper intervals always stand in
+// some relation to a third).
+func TestComposeNeverEmpty(t *testing.T) {
+	for _, r := range Relations {
+		for _, s := range Relations {
+			if Compose(r, s).IsEmpty() {
+				t.Errorf("%v;%v is empty", r, s)
+			}
+		}
+	}
+}
+
+func TestComposeSets(t *testing.T) {
+	// {b,m};{b} = b;b ∪ m;b = {b} ∪ {b} = {b}.
+	got := ComposeSets(NewRelationSet(Before, Meets), NewRelationSet(Before))
+	if got != NewRelationSet(Before) {
+		t.Errorf("{b,m};{b} = %v", got)
+	}
+	if !ComposeSets(EmptySet, FullSet).IsEmpty() {
+		t.Error("empty;anything should be empty")
+	}
+}

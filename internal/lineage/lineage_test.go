@@ -1,0 +1,267 @@
+package lineage
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildBrainHistory mirrors the Figure 4.18 tree: a brain dataset, a mined
+// fascicle, its SUMY tables, and GAP tables derived from them.
+func buildBrainHistory(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	mustRecord := func(name string, kind Kind, op string, params map[string]string, inputs ...string) {
+		if _, err := g.Record(name, kind, op, params, inputs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRecord("brain", KindDataset, "select-tissue", map[string]string{"tissue": "brain"})
+	mustRecord("brain25k_3", KindFascicle, "mine", map[string]string{
+		"compactDimension": "25000", "binary": "brainfile.b", "meta": "brainfile.meta",
+		"batch": "6", "minFrequency": "3",
+	}, "brain")
+	mustRecord("brain25k_3CancerFasTbl", KindSumy, "aggregate", nil, "brain25k_3")
+	mustRecord("brain25k_3CanNotInFasTbl", KindSumy, "aggregate", nil, "brain25k_3")
+	mustRecord("b25canvscnif_gap1", KindGap, "diff", nil,
+		"brain25k_3CancerFasTbl", "brain25k_3CanNotInFasTbl")
+	mustRecord("b25canvscnif_gap1_10", KindTopGap, "topgap",
+		map[string]string{"x": "10"}, "b25canvscnif_gap1")
+	return g
+}
+
+func TestRecordAndGet(t *testing.T) {
+	g := buildBrainHistory(t)
+	n, err := g.Get("brain25k_3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Operation != "mine" || n.Params["compactDimension"] != "25000" {
+		t.Errorf("node = %+v", n)
+	}
+	if len(n.Inputs) != 1 || n.Inputs[0] != "brain" {
+		t.Errorf("inputs = %v", n.Inputs)
+	}
+	if !g.Has("brain") || g.Has("nope") {
+		t.Error("Has wrong")
+	}
+	if _, err := g.Get("nope"); err == nil {
+		t.Error("Get(missing): expected error")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.Record("", KindDataset, "x", nil); err == nil {
+		t.Error("empty name: expected error")
+	}
+	if _, err := g.Record("a", KindDataset, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Record("a", KindDataset, "x", nil); err == nil {
+		t.Error("duplicate: expected error")
+	}
+	if _, err := g.Record("b", KindGap, "diff", nil, "missing"); err == nil {
+		t.Error("unknown input: expected error")
+	}
+}
+
+func TestRecordCopiesParams(t *testing.T) {
+	g := NewGraph()
+	params := map[string]string{"k": "1"}
+	n, err := g.Record("a", KindDataset, "x", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params["k"] = "mutated"
+	if n.Params["k"] != "1" {
+		t.Error("Record aliased the caller's params map")
+	}
+}
+
+func TestChildrenAndDescendants(t *testing.T) {
+	g := buildBrainHistory(t)
+	kids, err := g.Children("brain25k_3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 || kids[0] != "brain25k_3CanNotInFasTbl" {
+		t.Errorf("children = %v", kids)
+	}
+	desc, err := g.Descendants("brain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 5 {
+		t.Errorf("descendants = %v", desc)
+	}
+	if _, err := g.Children("nope"); err == nil {
+		t.Error("Children(missing): expected error")
+	}
+	if _, err := g.Descendants("nope"); err == nil {
+		t.Error("Descendants(missing): expected error")
+	}
+}
+
+func TestComment(t *testing.T) {
+	g := buildBrainHistory(t)
+	if err := g.SetComment("brain25k_3", "the compact tags here are very interesting"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Get("brain25k_3")
+	if !strings.Contains(n.Comment, "interesting") {
+		t.Error("comment not stored")
+	}
+	if err := g.SetComment("nope", "x"); err == nil {
+		t.Error("SetComment(missing): expected error")
+	}
+}
+
+func TestDropContentsAndRegenerationPlan(t *testing.T) {
+	g := buildBrainHistory(t)
+	if err := g.DropContents("brain25k_3CancerFasTbl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DropContents("b25canvscnif_gap1"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := g.RegenerationPlan("b25canvscnif_gap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must rebuild the dropped SUMY before the GAP.
+	var names []string
+	for _, n := range plan {
+		names = append(names, n.Name)
+	}
+	iSumy, iGap := -1, -1
+	for i, n := range names {
+		if n == "brain25k_3CancerFasTbl" {
+			iSumy = i
+		}
+		if n == "b25canvscnif_gap1" {
+			iGap = i
+		}
+	}
+	if iSumy == -1 || iGap == -1 || iSumy > iGap {
+		t.Errorf("plan order wrong: %v", names)
+	}
+	if err := g.MarkRegenerated("b25canvscnif_gap1"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Get("b25canvscnif_gap1")
+	if n.ContentsDropped {
+		t.Error("MarkRegenerated did not clear the flag")
+	}
+	if err := g.DropContents("nope"); err == nil {
+		t.Error("DropContents(missing): expected error")
+	}
+	if err := g.MarkRegenerated("nope"); err == nil {
+		t.Error("MarkRegenerated(missing): expected error")
+	}
+	if _, err := g.RegenerationPlan("nope"); err == nil {
+		t.Error("RegenerationPlan(missing): expected error")
+	}
+}
+
+func TestDeleteCascade(t *testing.T) {
+	g := buildBrainHistory(t)
+	deleted, err := g.DeleteCascade("brain25k_3CancerFasTbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SUMY and both GAP tables derived from it must go.
+	if len(deleted) != 3 {
+		t.Errorf("deleted = %v", deleted)
+	}
+	if g.Has("b25canvscnif_gap1") || g.Has("b25canvscnif_gap1_10") {
+		t.Error("descendants survived the cascade")
+	}
+	// Unrelated sibling survives, and its parent's child-links are clean.
+	if !g.Has("brain25k_3CanNotInFasTbl") {
+		t.Error("sibling was deleted")
+	}
+	kids, err := g.Children("brain25k_3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 1 {
+		t.Errorf("children after cascade = %v", kids)
+	}
+	if _, err := g.DeleteCascade("nope"); err == nil {
+		t.Error("DeleteCascade(missing): expected error")
+	}
+}
+
+func TestNamesRootsTree(t *testing.T) {
+	g := buildBrainHistory(t)
+	if len(g.Names()) != 6 {
+		t.Errorf("names = %v", g.Names())
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != "brain" {
+		t.Errorf("roots = %v", roots)
+	}
+	tree := g.Tree()
+	if !strings.Contains(tree, "brain25k_3 [fascicle: mine]") {
+		t.Errorf("tree missing fascicle line:\n%s", tree)
+	}
+	// The GAP node has two parents, so it appears twice in the tree.
+	if strings.Count(tree, "b25canvscnif_gap1 [gap") != 2 {
+		t.Errorf("multi-parent node should appear under each parent:\n%s", tree)
+	}
+	if err := g.DropContents("brain25k_3CancerFasTbl"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.Tree(), "contents dropped") {
+		t.Error("tree does not show dropped contents")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindDataset: "dataset", KindFascicle: "fascicle", KindEnum: "enum",
+		KindSumy: "sumy", KindGap: "gap", KindTopGap: "topgap", KindCompare: "compare",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestDiamondDescendants(t *testing.T) {
+	// a -> b, a -> c, b+c -> d: d counted once.
+	g := NewGraph()
+	for _, rec := range []struct {
+		name   string
+		inputs []string
+	}{
+		{"a", nil}, {"b", []string{"a"}}, {"c", []string{"a"}}, {"d", []string{"b", "c"}},
+	} {
+		if _, err := g.Record(rec.name, KindGap, "op", nil, rec.inputs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	desc, err := g.Descendants("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc) != 3 {
+		t.Errorf("diamond descendants = %v", desc)
+	}
+	deleted, err := g.DeleteCascade("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 { // b and d
+		t.Errorf("cascade from b = %v", deleted)
+	}
+	// c must not retain a dangling child link to d.
+	kids, _ := g.Children("c")
+	if len(kids) != 0 {
+		t.Errorf("c children = %v", kids)
+	}
+}

@@ -1,0 +1,92 @@
+package lineage
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// storedNode is the persisted form of a Node (children are derivable).
+type storedNode struct {
+	Name            string
+	Kind            Kind
+	Operation       string
+	Params          map[string]string
+	Inputs          []string
+	Comment         string
+	User            string
+	ContentsDropped bool
+}
+
+// Write serializes the graph with encoding/gob.
+func (g *Graph) Write(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	names := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	stored := make([]storedNode, 0, len(names))
+	for _, n := range names {
+		node := g.nodes[n]
+		stored = append(stored, storedNode{
+			Name: node.Name, Kind: node.Kind, Operation: node.Operation,
+			Params: node.Params, Inputs: node.Inputs, Comment: node.Comment,
+			User: node.User, ContentsDropped: node.ContentsDropped,
+		})
+	}
+	return gob.NewEncoder(w).Encode(stored)
+}
+
+// Read deserializes a graph written by Write, rebuilding the child links.
+func Read(r io.Reader) (*Graph, error) {
+	var stored []storedNode
+	if err := gob.NewDecoder(r).Decode(&stored); err != nil {
+		return nil, err
+	}
+	g := NewGraph()
+	for _, sn := range stored {
+		g.nodes[sn.Name] = &Node{
+			Name: sn.Name, Kind: sn.Kind, Operation: sn.Operation,
+			Params: sn.Params, Inputs: sn.Inputs, Comment: sn.Comment,
+			User: sn.User, ContentsDropped: sn.ContentsDropped,
+			children: make(map[string]bool),
+		}
+	}
+	for _, sn := range stored {
+		for _, in := range sn.Inputs {
+			parent, ok := g.nodes[in]
+			if !ok {
+				return nil, fmt.Errorf("lineage: node %q references missing input %q", sn.Name, in)
+			}
+			parent.children[sn.Name] = true
+		}
+	}
+	return g, nil
+}
+
+// Save persists the graph to a file.
+func (g *Graph) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a graph saved with Save.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

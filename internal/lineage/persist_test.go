@@ -1,0 +1,88 @@
+package lineage
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := buildBrainHistory(t)
+	if err := g.SetComment("brain25k_3", "note to self"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DropContents("b25canvscnif_gap1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names()) != len(g.Names()) {
+		t.Fatalf("node counts differ: %v vs %v", got.Names(), g.Names())
+	}
+	n, err := got.Get("brain25k_3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Comment != "note to self" || n.Params["compactDimension"] != "25000" {
+		t.Errorf("node fields lost: %+v", n)
+	}
+	dropped, err := got.Get("b25canvscnif_gap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dropped.ContentsDropped {
+		t.Error("ContentsDropped flag lost")
+	}
+	// Child links rebuilt: cascade still works.
+	deleted, err := got.DeleteCascade("brain25k_3CancerFasTbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 3 {
+		t.Errorf("cascade after reload = %v", deleted)
+	}
+	// Trees agree before mutation: compare against a fresh reload.
+	var buf2 bytes.Buffer
+	if err := g.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Read(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Tree() != g.Tree() {
+		t.Errorf("trees differ after round trip:\n%s\nvs\n%s", got2.Tree(), g.Tree())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := buildBrainHistory(t)
+	path := filepath.Join(t.TempDir(), "lineage.gob")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Has("brain25k_3") {
+		t.Error("loaded graph incomplete")
+	}
+	if _, err := Load("/nonexistent/lineage.gob"); err == nil {
+		t.Error("Load(missing): expected error")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not gob data")); err == nil {
+		t.Error("expected decode error")
+	}
+}

@@ -1,0 +1,131 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is a sorted column index supporting point and range lookups. It is
+// the structure the optimized populate() operator of Section 3.3.2 relies
+// on: a range condition on an indexed tag becomes a binary search plus a
+// contiguous scan instead of a pass over every row.
+type Index struct {
+	col     int
+	entries []indexEntry // sorted by value
+}
+
+type indexEntry struct {
+	v   Value
+	row int
+}
+
+// CreateIndex builds (or rebuilds) a sorted index on the named column and
+// returns it. The index is also retained by the table for use by
+// SelectRange.
+func (t *Table) CreateIndex(name string) (*Index, error) {
+	col := t.Schema.Col(name)
+	if col < 0 {
+		return nil, fmt.Errorf("relational: %s: no column %q", t.Name, name)
+	}
+	idx := &Index{col: col, entries: make([]indexEntry, 0, len(t.Rows))}
+	for i, r := range t.Rows {
+		idx.entries = append(idx.entries, indexEntry{v: r[col], row: i})
+	}
+	sort.SliceStable(idx.entries, func(a, b int) bool {
+		return Compare(idx.entries[a].v, idx.entries[b].v) < 0
+	})
+	if t.indexes == nil {
+		t.indexes = make(map[int]*Index)
+	}
+	t.indexes[col] = idx
+	return idx, nil
+}
+
+// HasIndex reports whether the named column currently has an index.
+func (t *Table) HasIndex(name string) bool {
+	col := t.Schema.Col(name)
+	if col < 0 {
+		return false
+	}
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// DropIndex removes the index on the named column, if any.
+func (t *Table) DropIndex(name string) {
+	col := t.Schema.Col(name)
+	if col >= 0 {
+		delete(t.indexes, col)
+	}
+}
+
+// IndexedColumns returns the names of currently indexed columns, sorted by
+// column position.
+func (t *Table) IndexedColumns() []string {
+	cols := make([]int, 0, len(t.indexes))
+	for c := range t.indexes {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = t.Schema[c].Name
+	}
+	return names
+}
+
+// add maintains sortedness on insert.
+func (idx *Index) add(v Value, row int) {
+	i := sort.Search(len(idx.entries), func(i int) bool {
+		return Compare(idx.entries[i].v, v) > 0
+	})
+	idx.entries = append(idx.entries, indexEntry{})
+	copy(idx.entries[i+1:], idx.entries[i:])
+	idx.entries[i] = indexEntry{v: v, row: row}
+}
+
+// RangeRows returns the row numbers whose indexed value lies in [lo, hi].
+func (idx *Index) RangeRows(lo, hi Value) []int {
+	start := sort.Search(len(idx.entries), func(i int) bool {
+		return Compare(idx.entries[i].v, lo) >= 0
+	})
+	var rows []int
+	for i := start; i < len(idx.entries); i++ {
+		if Compare(idx.entries[i].v, hi) > 0 {
+			break
+		}
+		rows = append(rows, idx.entries[i].row)
+	}
+	return rows
+}
+
+// EqRows returns the row numbers whose indexed value equals v.
+func (idx *Index) EqRows(v Value) []int { return idx.RangeRows(v, v) }
+
+// Len returns the number of indexed entries.
+func (idx *Index) Len() int { return len(idx.entries) }
+
+// SelectRange evaluates lo <= col <= hi, using the column's index when one
+// exists and a sequential scan otherwise. It returns matching row numbers in
+// ascending order.
+func (t *Table) SelectRange(name string, lo, hi Value) ([]int, error) {
+	col := t.Schema.Col(name)
+	if col < 0 {
+		return nil, fmt.Errorf("relational: %s: no column %q", t.Name, name)
+	}
+	if idx, ok := t.indexes[col]; ok {
+		rows := idx.RangeRows(lo, hi)
+		sort.Ints(rows)
+		return rows, nil
+	}
+	var rows []int
+	for i, r := range t.Rows {
+		if r[col].IsNull() {
+			continue
+		}
+		if Compare(r[col], lo) >= 0 && Compare(r[col], hi) <= 0 {
+			rows = append(rows, i)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,337 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestIndexRangeRows(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		tbl.MustInsert(F(v))
+	}
+	idx, err := tbl.CreateIndex("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 5 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	rows := idx.RangeRows(F(3), F(7))
+	sort.Ints(rows)
+	if len(rows) != 3 { // values 3,5,7 at rows 3,0,4
+		t.Errorf("RangeRows = %v", rows)
+	}
+	if got := idx.EqRows(F(9)); len(got) != 1 || got[0] != 2 {
+		t.Errorf("EqRows = %v", got)
+	}
+	if got := idx.RangeRows(F(100), F(200)); len(got) != 0 {
+		t.Errorf("empty range = %v", got)
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+	tbl.MustInsert(F(2))
+	if _, err := tbl.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(F(1))
+	tbl.MustInsert(F(3))
+	rows, err := tbl.SelectRange("v", F(1), F(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 1 {
+		t.Errorf("SelectRange after inserts = %v", rows)
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+	if _, err := tbl.CreateIndex("nope"); err == nil {
+		t.Error("CreateIndex(missing): expected error")
+	}
+	if tbl.HasIndex("nope") {
+		t.Error("HasIndex(missing column) = true")
+	}
+}
+
+func TestDropIndexAndIndexedColumns(t *testing.T) {
+	tbl := NewTable("t", Schema{
+		{Name: "a", Kind: KindFloat},
+		{Name: "b", Kind: KindFloat},
+	})
+	tbl.MustInsert(F(1), F(2))
+	if _, err := tbl.CreateIndex("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	cols := tbl.IndexedColumns()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("IndexedColumns = %v", cols)
+	}
+	tbl.DropIndex("a")
+	if tbl.HasIndex("a") || !tbl.HasIndex("b") {
+		t.Error("DropIndex wrong")
+	}
+	tbl.DropIndex("nope") // no-op
+}
+
+// Property: SelectRange with an index returns exactly what a sequential scan
+// returns.
+func TestSelectRangeIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			tbl.MustInsert(F(float64(rng.Intn(50))))
+		}
+		lo := float64(rng.Intn(50))
+		hi := lo + float64(rng.Intn(20))
+		scan, err := tbl.SelectRange("v", F(lo), F(hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.CreateIndex("v"); err != nil {
+			t.Fatal(err)
+		}
+		indexed, err := tbl.SelectRange("v", F(lo), F(hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scan) != len(indexed) {
+			t.Fatalf("trial %d: scan %d rows, indexed %d rows", trial, len(scan), len(indexed))
+		}
+		for i := range scan {
+			if scan[i] != indexed[i] {
+				t.Fatalf("trial %d: row %d differs (%d vs %d)", trial, i, scan[i], indexed[i])
+			}
+		}
+	}
+}
+
+func TestSelectRangeMissingColumn(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+	if _, err := tbl.SelectRange("nope", F(0), F(1)); err == nil {
+		t.Error("SelectRange(missing): expected error")
+	}
+}
+
+func TestSelectRangeSkipsNull(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+	tbl.MustInsert(Null)
+	tbl.MustInsert(F(1))
+	rows, err := tbl.SelectRange("v", F(0), F(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0] != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestStoreCRUD(t *testing.T) {
+	s := NewStore()
+	schema := Schema{{Name: "x", Kind: KindInt}}
+	tbl, err := s.Create("t1", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(I(1))
+	if _, err := s.Create("t1", schema); err == nil {
+		t.Error("duplicate Create: expected error (redundancy check)")
+	}
+	got, err := s.Get("t1")
+	if err != nil || got.Len() != 1 {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if !s.Has("t1") || s.Has("t2") {
+		t.Error("Has wrong")
+	}
+	repl := NewTable("t1", schema)
+	s.Replace(repl)
+	got, _ = s.Get("t1")
+	if got.Len() != 0 {
+		t.Error("Replace did not overwrite")
+	}
+	s.Drop("t1")
+	if _, err := s.Get("t1"); err == nil {
+		t.Error("Get after Drop: expected error")
+	}
+	if _, err := s.Create("a", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("b", schema); err != nil {
+		t.Fatal(err)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	s.Initialize()
+	if len(s.Names()) != 0 {
+		t.Error("Initialize did not clear")
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	s := NewStore()
+	tbl, err := s.Create("Libraries", Schema{
+		{Name: "LibID", Kind: KindInt},
+		{Name: "Name", Kind: KindString},
+		{Name: "Gap", Kind: KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustInsert(I(1), S("SAGE_B1"), F(-1.5))
+	tbl.MustInsert(I(2), Null, Null)
+
+	path := filepath.Join(t.TempDir(), "store.gob")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := got.Get("Libraries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Len() != 2 {
+		t.Fatalf("loaded %d rows", lt.Len())
+	}
+	if lt.Rows[0][1].Str() != "SAGE_B1" || !lt.Rows[1][1].IsNull() {
+		t.Errorf("loaded rows = %v", lt.Rows)
+	}
+	if lt.Rows[0][2].Float() != -1.5 {
+		t.Errorf("float cell = %v", lt.Rows[0][2])
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/store.gob"); err == nil {
+		t.Error("Load(missing): expected error")
+	}
+}
+
+func TestRotateRoundTrip(t *testing.T) {
+	nat := NewTable("SAGE", Schema{
+		{Name: "LibraryName", Kind: KindString},
+		{Name: "AAAAAAAAAA", Kind: KindFloat},
+		{Name: "CCCCCCCCCC", Kind: KindFloat},
+	})
+	nat.MustInsert(S("L1"), F(10), F(5))
+	nat.MustInsert(S("L2"), F(2), F(7))
+
+	rot, err := NaturalToRotated(nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotated: rows = tags, columns = Attr + libraries.
+	if rot.Len() != 2 || len(rot.Schema) != 3 {
+		t.Fatalf("rotated dims = %d x %d", rot.Len(), len(rot.Schema))
+	}
+	if rot.Schema[1].Name != "L1" || rot.Rows[0][0].Str() != "AAAAAAAAAA" {
+		t.Errorf("rotated layout wrong: %v / %v", rot.Schema.Names(), rot.Rows[0])
+	}
+	if rot.Rows[1][2].Float() != 7 {
+		t.Errorf("rotated cell = %v", rot.Rows[1][2])
+	}
+
+	back, err := RotatedToNatural(rot, "LibraryName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Rows[0][0].Str() != "L1" || back.Rows[1][2].Float() != 7 {
+		t.Errorf("unrotated = %v", back.Rows)
+	}
+}
+
+func TestRotateErrors(t *testing.T) {
+	bad := NewTable("b", Schema{{Name: "x", Kind: KindInt}})
+	if _, err := NaturalToRotated(bad); err == nil {
+		t.Error("rotate(no string key): expected error")
+	}
+	bad2 := NewTable("b2", Schema{
+		{Name: "k", Kind: KindString},
+		{Name: "v", Kind: KindString},
+	})
+	if _, err := NaturalToRotated(bad2); err == nil {
+		t.Error("rotate(non-numeric attr): expected error")
+	}
+	bad3 := NewTable("b3", Schema{{Name: "x", Kind: KindInt}})
+	if _, err := RotatedToNatural(bad3, "k"); err == nil {
+		t.Error("unrotate(no string key): expected error")
+	}
+}
+
+// TestRotatedSum checks the thesis's example: a conceptual column sum becomes
+// a physical row sum after rotation.
+func TestRotatedSum(t *testing.T) {
+	nat := NewTable("SAGE", Schema{
+		{Name: "LibraryName", Kind: KindString},
+		{Name: "TAGA", Kind: KindFloat},
+	})
+	nat.MustInsert(S("L1"), F(10))
+	nat.MustInsert(S("L2"), F(32))
+	rot, err := NaturalToRotated(nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RotatedSum(rot, "TAGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Errorf("RotatedSum = %v, want 42", sum)
+	}
+	if _, err := RotatedSum(rot, "missing"); err == nil {
+		t.Error("RotatedSum(missing): expected error")
+	}
+}
+
+// TestStoreConcurrentAccess exercises the store's documented thread safety:
+// concurrent creates, reads and drops on distinct table names.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	schema := Schema{{Name: "x", Kind: KindInt}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("t%d_%d", g, i)
+				tbl, err := s.Create(name, schema)
+				if err != nil {
+					t.Errorf("Create(%s): %v", name, err)
+					return
+				}
+				tbl.MustInsert(I(int64(i)))
+				if _, err := s.Get(name); err != nil {
+					t.Errorf("Get(%s): %v", name, err)
+					return
+				}
+				_ = s.Names()
+				if i%2 == 0 {
+					s.Drop(name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 8 goroutines x 25 surviving tables.
+	if got := len(s.Names()); got != 200 {
+		t.Errorf("surviving tables = %d, want 200", got)
+	}
+}

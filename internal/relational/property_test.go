@@ -1,0 +1,263 @@
+package relational
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTable builds a random table with an int key, a string group and a
+// float value column.
+func randTable(rng *rand.Rand, name string) *Table {
+	t := NewTable(name, Schema{
+		{Name: "k", Kind: KindInt},
+		{Name: "grp", Kind: KindString},
+		{Name: "v", Kind: KindFloat},
+	})
+	n := rng.Intn(30)
+	for i := 0; i < n; i++ {
+		var v Value
+		if rng.Float64() < 0.1 {
+			v = Null
+		} else {
+			v = F(float64(rng.Intn(20)))
+		}
+		t.MustInsert(I(int64(rng.Intn(10))), S(string(rune('a'+rng.Intn(3)))), v)
+	}
+	return t
+}
+
+// Selection laws: σp(σp(T)) = σp(T); σp∧q = σp(σq); |σp| + |σ¬p| = |T|.
+func TestRelationalSelectionLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randTable(rng, "t")
+		p := tbl.ColEq("grp", S("a"))
+		q := tbl.ColRange("v", 5, 15)
+
+		s1 := tbl.Select(p)
+		s2 := s1.Select(p)
+		if s1.Len() != s2.Len() {
+			return false
+		}
+		if tbl.Select(And(p, q)).Len() != tbl.Select(q).Select(p).Len() {
+			return false
+		}
+		if tbl.Select(p).Len()+tbl.Select(Not(p)).Len() != tbl.Len() {
+			return false
+		}
+		// De Morgan: ¬(p ∨ q) = ¬p ∧ ¬q.
+		if tbl.Select(Not(Or(p, q))).Len() != tbl.Select(And(Not(p), Not(q))).Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Set-operation laws on tables.
+func TestRelationalSetLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTable(rng, "a")
+		b := randTable(rng, "b")
+
+		u, err := a.Union(b)
+		if err != nil {
+			return false
+		}
+		i, err := a.Intersect(b)
+		if err != nil {
+			return false
+		}
+		mAB, err := a.Minus(b)
+		if err != nil {
+			return false
+		}
+		mBA, err := b.Minus(a)
+		if err != nil {
+			return false
+		}
+		// |A ∪ B| = |A-B| + |B-A| + |A ∩ B| (all as sets).
+		if u.Len() != mAB.Len()+mBA.Len()+i.Len() {
+			return false
+		}
+		// Union is commutative (as a set).
+		u2, err := b.Union(a)
+		if err != nil {
+			return false
+		}
+		if u.Len() != u2.Len() {
+			return false
+		}
+		// A - B and B are disjoint.
+		i2, err := mAB.Intersect(b)
+		if err != nil {
+			return false
+		}
+		return i2.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Projection drops columns without changing row counts, and Distinct is
+// idempotent.
+func TestRelationalProjectionLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randTable(rng, "t")
+		p, err := tbl.Project("grp", "v")
+		if err != nil {
+			return false
+		}
+		if p.Len() != tbl.Len() {
+			return false
+		}
+		d1 := p.Distinct()
+		d2 := d1.Distinct()
+		if d1.Len() != d2.Len() {
+			return false
+		}
+		return d1.Len() <= p.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Join row counts: |A ⋈ B| equals the sum over join keys of the product of
+// group sizes (NULLs never join).
+func TestRelationalJoinCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randTable(rng, "a")
+		b := randTable(rng, "b")
+		j, err := a.Join(b, "k", "k")
+		if err != nil {
+			return false
+		}
+		countA := map[int64]int{}
+		for _, r := range a.Rows {
+			if !r[0].IsNull() {
+				countA[r[0].Int()]++
+			}
+		}
+		want := 0
+		for _, r := range b.Rows {
+			if !r[0].IsNull() {
+				want += countA[r[0].Int()]
+			}
+		}
+		return j.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Aggregation: group counts sum to the table size, and min <= avg <= max per
+// group (over non-null inputs).
+func TestRelationalAggregateLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randTable(rng, "t")
+		agg, err := tbl.Aggregate([]string{"grp"}, []Agg{
+			{Fn: AggCount, As: "n"},
+			{Fn: AggMin, Col: "v", As: "lo"},
+			{Fn: AggAvg, Col: "v", As: "avg"},
+			{Fn: AggMax, Col: "v", As: "hi"},
+		})
+		if err != nil {
+			return false
+		}
+		total := int64(0)
+		for _, r := range agg.Rows {
+			total += r[1].Int()
+			lo, av, hi := r[2], r[3], r[4]
+			if lo.IsNull() != av.IsNull() || av.IsNull() != hi.IsNull() {
+				return false
+			}
+			if !lo.IsNull() {
+				if lo.Float() > av.Float()+1e-9 || av.Float() > hi.Float()+1e-9 {
+					return false
+				}
+			}
+		}
+		return total == int64(tbl.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sorting is a permutation and is ordered.
+func TestRelationalSortLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randTable(rng, "t")
+		sorted, err := tbl.Sort("v", "k")
+		if err != nil {
+			return false
+		}
+		if sorted.Len() != tbl.Len() {
+			return false
+		}
+		for i := 1; i < sorted.Len(); i++ {
+			if Compare(sorted.Rows[i-1][2], sorted.Rows[i][2]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rotation round-trips numeric tables exactly.
+func TestRotationRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		libs := 1 + rng.Intn(6)
+		tags := 1 + rng.Intn(8)
+		schema := Schema{{Name: "LibraryName", Kind: KindString}}
+		for j := 0; j < tags; j++ {
+			schema = append(schema, Column{Name: string(rune('A' + j)), Kind: KindFloat})
+		}
+		nat := NewTable("nat", schema)
+		for i := 0; i < libs; i++ {
+			row := make(Row, 0, tags+1)
+			row = append(row, S(string(rune('a'+i))))
+			for j := 0; j < tags; j++ {
+				row = append(row, F(float64(rng.Intn(100))))
+			}
+			nat.MustInsert(row...)
+		}
+		rot, err := NaturalToRotated(nat)
+		if err != nil {
+			return false
+		}
+		back, err := RotatedToNatural(rot, "LibraryName")
+		if err != nil {
+			return false
+		}
+		if back.Len() != nat.Len() {
+			return false
+		}
+		for i := range nat.Rows {
+			for j := range nat.Rows[i] {
+				if nat.Rows[i][j].String() != back.Rows[i][j].String() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package relational
+
+import "fmt"
+
+// This file implements the rotated physical layout of thesis Section 4.6.1.
+// Commercial DBMSs (DB2 included) handle only hundreds of columns, but the
+// conceptual SAGE relation has more than 60,000 tag columns. The solution is
+// to "rotate" the table in the physical view: conceptually tags are columns,
+// physically tags are stored as rows, with one column per library. Standard
+// operations must be adjusted accordingly — a conceptual per-tag sum over
+// libraries becomes a physical sum across the entries of the tag's row.
+
+// NaturalToRotated transposes a "natural" table (first column: a string
+// entity key such as LibraryName; remaining columns: numeric attributes such
+// as tags) into its rotated form (first column: attribute name; one numeric
+// column per entity). This is the layout conversion applied when the cleaned
+// SAGE data is loaded into the TAGS relation.
+func NaturalToRotated(t *Table) (*Table, error) {
+	if len(t.Schema) < 2 || t.Schema[0].Kind != KindString {
+		return nil, fmt.Errorf("relational: rotate: %s must start with a string key column", t.Name)
+	}
+	for _, c := range t.Schema[1:] {
+		if c.Kind != KindFloat && c.Kind != KindInt {
+			return nil, fmt.Errorf("relational: rotate: column %s is not numeric", c.Name)
+		}
+	}
+	schema := Schema{{Name: t.Schema[0].Name + "Attr", Kind: KindString}}
+	for _, r := range t.Rows {
+		schema = append(schema, Column{Name: r[0].Str(), Kind: KindFloat})
+	}
+	out := NewTable(t.Name+"_rot", schema)
+	for j := 1; j < len(t.Schema); j++ {
+		row := make(Row, 0, len(t.Rows)+1)
+		row = append(row, S(t.Schema[j].Name))
+		for _, r := range t.Rows {
+			row = append(row, F(r[j].Float()))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RotatedToNatural inverts NaturalToRotated. keyName names the string key
+// column of the reconstructed natural table (e.g. "LibraryName").
+func RotatedToNatural(t *Table, keyName string) (*Table, error) {
+	if len(t.Schema) < 1 || t.Schema[0].Kind != KindString {
+		return nil, fmt.Errorf("relational: unrotate: %s must start with a string attribute column", t.Name)
+	}
+	schema := Schema{{Name: keyName, Kind: KindString}}
+	for _, r := range t.Rows {
+		schema = append(schema, Column{Name: r[0].Str(), Kind: KindFloat})
+	}
+	out := NewTable(t.Name+"_nat", schema)
+	for j := 1; j < len(t.Schema); j++ {
+		row := make(Row, 0, len(t.Rows)+1)
+		row = append(row, S(t.Schema[j].Name))
+		for _, r := range t.Rows {
+			row = append(row, F(r[j].Float()))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RotatedSum computes the conceptual per-attribute sum over all entities in a
+// rotated table: the sum of the entries of the attribute's physical row.
+// This is the thesis's example of an operation whose meaning changes under
+// rotation (a conceptual column SUM becomes a physical row sum).
+func RotatedSum(t *Table, attr string) (float64, error) {
+	for _, r := range t.Rows {
+		if r[0].Str() == attr {
+			var sum float64
+			for _, v := range r[1:] {
+				sum += v.Float()
+			}
+			return sum, nil
+		}
+	}
+	return 0, fmt.Errorf("relational: rotated table %s has no attribute %q", t.Name, attr)
+}

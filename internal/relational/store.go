@@ -1,0 +1,146 @@
+package relational
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Store is a named-table catalog — the GEA's "database". It is safe for
+// concurrent use; individual tables are not, so callers mutate a table only
+// while holding it exclusively (the GEA system layer serializes operations).
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Create adds a new empty table. It fails if the name exists — the
+// redundancy check of Section 4.4.5.2 is the caller's opportunity to ask the
+// user before calling Replace instead.
+func (s *Store) Create(name string, schema Schema) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[name]; exists {
+		return nil, fmt.Errorf("relational: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	s.tables[name] = t
+	return t, nil
+}
+
+// Replace installs the table under its name, overwriting any existing one.
+func (s *Store) Replace(t *Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[t.Name] = t
+}
+
+// Get returns the named table, or an error.
+func (s *Store) Get(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", name)
+	}
+	return t, nil
+}
+
+// Has reports whether a table exists.
+func (s *Store) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tables[name]
+	return ok
+}
+
+// Drop removes a table; it is a no-op for missing tables.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, name)
+}
+
+// Names returns all table names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Initialize drops every table — the "initialize database" operation of
+// Appendix III.2.1.
+func (s *Store) Initialize() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables = make(map[string]*Table)
+}
+
+// storedTable is the persisted form (indexes are rebuilt on demand).
+type storedTable struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+}
+
+// Save persists the store to path with encoding/gob.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := gob.NewEncoder(f)
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := enc.Encode(len(names)); err != nil {
+		return err
+	}
+	for _, n := range names {
+		t := s.tables[n]
+		if err := enc.Encode(storedTable{Name: t.Name, Schema: t.Schema, Rows: t.Rows}); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// Load reads a store previously written by Save.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	for i := 0; i < n; i++ {
+		var st storedTable
+		if err := dec.Decode(&st); err != nil {
+			return nil, err
+		}
+		s.tables[st.Name] = &Table{Name: st.Name, Schema: st.Schema, Rows: st.Rows}
+	}
+	return s, nil
+}

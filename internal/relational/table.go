@@ -1,0 +1,583 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Col returns the index of the named column, or -1.
+func (s Schema) Col(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustCol returns the index of the named column or panics; for literals.
+func (s Schema) MustCol(name string) int {
+	i := s.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relational: no column %q", name))
+	}
+	return i
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Table is a relation instance: a schema plus rows, with optional sorted
+// column indexes. A Table is not safe for concurrent mutation.
+type Table struct {
+	Name    string
+	Schema  Schema
+	Rows    []Row
+	indexes map[int]*Index // by column position
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema}
+}
+
+// validateRow checks arity and that each value's kind matches its column
+// (NULL is allowed in any column).
+func (t *Table) validateRow(r Row) error {
+	if len(r) != len(t.Schema) {
+		return fmt.Errorf("relational: %s: row arity %d, want %d", t.Name, len(r), len(t.Schema))
+	}
+	for i, v := range r {
+		if v.K != KindNull && v.K != t.Schema[i].Kind {
+			return fmt.Errorf("relational: %s: column %s expects %v, got %v",
+				t.Name, t.Schema[i].Name, t.Schema[i].Kind, v.K)
+		}
+	}
+	return nil
+}
+
+// Insert appends a row after validating it, updating any indexes.
+func (t *Table) Insert(r Row) error {
+	if err := t.validateRow(r); err != nil {
+		return err
+	}
+	t.Rows = append(t.Rows, r)
+	for col, idx := range t.indexes {
+		idx.add(r[col], len(t.Rows)-1)
+	}
+	return nil
+}
+
+// MustInsert inserts and panics on error; for static fixtures.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(Row(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Predicate decides whether a row qualifies.
+type Predicate func(Row) bool
+
+// ColEq returns a predicate testing column col for equality with v.
+func (t *Table) ColEq(name string, v Value) Predicate {
+	col := t.Schema.MustCol(name)
+	return func(r Row) bool { return Equal(r[col], v) }
+}
+
+// ColRange returns a predicate testing lo <= column <= hi (numeric).
+func (t *Table) ColRange(name string, lo, hi float64) Predicate {
+	col := t.Schema.MustCol(name)
+	return func(r Row) bool {
+		if r[col].IsNull() {
+			return false
+		}
+		f := r[col].Float()
+		return lo <= f && f <= hi
+	}
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate {
+	return func(r Row) bool {
+		for _, p := range ps {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively.
+func Or(ps ...Predicate) Predicate {
+	return func(r Row) bool {
+		for _, p := range ps {
+			if p(r) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate { return func(r Row) bool { return !p(r) } }
+
+// Select returns a new table with the rows satisfying pred (σ).
+func (t *Table) Select(pred Predicate) *Table {
+	out := NewTable(t.Name+"_sel", t.Schema)
+	for _, r := range t.Rows {
+		if pred(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// Delete removes the rows satisfying pred in place and drops all indexes
+// (they would be invalidated by the row renumbering). It returns the number
+// of rows removed.
+func (t *Table) Delete(pred Predicate) int {
+	kept := t.Rows[:0]
+	removed := 0
+	for _, r := range t.Rows {
+		if pred(r) {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.Rows = kept
+	t.indexes = nil
+	return removed
+}
+
+// Update applies fn to every row satisfying pred and returns the count.
+// Indexes are dropped, as with Delete.
+func (t *Table) Update(pred Predicate, fn func(Row)) int {
+	n := 0
+	for _, r := range t.Rows {
+		if pred(r) {
+			fn(r)
+			n++
+		}
+	}
+	if n > 0 {
+		t.indexes = nil
+	}
+	return n
+}
+
+// Project returns a new table with only the named columns, in order (π).
+func (t *Table) Project(names ...string) (*Table, error) {
+	cols := make([]int, len(names))
+	schema := make(Schema, len(names))
+	for i, n := range names {
+		c := t.Schema.Col(n)
+		if c < 0 {
+			return nil, fmt.Errorf("relational: %s: no column %q", t.Name, n)
+		}
+		cols[i] = c
+		schema[i] = t.Schema[c]
+	}
+	out := NewTable(t.Name+"_proj", schema)
+	for _, r := range t.Rows {
+		nr := make(Row, len(cols))
+		for i, c := range cols {
+			nr[i] = r[c]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// Distinct returns a new table with duplicate rows removed.
+func (t *Table) Distinct() *Table {
+	out := NewTable(t.Name+"_dist", t.Schema)
+	seen := make(map[string]bool, len(t.Rows))
+	for _, r := range t.Rows {
+		k := rowKey(r)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+func rowKey(r Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.String())
+		b.WriteByte(0x1f)
+		b.WriteByte(byte(v.K))
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// Sort orders the rows by the named columns ascending (desc per column via a
+// leading '-', e.g. "-GapValue"). It sorts a copy and returns it.
+func (t *Table) Sort(cols ...string) (*Table, error) {
+	type key struct {
+		col  int
+		desc bool
+	}
+	keys := make([]key, len(cols))
+	for i, c := range cols {
+		desc := strings.HasPrefix(c, "-")
+		name := strings.TrimPrefix(c, "-")
+		ci := t.Schema.Col(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("relational: %s: no column %q", t.Name, name)
+		}
+		keys[i] = key{col: ci, desc: desc}
+	}
+	out := NewTable(t.Name+"_sort", t.Schema)
+	out.Rows = make([]Row, len(t.Rows))
+	copy(out.Rows, t.Rows)
+	sort.SliceStable(out.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := Compare(out.Rows[i][k.col], out.Rows[j][k.col])
+			if k.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// Limit returns the first n rows (or all if fewer).
+func (t *Table) Limit(n int) *Table {
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := NewTable(t.Name+"_lim", t.Schema)
+	out.Rows = append(out.Rows, t.Rows[:n]...)
+	return out
+}
+
+// Join computes the equi-join of t and u on t.leftCol = u.rightCol using a
+// hash join; the result schema is t's columns followed by u's (with u's join
+// column retained, names prefixed by table name on collision).
+func (t *Table) Join(u *Table, leftCol, rightCol string) (*Table, error) {
+	lc := t.Schema.Col(leftCol)
+	if lc < 0 {
+		return nil, fmt.Errorf("relational: %s: no column %q", t.Name, leftCol)
+	}
+	rc := u.Schema.Col(rightCol)
+	if rc < 0 {
+		return nil, fmt.Errorf("relational: %s: no column %q", u.Name, rightCol)
+	}
+	schema := make(Schema, 0, len(t.Schema)+len(u.Schema))
+	schema = append(schema, t.Schema...)
+	for _, c := range u.Schema {
+		name := c.Name
+		if schema.Col(name) >= 0 {
+			name = u.Name + "." + name
+		}
+		schema = append(schema, Column{Name: name, Kind: c.Kind})
+	}
+	out := NewTable(t.Name+"_join_"+u.Name, schema)
+	// Build hash on the smaller side conceptually; for clarity build on u.
+	buckets := make(map[string][]Row, len(u.Rows))
+	for _, r := range u.Rows {
+		if r[rc].IsNull() {
+			continue // NULL never joins
+		}
+		k := r[rc].String() + "\x00" + r[rc].K.String()
+		buckets[k] = append(buckets[k], r)
+	}
+	for _, lr := range t.Rows {
+		if lr[lc].IsNull() {
+			continue
+		}
+		k := lr[lc].String() + "\x00" + lr[lc].K.String()
+		for _, rr := range buckets[k] {
+			nr := make(Row, 0, len(schema))
+			nr = append(nr, lr...)
+			nr = append(nr, rr...)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out, nil
+}
+
+// Union returns the set union of two union-compatible tables (duplicates
+// removed, as in relational algebra).
+func (t *Table) Union(u *Table) (*Table, error) {
+	if err := compatible(t, u); err != nil {
+		return nil, err
+	}
+	all := NewTable(t.Name+"_union", t.Schema)
+	all.Rows = append(all.Rows, t.Rows...)
+	all.Rows = append(all.Rows, u.Rows...)
+	return all.Distinct(), nil
+}
+
+// Intersect returns the set intersection of two union-compatible tables.
+func (t *Table) Intersect(u *Table) (*Table, error) {
+	if err := compatible(t, u); err != nil {
+		return nil, err
+	}
+	in := make(map[string]bool, len(u.Rows))
+	for _, r := range u.Rows {
+		in[rowKey(r)] = true
+	}
+	out := NewTable(t.Name+"_intersect", t.Schema)
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		k := rowKey(r)
+		if in[k] && !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Minus returns the set difference t - u of two union-compatible tables.
+func (t *Table) Minus(u *Table) (*Table, error) {
+	if err := compatible(t, u); err != nil {
+		return nil, err
+	}
+	in := make(map[string]bool, len(u.Rows))
+	for _, r := range u.Rows {
+		in[rowKey(r)] = true
+	}
+	out := NewTable(t.Name+"_minus", t.Schema)
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		k := rowKey(r)
+		if !in[k] && !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+func compatible(t, u *Table) error {
+	if len(t.Schema) != len(u.Schema) {
+		return fmt.Errorf("relational: %s and %s are not union-compatible", t.Name, u.Name)
+	}
+	for i := range t.Schema {
+		if t.Schema[i].Kind != u.Schema[i].Kind {
+			return fmt.Errorf("relational: %s and %s differ at column %d", t.Name, u.Name, i)
+		}
+	}
+	return nil
+}
+
+// AggFunc is a standard aggregation.
+type AggFunc int
+
+// Aggregations supported by Aggregate, the thesis's "relational algebra
+// extended with aggregation".
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregation.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(a))
+	}
+}
+
+// Agg describes one aggregate output column.
+type Agg struct {
+	Fn  AggFunc
+	Col string // input column; ignored for AggCount
+	As  string // output column name
+}
+
+// Aggregate groups rows by the groupBy columns and computes the aggregates.
+// NULL inputs are skipped (SQL semantics); a group whose inputs are all NULL
+// yields NULL (except count, which yields 0 for no rows — counts rows, not
+// values).
+func (t *Table) Aggregate(groupBy []string, aggs []Agg) (*Table, error) {
+	gcols := make([]int, len(groupBy))
+	schema := make(Schema, 0, len(groupBy)+len(aggs))
+	for i, n := range groupBy {
+		c := t.Schema.Col(n)
+		if c < 0 {
+			return nil, fmt.Errorf("relational: %s: no column %q", t.Name, n)
+		}
+		gcols[i] = c
+		schema = append(schema, t.Schema[c])
+	}
+	acols := make([]int, len(aggs))
+	for i, a := range aggs {
+		kind := KindFloat
+		if a.Fn == AggCount {
+			kind = KindInt
+			acols[i] = -1
+		} else {
+			c := t.Schema.Col(a.Col)
+			if c < 0 {
+				return nil, fmt.Errorf("relational: %s: no column %q", t.Name, a.Col)
+			}
+			acols[i] = c
+		}
+		name := a.As
+		if name == "" {
+			name = a.Fn.String() + "_" + a.Col
+		}
+		schema = append(schema, Column{Name: name, Kind: kind})
+	}
+
+	type acc struct {
+		groupVals Row
+		count     int64
+		n         []int64 // non-null inputs per aggregate
+		sum       []float64
+		min, max  []float64
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, r := range t.Rows {
+		var kb strings.Builder
+		gv := make(Row, len(gcols))
+		for i, c := range gcols {
+			gv[i] = r[c]
+			kb.WriteString(r[c].String())
+			kb.WriteByte(0x1f)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &acc{
+				groupVals: gv,
+				n:         make([]int64, len(aggs)),
+				sum:       make([]float64, len(aggs)),
+				min:       make([]float64, len(aggs)),
+				max:       make([]float64, len(aggs)),
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.count++
+		for i, c := range acols {
+			if c < 0 || r[c].IsNull() {
+				continue
+			}
+			f := r[c].Float()
+			if g.n[i] == 0 {
+				g.min[i], g.max[i] = f, f
+			} else {
+				if f < g.min[i] {
+					g.min[i] = f
+				}
+				if f > g.max[i] {
+					g.max[i] = f
+				}
+			}
+			g.n[i]++
+			g.sum[i] += f
+		}
+	}
+
+	out := NewTable(t.Name+"_agg", schema)
+	for _, k := range order {
+		g := groups[k]
+		row := make(Row, 0, len(schema))
+		row = append(row, g.groupVals...)
+		for i, a := range aggs {
+			switch {
+			case a.Fn == AggCount:
+				row = append(row, I(g.count))
+			case g.n[i] == 0:
+				row = append(row, Null)
+			case a.Fn == AggSum:
+				row = append(row, F(g.sum[i]))
+			case a.Fn == AggAvg:
+				row = append(row, F(g.sum[i]/float64(g.n[i])))
+			case a.Fn == AggMin:
+				row = append(row, F(g.min[i]))
+			default: // AggMax
+				row = append(row, F(g.max[i]))
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the table as a compact aligned text grid (for the CLI).
+func (t *Table) String() string {
+	var b strings.Builder
+	widths := make([]int, len(t.Schema))
+	for i, c := range t.Schema {
+		widths[i] = len(c.Name)
+	}
+	rendered := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.String()
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
+			}
+		}
+		rendered[ri] = cells
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Schema.Names())
+	for _, cells := range rendered {
+		writeRow(cells)
+	}
+	return b.String()
+}

@@ -1,0 +1,379 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func libTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable("Libraries", Schema{
+		{Name: "LibID", Kind: KindInt},
+		{Name: "LibName", Kind: KindString},
+		{Name: "Type", Kind: KindString},
+		{Name: "CanNor", Kind: KindInt}, // 1 = cancer
+		{Name: "Tags", Kind: KindFloat},
+	})
+	tbl.MustInsert(I(1), S("SAGE_B1"), S("brain"), I(1), F(52371))
+	tbl.MustInsert(I(2), S("SAGE_B2"), S("brain"), I(0), F(31063))
+	tbl.MustInsert(I(3), S("SAGE_K1"), S("kidney"), I(1), F(24481))
+	tbl.MustInsert(I(4), S("SAGE_B3"), S("brain"), I(1), F(12000))
+	return tbl
+}
+
+func TestSchemaCol(t *testing.T) {
+	tbl := libTable(t)
+	if tbl.Schema.Col("Type") != 2 || tbl.Schema.Col("nope") != -1 {
+		t.Error("Schema.Col wrong")
+	}
+	names := tbl.Schema.Names()
+	if len(names) != 5 || names[0] != "LibID" {
+		t.Errorf("Names = %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCol(missing) did not panic")
+		}
+	}()
+	tbl.Schema.MustCol("missing")
+}
+
+func TestInsertValidation(t *testing.T) {
+	tbl := libTable(t)
+	if err := tbl.Insert(Row{I(9)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tbl.Insert(Row{S("x"), S("n"), S("t"), I(0), F(1)}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	// NULL is allowed anywhere.
+	if err := tbl.Insert(Row{I(5), Null, S("t"), I(0), F(1)}); err != nil {
+		t.Errorf("NULL rejected: %v", err)
+	}
+}
+
+func TestSelectAndPredicates(t *testing.T) {
+	tbl := libTable(t)
+	brain := tbl.Select(tbl.ColEq("Type", S("brain")))
+	if brain.Len() != 3 {
+		t.Errorf("brain select = %d rows", brain.Len())
+	}
+	cancerBrain := tbl.Select(And(tbl.ColEq("Type", S("brain")), tbl.ColEq("CanNor", I(1))))
+	if cancerBrain.Len() != 2 {
+		t.Errorf("cancer brain = %d rows", cancerBrain.Len())
+	}
+	notBrain := tbl.Select(Not(tbl.ColEq("Type", S("brain"))))
+	if notBrain.Len() != 1 {
+		t.Errorf("not brain = %d rows", notBrain.Len())
+	}
+	either := tbl.Select(Or(tbl.ColEq("LibName", S("SAGE_K1")), tbl.ColEq("LibName", S("SAGE_B2"))))
+	if either.Len() != 2 {
+		t.Errorf("or = %d rows", either.Len())
+	}
+	big := tbl.Select(tbl.ColRange("Tags", 20000, 60000))
+	if big.Len() != 3 {
+		t.Errorf("range = %d rows", big.Len())
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := libTable(t)
+	p, err := tbl.Project("LibName", "Tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schema) != 2 || p.Schema[0].Name != "LibName" {
+		t.Errorf("schema = %v", p.Schema)
+	}
+	if p.Rows[0][0].Str() != "SAGE_B1" || p.Rows[0][1].Float() != 52371 {
+		t.Errorf("row = %v", p.Rows[0])
+	}
+	if _, err := tbl.Project("nope"); err == nil {
+		t.Error("Project(missing): expected error")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "x", Kind: KindInt}})
+	tbl.MustInsert(I(1))
+	tbl.MustInsert(I(2))
+	tbl.MustInsert(I(1))
+	tbl.MustInsert(Null)
+	tbl.MustInsert(Null)
+	if got := tbl.Distinct().Len(); got != 3 {
+		t.Errorf("Distinct = %d rows, want 3", got)
+	}
+}
+
+func TestSort(t *testing.T) {
+	tbl := libTable(t)
+	asc, err := tbl.Sort("Tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Rows[0][1].Str() != "SAGE_B3" || asc.Rows[3][1].Str() != "SAGE_B1" {
+		t.Errorf("asc order wrong: %v", asc.Rows)
+	}
+	desc, err := tbl.Sort("-Tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Rows[0][1].Str() != "SAGE_B1" {
+		t.Errorf("desc order wrong")
+	}
+	multi, err := tbl.Sort("Type", "-Tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Rows[0][1].Str() != "SAGE_B1" || multi.Rows[3][1].Str() != "SAGE_K1" {
+		t.Errorf("multi order wrong: %v", multi.Rows)
+	}
+	if _, err := tbl.Sort("nope"); err == nil {
+		t.Error("Sort(missing): expected error")
+	}
+	// Original untouched.
+	if tbl.Rows[0][1].Str() != "SAGE_B1" {
+		t.Error("Sort mutated the source table")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tbl := libTable(t)
+	if tbl.Limit(2).Len() != 2 || tbl.Limit(100).Len() != 4 || tbl.Limit(-1).Len() != 0 {
+		t.Error("Limit wrong")
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	tbl := libTable(t)
+	if _, err := tbl.CreateIndex("Tags"); err != nil {
+		t.Fatal(err)
+	}
+	n := tbl.Delete(tbl.ColEq("Type", S("kidney")))
+	if n != 1 || tbl.Len() != 3 {
+		t.Errorf("Delete = %d, len %d", n, tbl.Len())
+	}
+	if tbl.HasIndex("Tags") {
+		t.Error("Delete must drop indexes")
+	}
+	n = tbl.Update(tbl.ColEq("LibName", S("SAGE_B2")), func(r Row) {
+		r[tbl.Schema.MustCol("Tags")] = F(99)
+	})
+	if n != 1 {
+		t.Errorf("Update = %d", n)
+	}
+	got := tbl.Select(tbl.ColEq("LibName", S("SAGE_B2")))
+	if got.Rows[0][4].Float() != 99 {
+		t.Error("Update did not apply")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	libs := libTable(t)
+	tissues := NewTable("Tissues", Schema{
+		{Name: "TType", Kind: KindString},
+		{Name: "Organ", Kind: KindString},
+	})
+	tissues.MustInsert(S("brain"), S("head"))
+	tissues.MustInsert(S("kidney"), S("abdomen"))
+	tissues.MustInsert(S("skin"), S("surface"))
+
+	j, err := libs.Join(tissues, "Type", "TType")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Errorf("join = %d rows", j.Len())
+	}
+	oc := j.Schema.Col("Organ")
+	if oc < 0 {
+		t.Fatal("no Organ column after join")
+	}
+	for _, r := range j.Rows {
+		if r[2].Str() == "kidney" && r[oc].Str() != "abdomen" {
+			t.Errorf("join mismatch: %v", r)
+		}
+	}
+	if _, err := libs.Join(tissues, "nope", "TType"); err == nil {
+		t.Error("Join(bad left): expected error")
+	}
+	if _, err := libs.Join(tissues, "Type", "nope"); err == nil {
+		t.Error("Join(bad right): expected error")
+	}
+}
+
+func TestJoinNullNeverMatches(t *testing.T) {
+	a := NewTable("a", Schema{{Name: "k", Kind: KindString}})
+	a.MustInsert(Null)
+	a.MustInsert(S("x"))
+	b := NewTable("b", Schema{{Name: "k2", Kind: KindString}})
+	b.MustInsert(Null)
+	b.MustInsert(S("x"))
+	j, err := a.Join(b, "k", "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Errorf("NULL joined: %d rows", j.Len())
+	}
+}
+
+func TestJoinColumnNameCollision(t *testing.T) {
+	a := NewTable("a", Schema{{Name: "k", Kind: KindString}, {Name: "v", Kind: KindInt}})
+	a.MustInsert(S("x"), I(1))
+	b := NewTable("b", Schema{{Name: "k", Kind: KindString}, {Name: "v", Kind: KindInt}})
+	b.MustInsert(S("x"), I(2))
+	j, err := a.Join(b, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Schema.Col("b.v") < 0 {
+		t.Errorf("collided column not renamed: %v", j.Schema.Names())
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	mk := func(name string, vals ...int64) *Table {
+		tbl := NewTable(name, Schema{{Name: "x", Kind: KindInt}})
+		for _, v := range vals {
+			tbl.MustInsert(I(v))
+		}
+		return tbl
+	}
+	a := mk("a", 1, 2, 3, 3)
+	b := mk("b", 3, 4)
+
+	u, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4 { // {1,2,3,4}
+		t.Errorf("Union = %d rows", u.Len())
+	}
+	i, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Len() != 1 || i.Rows[0][0].Int() != 3 {
+		t.Errorf("Intersect = %v", i.Rows)
+	}
+	m, err := a.Minus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 { // {1,2}
+		t.Errorf("Minus = %d rows", m.Len())
+	}
+	bad := NewTable("bad", Schema{{Name: "x", Kind: KindString}})
+	if _, err := a.Union(bad); err == nil {
+		t.Error("Union(incompatible): expected error")
+	}
+	bad2 := NewTable("bad2", Schema{{Name: "x", Kind: KindInt}, {Name: "y", Kind: KindInt}})
+	if _, err := a.Intersect(bad2); err == nil {
+		t.Error("Intersect(wrong arity): expected error")
+	}
+	if _, err := a.Minus(bad); err == nil {
+		t.Error("Minus(incompatible): expected error")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	tbl := libTable(t)
+	agg, err := tbl.Aggregate([]string{"Type"}, []Agg{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggSum, Col: "Tags", As: "total"},
+		{Fn: AggAvg, Col: "Tags", As: "avg"},
+		{Fn: AggMin, Col: "Tags", As: "lo"},
+		{Fn: AggMax, Col: "Tags", As: "hi"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != 2 {
+		t.Fatalf("groups = %d", agg.Len())
+	}
+	brain := agg.Select(agg.ColEq("Type", S("brain"))).Rows[0]
+	if brain[1].Int() != 3 {
+		t.Errorf("count = %v", brain[1])
+	}
+	if brain[2].Float() != 52371+31063+12000 {
+		t.Errorf("sum = %v", brain[2])
+	}
+	if brain[4].Float() != 12000 || brain[5].Float() != 52371 {
+		t.Errorf("min/max = %v %v", brain[4], brain[5])
+	}
+	if _, err := tbl.Aggregate([]string{"nope"}, nil); err == nil {
+		t.Error("Aggregate(bad group): expected error")
+	}
+	if _, err := tbl.Aggregate(nil, []Agg{{Fn: AggSum, Col: "nope"}}); err == nil {
+		t.Error("Aggregate(bad col): expected error")
+	}
+}
+
+func TestAggregateGlobalAndNulls(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+	tbl.MustInsert(F(1))
+	tbl.MustInsert(Null)
+	tbl.MustInsert(F(3))
+	agg, err := tbl.Aggregate(nil, []Agg{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggAvg, Col: "v", As: "avg"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != 1 {
+		t.Fatalf("global agg groups = %d", agg.Len())
+	}
+	if agg.Rows[0][0].Int() != 3 { // count counts rows
+		t.Errorf("count = %v", agg.Rows[0][0])
+	}
+	if agg.Rows[0][1].Float() != 2 { // avg skips NULL
+		t.Errorf("avg = %v", agg.Rows[0][1])
+	}
+
+	allNull := NewTable("t2", Schema{{Name: "v", Kind: KindFloat}})
+	allNull.MustInsert(Null)
+	agg2, err := allNull.Aggregate(nil, []Agg{{Fn: AggSum, Col: "v", As: "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg2.Rows[0][0].IsNull() {
+		t.Errorf("sum of all-NULL group = %v, want NULL", agg2.Rows[0][0])
+	}
+}
+
+func TestAggregateDefaultName(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "v", Kind: KindFloat}})
+	tbl.MustInsert(F(1))
+	agg, err := tbl.Aggregate(nil, []Agg{{Fn: AggSum, Col: "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Schema[0].Name != "sum_v" {
+		t.Errorf("default agg name = %q", agg.Schema[0].Name)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable("t", Schema{{Name: "Tag", Kind: KindString}, {Name: "Gap", Kind: KindFloat}})
+	tbl.MustInsert(S("AAAA"), F(-1.5))
+	tbl.MustInsert(S("C"), Null)
+	s := tbl.String()
+	if !strings.Contains(s, "Tag") || !strings.Contains(s, "-1.5") || !strings.Contains(s, "NULL") {
+		t.Errorf("String output missing parts:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("String has %d lines", len(lines))
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	if AggCount.String() != "count" || AggMax.String() != "max" {
+		t.Error("AggFunc strings wrong")
+	}
+	if AggFunc(9).String() != "AggFunc(9)" {
+		t.Error("unknown AggFunc string wrong")
+	}
+}

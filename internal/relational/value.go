@@ -1,0 +1,174 @@
+// Package relational is the embedded relational engine underneath the GEA —
+// the role IBM DB2 played in the thesis. It provides typed schemas, tables,
+// relational algebra (select, project, join, aggregate, sort, set
+// operations), sorted column indexes with range scans, a named-table store
+// with gob persistence, and the rotated physical layout used for the TAGS
+// relation (thesis Section 4.6.1).
+//
+// The extensional world of the GEA "is relational [so] the relational
+// algebra, extended with standard aggregation operations such as sum,
+// average, etc. and sorting, is sufficient" (Section 3.2.4); this package is
+// that world's machinery.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind is the type of a column or value.
+type Kind int
+
+// Column kinds.
+const (
+	KindString Kind = iota
+	KindInt
+	KindFloat
+	KindNull // only values, not columns: SQL-style NULL (e.g. overlap gaps)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindNull:
+		return "null"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a single typed cell. The zero Value is NULL.
+type Value struct {
+	K Kind
+	S string
+	I int64
+	F float64
+}
+
+// Null is the NULL value.
+var Null = Value{K: KindNull}
+
+// S returns a string value.
+func S(s string) Value { return Value{K: KindString, S: s} }
+
+// I returns an int value.
+func I(i int64) Value { return Value{K: KindInt, I: i} }
+
+// F returns a float value.
+func F(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// B returns an int value 1 or 0; the engine follows the thesis's schema
+// (Appendix IV) in modelling booleans as integers.
+func B(b bool) Value {
+	if b {
+		return I(1)
+	}
+	return I(0)
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Float returns the numeric value of an int or float cell.
+func (v Value) Float() float64 {
+	switch v.K {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// Int returns the integer value of an int cell (truncating floats).
+func (v Value) Int() int64 {
+	switch v.K {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// Str returns the string of a string cell, or the rendered form otherwise.
+func (v Value) Str() string {
+	if v.K == KindString {
+		return v.S
+	}
+	return v.String()
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.K {
+	case KindString:
+		return v.S
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return "NULL"
+	}
+}
+
+// numericKinds reports whether both values are numeric (int or float).
+func numericKinds(a, b Value) bool {
+	return (a.K == KindInt || a.K == KindFloat) && (b.K == KindInt || b.K == KindFloat)
+}
+
+// Compare orders two values: -1, 0 or +1. NULL sorts before everything;
+// numeric values compare by magnitude across int/float; otherwise values of
+// different kinds compare by kind, and strings lexicographically. Comparing
+// is total so it can back sorting and sorted indexes.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if numericKinds(a, b) {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.K != b.K {
+		if a.K < b.K {
+			return -1
+		}
+		return 1
+	}
+	// Both strings.
+	switch {
+	case a.S < b.S:
+		return -1
+	case a.S > b.S:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under Compare. NULL equals NULL
+// here (group-by semantics), unlike SQL's three-valued logic.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }

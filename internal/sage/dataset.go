@@ -1,0 +1,198 @@
+package sage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dataset is the dense form of a set of SAGE libraries over a common tag
+// universe: the conceptual relation of Figure 3.2, with libraries as rows and
+// tags as columns. All GEA operators (mine, aggregate, populate, diff) run
+// against a Dataset; it corresponds to a "degenerate cluster" holding the
+// whole (or a tissue-type slice of the) cleaned SAGE data.
+//
+// Physically, DB2 could not hold 60,000 columns, so the thesis stores the
+// TAGS relation rotated (tags as rows; Section 4.6.1). The Dataset keeps the
+// expression matrix row-major by library; the relational package provides the
+// rotated view for the storage layer.
+type Dataset struct {
+	// Tags is the sorted tag universe; Tags[j] is the tag of column j.
+	Tags []TagID
+	// Libs holds per-library metadata; Libs[i] describes row i.
+	Libs []LibraryMeta
+	// Expr is the expression matrix: Expr[i][j] is the count of tag Tags[j]
+	// in library Libs[i].
+	Expr [][]float64
+
+	tagCol map[TagID]int
+	libRow map[string]int
+}
+
+// Build assembles a dense Dataset from a corpus over the union of its tags.
+func Build(c *Corpus) *Dataset {
+	return BuildWithTags(c, c.UnionTags())
+}
+
+// BuildWithTags assembles a dense Dataset whose columns are exactly tags
+// (which must be sorted and duplicate-free); counts for tags outside a
+// library are zero, matching the thesis's normalization rule that "genes that
+// do not exist will remain as zero".
+func BuildWithTags(c *Corpus, tags []TagID) *Dataset {
+	ds := &Dataset{
+		Tags:   tags,
+		Libs:   make([]LibraryMeta, len(c.Libraries)),
+		Expr:   make([][]float64, len(c.Libraries)),
+		tagCol: make(map[TagID]int, len(tags)),
+		libRow: make(map[string]int, len(c.Libraries)),
+	}
+	for j, t := range tags {
+		ds.tagCol[t] = j
+	}
+	for i, l := range c.Libraries {
+		ds.Libs[i] = l.Meta
+		row := make([]float64, len(tags))
+		for t, cnt := range l.Counts {
+			if j, ok := ds.tagCol[t]; ok {
+				row[j] = cnt
+			}
+		}
+		ds.Expr[i] = row
+		ds.libRow[l.Meta.Name] = i
+	}
+	return ds
+}
+
+// NumLibraries returns the number of rows.
+func (d *Dataset) NumLibraries() int { return len(d.Libs) }
+
+// NumTags returns the number of columns.
+func (d *Dataset) NumTags() int { return len(d.Tags) }
+
+// TagColumn returns the column index of tag and whether it is present.
+func (d *Dataset) TagColumn(tag TagID) (int, bool) {
+	j, ok := d.tagCol[tag]
+	return j, ok
+}
+
+// LibraryRow returns the row index of the named library and whether it exists.
+func (d *Dataset) LibraryRow(name string) (int, bool) {
+	i, ok := d.libRow[name]
+	return i, ok
+}
+
+// Value returns the expression level of tag in the library at row i; it
+// returns 0 for tags outside the universe.
+func (d *Dataset) Value(i int, tag TagID) float64 {
+	if j, ok := d.tagCol[tag]; ok {
+		return d.Expr[i][j]
+	}
+	return 0
+}
+
+// Column copies the expression values of column j across all libraries.
+func (d *Dataset) Column(j int) []float64 {
+	col := make([]float64, len(d.Expr))
+	for i, row := range d.Expr {
+		col[i] = row[j]
+	}
+	return col
+}
+
+// RowsByTissue returns the row indices of libraries of the given tissue type.
+// It implements the relational selection E_brain = σ_tissueType='brain'(SAGE)
+// of case study 1.
+func (d *Dataset) RowsByTissue(tissue string) []int {
+	var rows []int
+	for i, m := range d.Libs {
+		if m.Tissue == tissue {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// RowsWhere returns the row indices whose metadata satisfies pred.
+func (d *Dataset) RowsWhere(pred func(LibraryMeta) bool) []int {
+	var rows []int
+	for i, m := range d.Libs {
+		if pred(m) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// TissueTypes returns the distinct tissue types among the rows, sorted.
+func (d *Dataset) TissueTypes() []string {
+	seen := map[string]bool{}
+	for _, m := range d.Libs {
+		seen[m.Tissue] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subset returns a new Dataset restricted to the given rows (in the given
+// order) over the same tag universe. Row data is shared, not copied; callers
+// must not mutate Expr through a subset.
+func (d *Dataset) Subset(rows []int) (*Dataset, error) {
+	sub := &Dataset{
+		Tags:   d.Tags,
+		Libs:   make([]LibraryMeta, len(rows)),
+		Expr:   make([][]float64, len(rows)),
+		tagCol: d.tagCol,
+		libRow: make(map[string]int, len(rows)),
+	}
+	for k, i := range rows {
+		if i < 0 || i >= len(d.Libs) {
+			return nil, fmt.Errorf("sage: row %d out of range [0,%d)", i, len(d.Libs))
+		}
+		sub.Libs[k] = d.Libs[i]
+		sub.Expr[k] = d.Expr[i]
+		sub.libRow[d.Libs[i].Name] = k
+	}
+	return sub, nil
+}
+
+// SubsetByTissue returns the tissue-type slice of the dataset, the
+// "system-defined tissue type" data sets of Figure 4.4.
+func (d *Dataset) SubsetByTissue(tissue string) (*Dataset, error) {
+	rows := d.RowsByTissue(tissue)
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("sage: no libraries of tissue type %q", tissue)
+	}
+	return d.Subset(rows)
+}
+
+// SubsetByNames returns the user-defined tissue-type data set of Figure 4.15:
+// an arbitrary combination of libraries chosen by name.
+func (d *Dataset) SubsetByNames(names []string) (*Dataset, error) {
+	rows := make([]int, 0, len(names))
+	for _, n := range names {
+		i, ok := d.libRow[n]
+		if !ok {
+			return nil, fmt.Errorf("sage: unknown library %q", n)
+		}
+		rows = append(rows, i)
+	}
+	return d.Subset(rows)
+}
+
+// ToCorpus converts the dataset back to sparse libraries (dropping zeros).
+func (d *Dataset) ToCorpus() *Corpus {
+	c := &Corpus{}
+	for i, m := range d.Libs {
+		l := NewLibrary(m)
+		for j, v := range d.Expr[i] {
+			if v != 0 {
+				l.Counts[d.Tags[j]] = v
+			}
+		}
+		c.Libraries = append(c.Libraries, l)
+	}
+	return c
+}

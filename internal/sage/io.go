@@ -1,0 +1,376 @@
+package sage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the on-disk formats of the thesis:
+//
+//   - one plain-text file per library ("SageLibrary/<name>.sage"), lines of
+//     "TAG<TAB>count";
+//   - "sageName.txt", the corpus index holding each library's statistical
+//     information (name, tissue, neoplastic state, source, total, unique);
+//   - the binary ".b" tissue file the fascicle program reads ("for
+//     performance purposes, reading a large amount of data from a plain text
+//     file proves faster than from a database" — and binary faster still);
+//   - the ".meta" tolerance-vector file (attribute name and compact tolerance
+//     value in a pre-defined format).
+
+// WriteLibrary writes one library in the plain-text format, tags sorted.
+func WriteLibrary(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range l.Tags() {
+		if _, err := fmt.Fprintf(bw, "%s\t%g\n", t, l.Counts[t]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLibrary parses a plain-text library file into l (which supplies the
+// metadata). Blank lines and lines starting with '#' are ignored.
+func ReadLibrary(r io.Reader, meta LibraryMeta) (*Library, error) {
+	l := NewLibrary(meta)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("sage: %s line %d: want 2 fields, got %d", meta.Name, lineNo, len(fields))
+		}
+		tag, err := ParseTag(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sage: %s line %d: %v", meta.Name, lineNo, err)
+		}
+		count, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sage: %s line %d: bad count %q", meta.Name, lineNo, fields[1])
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("sage: %s line %d: negative count %g", meta.Name, lineNo, count)
+		}
+		l.Add(tag, count)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	l.RefreshMeta()
+	return l, nil
+}
+
+// WriteIndex writes the sageName.txt corpus index: one tab-separated line per
+// library with name, tissue, state, source, total and unique tag counts.
+func WriteIndex(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range c.Libraries {
+		m := l.Meta
+		state := 0
+		if m.State == Cancer {
+			state = 1
+		}
+		src := 0
+		if m.Source == CellLine {
+			src = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%d\t%g\t%d\n",
+			m.Name, m.Tissue, state, src, m.TotalTags, m.UniqueTags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIndex parses sageName.txt and returns library metadata in file order.
+// IDs are assigned 1..n by position, as in the thesis's Libraries relation.
+func ReadIndex(r io.Reader) ([]LibraryMeta, error) {
+	var metas []LibraryMeta
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if len(f) != 6 {
+			return nil, fmt.Errorf("sage: index line %d: want 6 fields, got %d", lineNo, len(f))
+		}
+		state, err := strconv.Atoi(f[2])
+		if err != nil || (state != 0 && state != 1) {
+			return nil, fmt.Errorf("sage: index line %d: bad state %q", lineNo, f[2])
+		}
+		src, err := strconv.Atoi(f[3])
+		if err != nil || (src != 0 && src != 1) {
+			return nil, fmt.Errorf("sage: index line %d: bad source %q", lineNo, f[3])
+		}
+		total, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sage: index line %d: bad total %q", lineNo, f[4])
+		}
+		unique, err := strconv.Atoi(f[5])
+		if err != nil {
+			return nil, fmt.Errorf("sage: index line %d: bad unique %q", lineNo, f[5])
+		}
+		m := LibraryMeta{
+			ID: len(metas) + 1, Name: f[0], Tissue: f[1],
+			TotalTags: total, UniqueTags: unique,
+		}
+		if state == 1 {
+			m.State = Cancer
+		}
+		if src == 1 {
+			m.Source = CellLine
+		}
+		metas = append(metas, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return metas, nil
+}
+
+// SaveCorpus writes the corpus to dir: sageName.txt plus one <name>.sage file
+// per library. The directory is created if needed.
+func SaveCorpus(dir string, c *Corpus) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	idx, err := os.Create(filepath.Join(dir, "sageName.txt"))
+	if err != nil {
+		return err
+	}
+	if err := WriteIndex(idx, c); err != nil {
+		idx.Close()
+		return err
+	}
+	if err := idx.Close(); err != nil {
+		return err
+	}
+	for _, l := range c.Libraries {
+		f, err := os.Create(filepath.Join(dir, l.Meta.Name+".sage"))
+		if err != nil {
+			return err
+		}
+		if err := WriteLibrary(f, l); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCorpus reads a corpus previously written by SaveCorpus.
+func LoadCorpus(dir string) (*Corpus, error) {
+	idx, err := os.Open(filepath.Join(dir, "sageName.txt"))
+	if err != nil {
+		return nil, err
+	}
+	metas, err := ReadIndex(idx)
+	idx.Close()
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{}
+	for _, m := range metas {
+		f, err := os.Open(filepath.Join(dir, m.Name+".sage"))
+		if err != nil {
+			return nil, err
+		}
+		l, err := ReadLibrary(f, m)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		c.Libraries = append(c.Libraries, l)
+	}
+	return c, nil
+}
+
+// Binary ".b" format: the dense tissue file the fascicle miner consumes.
+//
+//	magic "GEAB" | uint32 version | uint32 nLibs | uint32 nTags
+//	nTags  × uint32 tag id
+//	nLibs  × (uint16 nameLen | name bytes | nTags × float64)
+const (
+	binaryMagic   = "GEAB"
+	binaryVersion = 1
+)
+
+// WriteBinary writes the dataset in the ".b" format.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []uint32{binaryVersion, uint32(len(d.Libs)), uint32(len(d.Tags))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, t := range d.Tags {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(t)); err != nil {
+			return err
+		}
+	}
+	for i, m := range d.Libs {
+		if len(m.Name) > math.MaxUint16 {
+			return fmt.Errorf("sage: library name %q too long", m.Name)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(m.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(m.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, d.Expr[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a ".b" file. Library metadata beyond the name (tissue,
+// state, source) is resolved from metaByName when present.
+func ReadBinary(r io.Reader, metaByName map[string]LibraryMeta) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("sage: bad magic %q", magic)
+	}
+	var version, nLibs, nTags uint32
+	for _, p := range []*uint32{&version, &nLibs, &nTags} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("sage: unsupported binary version %d", version)
+	}
+	const maxDim = 1 << 26 // sanity bound against corrupt headers
+	if nLibs > maxDim || nTags > maxDim {
+		return nil, fmt.Errorf("sage: implausible dimensions %d x %d", nLibs, nTags)
+	}
+	tags := make([]TagID, nTags)
+	for j := range tags {
+		var v uint32
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		tags[j] = TagID(v)
+		if !tags[j].Valid() {
+			return nil, fmt.Errorf("sage: invalid tag id %d", v)
+		}
+	}
+	c := &Corpus{}
+	exprs := make([][]float64, nLibs)
+	for i := 0; i < int(nLibs); i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, err
+		}
+		row := make([]float64, nTags)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, err
+		}
+		meta := LibraryMeta{ID: i + 1, Name: string(nameBytes)}
+		if m, ok := metaByName[meta.Name]; ok {
+			meta = m
+		}
+		l := NewLibrary(meta)
+		c.Libraries = append(c.Libraries, l)
+		exprs[i] = row
+	}
+	// Assemble directly: the corpus libraries stay empty; we build the dense
+	// dataset from the rows we read.
+	ds := &Dataset{
+		Tags:   tags,
+		Libs:   make([]LibraryMeta, nLibs),
+		Expr:   exprs,
+		tagCol: make(map[TagID]int, nTags),
+		libRow: make(map[string]int, nLibs),
+	}
+	for j, t := range tags {
+		ds.tagCol[t] = j
+	}
+	for i, l := range c.Libraries {
+		ds.Libs[i] = l.Meta
+		ds.libRow[l.Meta.Name] = i
+	}
+	return ds, nil
+}
+
+// WriteMeta writes a ".meta" tolerance-vector file: "TAG<TAB>tolerance" per
+// line, in tag order.
+func WriteMeta(w io.Writer, tol map[TagID]float64) error {
+	tags := make([]TagID, 0, len(tol))
+	for t := range tol {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	bw := bufio.NewWriter(w)
+	for _, t := range tags {
+		if _, err := fmt.Fprintf(bw, "%s\t%g\n", t, tol[t]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMeta parses a ".meta" tolerance-vector file.
+func ReadMeta(r io.Reader) (map[TagID]float64, error) {
+	tol := make(map[TagID]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("sage: meta line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		tag, err := ParseTag(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sage: meta line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("sage: meta line %d: bad tolerance %q", lineNo, fields[1])
+		}
+		tol[tag] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tol, nil
+}

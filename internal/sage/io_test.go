@@ -1,0 +1,296 @@
+package sage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLibraryTextRoundTrip(t *testing.T) {
+	l := NewLibrary(testMeta(1, "L", "brain", Cancer, BulkTissue))
+	l.Add(MustParseTag("ACGTACGTAC"), 12)
+	l.Add(MustParseTag("AAAAAAAAAA"), 1843)
+	l.Add(MustParseTag("TTTTTTTTTT"), 0.5)
+	l.RefreshMeta()
+
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLibrary(&buf, l.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unique() != 3 || got.Count(MustParseTag("AAAAAAAAAA")) != 1843 ||
+		got.Count(MustParseTag("TTTTTTTTTT")) != 0.5 {
+		t.Errorf("round trip mismatch: %v", got.Counts)
+	}
+	if got.Meta.TotalTags != l.Total() {
+		t.Errorf("RefreshMeta after read: %v", got.Meta.TotalTags)
+	}
+}
+
+func TestReadLibrarySkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nAAAAAAAAAA\t3\n  \nACGTACGTAC\t2\n"
+	l, err := ReadLibrary(strings.NewReader(in), LibraryMeta{Name: "L"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Unique() != 2 {
+		t.Errorf("Unique = %d, want 2", l.Unique())
+	}
+}
+
+func TestReadLibraryErrors(t *testing.T) {
+	cases := []string{
+		"AAAAAAAAAA\n",       // missing count
+		"AAAAAAAAAA\t1\t2\n", // extra field
+		"NOTATAG!!!\t1\n",    // bad tag
+		"AAAAAAAAAA\tx\n",    // bad count
+		"AAAAAAAAAA\t-3\n",   // negative count
+		"AAAAAAAAA\t1\n",     // short tag
+	}
+	for _, in := range cases {
+		if _, err := ReadLibrary(strings.NewReader(in), LibraryMeta{Name: "L"}); err == nil {
+			t.Errorf("ReadLibrary(%q): expected error", in)
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 3 {
+		t.Fatalf("got %d metas", len(metas))
+	}
+	if metas[0].Name != "B1" || metas[0].Tissue != "brain" || metas[0].State != Cancer {
+		t.Errorf("meta[0] = %+v", metas[0])
+	}
+	if metas[1].State != Normal {
+		t.Errorf("meta[1] state = %v", metas[1].State)
+	}
+	if metas[0].ID != 1 || metas[2].ID != 3 {
+		t.Error("IDs not assigned by position")
+	}
+	if metas[0].TotalTags != 15 || metas[0].UniqueTags != 2 {
+		t.Errorf("meta[0] stats = %+v", metas[0])
+	}
+}
+
+func TestReadIndexErrors(t *testing.T) {
+	cases := []string{
+		"A\tbrain\t1\t0\t5\n",    // 5 fields
+		"A\tbrain\tx\t0\t5\t1\n", // bad state
+		"A\tbrain\t2\t0\t5\t1\n", // state out of range
+		"A\tbrain\t1\tx\t5\t1\n", // bad source
+		"A\tbrain\t1\t0\tx\t1\n", // bad total
+		"A\tbrain\t1\t0\t5\tx\n", // bad unique
+	}
+	for _, in := range cases {
+		if _, err := ReadIndex(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadIndex(%q): expected error", in)
+		}
+	}
+}
+
+func TestSaveLoadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	c := buildTestCorpus()
+	if err := SaveCorpus(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Libraries) != 3 {
+		t.Fatalf("loaded %d libraries", len(got.Libraries))
+	}
+	for i, orig := range c.Libraries {
+		l := got.Libraries[i]
+		if l.Meta.Name != orig.Meta.Name || l.Meta.Tissue != orig.Meta.Tissue ||
+			l.Meta.State != orig.Meta.State {
+			t.Errorf("library %d meta mismatch: %+v vs %+v", i, l.Meta, orig.Meta)
+		}
+		for tag, v := range orig.Counts {
+			if l.Count(tag) != v {
+				t.Errorf("%s %v: %v vs %v", l.Meta.Name, tag, l.Count(tag), v)
+			}
+		}
+	}
+}
+
+func TestLoadCorpusMissingDir(t *testing.T) {
+	if _, err := LoadCorpus("/nonexistent/dir"); err == nil {
+		t.Error("LoadCorpus(missing): expected error")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	ds := Build(c)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	metaByName := map[string]LibraryMeta{}
+	for _, l := range c.Libraries {
+		metaByName[l.Meta.Name] = l.Meta
+	}
+	got, err := ReadBinary(&buf, metaByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumLibraries() != ds.NumLibraries() || got.NumTags() != ds.NumTags() {
+		t.Fatalf("dims changed: %d x %d", got.NumLibraries(), got.NumTags())
+	}
+	for i := range ds.Expr {
+		if got.Libs[i].Name != ds.Libs[i].Name || got.Libs[i].Tissue != ds.Libs[i].Tissue {
+			t.Errorf("lib %d meta mismatch", i)
+		}
+		for j := range ds.Expr[i] {
+			if got.Expr[i][j] != ds.Expr[i][j] {
+				t.Fatalf("Expr[%d][%d] = %v, want %v", i, j, got.Expr[i][j], ds.Expr[i][j])
+			}
+		}
+	}
+}
+
+func TestReadBinaryWithoutMeta(t *testing.T) {
+	ds := Build(buildTestCorpus())
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without metadata the names survive but tissue defaults to empty.
+	if got.Libs[0].Name != "B1" || got.Libs[0].Tissue != "" {
+		t.Errorf("fallback meta = %+v", got.Libs[0])
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a binary file"), nil); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	if _, err := ReadBinary(strings.NewReader(""), nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	// Truncated: valid magic then nothing.
+	if _, err := ReadBinary(strings.NewReader("GEAB"), nil); err == nil {
+		t.Error("expected error on truncated header")
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	tol := map[TagID]float64{
+		MustParseTag("AAAAAAAAAA"): 120,
+		MustParseTag("AAAAAAAAAC"): 3,
+		MustParseTag("AAAAAAAAAT"): 47,
+	}
+	var buf bytes.Buffer
+	if err := WriteMeta(&buf, tol); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for tag, v := range tol {
+		if got[tag] != v {
+			t.Errorf("%v: %v, want %v", tag, got[tag], v)
+		}
+	}
+}
+
+func TestReadMetaErrors(t *testing.T) {
+	for _, in := range []string{"AAAAAAAAAA\n", "BAD\t1\n", "AAAAAAAAAA\t-1\n", "AAAAAAAAAA\tx\n"} {
+		if _, err := ReadMeta(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadMeta(%q): expected error", in)
+		}
+	}
+}
+
+func TestSaveCorpusErrorPaths(t *testing.T) {
+	c := buildTestCorpus()
+	// A regular file where the directory should go (permission bits are
+	// useless here — tests may run as root).
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(blocker, c); err == nil {
+		t.Error("SaveCorpus onto a file: expected error")
+	}
+	if err := SaveCorpus(filepath.Join(blocker, "sub"), c); err == nil {
+		t.Error("SaveCorpus under a file: expected error")
+	}
+	// A directory squatting on a library's file name breaks the per-library
+	// create.
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, c.Libraries[0].Meta.Name+".sage"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(dir, c); err == nil {
+		t.Error("SaveCorpus with directory-shadowed library file: expected error")
+	}
+}
+
+// failWriter errors after n bytes, exercising WriteBinary's error branches.
+type failWriter struct {
+	n int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("synthetic write failure")
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, fmt.Errorf("synthetic write failure")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteBinaryErrorPaths(t *testing.T) {
+	ds := Build(buildTestCorpus())
+	// Failing at several offsets exercises header, tag and row branches.
+	for _, limit := range []int{0, 2, 10, 30, 60} {
+		if err := WriteBinary(&failWriter{n: limit}, ds); err == nil {
+			t.Errorf("WriteBinary with %d-byte budget: expected error", limit)
+		}
+	}
+}
+
+func TestWriteLibraryAndMetaErrorPaths(t *testing.T) {
+	l := NewLibrary(LibraryMeta{Name: "L"})
+	l.Add(MustParseTag("AAAAAAAAAA"), 1)
+	if err := WriteLibrary(&failWriter{n: 0}, l); err == nil {
+		t.Error("WriteLibrary failure: expected error")
+	}
+	if err := WriteMeta(&failWriter{n: 0}, map[TagID]float64{0: 1}); err == nil {
+		t.Error("WriteMeta failure: expected error")
+	}
+	c := buildTestCorpus()
+	if err := WriteIndex(&failWriter{n: 0}, c); err == nil {
+		t.Error("WriteIndex failure: expected error")
+	}
+}

@@ -1,0 +1,230 @@
+package sage
+
+import (
+	"testing"
+)
+
+func testMeta(id int, name, tissue string, state NeoplasticState, src Source) LibraryMeta {
+	return LibraryMeta{ID: id, Name: name, Tissue: tissue, State: state, Source: src}
+}
+
+func TestLibraryBasics(t *testing.T) {
+	l := NewLibrary(testMeta(1, "SAGE_test", "brain", Cancer, BulkTissue))
+	a, c := MustParseTag("AAAAAAAAAA"), MustParseTag("CCCCCCCCCC")
+	l.Add(a, 5)
+	l.Add(a, 3)
+	l.Add(c, 2)
+	l.Add(c, 0) // no-op
+
+	if got := l.Count(a); got != 8 {
+		t.Errorf("Count(a) = %v, want 8", got)
+	}
+	if got := l.Count(MustParseTag("GGGGGGGGGG")); got != 0 {
+		t.Errorf("Count(absent) = %v, want 0", got)
+	}
+	if got := l.Total(); got != 10 {
+		t.Errorf("Total = %v, want 10", got)
+	}
+	if got := l.Unique(); got != 2 {
+		t.Errorf("Unique = %v, want 2", got)
+	}
+	tags := l.Tags()
+	if len(tags) != 2 || tags[0] != a || tags[1] != c {
+		t.Errorf("Tags = %v", tags)
+	}
+}
+
+func TestLibraryRefreshMetaCloneScale(t *testing.T) {
+	l := NewLibrary(testMeta(1, "L", "brain", Normal, CellLine))
+	l.Add(MustParseTag("ACGTACGTAC"), 4)
+	l.RefreshMeta()
+	if l.Meta.TotalTags != 4 || l.Meta.UniqueTags != 1 {
+		t.Errorf("RefreshMeta = %+v", l.Meta)
+	}
+
+	cp := l.Clone()
+	cp.Add(MustParseTag("ACGTACGTAC"), 1)
+	if l.Count(MustParseTag("ACGTACGTAC")) != 4 {
+		t.Error("Clone is not deep")
+	}
+
+	l.Scale(2.5)
+	if got := l.Count(MustParseTag("ACGTACGTAC")); got != 10 {
+		t.Errorf("Scale: count = %v, want 10", got)
+	}
+}
+
+func TestStateSourceStrings(t *testing.T) {
+	if Cancer.String() != "cancer" || Normal.String() != "normal" {
+		t.Error("NeoplasticState strings wrong")
+	}
+	if BulkTissue.String() != "bulk tissue" || CellLine.String() != "cell line" {
+		t.Error("Source strings wrong")
+	}
+}
+
+func TestHasProperty(t *testing.T) {
+	m := testMeta(1, "L", "brain", Cancer, CellLine)
+	tests := []struct {
+		p    Property
+		want bool
+	}{
+		{PropCancer, true},
+		{PropNormal, false},
+		{PropBulkTissue, false},
+		{PropCellLine, true},
+	}
+	for _, tt := range tests {
+		if got := m.HasProperty(tt.p); got != tt.want {
+			t.Errorf("HasProperty(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestParseProperty(t *testing.T) {
+	for _, p := range []Property{PropCancer, PropNormal, PropBulkTissue, PropCellLine} {
+		got, err := ParseProperty(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProperty(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProperty("weird"); err == nil {
+		t.Error("ParseProperty(weird): expected error")
+	}
+}
+
+func buildTestCorpus() *Corpus {
+	c := &Corpus{}
+	mk := func(id int, name, tissue string, st NeoplasticState, counts map[string]float64) {
+		l := NewLibrary(testMeta(id, name, tissue, st, BulkTissue))
+		for s, v := range counts {
+			l.Add(MustParseTag(s), v)
+		}
+		l.RefreshMeta()
+		c.Libraries = append(c.Libraries, l)
+	}
+	mk(1, "B1", "brain", Cancer, map[string]float64{"AAAAAAAAAA": 10, "CCCCCCCCCC": 5})
+	mk(2, "B2", "brain", Normal, map[string]float64{"AAAAAAAAAA": 2, "GGGGGGGGGG": 7})
+	mk(3, "K1", "kidney", Cancer, map[string]float64{"TTTTTTTTTT": 1})
+	return c
+}
+
+func TestCorpusQueries(t *testing.T) {
+	c := buildTestCorpus()
+	if got := c.TissueTypes(); len(got) != 2 || got[0] != "brain" || got[1] != "kidney" {
+		t.Errorf("TissueTypes = %v", got)
+	}
+	if got := c.ByTissue("brain"); len(got) != 2 {
+		t.Errorf("ByTissue(brain) = %d libs", len(got))
+	}
+	if c.ByName("B2") == nil || c.ByName("nope") != nil {
+		t.Error("ByName wrong")
+	}
+	if c.ByID(3) == nil || c.ByID(99) != nil {
+		t.Error("ByID wrong")
+	}
+	union := c.UnionTags()
+	if len(union) != 4 {
+		t.Errorf("UnionTags = %d tags, want 4", len(union))
+	}
+	for i := 1; i < len(union); i++ {
+		if union[i-1] >= union[i] {
+			t.Error("UnionTags not sorted/unique")
+		}
+	}
+	if c.TotalUniqueTags() != 4 {
+		t.Error("TotalUniqueTags wrong")
+	}
+}
+
+func TestDatasetBuildAndAccess(t *testing.T) {
+	c := buildTestCorpus()
+	ds := Build(c)
+	if ds.NumLibraries() != 3 || ds.NumTags() != 4 {
+		t.Fatalf("dims = %d x %d", ds.NumLibraries(), ds.NumTags())
+	}
+	if got := ds.Value(0, MustParseTag("AAAAAAAAAA")); got != 10 {
+		t.Errorf("Value = %v, want 10", got)
+	}
+	if got := ds.Value(2, MustParseTag("AAAAAAAAAA")); got != 0 {
+		t.Errorf("Value(absent) = %v, want 0", got)
+	}
+	if got := ds.Value(0, MustParseTag("ACACACACAC")); got != 0 {
+		t.Errorf("Value(outside universe) = %v, want 0", got)
+	}
+	j, ok := ds.TagColumn(MustParseTag("CCCCCCCCCC"))
+	if !ok {
+		t.Fatal("TagColumn missing")
+	}
+	col := ds.Column(j)
+	if col[0] != 5 || col[1] != 0 || col[2] != 0 {
+		t.Errorf("Column = %v", col)
+	}
+	if i, ok := ds.LibraryRow("K1"); !ok || i != 2 {
+		t.Errorf("LibraryRow = %d, %v", i, ok)
+	}
+	if _, ok := ds.LibraryRow("missing"); ok {
+		t.Error("LibraryRow found missing library")
+	}
+}
+
+func TestDatasetSubsets(t *testing.T) {
+	ds := Build(buildTestCorpus())
+
+	brain, err := ds.SubsetByTissue("brain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brain.NumLibraries() != 2 {
+		t.Errorf("brain subset has %d libs", brain.NumLibraries())
+	}
+	if _, err := ds.SubsetByTissue("liver"); err == nil {
+		t.Error("SubsetByTissue(liver): expected error")
+	}
+
+	custom, err := ds.SubsetByNames([]string{"K1", "B1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Libs[0].Name != "K1" || custom.Libs[1].Name != "B1" {
+		t.Errorf("SubsetByNames order = %v", custom.Libs)
+	}
+	if _, err := ds.SubsetByNames([]string{"nope"}); err == nil {
+		t.Error("SubsetByNames(nope): expected error")
+	}
+
+	if _, err := ds.Subset([]int{5}); err == nil {
+		t.Error("Subset(out of range): expected error")
+	}
+
+	cancerRows := ds.RowsWhere(func(m LibraryMeta) bool { return m.State == Cancer })
+	if len(cancerRows) != 2 {
+		t.Errorf("RowsWhere(cancer) = %v", cancerRows)
+	}
+	if got := ds.TissueTypes(); len(got) != 2 {
+		t.Errorf("TissueTypes = %v", got)
+	}
+}
+
+func TestDatasetToCorpusRoundTrip(t *testing.T) {
+	c := buildTestCorpus()
+	ds := Build(c)
+	back := ds.ToCorpus()
+	if len(back.Libraries) != len(c.Libraries) {
+		t.Fatal("library count changed")
+	}
+	for i, orig := range c.Libraries {
+		got := back.Libraries[i]
+		if got.Meta.Name != orig.Meta.Name {
+			t.Fatalf("library %d name changed", i)
+		}
+		if got.Unique() != orig.Unique() {
+			t.Errorf("%s: unique %d -> %d", orig.Meta.Name, orig.Unique(), got.Unique())
+		}
+		for tag, v := range orig.Counts {
+			if got.Count(tag) != v {
+				t.Errorf("%s %v: %v -> %v", orig.Meta.Name, tag, v, got.Count(tag))
+			}
+		}
+	}
+}

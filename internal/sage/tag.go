@@ -1,0 +1,95 @@
+// Package sage defines the SAGE (Serial Analysis of Gene Expression) data
+// model used throughout the GEA: 10-base-pair tags, expression libraries, and
+// the dense Dataset the analytical operators run on, together with the file
+// formats of the thesis (plain-text library files, the binary ".b" format the
+// fascicle miner reads, ".meta" tolerance-vector files, and the
+// "sageName.txt" corpus index).
+package sage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TagLen is the length of a SAGE tag: a nucleotide sequence of 10 base pairs
+// over the alphabet {A, C, G, T}.
+const TagLen = 10
+
+// NumTags is the number of distinct SAGE tags, 4^10.
+const NumTags = 1 << (2 * TagLen)
+
+// TagID is a SAGE tag encoded 2 bits per base, most significant base first,
+// so that the natural integer order of TagIDs equals the lexicographic order
+// of tag strings (the order the thesis's tag-range searches rely on).
+type TagID uint32
+
+var baseChars = [4]byte{'A', 'C', 'G', 'T'}
+
+func baseCode(c byte) (uint32, bool) {
+	switch c {
+	case 'A', 'a':
+		return 0, true
+	case 'C', 'c':
+		return 1, true
+	case 'G', 'g':
+		return 2, true
+	case 'T', 't':
+		return 3, true
+	}
+	return 0, false
+}
+
+// ParseTag converts a 10-character tag string such as "AAAAAAAAAC" to its
+// TagID. It accepts lower-case bases and returns an error for any other
+// character or a wrong-length string.
+func ParseTag(s string) (TagID, error) {
+	if len(s) != TagLen {
+		return 0, fmt.Errorf("sage: tag %q has length %d, want %d", s, len(s), TagLen)
+	}
+	var id uint32
+	for i := 0; i < TagLen; i++ {
+		code, ok := baseCode(s[i])
+		if !ok {
+			return 0, fmt.Errorf("sage: tag %q has invalid base %q at position %d", s, s[i], i)
+		}
+		id = id<<2 | code
+	}
+	return TagID(id), nil
+}
+
+// MustParseTag is ParseTag for known-good literals; it panics on error.
+func MustParseTag(s string) TagID {
+	id, err := ParseTag(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// String renders the tag as its 10-base sequence.
+func (t TagID) String() string {
+	var b strings.Builder
+	b.Grow(TagLen)
+	for i := TagLen - 1; i >= 0; i-- {
+		b.WriteByte(baseChars[(uint32(t)>>(2*uint(i)))&3])
+	}
+	return b.String()
+}
+
+// Valid reports whether t is within the 4^10 tag space.
+func (t TagID) Valid() bool { return uint32(t) < NumTags }
+
+// Mutate returns the tag with the base at position pos (0-based, from the
+// left) replaced according to shift (1..3 steps around the 4-letter
+// alphabet). It is the sequencing-error model used by the synthetic data
+// generator: a single-base miscall turns a real tag into a near-identical
+// error tag, inflating the unique-tag count exactly as the thesis describes.
+func (t TagID) Mutate(pos, shift int) TagID {
+	if pos < 0 || pos >= TagLen {
+		return t
+	}
+	bit := uint(2 * (TagLen - 1 - pos))
+	old := (uint32(t) >> bit) & 3
+	repl := (old + uint32(shift)) & 3
+	return TagID(uint32(t)&^(3<<bit) | repl<<bit)
+}

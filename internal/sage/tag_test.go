@@ -1,0 +1,131 @@
+package sage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTagRoundTrip(t *testing.T) {
+	tests := []struct {
+		s  string
+		id TagID
+	}{
+		{"AAAAAAAAAA", 0},
+		{"AAAAAAAAAC", 1},
+		{"AAAAAAAAAG", 2},
+		{"AAAAAAAAAT", 3},
+		{"AAAAAAAACA", 4},
+		{"TTTTTTTTTT", NumTags - 1},
+		{"CCTTGAGTAC", MustParseTag("CCTTGAGTAC")},
+	}
+	for _, tt := range tests {
+		got, err := ParseTag(tt.s)
+		if err != nil {
+			t.Fatalf("ParseTag(%q): %v", tt.s, err)
+		}
+		if got != tt.id {
+			t.Errorf("ParseTag(%q) = %d, want %d", tt.s, got, tt.id)
+		}
+		if back := got.String(); back != tt.s {
+			t.Errorf("TagID(%d).String() = %q, want %q", got, back, tt.s)
+		}
+	}
+}
+
+func TestParseTagLowerCase(t *testing.T) {
+	id, err := ParseTag("acgtacgtac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.String() != "ACGTACGTAC" {
+		t.Errorf("lower-case parse = %q", id.String())
+	}
+}
+
+func TestParseTagErrors(t *testing.T) {
+	for _, s := range []string{"", "ACGT", "ACGTACGTACG", "ACGTACGTAX", "ACGTACGTA "} {
+		if _, err := ParseTag(s); err == nil {
+			t.Errorf("ParseTag(%q): expected error", s)
+		}
+	}
+}
+
+func TestMustParseTagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseTag(bad) did not panic")
+		}
+	}()
+	MustParseTag("bogus")
+}
+
+// Property: String/ParseTag round-trips for every valid id, and the integer
+// order of TagIDs equals the lexicographic order of tag strings.
+func TestTagOrderMatchesLexicographic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ta := TagID(a % NumTags)
+		tb := TagID(b % NumTags)
+		ra, err := ParseTag(ta.String())
+		if err != nil || ra != ta {
+			return false
+		}
+		return (ta < tb) == (ta.String() < tb.String())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutate(t *testing.T) {
+	tag := MustParseTag("AAAAAAAAAA")
+	if got := tag.Mutate(9, 1); got.String() != "AAAAAAAAAC" {
+		t.Errorf("Mutate(9,1) = %q", got.String())
+	}
+	if got := tag.Mutate(0, 3); got.String() != "TAAAAAAAAA" {
+		t.Errorf("Mutate(0,3) = %q", got.String())
+	}
+	// shift wraps around the alphabet.
+	tt := MustParseTag("TTTTTTTTTT")
+	if got := tt.Mutate(5, 1); got.String() != "TTTTTATTTT" {
+		t.Errorf("Mutate wrap = %q", got.String())
+	}
+	// out-of-range positions are no-ops.
+	if got := tag.Mutate(-1, 1); got != tag {
+		t.Error("Mutate(-1) changed the tag")
+	}
+	if got := tag.Mutate(TagLen, 1); got != tag {
+		t.Error("Mutate(TagLen) changed the tag")
+	}
+}
+
+// Property: a single-base mutation with shift 1..3 always yields a different,
+// valid tag, and differs from the original in exactly one position.
+func TestMutateChangesExactlyOneBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		tag := TagID(rng.Intn(NumTags))
+		pos := rng.Intn(TagLen)
+		shift := 1 + rng.Intn(3)
+		mut := tag.Mutate(pos, shift)
+		if mut == tag {
+			t.Fatalf("Mutate(%v, %d, %d) returned the same tag", tag, pos, shift)
+		}
+		if !mut.Valid() {
+			t.Fatalf("Mutate produced invalid tag %d", mut)
+		}
+		s1, s2 := tag.String(), mut.String()
+		diff := 0
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				diff++
+				if i != pos {
+					t.Fatalf("Mutate changed position %d, wanted %d", i, pos)
+				}
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("Mutate changed %d positions", diff)
+		}
+	}
+}

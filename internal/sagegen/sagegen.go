@@ -1,0 +1,601 @@
+// Package sagegen generates synthetic SAGE corpora with the statistical
+// shape of the NCBI SAGE data set analyzed in the thesis. The real corpus
+// (100 libraries over 9 tissue types, ~350,000 raw unique tags collapsing to
+// ~60,000 after cleaning) is not redistributable, so the GEA is exercised on
+// synthetic data that plants the same structures the case studies look for:
+//
+//   - a Zipf-like abundance profile with a handful of extremely abundant
+//     housekeeping genes expressed in every library;
+//   - tissue-specific genes expressed in only one tissue type;
+//   - per-tissue cancer signatures: a designated "fascicle core" subset of the
+//     cancerous libraries agrees tightly (within fascicle tolerance) on a set
+//     of signature tags whose levels differ from normal tissue — this is what
+//     mine() discovers and diff() contrasts in case studies 1-4;
+//   - named marker genes reproducing the figures: RIBOSOMAL PROTEIN L12
+//     (Fig 4.2, ~275 in cancerous-in-fascicle brain vs ~100 in normal), ALPHA
+//     TUBULIN (Fig 4.3, ~0 vs ~90) and ADP PROTEIN (Fig 4.11, far lower
+//     inside the fascicle than outside);
+//   - sequencing errors: ~10% of each library's total tag count is spent on
+//     error tags (scattered across the tag space, with a minority of
+//     single-base mutants of real tags), almost all with frequency 1, which
+//     inflates the raw unique-tag count exactly as Section 4.2 describes.
+//
+// Generation is deterministic for a given Config (including Seed).
+package sagegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gea/internal/sage"
+)
+
+// Marker gene names used by the figure reproductions.
+const (
+	GeneRibosomalL12 = "RIBOSOMAL PROTEIN L12"
+	GeneAlphaTubulin = "ALPHA TUBULIN"
+	GeneADPProtein   = "ADP PROTEIN"
+)
+
+// TissueSpec describes one tissue type in the corpus.
+type TissueSpec struct {
+	Name          string
+	CancerLibs    int // number of cancerous libraries
+	NormalLibs    int // number of normal libraries
+	FascicleCore  int // cancerous libraries forming the plantable fascicle (<= CancerLibs)
+	SignatureTags int // cancer-signature genes for this tissue
+}
+
+// Config controls corpus generation.
+type Config struct {
+	Seed int64
+	// Genes is the number of real gene tags in the universe.
+	Genes int
+	// Housekeeping is the number of genes expressed in every library.
+	Housekeeping int
+	// TissueSpecific is the number of genes private to each tissue type.
+	TissueSpecific int
+	// PanCancerTags is the number of signature genes shared by every
+	// tissue's cancer (what case study 3 hunts for: genes always higher or
+	// lower in cancerous tissue across tissue types).
+	PanCancerTags int
+	// Tissues lays out the library panel.
+	Tissues []TissueSpec
+	// MinTotal/MaxTotal bound each library's total tag count before errors,
+	// matching the thesis's 1,000-32,000 unique tags per library at SAGE
+	// sampling depth.
+	MinTotal, MaxTotal int
+	// ErrorRate is the fraction of a library's total count emitted as
+	// single-base sequencing-error tags (the thesis estimates 10%).
+	ErrorRate float64
+	// CellLineFraction of libraries are cell lines rather than bulk tissue.
+	CellLineFraction float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Genes <= 0 {
+		return fmt.Errorf("sagegen: Genes must be positive")
+	}
+	if len(c.Tissues) == 0 {
+		return fmt.Errorf("sagegen: at least one tissue required")
+	}
+	need := c.Housekeeping + c.PanCancerTags + 8 // 8 slots reserved for named markers and spares
+	for _, ts := range c.Tissues {
+		if ts.CancerLibs < 0 || ts.NormalLibs < 0 {
+			return fmt.Errorf("sagegen: tissue %s has negative library counts", ts.Name)
+		}
+		if ts.FascicleCore > ts.CancerLibs {
+			return fmt.Errorf("sagegen: tissue %s: FascicleCore %d > CancerLibs %d",
+				ts.Name, ts.FascicleCore, ts.CancerLibs)
+		}
+		need += c.TissueSpecific + ts.SignatureTags
+	}
+	if need > c.Genes {
+		return fmt.Errorf("sagegen: %d genes too few for %d structured slots", c.Genes, need)
+	}
+	if c.MinTotal <= 0 || c.MaxTotal < c.MinTotal {
+		return fmt.Errorf("sagegen: bad total-count bounds [%d, %d]", c.MinTotal, c.MaxTotal)
+	}
+	if c.PanCancerTags < 0 {
+		return fmt.Errorf("sagegen: negative PanCancerTags")
+	}
+	if c.ErrorRate < 0 || c.ErrorRate >= 1 {
+		return fmt.Errorf("sagegen: ErrorRate %v out of [0, 1)", c.ErrorRate)
+	}
+	return nil
+}
+
+// DefaultConfig mirrors the thesis corpus: 100 libraries across nine tissue
+// types (24 of them brain), ~60,000 real gene tags, 10% sequencing error.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Genes:          60000,
+		Housekeeping:   40,
+		TissueSpecific: 300,
+		PanCancerTags:  200,
+		Tissues: []TissueSpec{
+			{Name: "brain", CancerLibs: 16, NormalLibs: 8, FascicleCore: 8, SignatureTags: 120},
+			{Name: "breast", CancerLibs: 8, NormalLibs: 4, FascicleCore: 4, SignatureTags: 100},
+			{Name: "prostate", CancerLibs: 6, NormalLibs: 4, FascicleCore: 3, SignatureTags: 80},
+			{Name: "ovary", CancerLibs: 6, NormalLibs: 3, FascicleCore: 3, SignatureTags: 80},
+			{Name: "colon", CancerLibs: 8, NormalLibs: 4, FascicleCore: 4, SignatureTags: 100},
+			{Name: "pancreas", CancerLibs: 6, NormalLibs: 3, FascicleCore: 3, SignatureTags: 80},
+			{Name: "vascular", CancerLibs: 4, NormalLibs: 3, FascicleCore: 2, SignatureTags: 60},
+			{Name: "skin", CancerLibs: 4, NormalLibs: 3, FascicleCore: 2, SignatureTags: 60},
+			{Name: "kidney", CancerLibs: 6, NormalLibs: 4, FascicleCore: 3, SignatureTags: 80},
+		},
+		// The thesis's libraries carry 1,000-32,000 tags each.
+		MinTotal:         8000,
+		MaxTotal:         32000,
+		ErrorRate:        0.10,
+		CellLineFraction: 0.3,
+	}
+}
+
+// SmallConfig is a fast configuration for tests and examples.
+func SmallConfig() Config {
+	return Config{
+		Seed:           1,
+		Genes:          800,
+		Housekeeping:   10,
+		TissueSpecific: 30,
+		PanCancerTags:  30,
+		Tissues: []TissueSpec{
+			{Name: "brain", CancerLibs: 8, NormalLibs: 4, FascicleCore: 4, SignatureTags: 120},
+			{Name: "breast", CancerLibs: 6, NormalLibs: 3, FascicleCore: 3, SignatureTags: 80},
+			{Name: "kidney", CancerLibs: 4, NormalLibs: 3, FascicleCore: 2, SignatureTags: 60},
+		},
+		MinTotal:         4000,
+		MaxTotal:         9000,
+		ErrorRate:        0.10,
+		CellLineFraction: 0.3,
+	}
+}
+
+// GeneRole classifies how a gene behaves in the synthetic model.
+type GeneRole int
+
+// Gene roles.
+const (
+	RoleBackground GeneRole = iota
+	RoleHousekeeping
+	RoleTissueSpecific
+	RoleCancerUp   // higher in cancerous (fascicle-core) libraries
+	RoleCancerDown // lower in cancerous (fascicle-core) libraries
+)
+
+// String names the role.
+func (r GeneRole) String() string {
+	switch r {
+	case RoleBackground:
+		return "background"
+	case RoleHousekeeping:
+		return "housekeeping"
+	case RoleTissueSpecific:
+		return "tissue-specific"
+	case RoleCancerUp:
+		return "cancer-up"
+	case RoleCancerDown:
+		return "cancer-down"
+	default:
+		return fmt.Sprintf("GeneRole(%d)", int(r))
+	}
+}
+
+// Gene is one entry of the generated gene catalog.
+type Gene struct {
+	Tag    sage.TagID
+	Name   string
+	Role   GeneRole
+	Tissue string // for tissue-specific and signature genes
+	// Baseline is the expected count at SAGE depth in libraries that
+	// express the gene, before state factors.
+	Baseline float64
+}
+
+// Catalog maps the synthetic gene universe; it seeds the genedb package.
+type Catalog struct {
+	Genes  []Gene
+	byTag  map[sage.TagID]int
+	byName map[string]int
+}
+
+// ByTag returns the gene for a tag, if it is a real (non-error) tag.
+func (c *Catalog) ByTag(t sage.TagID) (Gene, bool) {
+	i, ok := c.byTag[t]
+	if !ok {
+		return Gene{}, false
+	}
+	return c.Genes[i], true
+}
+
+// ByName returns the gene with the given name.
+func (c *Catalog) ByName(name string) (Gene, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return Gene{}, false
+	}
+	return c.Genes[i], true
+}
+
+// Result bundles the generated corpus with its ground truth.
+type Result struct {
+	Corpus  *sage.Corpus
+	Catalog *Catalog
+	// FascicleCore[tissue] lists the library names planted as the pure
+	// cancerous fascicle of that tissue — the ground truth mine() should
+	// rediscover.
+	FascicleCore map[string][]string
+}
+
+// Generate builds a synthetic corpus from cfg.
+func Generate(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	catalog := buildCatalog(cfg, rng)
+	res := &Result{
+		Corpus:       &sage.Corpus{},
+		Catalog:      catalog,
+		FascicleCore: map[string][]string{},
+	}
+
+	expTotals := expectedTotals(cfg, catalog)
+
+	libID := 0
+	for _, ts := range cfg.Tissues {
+		// Per-library expression multipliers make libraries individual.
+		for i := 0; i < ts.CancerLibs+ts.NormalLibs; i++ {
+			libID++
+			cancer := i < ts.CancerLibs
+			inCore := cancer && i < ts.FascicleCore
+			state := sage.Normal
+			tag := "normal"
+			if cancer {
+				state = sage.Cancer
+				tag = "cancer"
+			}
+			src := sage.BulkTissue
+			if rng.Float64() < cfg.CellLineFraction {
+				src = sage.CellLine
+			}
+			name := fmt.Sprintf("SAGE_%s_%s_%02d", ts.Name, tag, i+1)
+			meta := sage.LibraryMeta{
+				ID: libID, Name: name, Tissue: ts.Name, State: state, Source: src,
+			}
+			lib := generateLibrary(cfg, rng, catalog, meta, ts, inCore, expTotals[ts.Name])
+			res.Corpus.Libraries = append(res.Corpus.Libraries, lib)
+			if inCore {
+				res.FascicleCore[ts.Name] = append(res.FascicleCore[ts.Name], name)
+			}
+		}
+	}
+	return res, nil
+}
+
+// buildCatalog lays out the gene universe and assigns roles.
+func buildCatalog(cfg Config, rng *rand.Rand) *Catalog {
+	tags := distinctTags(cfg.Genes, rng)
+	cat := &Catalog{
+		byTag:  make(map[sage.TagID]int, cfg.Genes),
+		byName: make(map[string]int, cfg.Genes),
+	}
+	add := func(g Gene) {
+		cat.byTag[g.Tag] = len(cat.Genes)
+		cat.byName[g.Name] = len(cat.Genes)
+		cat.Genes = append(cat.Genes, g)
+	}
+
+	next := 0
+	take := func() sage.TagID { t := tags[next]; next++; return t }
+
+	// Named markers: planted in the brain signature so the figure pipelines
+	// find them. Baselines here are the *normal-tissue* levels; state factors
+	// below move the fascicle-core levels to the figures' values.
+	brain := cfg.Tissues[0].Name
+	add(Gene{Tag: take(), Name: GeneRibosomalL12, Role: RoleCancerUp, Tissue: brain, Baseline: 100})
+	add(Gene{Tag: take(), Name: GeneAlphaTubulin, Role: RoleCancerDown, Tissue: brain, Baseline: 90})
+	add(Gene{Tag: take(), Name: GeneADPProtein, Role: RoleCancerDown, Tissue: brain, Baseline: 80})
+
+	for i := 0; i < cfg.Housekeeping; i++ {
+		add(Gene{
+			Tag:  take(),
+			Name: fmt.Sprintf("HOUSEKEEPING_%03d", i),
+			Role: RoleHousekeeping,
+			// Housekeeping genes dominate the profile (cf. the thesis's
+			// AAAAAAAAAA counts in the thousands).
+			Baseline: 200 + 1800*rng.Float64()*rng.Float64(),
+		})
+	}
+	// Pan-cancer signature genes: Tissue == "" means the gene responds to
+	// cancer in every tissue type. Case study 3 intersects per-tissue GAP
+	// tables looking for exactly these.
+	for i := 0; i < cfg.PanCancerTags; i++ {
+		role := RoleCancerUp
+		if i%2 == 1 {
+			role = RoleCancerDown
+		}
+		add(Gene{
+			Tag:      take(),
+			Name:     fmt.Sprintf("PANCANCER_SIG_%03d", i),
+			Role:     role,
+			Tissue:   "",
+			Baseline: zipfBaseline(rng, 5, 60),
+		})
+	}
+	for _, ts := range cfg.Tissues {
+		for i := 0; i < cfg.TissueSpecific; i++ {
+			add(Gene{
+				Tag:      take(),
+				Name:     fmt.Sprintf("%s_SPECIFIC_%03d", upper(ts.Name), i),
+				Role:     RoleTissueSpecific,
+				Tissue:   ts.Name,
+				Baseline: zipfBaseline(rng, 5, 300),
+			})
+		}
+		for i := 0; i < ts.SignatureTags; i++ {
+			role := RoleCancerUp
+			if i%2 == 1 {
+				role = RoleCancerDown
+			}
+			add(Gene{
+				Tag:    take(),
+				Name:   fmt.Sprintf("%s_SIG_%03d", upper(ts.Name), i),
+				Role:   role,
+				Tissue: ts.Name,
+				// Kept modest so the signature does not dominate the
+				// library's composition (Sum f_i stays well below 1).
+				Baseline: zipfBaseline(rng, 5, 60),
+			})
+		}
+	}
+	for next < len(tags) {
+		add(Gene{
+			Tag:      take(),
+			Name:     fmt.Sprintf("GENE_%06d", next),
+			Role:     RoleBackground,
+			Baseline: zipfBaseline(rng, 1, 120),
+		})
+	}
+	return cat
+}
+
+// zipfBaseline draws a heavy-tailed baseline in [lo, hi].
+func zipfBaseline(rng *rand.Rand, lo, hi float64) float64 {
+	u := rng.Float64()
+	// Inverse-power transform: most mass near lo, a long tail toward hi.
+	v := lo * math.Pow(hi/lo, u*u*u)
+	return v
+}
+
+// distinctTags draws n distinct random TagIDs, sorted.
+func distinctTags(n int, rng *rand.Rand) []sage.TagID {
+	seen := make(map[sage.TagID]bool, n)
+	out := make([]sage.TagID, 0, n)
+	for len(out) < n {
+		t := sage.TagID(rng.Intn(sage.NumTags))
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// expectedTotals computes, per tissue, the expected sum of gene means for a
+// normal library of that tissue. Fascicle-core signature fractions are
+// pinned relative to this total so that core levels land at the intended
+// fold change of the *realized* per-library composition (pinning to
+// nominalTotal would misscale whenever the catalog's baselines do not sum
+// to it).
+func expectedTotals(cfg Config, cat *Catalog) map[string]float64 {
+	out := make(map[string]float64, len(cfg.Tissues))
+	var shared float64
+	perTissue := make(map[string]float64, len(cfg.Tissues))
+	for _, g := range cat.Genes {
+		switch {
+		case g.Role == RoleHousekeeping:
+			shared += g.Baseline
+		case g.Role == RoleBackground:
+			shared += 0.2 * g.Baseline // expressed in ~20% of libraries
+		case g.Tissue == "": // pan-cancer signature: present everywhere
+			shared += g.Baseline
+		default:
+			perTissue[g.Tissue] += g.Baseline
+		}
+	}
+	for _, ts := range cfg.Tissues {
+		out[ts.Name] = shared + perTissue[ts.Name]
+	}
+	return out
+}
+
+// generateLibrary samples one library.
+//
+// Fascicle-core libraries are generated in two phases: all non-signature
+// genes first, then the tissue's signature genes at exact *relative
+// abundances* of the final total. Fascicles are mined on normalized data
+// (every library scaled to a common total), so what must agree across the
+// core is the fraction each signature tag contributes — pinning the fraction
+// directly is the generative counterpart of the compactness the case studies
+// rely on. Everything else carries role-dependent noise: housekeeping genes
+// are stable, signature genes outside the core are loose, and background
+// genes are heavy-tailed so that a tag's corpus-wide range is dominated by a
+// couple of high-expressing libraries (the real-SAGE property that makes the
+// 10%-of-width tolerance exceed typical inter-library differences).
+func generateLibrary(cfg Config, rng *rand.Rand, cat *Catalog, meta sage.LibraryMeta,
+	ts TissueSpec, inCore bool, expTotal float64) *sage.Library {
+
+	lib := sage.NewLibrary(meta)
+	total := cfg.MinTotal + rng.Intn(cfg.MaxTotal-cfg.MinTotal+1)
+	// Scale baselines so the library's realized real total lands near the
+	// configured draw: the expected sum of means for this tissue maps to
+	// the drawn total.
+	depth := float64(total) / expTotal
+
+	var deferred []Gene // core signature genes, added in phase two
+	for _, g := range cat.Genes {
+		if inCore && (g.Role == RoleCancerUp || g.Role == RoleCancerDown) &&
+			(g.Tissue == meta.Tissue || g.Tissue == "") {
+			deferred = append(deferred, g)
+			continue
+		}
+		mean := expectedLevel(g, meta, ts, inCore, rng)
+		if mean <= 0 {
+			continue
+		}
+		mean *= depth
+		var noise float64
+		switch g.Role {
+		case RoleHousekeeping:
+			noise = 0.03
+		case RoleBackground:
+			noise = 1.5
+		default:
+			noise = 0.35
+		}
+		v := mean * math.Exp(rng.NormFloat64()*noise)
+		count := math.Floor(v)
+		if rng.Float64() < v-count {
+			count++
+		}
+		if count <= 0 {
+			continue
+		}
+		lib.Add(g.Tag, count)
+	}
+
+	if len(deferred) > 0 {
+		// Phase two: target fractions f_i of the final real total. With
+		// T_other generated, count_i = f_i / (1 - sum f) * T_other makes
+		// count_i / (T_other + sum counts) equal f_i exactly.
+		tOther := lib.Total()
+		fracs := make([]float64, len(deferred))
+		var fsum float64
+		for i, g := range deferred {
+			level := g.Baseline * upFactor
+			if g.Role == RoleCancerDown {
+				level = g.Baseline * downFactor
+			}
+			fracs[i] = level / expTotal
+			fsum += fracs[i]
+		}
+		if fsum < 0.9 { // guard: signature mass must not dominate the library
+			for i, g := range deferred {
+				v := fracs[i] / (1 - fsum) * tOther * math.Exp(rng.NormFloat64()*0.01)
+				count := math.Floor(v)
+				if rng.Float64() < v-count {
+					count++
+				}
+				if count > 0 {
+					lib.Add(g.Tag, count)
+				}
+			}
+		}
+	}
+
+	addSequencingErrors(cfg, rng, lib)
+	lib.RefreshMeta()
+	return lib
+}
+
+// upFactor and downFactor are the fold changes of signature genes in
+// fascicle-core libraries: RIBOSOMAL PROTEIN L12 (Fig 4.2) goes 100 -> 275;
+// ALPHA TUBULIN (Fig 4.3) goes ~90 -> "close to 0".
+const (
+	upFactor   = 2.75
+	downFactor = 0.02
+)
+
+// expectedLevel computes a gene's expected pre-depth level in a library.
+func expectedLevel(g Gene, meta sage.LibraryMeta, ts TissueSpec, inCore bool, rng *rand.Rand) float64 {
+	switch g.Role {
+	case RoleHousekeeping:
+		return g.Baseline
+	case RoleTissueSpecific:
+		if g.Tissue != meta.Tissue {
+			return 0
+		}
+		return g.Baseline
+	case RoleCancerUp, RoleCancerDown:
+		if g.Tissue != "" && g.Tissue != meta.Tissue {
+			return 0
+		}
+		up := g.Role == RoleCancerUp
+		switch {
+		case inCore && up:
+			return g.Baseline * upFactor // e.g. L12: 100 -> 275 (Fig 4.2)
+		case inCore && !up:
+			return g.Baseline * downFactor // e.g. tubulin: 90 -> ~2 (Fig 4.3)
+		case meta.State == sage.Cancer && up:
+			// Cancer outside the core trends the same way but looser
+			// ("although not all of the cancerous libraries cluster into a
+			// fascicle, the average expression level is higher than normal").
+			return g.Baseline * (1.2 + 1.2*rng.Float64())
+		case meta.State == sage.Cancer && !up:
+			return g.Baseline * (0.2 + 0.7*rng.Float64())
+		default:
+			return g.Baseline
+		}
+	default: // background
+		// Background genes are expressed sporadically: in ~20% of libraries.
+		if rng.Float64() > 0.2 {
+			return 0
+		}
+		return g.Baseline
+	}
+}
+
+// addSequencingErrors spends ~ErrorRate of the library's real total on
+// single-base mutations of tags already present, overwhelmingly frequency 1.
+//
+// Most error tags (85%) are drawn uniformly from the whole 4^10 tag space;
+// the rest are single-base mutants of expressed tags. A purely
+// mutation-based model cannot reproduce the thesis's statistics ("more than
+// 80% of the unique tags have a frequency of 1"; the min-tolerance filter
+// removes ~83% of raw tags): the gene universe occupies ~6% of the tag
+// space, so every 1-base mutant is reachable from ~2-3 real genes and the
+// same error tags recur across libraries with counts above 1. Scattering
+// the bulk of the error budget across the space reproduces the documented
+// singleton-dominated regime while the mutant minority keeps some realistic
+// near-miss structure.
+func addSequencingErrors(cfg Config, rng *rand.Rand, lib *sage.Library) {
+	if cfg.ErrorRate == 0 || len(lib.Counts) == 0 {
+		return
+	}
+	realTotal := lib.Total()
+	budget := realTotal * cfg.ErrorRate / (1 - cfg.ErrorRate)
+	tags := lib.Tags()
+	for budget >= 1 {
+		var errTag sage.TagID
+		if rng.Float64() < 0.85 {
+			errTag = sage.TagID(rng.Intn(sage.NumTags))
+		} else {
+			src := tags[rng.Intn(len(tags))]
+			errTag = src.Mutate(rng.Intn(sage.TagLen), 1+rng.Intn(3))
+		}
+		n := 1.0
+		if rng.Float64() < 0.01 {
+			n = 2
+		}
+		lib.Add(errTag, n)
+		budget -= n
+	}
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

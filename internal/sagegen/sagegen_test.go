@@ -1,0 +1,241 @@
+package sagegen
+
+import (
+	"testing"
+
+	"gea/internal/sage"
+)
+
+func TestValidate(t *testing.T) {
+	ok := SmallConfig()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("SmallConfig invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Genes = 0 },
+		func(c *Config) { c.Tissues = nil },
+		func(c *Config) { c.Tissues[0].FascicleCore = c.Tissues[0].CancerLibs + 1 },
+		func(c *Config) { c.Tissues[0].CancerLibs = -1 },
+		func(c *Config) { c.Genes = 10 }, // too few for structure
+		func(c *Config) { c.MinTotal = 0 },
+		func(c *Config) { c.MaxTotal = c.MinTotal - 1 },
+		func(c *Config) { c.ErrorRate = -0.1 },
+		func(c *Config) { c.ErrorRate = 1 },
+	}
+	for i, mutate := range cases {
+		cfg := SmallConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Corpus.Libraries) != len(b.Corpus.Libraries) {
+		t.Fatal("library counts differ between identical runs")
+	}
+	for i := range a.Corpus.Libraries {
+		la, lb := a.Corpus.Libraries[i], b.Corpus.Libraries[i]
+		if la.Meta.Name != lb.Meta.Name || la.Total() != lb.Total() || la.Unique() != lb.Unique() {
+			t.Fatalf("library %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGeneratePanelLayout(t *testing.T) {
+	cfg := SmallConfig()
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, ts := range cfg.Tissues {
+		want += ts.CancerLibs + ts.NormalLibs
+	}
+	if got := len(res.Corpus.Libraries); got != want {
+		t.Fatalf("generated %d libraries, want %d", got, want)
+	}
+	// Tissue-by-tissue counts and states.
+	for _, ts := range cfg.Tissues {
+		libs := res.Corpus.ByTissue(ts.Name)
+		if len(libs) != ts.CancerLibs+ts.NormalLibs {
+			t.Errorf("%s: %d libs, want %d", ts.Name, len(libs), ts.CancerLibs+ts.NormalLibs)
+		}
+		cancer := 0
+		for _, l := range libs {
+			if l.Meta.State == sage.Cancer {
+				cancer++
+			}
+		}
+		if cancer != ts.CancerLibs {
+			t.Errorf("%s: %d cancer libs, want %d", ts.Name, cancer, ts.CancerLibs)
+		}
+		if got := len(res.FascicleCore[ts.Name]); got != ts.FascicleCore {
+			t.Errorf("%s: %d core libs, want %d", ts.Name, got, ts.FascicleCore)
+		}
+	}
+	// IDs are 1..n in order.
+	for i, l := range res.Corpus.Libraries {
+		if l.Meta.ID != i+1 {
+			t.Fatalf("library %d has ID %d", i, l.Meta.ID)
+		}
+	}
+}
+
+func TestCatalogLookups(t *testing.T) {
+	res, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := res.Catalog
+	for _, name := range []string{GeneRibosomalL12, GeneAlphaTubulin, GeneADPProtein} {
+		g, ok := cat.ByName(name)
+		if !ok {
+			t.Fatalf("marker %q missing from catalog", name)
+		}
+		back, ok := cat.ByTag(g.Tag)
+		if !ok || back.Name != name {
+			t.Errorf("ByTag round trip failed for %q", name)
+		}
+	}
+	if _, ok := cat.ByName("NOT A GENE"); ok {
+		t.Error("ByName(bogus) = ok")
+	}
+	if _, ok := cat.ByTag(sage.TagID(0)); ok {
+		// TagID 0 is only a real gene with vanishing probability under seed 1;
+		// if this ever flakes the seed changed.
+		t.Log("TagID 0 happens to be a gene; ignoring")
+	}
+}
+
+func TestMarkerLevelsMatchFigures(t *testing.T) {
+	res, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := map[string]bool{}
+	for _, n := range res.FascicleCore["brain"] {
+		core[n] = true
+	}
+	l12, _ := res.Catalog.ByName(GeneRibosomalL12)
+	tub, _ := res.Catalog.ByName(GeneAlphaTubulin)
+
+	avg := func(tag sage.TagID, pred func(*sage.Library) bool) float64 {
+		var sum float64
+		var n int
+		for _, l := range res.Corpus.ByTissue("brain") {
+			if pred(l) {
+				// Compare at a common depth so library size does not mask the signal.
+				sum += l.Count(tag) / l.Total()
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	isCore := func(l *sage.Library) bool { return core[l.Meta.Name] }
+	isNormal := func(l *sage.Library) bool { return l.Meta.State == sage.Normal }
+
+	// Fig 4.2: L12 much higher in fascicle-core cancer than normal.
+	if c, n := avg(l12.Tag, isCore), avg(l12.Tag, isNormal); c < 1.5*n {
+		t.Errorf("L12: core %.5f not >> normal %.5f", c, n)
+	}
+	// Fig 4.3: tubulin near zero in core, high in normal.
+	if c, n := avg(tub.Tag, isCore), avg(tub.Tag, isNormal); c > 0.2*n {
+		t.Errorf("tubulin: core %.5f not << normal %.5f", c, n)
+	}
+}
+
+func TestSequencingErrorShape(t *testing.T) {
+	cfg := SmallConfig()
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw unique tags far exceed the gene universe (error inflation).
+	raw := res.Corpus.TotalUniqueTags()
+	if raw < 2*cfg.Genes {
+		t.Errorf("raw unique tags %d; expected error inflation beyond %d genes", raw, cfg.Genes)
+	}
+	// Error budget: each library spends roughly ErrorRate of its total on
+	// tags that are not in the catalog.
+	for _, l := range res.Corpus.Libraries[:3] {
+		var errCount float64
+		for tag, c := range l.Counts {
+			if _, ok := res.Catalog.ByTag(tag); !ok {
+				errCount += c
+			}
+		}
+		frac := errCount / l.Total()
+		if frac < 0.03 || frac > 0.20 {
+			t.Errorf("%s: error fraction %.3f outside [0.03, 0.20]", l.Meta.Name, frac)
+		}
+	}
+}
+
+func TestGenerateZeroErrorRate(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.ErrorRate = 0
+	res, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Corpus.Libraries {
+		for tag := range l.Counts {
+			if _, ok := res.Catalog.ByTag(tag); !ok {
+				t.Fatalf("%s contains non-catalog tag %v with ErrorRate=0", l.Meta.Name, tag)
+			}
+		}
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Genes = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("Generate(invalid): expected error")
+	}
+}
+
+func TestGeneRoleString(t *testing.T) {
+	for r, want := range map[GeneRole]string{
+		RoleBackground:     "background",
+		RoleHousekeeping:   "housekeeping",
+		RoleTissueSpecific: "tissue-specific",
+		RoleCancerUp:       "cancer-up",
+		RoleCancerDown:     "cancer-down",
+	} {
+		if r.String() != want {
+			t.Errorf("role %d = %q", r, r.String())
+		}
+	}
+	if GeneRole(42).String() != "GeneRole(42)" {
+		t.Error("unknown role string wrong")
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	libs := 0
+	for _, ts := range cfg.Tissues {
+		libs += ts.CancerLibs + ts.NormalLibs
+	}
+	if libs != 100 {
+		t.Errorf("DefaultConfig has %d libraries, want 100 (the thesis corpus)", libs)
+	}
+	if len(cfg.Tissues) != 9 {
+		t.Errorf("DefaultConfig has %d tissues, want 9", len(cfg.Tissues))
+	}
+}

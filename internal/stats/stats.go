@@ -1,0 +1,237 @@
+// Package stats provides the small statistical toolkit the GEA depends on:
+// moments, medians, Pearson correlation (the distance function used by the
+// clustering baselines), histogram entropy (used to rank tags for index
+// selection, Section 3.3.2 of the thesis), and exact binomial tail
+// probabilities computed in log space (used to reproduce Table 3.1).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one observation.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 if xs has fewer than
+// one element. The GEA follows the thesis in using population (not sample)
+// moments: a SUMY table summarizes the whole cluster, not a sample of it.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanStd returns the mean and population standard deviation in one pass.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(xs))
+	mean = sum / n
+	v := sumSq/n - mean*mean
+	if v < 0 { // guard against tiny negative values from roundoff
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+// MinMax returns the minimum and maximum of xs. It returns ErrEmpty when xs
+// is empty.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Median returns the median of xs without modifying it. It returns ErrEmpty
+// when xs is empty. Cost is O(n log n); the thesis cites exactly this as the
+// example of an aggregate that is more expensive than one-pass range/mean.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys. It
+// returns 0 when either vector is constant (zero variance) and an error when
+// the lengths differ or the vectors are empty.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: Pearson length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// CorrelationDistance returns 1 - Pearson(xs, ys), the distance function used
+// by Eisen et al. and by the OPTICS study of Ng et al. on SAGE data.
+func CorrelationDistance(xs, ys []float64) (float64, error) {
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - r, nil
+}
+
+// Euclidean returns the Euclidean distance between xs and ys.
+func Euclidean(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: Euclidean length mismatch")
+	}
+	var ss float64
+	for i := range xs {
+		d := xs[i] - ys[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss), nil
+}
+
+// Entropy returns the Shannon entropy (in bits) of the empirical distribution
+// obtained by bucketing xs into bins equal-width bins over [min, max]. A
+// constant vector has entropy 0. The thesis's index-selection heuristic picks
+// the tags with the highest entropy ("highest variation").
+func Entropy(xs []float64, bins int) float64 {
+	if len(xs) == 0 || bins <= 0 {
+		return 0
+	}
+	min, max, _ := MinMax(xs)
+	if min == max {
+		return 0
+	}
+	counts := make([]int, bins)
+	width := (max - min) / float64(bins)
+	for _, x := range xs {
+		b := int((x - min) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	n := float64(len(xs))
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// logChoose returns ln C(n, k) computed via lgamma, valid for large n.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p), computed in log space
+// so that it remains accurate for the large n (tens of thousands of tags)
+// that the index-selection analysis of Section 3.3.2 requires.
+func BinomialPMF(n, k int, p float64) float64 {
+	if p < 0 || p > 1 || k < 0 || k > n {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lp)
+}
+
+// BinomialCDF returns P(X <= k) for X ~ Binomial(n, p).
+func BinomialCDF(n, k int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	var sum float64
+	for i := 0; i <= k; i++ {
+		sum += BinomialPMF(n, i, p)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// BinomialTailAtLeast returns P(X >= k) for X ~ Binomial(n, p).
+func BinomialTailAtLeast(n, k int, p float64) float64 {
+	return 1 - BinomialCDF(n, k-1, p)
+}

@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, -4, 4}, 0},
+		{"fractional", []float64{0.5, 1.5, 2.5}, 1.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance(single) = %v, want 0", got)
+	}
+}
+
+func TestMeanStdMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+		}
+		m, s := MeanStd(xs)
+		if !almostEqual(m, Mean(xs), 1e-8) {
+			t.Fatalf("MeanStd mean mismatch: %v vs %v", m, Mean(xs))
+		}
+		if !almostEqual(s, StdDev(xs), 1e-6) {
+			t.Fatalf("MeanStd std mismatch: %v vs %v", s, StdDev(xs))
+		}
+	}
+}
+
+func TestMeanStdEmpty(t *testing.T) {
+	m, s := MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Errorf("MeanStd(nil) = %v, %v; want 0, 0", m, s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v; want -1, 7", min, max)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"odd", []float64{5, 1, 3}, 3},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"single", []float64{9}, 9},
+		{"repeated", []float64{2, 2, 2, 2}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Median(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Errorf("Median(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{9, 1, 5}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yUp := []float64{2, 4, 6, 8, 10}
+	yDown := []float64{10, 8, 6, 4, 2}
+	if r, _ := Pearson(x, yUp); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson up = %v, want 1", r)
+	}
+	if r, _ := Pearson(x, yDown); !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson down = %v, want -1", r)
+	}
+	if r, _ := Pearson(x, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Errorf("Pearson constant = %v, want 0", r)
+	}
+	if _, err := Pearson(x, []float64{1}); err == nil {
+		t.Error("Pearson length mismatch: expected error")
+	}
+	if _, err := Pearson(nil, nil); err != ErrEmpty {
+		t.Errorf("Pearson empty err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestCorrelationDistance(t *testing.T) {
+	x := []float64{1, 2, 3}
+	d, err := CorrelationDistance(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0, 1e-12) {
+		t.Errorf("self correlation distance = %v, want 0", d)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	d, err := Euclidean([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 5, 1e-12) {
+		t.Errorf("Euclidean = %v, want 5", d)
+	}
+	if _, err := Euclidean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Euclidean length mismatch: expected error")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// A constant vector carries no information.
+	if h := Entropy([]float64{5, 5, 5, 5}, 10); h != 0 {
+		t.Errorf("Entropy(constant) = %v, want 0", h)
+	}
+	// Two equally-sized buckets -> 1 bit.
+	h := Entropy([]float64{0, 0, 10, 10}, 2)
+	if !almostEqual(h, 1, 1e-12) {
+		t.Errorf("Entropy(two buckets) = %v, want 1", h)
+	}
+	// More spread values have at least as much entropy as concentrated ones.
+	concentrated := []float64{0, 0, 0, 0, 0, 0, 0, 10}
+	spread := []float64{0, 1.5, 3, 4.5, 6, 7.5, 9, 10}
+	if Entropy(spread, 8) <= Entropy(concentrated, 8) {
+		t.Error("spread data should have higher entropy than concentrated data")
+	}
+	if h := Entropy(nil, 4); h != 0 {
+		t.Errorf("Entropy(nil) = %v, want 0", h)
+	}
+	if h := Entropy([]float64{1, 2}, 0); h != 0 {
+		t.Errorf("Entropy(bins=0) = %v, want 0", h)
+	}
+}
+
+func TestEntropyBounded(t *testing.T) {
+	// Property: 0 <= entropy <= log2(bins).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		bins := 1 + rng.Intn(32)
+		h := Entropy(xs, bins)
+		return h >= 0 && h <= math.Log2(float64(bins))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 20, 100} {
+		for _, p := range []float64{0.01, 0.3, 0.5, 0.99} {
+			var sum float64
+			for k := 0; k <= n; k++ {
+				sum += BinomialPMF(n, k, p)
+			}
+			if !almostEqual(sum, 1, 1e-9) {
+				t.Errorf("PMF(n=%d,p=%v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFEdgeCases(t *testing.T) {
+	if got := BinomialPMF(10, 0, 0); got != 1 {
+		t.Errorf("PMF(10,0,p=0) = %v, want 1", got)
+	}
+	if got := BinomialPMF(10, 3, 0); got != 0 {
+		t.Errorf("PMF(10,3,p=0) = %v, want 0", got)
+	}
+	if got := BinomialPMF(10, 10, 1); got != 1 {
+		t.Errorf("PMF(10,10,p=1) = %v, want 1", got)
+	}
+	if got := BinomialPMF(10, 4, 1); got != 0 {
+		t.Errorf("PMF(10,4,p=1) = %v, want 0", got)
+	}
+	if got := BinomialPMF(10, -1, 0.5); got != 0 {
+		t.Errorf("PMF(k=-1) = %v, want 0", got)
+	}
+	if got := BinomialPMF(10, 11, 0.5); got != 0 {
+		t.Errorf("PMF(k>n) = %v, want 0", got)
+	}
+}
+
+func TestBinomialPMFKnownValues(t *testing.T) {
+	// Binomial(4, 0.5): P(X=2) = 6/16.
+	if got := BinomialPMF(4, 2, 0.5); !almostEqual(got, 0.375, 1e-12) {
+		t.Errorf("PMF(4,2,0.5) = %v, want 0.375", got)
+	}
+	// P(X=0) for Binomial(25000, 17/60000) matches the closed form of the
+	// thesis's index-miss probability.
+	p := 17.0 / 60000.0
+	want := math.Exp(25000 * math.Log1p(-p))
+	if got := BinomialPMF(25000, 0, p); !almostEqual(got, want, 1e-12) {
+		t.Errorf("PMF(25000,0,...) = %v, want %v", got, want)
+	}
+}
+
+func TestBinomialCDFAndTail(t *testing.T) {
+	n, p := 20, 0.3
+	for k := -1; k <= n+1; k++ {
+		cdf := BinomialCDF(n, k, p)
+		tail := BinomialTailAtLeast(n, k+1, p)
+		if !almostEqual(cdf+tail, 1, 1e-9) {
+			t.Errorf("CDF(%d)+Tail(%d) = %v, want 1", k, k+1, cdf+tail)
+		}
+	}
+	if got := BinomialCDF(10, -1, 0.5); got != 0 {
+		t.Errorf("CDF(k<0) = %v, want 0", got)
+	}
+	if got := BinomialCDF(10, 10, 0.5); got != 1 {
+		t.Errorf("CDF(k=n) = %v, want 1", got)
+	}
+}
+
+func TestBinomialCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		p := rng.Float64()
+		prev := -1.0
+		for k := 0; k <= n; k++ {
+			c := BinomialCDF(n, k, p)
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package system assembles the GEA: the cleaned dataset, the algebraic core,
+// the relational catalog of thesis Appendix IV, the lineage graph, the user
+// store and the auxiliary gene databases, behind a session API that mirrors
+// the case-study workflow (create tissue data set -> generate metadata ->
+// calculate fascicles -> purity check -> form SUMY tables -> create GAP ->
+// top gaps -> compare). It also implements the usability checks of Section
+// 4.4.5: redundancy checks before overwriting and confirmation results after
+// destructive operations.
+package system
+
+import (
+	"fmt"
+
+	"gea/internal/relational"
+	"gea/internal/sage"
+)
+
+// Catalog table names, following Appendix IV.
+const (
+	TblCDInfo         = "CDInfo"
+	TblFasFile        = "FasFile"
+	TblFasInfo        = "FasInfo"
+	TblFasLib         = "fasLib"
+	TblGapInfo        = "GapInfo"
+	TblGapCompInfo    = "GapCompInfo"
+	TblLibraries      = "Libraries"
+	TblSageInfo       = "SageInfo"
+	TblSumInfo        = "SumInfo"
+	TblSumLib         = "SumLib"
+	TblSysConfig      = "SysConfig"
+	TblTopRec         = "TopRec"
+	TblTypeInfo       = "TypeInfo"
+	TblTypeCreateInfo = "TypeCreateInfo"
+)
+
+// initCatalog creates the Appendix IV relations in the store.
+func initCatalog(s *relational.Store) error {
+	specs := []struct {
+		name   string
+		schema relational.Schema
+	}{
+		// CDInfo: compact-dimension threshold per tissue type.
+		{TblCDInfo, relational.Schema{
+			{Name: "Type", Kind: relational.KindString},
+			{Name: "Threshold", Kind: relational.KindInt},
+		}},
+		// FasFile: every fascicle run and its parameters.
+		{TblFasFile, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "FasName", Kind: relational.KindString},
+			{Name: "Type", Kind: relational.KindString},
+			{Name: "FasCD", Kind: relational.KindInt},
+			{Name: "FasBinary", Kind: relational.KindString},
+			{Name: "FasMeta", Kind: relational.KindString},
+			{Name: "FasBatch", Kind: relational.KindInt},
+			{Name: "FasMin", Kind: relational.KindInt},
+		}},
+		// FasInfo: per-fascicle property (purity) information.
+		{TblFasInfo, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "Fascicle", Kind: relational.KindString},
+			{Name: "FasName", Kind: relational.KindString},
+			{Name: "Cancer", Kind: relational.KindInt},
+			{Name: "Normal", Kind: relational.KindInt},
+			{Name: "BulkTissue", Kind: relational.KindInt},
+			{Name: "CellLine", Kind: relational.KindInt},
+		}},
+		// fasLib: fascicle membership.
+		{TblFasLib, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "Fascicle", Kind: relational.KindString},
+			{Name: "LibID", Kind: relational.KindInt},
+		}},
+		// GapInfo: gap tables and their source summaries.
+		{TblGapInfo, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "GapName", Kind: relational.KindString},
+			{Name: "Type", Kind: relational.KindString},
+			{Name: "Flag", Kind: relational.KindInt},
+			{Name: "Sum1", Kind: relational.KindString},
+			{Name: "Sum2", Kind: relational.KindString},
+		}},
+		// GapCompInfo: gap comparisons.
+		{TblGapCompInfo, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "CompFile", Kind: relational.KindString},
+			{Name: "Type", Kind: relational.KindString},
+			{Name: "Gap1", Kind: relational.KindString},
+			{Name: "Gap2", Kind: relational.KindString},
+			{Name: "CompType", Kind: relational.KindString},
+		}},
+		// Libraries: the library metadata relation.
+		{TblLibraries, relational.Schema{
+			{Name: "LibID", Kind: relational.KindInt},
+			{Name: "LibName", Kind: relational.KindString},
+			{Name: "Type", Kind: relational.KindString},
+			{Name: "CanNor", Kind: relational.KindInt},
+			{Name: "BTCL", Kind: relational.KindInt},
+			{Name: "Tag", Kind: relational.KindFloat},
+			{Name: "Utag", Kind: relational.KindInt},
+		}},
+		// SageInfo: corpus-level statistics.
+		{TblSageInfo, relational.Schema{
+			{Name: "Totag", Kind: relational.KindInt},
+			{Name: "ToLib", Kind: relational.KindInt},
+		}},
+		// SumInfo: summary tables and their category.
+		{TblSumInfo, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "SumTable", Kind: relational.KindString},
+			{Name: "Fascicle", Kind: relational.KindString},
+			{Name: "Category", Kind: relational.KindString},
+			{Name: "Sign", Kind: relational.KindInt},
+		}},
+		// SumLib: libraries behind each summary.
+		{TblSumLib, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "SumTable", Kind: relational.KindString},
+			{Name: "LibID", Kind: relational.KindInt},
+		}},
+		// SysConfig: DB2 connection settings of the original system.
+		{TblSysConfig, relational.Schema{
+			{Name: "DB2ID", Kind: relational.KindString},
+			{Name: "DB2PWD", Kind: relational.KindString},
+			{Name: "DB2DB", Kind: relational.KindString},
+			{Name: "DB2PATH", Kind: relational.KindString},
+		}},
+		// TopRec: top-gap tables.
+		{TblTopRec, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "TopGapFile", Kind: relational.KindString},
+			{Name: "GapName", Kind: relational.KindString},
+			{Name: "TopNo", Kind: relational.KindInt},
+		}},
+		// TypeInfo: libraries per tissue type, with order.
+		{TblTypeInfo, relational.Schema{
+			{Name: "Type", Kind: relational.KindString},
+			{Name: "LibID", Kind: relational.KindInt},
+			{Name: "Order", Kind: relational.KindInt},
+		}},
+		// TypeCreateInfo: materialized tissue-type ENUM tables.
+		{TblTypeCreateInfo, relational.Schema{
+			{Name: "UserName", Kind: relational.KindString},
+			{Name: "Type", Kind: relational.KindString},
+			{Name: "TableName", Kind: relational.KindString},
+			{Name: "Flag", Kind: relational.KindInt},
+		}},
+	}
+	for _, spec := range specs {
+		if _, err := s.Create(spec.name, spec.schema); err != nil {
+			return fmt.Errorf("system: creating %s: %v", spec.name, err)
+		}
+	}
+	return nil
+}
+
+// loadLibrariesRelation fills the Libraries, TypeInfo and SageInfo relations
+// from the dataset.
+func loadLibrariesRelation(s *relational.Store, d *sage.Dataset) error {
+	libs, err := s.Get(TblLibraries)
+	if err != nil {
+		return err
+	}
+	typeInfo, err := s.Get(TblTypeInfo)
+	if err != nil {
+		return err
+	}
+	order := map[string]int{}
+	for i, m := range d.Libs {
+		canNor := 0
+		if m.State == sage.Cancer {
+			canNor = 1
+		}
+		btcl := 0
+		if m.Source == sage.CellLine {
+			btcl = 1
+		}
+		total := m.TotalTags
+		unique := m.UniqueTags
+		if total == 0 && unique == 0 {
+			// Metadata not refreshed; compute from the matrix row.
+			for _, v := range d.Expr[i] {
+				if v != 0 {
+					total += v
+					unique++
+				}
+			}
+		}
+		if err := libs.Insert(relational.Row{
+			relational.I(int64(m.ID)), relational.S(m.Name), relational.S(m.Tissue),
+			relational.I(int64(canNor)), relational.I(int64(btcl)),
+			relational.F(total), relational.I(int64(unique)),
+		}); err != nil {
+			return err
+		}
+		order[m.Tissue]++
+		if err := typeInfo.Insert(relational.Row{
+			relational.S(m.Tissue), relational.I(int64(m.ID)), relational.I(int64(order[m.Tissue])),
+		}); err != nil {
+			return err
+		}
+	}
+	sageInfo, err := s.Get(TblSageInfo)
+	if err != nil {
+		return err
+	}
+	return sageInfo.Insert(relational.Row{
+		relational.I(int64(d.NumTags())), relational.I(int64(d.NumLibraries())),
+	})
+}

@@ -1,0 +1,195 @@
+package system
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gea/internal/lineage"
+	"gea/internal/relational"
+	"gea/internal/sage"
+)
+
+// This file covers the storage-facing behaviours of the thesis's system
+// layer: materializing ENUM tables into the relational database (Figure 4.4:
+// "a new table is formed in the database to store the data"), applying the
+// rotated physical layout when the conceptual relation is too wide for a
+// column-limited DBMS (Section 4.6.1), and writing the tissue files the
+// fascicle program consumes ("a plain text file and a binary file are also
+// created to store the data in ASCII and binary format").
+
+// MaxNaturalColumns is the column budget before materialization switches to
+// the rotated layout; DB2 of the thesis's era handled "up to hundreds of
+// columns".
+const MaxNaturalColumns = 500
+
+// MaterializeEnum writes a registered ENUM table (or a mined fascicle's
+// enumeration) into the relational store as <name>Table. Narrow relations
+// use the natural layout (libraries as rows, tags as columns); wide ones are
+// stored rotated (tags as rows, libraries as columns), exactly the Section
+// 4.6.1 workaround. It returns the stored table and whether it was rotated.
+func (s *System) MaterializeEnum(name string) (*relational.Table, bool, error) {
+	e, err := s.Enum(name)
+	if err != nil {
+		// Fascicle enumerations live inside MineResults.
+		r, ferr := s.Fascicle(name)
+		if ferr != nil {
+			return nil, false, err
+		}
+		e = r.Enum
+	}
+	tableName := name + "Table"
+	if s.Store.Has(tableName) {
+		return nil, false, ErrExists{Name: tableName}
+	}
+
+	rotated := e.NumTags() > MaxNaturalColumns
+	var t *relational.Table
+	if rotated {
+		schema := relational.Schema{{Name: "TagName", Kind: relational.KindString}}
+		for i := 0; i < e.Size(); i++ {
+			schema = append(schema, relational.Column{Name: e.Meta(i).Name, Kind: relational.KindFloat})
+		}
+		t = relational.NewTable(tableName, schema)
+		tags := e.Tags()
+		for j := 0; j < e.NumTags(); j++ {
+			row := make(relational.Row, 0, e.Size()+1)
+			row = append(row, relational.S(tags[j].String()))
+			for i := 0; i < e.Size(); i++ {
+				row = append(row, relational.F(e.Value(i, j)))
+			}
+			if err := t.Insert(row); err != nil {
+				return nil, false, err
+			}
+		}
+	} else {
+		schema := relational.Schema{{Name: "LibraryName", Kind: relational.KindString}}
+		for _, tg := range e.Tags() {
+			schema = append(schema, relational.Column{Name: tg.String(), Kind: relational.KindFloat})
+		}
+		t = relational.NewTable(tableName, schema)
+		for i := 0; i < e.Size(); i++ {
+			row := make(relational.Row, 0, e.NumTags()+1)
+			row = append(row, relational.S(e.Meta(i).Name))
+			for j := 0; j < e.NumTags(); j++ {
+				row = append(row, relational.F(e.Value(i, j)))
+			}
+			if err := t.Insert(row); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	s.Store.Replace(t)
+	return t, rotated, nil
+}
+
+// TagSum computes the conceptual per-tag sum over a materialized ENUM table,
+// dispatching on the physical layout — the thesis's example of an operation
+// whose evaluation changes under rotation.
+func (s *System) TagSum(tableName string, tag sage.TagID) (float64, error) {
+	t, err := s.Store.Get(tableName)
+	if err != nil {
+		return 0, err
+	}
+	if len(t.Schema) > 0 && t.Schema[0].Name == "TagName" {
+		// Rotated: the tag is a row; sum across library columns.
+		return relational.RotatedSum(t, tag.String())
+	}
+	// Natural: the tag is a column; sum down the rows.
+	col := t.Schema.Col(tag.String())
+	if col < 0 {
+		return 0, fmt.Errorf("system: table %s has no tag %v", tableName, tag)
+	}
+	var sum float64
+	for _, r := range t.Rows {
+		sum += r[col].Float()
+	}
+	return sum, nil
+}
+
+// ExportTissueFiles writes the three files the calculate-fascicles window
+// expects for a dataset (Figures 4.4-4.5): <name>file (plain text, one
+// library per .sage file plus index), <name>file.b (the dense binary the
+// miner reads) and <name>file.meta (the tolerance vector; GenerateMetadata
+// must have run). It returns the three paths.
+func (s *System) ExportTissueFiles(dir, datasetName string) (textDir, binPath, metaPath string, err error) {
+	d, err := s.Dataset(datasetName)
+	if err != nil {
+		return "", "", "", err
+	}
+	tol, ok := s.tolerances[datasetName]
+	if !ok {
+		return "", "", "", fmt.Errorf("system: generate metadata for %q before exporting", datasetName)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", "", err
+	}
+
+	textDir = filepath.Join(dir, datasetName+"file")
+	if err := sage.SaveCorpus(textDir, d.ToCorpus()); err != nil {
+		return "", "", "", err
+	}
+	binPath = filepath.Join(dir, datasetName+"file.b")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		return "", "", "", err
+	}
+	if err := sage.WriteBinary(bf, d); err != nil {
+		bf.Close()
+		return "", "", "", err
+	}
+	if err := bf.Close(); err != nil {
+		return "", "", "", err
+	}
+	metaPath = filepath.Join(dir, datasetName+"file.meta")
+	mf, err := os.Create(metaPath)
+	if err != nil {
+		return "", "", "", err
+	}
+	if err := sage.WriteMeta(mf, tol); err != nil {
+		mf.Close()
+		return "", "", "", err
+	}
+	if err := mf.Close(); err != nil {
+		return "", "", "", err
+	}
+	return textDir, binPath, metaPath, nil
+}
+
+// ImportTissueFiles reads back a binary tissue file and its tolerance
+// vector, registering the dataset and metadata under the given name — the
+// path a user takes when the files were produced by an earlier session.
+func (s *System) ImportTissueFiles(name, binPath, metaPath string) (*sage.Dataset, error) {
+	if err := s.checkFresh(name); err != nil {
+		return nil, err
+	}
+	bf, err := os.Open(binPath)
+	if err != nil {
+		return nil, err
+	}
+	metaByName := map[string]sage.LibraryMeta{}
+	for _, m := range s.Data.Libs {
+		metaByName[m.Name] = m
+	}
+	d, err := sage.ReadBinary(bf, metaByName)
+	bf.Close()
+	if err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(metaPath)
+	if err != nil {
+		return nil, err
+	}
+	tol, err := sage.ReadMeta(mf)
+	mf.Close()
+	if err != nil {
+		return nil, err
+	}
+	s.datasets[name] = d
+	s.tolerances[name] = tol
+	if _, err := s.Lineage.Record(name, lineage.KindDataset, "import",
+		map[string]string{"binary": binPath, "meta": metaPath}, RootDataset); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,164 @@
+package system
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"gea/internal/core"
+	"gea/internal/sage"
+)
+
+func TestMaterializeEnumNaturalAndRotated(t *testing.T) {
+	sys, _ := newSystem(t)
+	brain, err := sys.CreateTissueDataset("brain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrow ENUM (few tags): natural layout.
+	narrow, err := core.NewEnum("narrowEnum", brain, []int{0, 1, 2}, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.enums["narrowEnum"] = narrow
+	if _, err := sys.Lineage.Record("narrowEnum", 0, "test", nil); err != nil {
+		t.Fatal(err)
+	}
+	tbl, rotated, err := sys.MaterializeEnum("narrowEnum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rotated {
+		t.Error("narrow enum should use the natural layout")
+	}
+	if tbl.Len() != 3 || len(tbl.Schema) != 5 {
+		t.Errorf("natural table dims = %d x %d", tbl.Len(), len(tbl.Schema))
+	}
+	// Redundancy check on re-materialization.
+	if _, _, err := sys.MaterializeEnum("narrowEnum"); err == nil {
+		t.Error("re-materialize: expected ErrExists")
+	}
+
+	// Wide ENUM (every tag): rotated layout.
+	allCols := make([]int, brain.NumTags())
+	for j := range allCols {
+		allCols[j] = j
+	}
+	wide, err := core.NewEnum("wideEnum", brain, []int{0, 1, 2, 3}, allCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.enums["wideEnum"] = wide
+	tblW, rotatedW, err := sys.MaterializeEnum("wideEnum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rotatedW {
+		t.Error("wide enum should be rotated")
+	}
+	if tblW.Len() != brain.NumTags() || len(tblW.Schema) != 5 {
+		t.Errorf("rotated table dims = %d x %d", tblW.Len(), len(tblW.Schema))
+	}
+
+	// TagSum agrees across layouts and with the dataset.
+	tag := brain.Tags[1]
+	wantNarrow := 0.0
+	for i := 0; i < 3; i++ {
+		wantNarrow += brain.Expr[i][1]
+	}
+	got, err := sys.TagSum("narrowEnumTable", tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-wantNarrow) > 1e-9 {
+		t.Errorf("natural TagSum = %v, want %v", got, wantNarrow)
+	}
+	wantWide := wantNarrow + brain.Expr[3][1]
+	gotW, err := sys.TagSum("wideEnumTable", tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotW-wantWide) > 1e-9 {
+		t.Errorf("rotated TagSum = %v, want %v", gotW, wantWide)
+	}
+
+	// Errors.
+	if _, err := sys.TagSum("narrowEnumTable", sage.MustParseTag("GGGGGGGGGG")); err == nil {
+		t.Error("TagSum(absent tag): expected error")
+	}
+	if _, err := sys.TagSum("noTable", tag); err == nil {
+		t.Error("TagSum(missing table): expected error")
+	}
+	if _, _, err := sys.MaterializeEnum("nope"); err == nil {
+		t.Error("MaterializeEnum(unknown): expected error")
+	}
+}
+
+func TestMaterializeFascicleEnum(t *testing.T) {
+	sys, _ := newSystem(t)
+	_, pure := runBrainPipeline(t, sys)
+	tbl, rotated, err := sys.MaterializeEnum(pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := sys.Fascicle(pure)
+	if rotated != (f.Fascicle.NumCompact() > MaxNaturalColumns) {
+		t.Error("rotation decision wrong")
+	}
+	if rotated && tbl.Len() != f.Fascicle.NumCompact() {
+		t.Errorf("rotated fascicle table has %d rows, want %d", tbl.Len(), f.Fascicle.NumCompact())
+	}
+}
+
+func TestExportImportTissueFiles(t *testing.T) {
+	sys, _ := newSystem(t)
+	if _, err := sys.CreateTissueDataset("brain"); err != nil {
+		t.Fatal(err)
+	}
+	// Export before metadata fails.
+	if _, _, _, err := sys.ExportTissueFiles(t.TempDir(), "brain"); err == nil {
+		t.Error("export without metadata: expected error")
+	}
+	if err := sys.GenerateMetadata("brain", 10); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	textDir, binPath, metaPath, err := sys.ExportTissueFiles(dir, "brain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(binPath) != dir || filepath.Dir(textDir) != dir {
+		t.Errorf("paths not under dir: %s %s", binPath, textDir)
+	}
+
+	// Import back under a new name; data and tolerances match.
+	orig, _ := sys.Dataset("brain")
+	d, err := sys.ImportTissueFiles("brainReimport", binPath, metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLibraries() != orig.NumLibraries() || d.NumTags() != orig.NumTags() {
+		t.Fatalf("imported dims %dx%d, want %dx%d",
+			d.NumLibraries(), d.NumTags(), orig.NumLibraries(), orig.NumTags())
+	}
+	// Imported metadata carries library tissue/state through the session.
+	if d.Libs[0].Tissue != "brain" {
+		t.Errorf("imported library meta lost: %+v", d.Libs[0])
+	}
+	// Mining works on the imported dataset directly.
+	if _, err := sys.CalculateFascicles("brainReimport", FascicleOptions{
+		K: d.NumTags() / 2, MinSize: 3,
+	}); err != nil {
+		t.Fatalf("mining the imported dataset: %v", err)
+	}
+	// Unknown paths error.
+	if _, err := sys.ImportTissueFiles("x", "/nonexistent.b", metaPath); err == nil {
+		t.Error("import missing binary: expected error")
+	}
+	if _, err := sys.ImportTissueFiles("y", binPath, "/nonexistent.meta"); err == nil {
+		t.Error("import missing meta: expected error")
+	}
+	if _, err := sys.ImportTissueFiles("brainReimport", binPath, metaPath); err == nil {
+		t.Error("duplicate import name: expected error")
+	}
+}

@@ -1,0 +1,367 @@
+package system
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gea/internal/clean"
+	"gea/internal/core"
+	"gea/internal/fascicle"
+	"gea/internal/genedb"
+	"gea/internal/interval"
+	"gea/internal/lineage"
+	"gea/internal/relational"
+	"gea/internal/sage"
+	"gea/internal/sagegen"
+)
+
+// Session persistence: the original GEA keeps every table in DB2, so a
+// session survives restarts. SaveSession writes a directory holding the
+// cleaned corpus (sageName.txt + per-library files), the relational catalog,
+// the lineage graph, and a manifest of every in-memory object (datasets,
+// tolerance vectors, fascicles, SUMY/ENUM/GAP tables); LoadSession restores
+// an equivalent session.
+
+// Names of the files inside a session directory.
+const (
+	sessionCorpusDir   = "corpus"
+	sessionCatalogFile = "catalog.gob"
+	sessionLineageFile = "lineage.gob"
+	sessionManifest    = "session.gob"
+)
+
+type storedSumyRow struct {
+	Tag      uint32
+	Min, Max float64
+	Mean     float64
+	Std      float64
+	Extra    map[string]float64
+}
+
+type storedSumy struct {
+	Rows      []storedSumyRow
+	ExtraCols []string
+}
+
+type storedGapValue struct {
+	V    float64
+	Null bool
+}
+
+type storedGapRow struct {
+	Tag    uint32
+	Values []storedGapValue
+}
+
+type storedGap struct {
+	Cols []string
+	Rows []storedGapRow
+}
+
+type storedEnum struct {
+	Dataset string // dataset key the Enum's rows/cols refer to
+	Rows    []int
+	Cols    []int
+}
+
+type storedFascicle struct {
+	Dataset     string
+	Rows        []int
+	CompactCols []int
+	Min, Max    []float64
+	// Sumy is the fascicle's summary table, embedded because the Mine macro
+	// keeps it inside the MineResult rather than the session registry.
+	SumyName string
+	Sumy     storedSumy
+	EnumName string
+}
+
+type sessionManifestData struct {
+	User        string
+	CleanReport *storedCleanReport
+	// Datasets maps dataset name to its member library names; the root
+	// dataset is implicit (all libraries).
+	Datasets   map[string][]string
+	Tolerances map[string]map[uint32]float64
+	Sumys      map[string]storedSumy
+	Gaps       map[string]storedGap
+	Enums      map[string]storedEnum
+	Fascicles  map[string]storedFascicle
+	RunCount   map[string]int
+	FoundPure  map[string]string
+}
+
+type storedCleanReport struct {
+	UniqueTagsBefore int
+	UniqueTagsAfter  int
+}
+
+// datasetKey returns the registry key of a dataset pointer, or an error.
+func (s *System) datasetKey(d *sage.Dataset) (string, error) {
+	for name, ds := range s.datasets {
+		if ds == d {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("system: object references an unregistered dataset")
+}
+
+// SaveSession writes the session to dir (created if needed).
+func (s *System) SaveSession(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := sage.SaveCorpus(filepath.Join(dir, sessionCorpusDir), s.Data.ToCorpus()); err != nil {
+		return err
+	}
+	if err := s.Store.Save(filepath.Join(dir, sessionCatalogFile)); err != nil {
+		return err
+	}
+	if err := s.Lineage.Save(filepath.Join(dir, sessionLineageFile)); err != nil {
+		return err
+	}
+
+	m := sessionManifestData{
+		User:       s.User,
+		Datasets:   map[string][]string{},
+		Tolerances: map[string]map[uint32]float64{},
+		Sumys:      map[string]storedSumy{},
+		Gaps:       map[string]storedGap{},
+		Enums:      map[string]storedEnum{},
+		Fascicles:  map[string]storedFascicle{},
+		RunCount:   s.runCount,
+		FoundPure:  s.foundPure,
+	}
+	if s.CleanReport != nil {
+		m.CleanReport = &storedCleanReport{
+			UniqueTagsBefore: s.CleanReport.UniqueTagsBefore,
+			UniqueTagsAfter:  s.CleanReport.UniqueTagsAfter,
+		}
+	}
+	for name, d := range s.datasets {
+		if name == RootDataset {
+			continue
+		}
+		names := make([]string, d.NumLibraries())
+		for i, meta := range d.Libs {
+			names[i] = meta.Name
+		}
+		m.Datasets[name] = names
+	}
+	for name, tol := range s.tolerances {
+		tm := make(map[uint32]float64, len(tol))
+		for tg, v := range tol {
+			tm[uint32(tg)] = v
+		}
+		m.Tolerances[name] = tm
+	}
+	for name, sm := range s.sumys {
+		m.Sumys[name] = encodeSumy(sm)
+	}
+	for name, g := range s.gaps {
+		m.Gaps[name] = encodeGap(g)
+	}
+	for name, e := range s.enums {
+		key, err := s.datasetKey(e.Data)
+		if err != nil {
+			return fmt.Errorf("enum %s: %v", name, err)
+		}
+		m.Enums[name] = storedEnum{Dataset: key, Rows: e.Rows, Cols: e.Cols}
+	}
+	for name, r := range s.fascicles {
+		key, err := s.datasetKey(r.Enum.Data)
+		if err != nil {
+			return fmt.Errorf("fascicle %s: %v", name, err)
+		}
+		m.Fascicles[name] = storedFascicle{
+			Dataset: key, Rows: r.Fascicle.Rows, CompactCols: r.Fascicle.CompactCols,
+			Min: r.Fascicle.Min, Max: r.Fascicle.Max,
+			SumyName: r.Sumy.Name, Sumy: encodeSumy(r.Sumy), EnumName: r.Enum.Name,
+		}
+	}
+
+	f, err := os.Create(filepath.Join(dir, sessionManifest))
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func encodeSumy(sm *core.Sumy) storedSumy {
+	out := storedSumy{ExtraCols: sm.ExtraCols, Rows: make([]storedSumyRow, len(sm.Rows))}
+	for i, r := range sm.Rows {
+		out.Rows[i] = storedSumyRow{
+			Tag: uint32(r.Tag), Min: r.Range.Min, Max: r.Range.Max,
+			Mean: r.Mean, Std: r.Std, Extra: r.Extra,
+		}
+	}
+	return out
+}
+
+func decodeSumy(name string, st storedSumy) *core.Sumy {
+	rows := make([]core.SumyRow, len(st.Rows))
+	for i, r := range st.Rows {
+		rows[i] = core.SumyRow{
+			Tag:   sage.TagID(r.Tag),
+			Range: interval.Interval{Min: r.Min, Max: r.Max},
+			Mean:  r.Mean, Std: r.Std, Extra: r.Extra,
+		}
+	}
+	return core.NewSumy(name, rows, st.ExtraCols)
+}
+
+func encodeGap(g *core.Gap) storedGap {
+	out := storedGap{Cols: g.Cols, Rows: make([]storedGapRow, len(g.Rows))}
+	for i, r := range g.Rows {
+		vals := make([]storedGapValue, len(r.Values))
+		for k, v := range r.Values {
+			vals[k] = storedGapValue{V: v.V, Null: v.Null}
+		}
+		out.Rows[i] = storedGapRow{Tag: uint32(r.Tag), Values: vals}
+	}
+	return out
+}
+
+func decodeGap(name string, st storedGap) (*core.Gap, error) {
+	rows := make([]core.GapRow, len(st.Rows))
+	order := make([]sage.TagID, len(st.Rows))
+	for i, r := range st.Rows {
+		vals := make([]core.GapValue, len(r.Values))
+		for k, v := range r.Values {
+			vals[k] = core.GapValue{V: v.V, Null: v.Null}
+		}
+		rows[i] = core.GapRow{Tag: sage.TagID(r.Tag), Values: vals}
+		order[i] = sage.TagID(r.Tag)
+	}
+	g, err := core.NewGap(name, st.Cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	// Restore the stored row order (top-gap tables keep display order).
+	if err := g.ReorderRows(order); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadSession restores a session saved with SaveSession. The gene databases
+// are rebuilt when a catalog is supplied (they are synthesized, not stored).
+func LoadSession(dir string, catalog *sagegen.Catalog, geneDBSeed int64) (*System, error) {
+	corpus, err := sage.LoadCorpus(filepath.Join(dir, sessionCorpusDir))
+	if err != nil {
+		return nil, err
+	}
+	store, err := relational.Load(filepath.Join(dir, sessionCatalogFile))
+	if err != nil {
+		return nil, err
+	}
+	lin, err := lineage.Load(filepath.Join(dir, sessionLineageFile))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, sessionManifest))
+	if err != nil {
+		return nil, err
+	}
+	var m sessionManifestData
+	err = gob.NewDecoder(f).Decode(&m)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	d := sage.Build(corpus)
+	sys := &System{
+		User:       m.User,
+		Store:      store,
+		Lineage:    lin,
+		Data:       d,
+		datasets:   map[string]*sage.Dataset{RootDataset: d},
+		tolerances: map[string]map[sage.TagID]float64{},
+		fascicles:  map[string]*core.MineResult{},
+		sumys:      map[string]*core.Sumy{},
+		enums:      map[string]*core.Enum{},
+		gaps:       map[string]*core.Gap{},
+		runCount:   m.RunCount,
+		foundPure:  m.FoundPure,
+	}
+	if sys.runCount == nil {
+		sys.runCount = map[string]int{}
+	}
+	if sys.foundPure == nil {
+		sys.foundPure = map[string]string{}
+	}
+	if m.CleanReport != nil {
+		sys.CleanReport = &clean.Report{
+			UniqueTagsBefore: m.CleanReport.UniqueTagsBefore,
+			UniqueTagsAfter:  m.CleanReport.UniqueTagsAfter,
+		}
+	}
+	for name, libNames := range m.Datasets {
+		sub, err := d.SubsetByNames(libNames)
+		if err != nil {
+			return nil, fmt.Errorf("system: dataset %q: %v", name, err)
+		}
+		sys.datasets[name] = sub
+	}
+	for name, tm := range m.Tolerances {
+		tol := make(map[sage.TagID]float64, len(tm))
+		for tg, v := range tm {
+			tol[sage.TagID(tg)] = v
+		}
+		sys.tolerances[name] = tol
+	}
+	for name, st := range m.Sumys {
+		sys.sumys[name] = decodeSumy(name, st)
+	}
+	for name, st := range m.Gaps {
+		g, err := decodeGap(name, st)
+		if err != nil {
+			return nil, err
+		}
+		sys.gaps[name] = g
+	}
+	for name, st := range m.Enums {
+		base, ok := sys.datasets[st.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("system: enum %q references missing dataset %q", name, st.Dataset)
+		}
+		e, err := core.NewEnum(name, base, st.Rows, st.Cols)
+		if err != nil {
+			return nil, err
+		}
+		sys.enums[name] = e
+	}
+	for name, st := range m.Fascicles {
+		base, ok := sys.datasets[st.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("system: fascicle %q references missing dataset %q", name, st.Dataset)
+		}
+		sm := decodeSumy(st.SumyName, st.Sumy)
+		e, err := core.NewEnum(st.EnumName, base, st.Rows, st.CompactCols)
+		if err != nil {
+			return nil, err
+		}
+		sys.fascicles[name] = &core.MineResult{
+			Fascicle: &fascicle.Fascicle{
+				Rows: st.Rows, CompactCols: st.CompactCols, Min: st.Min, Max: st.Max,
+			},
+			Sumy: sm,
+			Enum: e,
+		}
+	}
+	if catalog != nil {
+		gdb, err := genedb.Build(catalog, geneDBSeed)
+		if err != nil {
+			return nil, err
+		}
+		sys.GeneDB = gdb
+	}
+	return sys, nil
+}

@@ -1,0 +1,835 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gea/internal/clean"
+	"gea/internal/core"
+	"gea/internal/fascicle"
+	"gea/internal/genedb"
+	"gea/internal/lineage"
+	"gea/internal/relational"
+	"gea/internal/sage"
+	"gea/internal/sagegen"
+)
+
+// Options configures a GEA session.
+type Options struct {
+	// User is the account name recorded on catalog rows.
+	User string
+	// Clean configures pre-processing; the zero value means the thesis
+	// defaults (minimum tolerance 1, normalize to 300,000).
+	Clean clean.Options
+	// SkipCleaning loads the corpus as-is.
+	SkipCleaning bool
+	// Catalog optionally seeds the gene databases from the generator's
+	// ground truth; nil disables genedb integration.
+	Catalog *sagegen.Catalog
+	// GeneDBSeed seeds the synthetic auxiliary databases.
+	GeneDBSeed int64
+}
+
+// System is one GEA session over a cleaned corpus. A session serializes its
+// operations: it is not safe for concurrent use (the original is a
+// single-user desktop application; run one System per goroutine, or guard
+// externally).
+type System struct {
+	User        string
+	Store       *relational.Store
+	Lineage     *lineage.Graph
+	GeneDB      *genedb.DB
+	Data        *sage.Dataset
+	CleanReport *clean.Report
+
+	datasets   map[string]*sage.Dataset
+	tolerances map[string]map[sage.TagID]float64
+	fascicles  map[string]*core.MineResult
+	sumys      map[string]*core.Sumy
+	enums      map[string]*core.Enum
+	gaps       map[string]*core.Gap
+	// runCount disambiguates repeated mining runs with the same prefix.
+	runCount map[string]int
+	// foundPure caches FindPureFascicle results per dataset+property.
+	foundPure map[string]string
+}
+
+// RootDataset is the lineage name of the full cleaned data set.
+const RootDataset = "SAGE"
+
+// New builds a session from a raw corpus: cleaning, dense assembly, catalog
+// initialization and lineage roots.
+func New(corpus *sage.Corpus, opts Options) (*System, error) {
+	if opts.User == "" {
+		opts.User = "gea"
+	}
+	var (
+		cleaned *sage.Corpus
+		report  *clean.Report
+		err     error
+	)
+	if opts.SkipCleaning {
+		cleaned = corpus
+	} else {
+		cleanOpts := opts.Clean
+		if cleanOpts.MinTolerance == 0 && cleanOpts.ScaleTo == 0 {
+			cleanOpts = clean.DefaultOptions()
+		}
+		cleaned, report, err = clean.Clean(corpus, cleanOpts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := sage.Build(cleaned)
+	sys := &System{
+		User:        opts.User,
+		Store:       relational.NewStore(),
+		Lineage:     lineage.NewGraph(),
+		Data:        d,
+		CleanReport: report,
+		datasets:    map[string]*sage.Dataset{RootDataset: d},
+		tolerances:  map[string]map[sage.TagID]float64{},
+		fascicles:   map[string]*core.MineResult{},
+		sumys:       map[string]*core.Sumy{},
+		enums:       map[string]*core.Enum{},
+		gaps:        map[string]*core.Gap{},
+		runCount:    map[string]int{},
+		foundPure:   map[string]string{},
+	}
+	if err := initCatalog(sys.Store); err != nil {
+		return nil, err
+	}
+	if err := loadLibrariesRelation(sys.Store, d); err != nil {
+		return nil, err
+	}
+	if _, err := sys.Lineage.Record(RootDataset, lineage.KindDataset, "load",
+		map[string]string{"libraries": fmt.Sprint(d.NumLibraries()), "tags": fmt.Sprint(d.NumTags())}); err != nil {
+		return nil, err
+	}
+	if opts.Catalog != nil {
+		gdb, err := genedb.Build(opts.Catalog, opts.GeneDBSeed)
+		if err != nil {
+			return nil, err
+		}
+		sys.GeneDB = gdb
+	}
+	return sys, nil
+}
+
+// ErrExists is wrapped by creation methods when a name is already taken —
+// the redundancy check of Section 4.4.5.2; the caller decides whether to
+// delete and recreate.
+type ErrExists struct{ Name string }
+
+func (e ErrExists) Error() string { return fmt.Sprintf("system: %q already exists", e.Name) }
+
+func (s *System) checkFresh(name string) error {
+	if s.Lineage.Has(name) {
+		return ErrExists{Name: name}
+	}
+	return nil
+}
+
+// Dataset returns a named dataset.
+func (s *System) Dataset(name string) (*sage.Dataset, error) {
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("system: no dataset %q", name)
+	}
+	return d, nil
+}
+
+// Sumy returns a named SUMY table.
+func (s *System) Sumy(name string) (*core.Sumy, error) {
+	v, ok := s.sumys[name]
+	if !ok {
+		return nil, fmt.Errorf("system: no SUMY table %q", name)
+	}
+	return v, nil
+}
+
+// Enum returns a named ENUM table.
+func (s *System) Enum(name string) (*core.Enum, error) {
+	v, ok := s.enums[name]
+	if !ok {
+		return nil, fmt.Errorf("system: no ENUM table %q", name)
+	}
+	return v, nil
+}
+
+// Gap returns a named GAP table.
+func (s *System) Gap(name string) (*core.Gap, error) {
+	v, ok := s.gaps[name]
+	if !ok {
+		return nil, fmt.Errorf("system: no GAP table %q", name)
+	}
+	return v, nil
+}
+
+// Fascicle returns a named mined fascicle.
+func (s *System) Fascicle(name string) (*core.MineResult, error) {
+	v, ok := s.fascicles[name]
+	if !ok {
+		return nil, fmt.Errorf("system: no fascicle %q", name)
+	}
+	return v, nil
+}
+
+// RegisterSumy adds an externally built SUMY table (e.g. a selection result)
+// to the session under lineage tracking.
+func (s *System) RegisterSumy(v *core.Sumy, op string, inputs ...string) error {
+	if err := s.checkFresh(v.Name); err != nil {
+		return err
+	}
+	if _, err := s.Lineage.Record(v.Name, lineage.KindSumy, op, nil, inputs...); err != nil {
+		return err
+	}
+	s.sumys[v.Name] = v
+	return nil
+}
+
+// RegisterGap adds an externally built GAP table to the session.
+func (s *System) RegisterGap(v *core.Gap, op string, inputs ...string) error {
+	if err := s.checkFresh(v.Name); err != nil {
+		return err
+	}
+	if _, err := s.Lineage.Record(v.Name, lineage.KindGap, op, nil, inputs...); err != nil {
+		return err
+	}
+	s.gaps[v.Name] = v
+	return nil
+}
+
+// CreateTissueDataset materializes the system-defined tissue-type data set
+// (Figure 4.4); its lineage name is the tissue name.
+func (s *System) CreateTissueDataset(tissue string) (*sage.Dataset, error) {
+	if err := s.checkFresh(tissue); err != nil {
+		return nil, err
+	}
+	d, err := s.Data.SubsetByTissue(tissue)
+	if err != nil {
+		return nil, err
+	}
+	s.datasets[tissue] = d
+	if _, err := s.Lineage.Record(tissue, lineage.KindDataset, "select-tissue",
+		map[string]string{"tissue": tissue}, RootDataset); err != nil {
+		return nil, err
+	}
+	tci, err := s.Store.Get(TblTypeCreateInfo)
+	if err != nil {
+		return nil, err
+	}
+	tci.MustInsert(relational.S(s.User), relational.S(tissue), relational.S(tissue+"Table"), relational.I(1))
+	return d, nil
+}
+
+// CreateCustomDataset materializes a user-defined tissue type from library
+// names (Figure 4.15).
+func (s *System) CreateCustomDataset(name string, libNames []string) (*sage.Dataset, error) {
+	if err := s.checkFresh(name); err != nil {
+		return nil, err
+	}
+	d, err := s.Data.SubsetByNames(libNames)
+	if err != nil {
+		return nil, err
+	}
+	s.datasets[name] = d
+	if _, err := s.Lineage.Record(name, lineage.KindDataset, "select-custom",
+		map[string]string{"libraries": fmt.Sprint(len(libNames))}, RootDataset); err != nil {
+		return nil, err
+	}
+	tci, err := s.Store.Get(TblTypeCreateInfo)
+	if err != nil {
+		return nil, err
+	}
+	tci.MustInsert(relational.S(s.User), relational.S(name), relational.S(name+"Table"), relational.I(1))
+	return d, nil
+}
+
+// GenerateMetadata builds and stores the tolerance vector for a dataset
+// (Figure 4.5). percent is the compact tolerance as a percentage of each
+// attribute's width.
+func (s *System) GenerateMetadata(datasetName string, percent float64) error {
+	d, err := s.Dataset(datasetName)
+	if err != nil {
+		return err
+	}
+	tol, err := clean.ToleranceVector(d, percent)
+	if err != nil {
+		return err
+	}
+	s.tolerances[datasetName] = tol
+	return nil
+}
+
+// FascicleOptions mirror the calculate-fascicles window (Figure 4.6).
+type FascicleOptions struct {
+	K         int // number of compact attributes
+	MinSize   int // minimum libraries per fascicle
+	BatchSize int
+	Algorithm core.Algorithm
+}
+
+// CalculateFascicles mines a dataset and registers each fascicle (with its
+// SUMY and ENUM forms) as <dataset><K>k_<i>; it returns the names.
+// GenerateMetadata must have been called for the dataset.
+func (s *System) CalculateFascicles(datasetName string, opts FascicleOptions) ([]string, error) {
+	d, err := s.Dataset(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	tol, ok := s.tolerances[datasetName]
+	if !ok {
+		return nil, fmt.Errorf("system: generate metadata for %q before calculating fascicles", datasetName)
+	}
+	prefix := fmt.Sprintf("%s%dk", datasetName, opts.K/1000)
+	if opts.K < 1000 {
+		prefix = fmt.Sprintf("%s%d", datasetName, opts.K)
+	}
+	// Repeating a run with the same parameters gets a fresh run suffix, as
+	// the GUI would append to the fascicles list rather than overwrite.
+	base := prefix
+	if n := s.runCount[base]; n > 0 {
+		prefix = fmt.Sprintf("%s_r%d", base, n)
+	}
+	s.runCount[base]++
+	params := fascicle.Params{
+		K: opts.K, Tolerance: tol, MinSize: opts.MinSize, BatchSize: opts.BatchSize,
+	}
+	results, err := core.Mine(prefix, d, params, opts.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+
+	fasFile, err := s.Store.Get(TblFasFile)
+	if err != nil {
+		return nil, err
+	}
+	fasInfo, err := s.Store.Get(TblFasInfo)
+	if err != nil {
+		return nil, err
+	}
+	fasLib, err := s.Store.Get(TblFasLib)
+	if err != nil {
+		return nil, err
+	}
+	fasFile.MustInsert(relational.S(s.User), relational.S(prefix), relational.S(datasetName),
+		relational.I(int64(opts.K)), relational.S(datasetName+"file.b"),
+		relational.S(datasetName+"file.meta"), relational.I(int64(opts.BatchSize)),
+		relational.I(int64(opts.MinSize)))
+
+	var names []string
+	for i := range results {
+		r := results[i]
+		name := fmt.Sprintf("%s_%d", prefix, i+1)
+		if err := s.checkFresh(name); err != nil {
+			return nil, err
+		}
+		if _, err := s.Lineage.Record(name, lineage.KindFascicle, "mine", map[string]string{
+			"k": fmt.Sprint(opts.K), "minSize": fmt.Sprint(opts.MinSize),
+			"batch": fmt.Sprint(opts.BatchSize), "algorithm": opts.Algorithm.String(),
+		}, datasetName); err != nil {
+			return nil, err
+		}
+		s.fascicles[name] = &r
+		fasInfo.MustInsert(relational.S(s.User), relational.S(name), relational.S(prefix),
+			relational.B(r.Enum.IsPure(sage.PropCancer)), relational.B(r.Enum.IsPure(sage.PropNormal)),
+			relational.B(r.Enum.IsPure(sage.PropBulkTissue)), relational.B(r.Enum.IsPure(sage.PropCellLine)))
+		for _, row := range r.Fascicle.Rows {
+			fasLib.MustInsert(relational.S(s.User), relational.S(name), relational.I(int64(d.Libs[row].ID)))
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// PurityCheck reports whether the fascicle is pure for the property
+// (Figure 4.8).
+func (s *System) PurityCheck(fasName string, p sage.Property) (bool, error) {
+	r, err := s.Fascicle(fasName)
+	if err != nil {
+		return false, err
+	}
+	return r.Enum.IsPure(p), nil
+}
+
+// CaseGroups names the three SUMY/ENUM pairs of the case-study setup.
+type CaseGroups struct {
+	// InFascicle holds the fascicle's own libraries (e.g.
+	// brain35k_4CancerFasTbl).
+	InFascicle string
+	// SameNotInFascicle holds libraries with the fascicle's property that
+	// are outside it (e.g. brain35k_4CanNotInFasTbl).
+	SameNotInFascicle string
+	// Opposite holds the libraries with the opposite neoplastic state (e.g.
+	// brain35k_4NormalTable).
+	Opposite string
+}
+
+// FormSUM builds, for a pure cancerous or pure normal fascicle, the three
+// control-group SUMY tables of case study 1 over the fascicle's compact tags
+// (Figure 4.8's formSUM button). Non-pure fascicles are rejected: "if a
+// fascicle is non-pure ... the analysis of this fascicle is terminated".
+func (s *System) FormSUM(fasName, datasetName string) (CaseGroups, error) {
+	var g CaseGroups
+	r, err := s.Fascicle(fasName)
+	if err != nil {
+		return g, err
+	}
+	d, err := s.Dataset(datasetName)
+	if err != nil {
+		return g, err
+	}
+	if r.Enum.Data != d {
+		return g, fmt.Errorf("system: fascicle %s was mined on a different dataset than %q", fasName, datasetName)
+	}
+	var inProp, outProp sage.Property
+	var inLabel, outLabel string
+	switch {
+	case r.Enum.IsPure(sage.PropCancer):
+		inProp, outProp = sage.PropCancer, sage.PropNormal
+		inLabel, outLabel = "CancerFasTbl", "NormalTable"
+	case r.Enum.IsPure(sage.PropNormal):
+		inProp, outProp = sage.PropNormal, sage.PropCancer
+		inLabel, outLabel = "NormalFasTbl", "CancerTable"
+	default:
+		return g, fmt.Errorf("system: fascicle %s is not pure; analysis terminated", fasName)
+	}
+
+	// FormSUM is idempotent: if the three tables exist already (e.g. a
+	// later case study revisits the same fascicle), return them.
+	suffixProbe := "CanNotInFasTbl"
+	if inProp == sage.PropNormal {
+		suffixProbe = "NorNotInFasTbl"
+	}
+	if _, err1 := s.Sumy(fasName + inLabel); err1 == nil {
+		if _, err2 := s.Sumy(fasName + suffixProbe); err2 == nil {
+			if _, err3 := s.Sumy(fasName + outLabel); err3 == nil {
+				return CaseGroups{
+					InFascicle:        fasName + inLabel,
+					SameNotInFascicle: fasName + suffixProbe,
+					Opposite:          fasName + outLabel,
+				}, nil
+			}
+		}
+	}
+
+	inFas := map[int]bool{}
+	for _, row := range r.Fascicle.Rows {
+		inFas[row] = true
+	}
+	var sameRows, oppRows []int
+	for i, m := range d.Libs {
+		switch {
+		case inFas[i]:
+		case m.HasProperty(inProp):
+			sameRows = append(sameRows, i)
+		case m.HasProperty(outProp):
+			oppRows = append(oppRows, i)
+		}
+	}
+
+	mk := func(label string, rows []int) (string, error) {
+		name := fasName + label
+		if err := s.checkFresh(name); err != nil {
+			return "", err
+		}
+		e, err := core.NewEnum(name+"Enum", d, rows, r.Fascicle.CompactCols)
+		if err != nil {
+			return "", err
+		}
+		sm, err := core.Aggregate(name, e, core.AggregateOptions{})
+		if err != nil {
+			return "", err
+		}
+		if _, err := s.Lineage.Record(name, lineage.KindSumy, "aggregate",
+			map[string]string{"libraries": fmt.Sprint(len(rows))}, fasName); err != nil {
+			return "", err
+		}
+		s.enums[name+"Enum"] = e
+		s.sumys[name] = sm
+		if err := s.recordSumCatalog(name, fasName, label, d, rows); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+
+	if g.InFascicle, err = mk(inLabel, r.Fascicle.Rows); err != nil {
+		return g, err
+	}
+	suffix := "CanNotInFasTbl"
+	if inProp == sage.PropNormal {
+		suffix = "NorNotInFasTbl"
+	}
+	if g.SameNotInFascicle, err = mk(suffix, sameRows); err != nil {
+		return g, err
+	}
+	if g.Opposite, err = mk(outLabel, oppRows); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+func (s *System) recordSumCatalog(name, fasName, category string, d *sage.Dataset, rows []int) error {
+	sumInfo, err := s.Store.Get(TblSumInfo)
+	if err != nil {
+		return err
+	}
+	sumLib, err := s.Store.Get(TblSumLib)
+	if err != nil {
+		return err
+	}
+	sumInfo.MustInsert(relational.S(s.User), relational.S(name), relational.S(fasName),
+		relational.S(category), relational.I(1))
+	for _, r := range rows {
+		sumLib.MustInsert(relational.S(s.User), relational.S(name), relational.I(int64(d.Libs[r].ID)))
+	}
+	return nil
+}
+
+// CreateGap runs diff() on two registered SUMY tables and registers the
+// result (Figure 4.9's Find GAP button).
+func (s *System) CreateGap(name, sumy1, sumy2 string) (*core.Gap, error) {
+	if err := s.checkFresh(name); err != nil {
+		return nil, err
+	}
+	a, err := s.Sumy(sumy1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.Sumy(sumy2)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.Diff(name, a, b)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Lineage.Record(name, lineage.KindGap, "diff", nil, sumy1, sumy2); err != nil {
+		return nil, err
+	}
+	s.gaps[name] = g
+	gapInfo, err := s.Store.Get(TblGapInfo)
+	if err != nil {
+		return nil, err
+	}
+	gapInfo.MustInsert(relational.S(s.User), relational.S(name), relational.S("gap"),
+		relational.I(1), relational.S(sumy1), relational.S(sumy2))
+	return g, nil
+}
+
+// CalculateTopGap builds the top-x gap table <gap>_<x> (Figure 4.19).
+func (s *System) CalculateTopGap(gapName string, x int) (*core.Gap, error) {
+	g, err := s.Gap(gapName)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s_%d", gapName, x)
+	if err := s.checkFresh(name); err != nil {
+		return nil, err
+	}
+	top, err := core.TopGaps(name, g, 0, x)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Lineage.Record(name, lineage.KindTopGap, "topgap",
+		map[string]string{"x": fmt.Sprint(x)}, gapName); err != nil {
+		return nil, err
+	}
+	s.gaps[name] = top
+	topRec, err := s.Store.Get(TblTopRec)
+	if err != nil {
+		return nil, err
+	}
+	topRec.MustInsert(relational.S(s.User), relational.S(name), relational.S(gapName), relational.I(int64(x)))
+	return top, nil
+}
+
+// CompareGaps combines two GAP tables with a set operation and registers the
+// compare table (Figure 4.13).
+func (s *System) CompareGaps(name, gap1, gap2 string, op core.CompareOp) (*core.Gap, error) {
+	if err := s.checkFresh(name); err != nil {
+		return nil, err
+	}
+	a, err := s.Gap(gap1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.Gap(gap2)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.Compare(name, a, b, op)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Lineage.Record(name, lineage.KindCompare, "compare-"+op.String(), nil, gap1, gap2); err != nil {
+		return nil, err
+	}
+	s.gaps[name] = g
+	compInfo, err := s.Store.Get(TblGapCompInfo)
+	if err != nil {
+		return nil, err
+	}
+	compInfo.MustInsert(relational.S(s.User), relational.S(name), relational.S("compare"),
+		relational.S(gap1), relational.S(gap2), relational.S(op.String()))
+	return g, nil
+}
+
+// DeleteCascade removes a node and everything derived from it from the
+// session and the lineage — the second deletion option of Section 4.4.2. It
+// returns the deleted names (the confirmation check of Section 4.4.5.3).
+func (s *System) DeleteCascade(name string) ([]string, error) {
+	deleted, err := s.Lineage.DeleteCascade(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range deleted {
+		delete(s.datasets, n)
+		delete(s.fascicles, n)
+		delete(s.sumys, n)
+		delete(s.enums, n)
+		delete(s.gaps, n)
+	}
+	return deleted, nil
+}
+
+// LibraryInfo answers the library-information search (Figure 4.23) by ID or
+// name.
+func (s *System) LibraryInfo(idOrName string) (sage.LibraryMeta, error) {
+	for _, m := range s.Data.Libs {
+		if m.Name == idOrName || fmt.Sprint(m.ID) == idOrName {
+			return m, nil
+		}
+	}
+	return sage.LibraryMeta{}, fmt.Errorf("system: no library %q", idOrName)
+}
+
+// TissueTypes answers the tissue-type search (Figure 4.24): tissue type ->
+// library names.
+func (s *System) TissueTypes() map[string][]string {
+	out := map[string][]string{}
+	for _, m := range s.Data.Libs {
+		out[m.Tissue] = append(out[m.Tissue], m.Name)
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
+}
+
+// FindPureFascicle automates the analyst's iteration of the case studies:
+// starting from a strict compact-attribute requirement and loosening it, it
+// mines the dataset until a fascicle pure for the property appears, and
+// returns the tightest (most compact tags) such fascicle's name. The right
+// k differs per tissue (the thesis stores a per-tissue threshold in CDInfo);
+// scanning from strict to loose finds the highest k the data supports.
+// GenerateMetadata must have been called for the dataset.
+func (s *System) FindPureFascicle(datasetName string, prop sage.Property, minSize int) (string, error) {
+	return s.FindPureFascicleWith(datasetName, prop, minSize, core.LatticeAlgorithm)
+}
+
+// FindPureFascicleWith is FindPureFascicle with an explicit mining
+// algorithm. Use the greedy single-pass miner for full-scale corpora (tens
+// of thousands of tags): the exact lattice's candidate frontier grows
+// combinatorially there, which is exactly why the original system ran the
+// [JMN99] single-pass algorithm.
+func (s *System) FindPureFascicleWith(datasetName string, prop sage.Property, minSize int, alg core.Algorithm) (string, error) {
+	cacheKey := fmt.Sprintf("%s|%v|%d|%v", datasetName, prop, minSize, alg)
+	if name, ok := s.foundPure[cacheKey]; ok {
+		if _, err := s.Fascicle(name); err == nil {
+			return name, nil
+		}
+		delete(s.foundPure, cacheKey) // deleted since; redo the search
+	}
+	d, err := s.Dataset(datasetName)
+	if err != nil {
+		return "", err
+	}
+	if _, ok := s.tolerances[datasetName]; !ok {
+		return "", fmt.Errorf("system: generate metadata for %q before mining", datasetName)
+	}
+	for kpct := 75; kpct >= 45; kpct -= 5 {
+		names, err := s.CalculateFascicles(datasetName, FascicleOptions{
+			K: d.NumTags() * kpct / 100, MinSize: minSize, Algorithm: alg,
+		})
+		if err != nil {
+			return "", err
+		}
+		best, bestCompact := "", -1
+		for _, n := range names {
+			r, err := s.Fascicle(n)
+			if err != nil {
+				return "", err
+			}
+			if !r.Enum.IsPure(prop) {
+				continue
+			}
+			if r.Fascicle.NumCompact() > bestCompact {
+				bestCompact, best = r.Fascicle.NumCompact(), n
+			}
+		}
+		if best != "" {
+			cd, err := s.Store.Get(TblCDInfo)
+			if err != nil {
+				return "", err
+			}
+			cd.MustInsert(relational.S(datasetName), relational.I(int64(d.NumTags()*kpct/100)))
+			s.foundPure[cacheKey] = best
+			return best, nil
+		}
+	}
+	return "", fmt.Errorf("system: no pure %v fascicle found in %q at any threshold", prop, datasetName)
+}
+
+// DropContents frees a derived GAP-family table's contents while keeping its
+// lineage metadata — the first deletion option of Section 4.4.2 ("the user
+// may choose to remove only the contents of a table ... If the user wants to
+// re-generate the content of the table, the stored metadata can be used
+// directly"). Only intermediate results (diff, top-gap and compare tables)
+// are droppable; base tables and fascicles are not.
+func (s *System) DropContents(name string) error {
+	if _, ok := s.gaps[name]; !ok {
+		return fmt.Errorf("system: %q is not a droppable GAP-family table", name)
+	}
+	if err := s.Lineage.DropContents(name); err != nil {
+		return err
+	}
+	delete(s.gaps, name)
+	return nil
+}
+
+// Regenerate rebuilds a content-dropped table (and any dropped tables it
+// depends on) by replaying the operations recorded in the lineage.
+func (s *System) Regenerate(name string) (*core.Gap, error) {
+	plan, err := s.Lineage.RegenerationPlan(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range plan {
+		if !node.ContentsDropped {
+			continue
+		}
+		g, err := s.replay(node)
+		if err != nil {
+			return nil, fmt.Errorf("system: regenerating %q: %v", node.Name, err)
+		}
+		s.gaps[node.Name] = g
+		if err := s.Lineage.MarkRegenerated(node.Name); err != nil {
+			return nil, err
+		}
+	}
+	return s.Gap(name)
+}
+
+// replay re-executes one recorded operation.
+func (s *System) replay(node *lineage.Node) (*core.Gap, error) {
+	switch {
+	case node.Operation == "diff":
+		if len(node.Inputs) != 2 {
+			return nil, fmt.Errorf("diff needs 2 inputs, recorded %d", len(node.Inputs))
+		}
+		a, err := s.Sumy(node.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Sumy(node.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		return core.Diff(node.Name, a, b)
+	case node.Operation == "topgap":
+		if len(node.Inputs) != 1 {
+			return nil, fmt.Errorf("topgap needs 1 input, recorded %d", len(node.Inputs))
+		}
+		x, err := strconv.Atoi(node.Params["x"])
+		if err != nil {
+			return nil, fmt.Errorf("topgap has no recorded x: %v", err)
+		}
+		g, err := s.Gap(node.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return core.TopGaps(node.Name, g, 0, x)
+	case strings.HasPrefix(node.Operation, "compare-"):
+		if len(node.Inputs) != 2 {
+			return nil, fmt.Errorf("compare needs 2 inputs, recorded %d", len(node.Inputs))
+		}
+		var op core.CompareOp
+		switch strings.TrimPrefix(node.Operation, "compare-") {
+		case "union":
+			op = core.OpUnion
+		case "intersect":
+			op = core.OpIntersect
+		case "difference":
+			op = core.OpDifference
+		default:
+			return nil, fmt.Errorf("unknown compare operation %q", node.Operation)
+		}
+		a, err := s.Gap(node.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Gap(node.Inputs[1])
+		if err != nil {
+			return nil, err
+		}
+		return core.Compare(node.Name, a, b, op)
+	default:
+		return nil, fmt.Errorf("operation %q is not replayable", node.Operation)
+	}
+}
+
+// ListSumys lists the SUMY tables of a fascicle (Figure 4.9's Summary
+// Lists, sorted by fascicle). An empty fascicle name lists all.
+func (s *System) ListSumys(fascicle string) ([]string, error) {
+	sumInfo, err := s.Store.Get(TblSumInfo)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range sumInfo.Rows {
+		if fascicle == "" || r[2].Str() == fascicle {
+			out = append(out, r[1].Str())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ListGaps lists the GAP tables derived (directly) from the named SUMY
+// table, or all GAP tables when the name is empty (the Figure 4.19 GAP
+// list).
+func (s *System) ListGaps(sumy string) ([]string, error) {
+	gapInfo, err := s.Store.Get(TblGapInfo)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range gapInfo.Rows {
+		if sumy == "" || r[4].Str() == sumy || r[5].Str() == sumy {
+			out = append(out, r[1].Str())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ListTopGaps lists the top-gap tables of a GAP table (the Figure 4.20 Top
+// GAP list), or all when the name is empty.
+func (s *System) ListTopGaps(gapName string) ([]string, error) {
+	topRec, err := s.Store.Get(TblTopRec)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range topRec.Rows {
+		if gapName == "" || r[2].Str() == gapName {
+			out = append(out, r[1].Str())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,222 @@
+// Package userdb implements the supplementary features of thesis Appendix
+// III: user accounts with two access levels (administrator and system
+// user), login/logout, account administration (add, delete, modify), and
+// the configuration store of AIII.4. The GEA supports multiple users, each
+// working in their own workspace; administration operations require
+// administrator privileges.
+//
+// Passwords are stored as salted SHA-256 digests — the thesis predates
+// modern KDFs, but storing plaintext would be indefensible even in a
+// reproduction.
+package userdb
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Role is an access level.
+type Role int
+
+// Access levels.
+const (
+	RoleUser Role = iota
+	RoleAdmin
+)
+
+// String names the role as the login dialog does.
+func (r Role) String() string {
+	if r == RoleAdmin {
+		return "administrator"
+	}
+	return "user"
+}
+
+// User is one account.
+type User struct {
+	Name string
+	Role Role
+	salt []byte
+	hash []byte
+}
+
+// DB is the account and configuration store. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	users  map[string]*User
+	config map[string]string
+}
+
+// ErrAuth is returned for any failed login; it deliberately does not say
+// which part was wrong beyond the thesis's hint (Figure 4.27: "check your
+// PASSWORD and TYPE", i.e. user names are not confirmed or denied either).
+var ErrAuth = fmt.Errorf("userdb: login failed; check your password and type")
+
+// New returns a store seeded with an administrator account.
+func New(adminName, adminPassword string) (*DB, error) {
+	db := &DB{users: make(map[string]*User), config: make(map[string]string)}
+	if err := db.addLocked(adminName, adminPassword, RoleAdmin); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func hashPassword(salt []byte, password string) []byte {
+	h := sha256.New()
+	h.Write(salt)
+	h.Write([]byte(password))
+	return h.Sum(nil)
+}
+
+func (db *DB) addLocked(name, password string, role Role) error {
+	if name == "" {
+		return fmt.Errorf("userdb: empty user name")
+	}
+	if password == "" {
+		return fmt.Errorf("userdb: empty password")
+	}
+	if _, exists := db.users[name]; exists {
+		return fmt.Errorf("userdb: user %q already exists", name)
+	}
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		return err
+	}
+	db.users[name] = &User{Name: name, Role: role, salt: salt, hash: hashPassword(salt, password)}
+	return nil
+}
+
+// Login authenticates name/password/role and returns the user. The role
+// must match the account's role, mirroring the TYPE field of the login
+// dialog (Figure AIII.1).
+func (db *DB) Login(name, password string, role Role) (*User, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	u, ok := db.users[name]
+	if !ok {
+		return nil, ErrAuth
+	}
+	if subtle.ConstantTimeCompare(u.hash, hashPassword(u.salt, password)) != 1 {
+		return nil, ErrAuth
+	}
+	if u.Role != role {
+		return nil, ErrAuth
+	}
+	return u, nil
+}
+
+// requireAdmin checks the acting user's privileges.
+func (db *DB) requireAdmin(actor *User) error {
+	if actor == nil || actor.Role != RoleAdmin {
+		return fmt.Errorf("userdb: administrator privileges required")
+	}
+	// The actor must still be a live account.
+	if _, ok := db.users[actor.Name]; !ok {
+		return fmt.Errorf("userdb: acting user %q no longer exists", actor.Name)
+	}
+	return nil
+}
+
+// AddUser creates an account (Figure AIII.9); only administrators may call
+// it.
+func (db *DB) AddUser(actor *User, name, password string, role Role) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.requireAdmin(actor); err != nil {
+		return err
+	}
+	return db.addLocked(name, password, role)
+}
+
+// DeleteUser removes an account (Figure AIII.10). An administrator cannot
+// delete themselves (the system must keep at least one admin reachable).
+func (db *DB) DeleteUser(actor *User, name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.requireAdmin(actor); err != nil {
+		return err
+	}
+	if name == actor.Name {
+		return fmt.Errorf("userdb: cannot delete the acting administrator")
+	}
+	if _, ok := db.users[name]; !ok {
+		return fmt.Errorf("userdb: no user %q", name)
+	}
+	delete(db.users, name)
+	return nil
+}
+
+// ModifyUser changes an account's password and/or role (Figure AIII.11).
+// Empty password keeps the old one.
+func (db *DB) ModifyUser(actor *User, name, newPassword string, newRole Role) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.requireAdmin(actor); err != nil {
+		return err
+	}
+	u, ok := db.users[name]
+	if !ok {
+		return fmt.Errorf("userdb: no user %q", name)
+	}
+	if newPassword != "" {
+		salt := make([]byte, 16)
+		if _, err := rand.Read(salt); err != nil {
+			return err
+		}
+		u.salt = salt
+		u.hash = hashPassword(salt, newPassword)
+	}
+	u.Role = newRole
+	return nil
+}
+
+// Users lists account names, sorted.
+func (db *DB) Users() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.users))
+	for n := range db.users {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default configuration keys (Figure AIII.12).
+const (
+	ConfigDBUser     = "db.user"
+	ConfigDBPassword = "db.password"
+	ConfigDBName     = "db.name"
+	ConfigDBPath     = "db.path"
+)
+
+// SetConfig stores a configuration value; administrators only.
+func (db *DB) SetConfig(actor *User, key, value string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.requireAdmin(actor); err != nil {
+		return err
+	}
+	db.config[key] = value
+	return nil
+}
+
+// Config reads a configuration value.
+func (db *DB) Config(key string) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.config[key]
+	return v, ok
+}
+
+// FingerPrint returns a short digest of the user record, used by tests and
+// audit displays; it never exposes the hash itself.
+func (u *User) FingerPrint() string {
+	h := sha256.Sum256(append(append([]byte{}, u.salt...), u.hash...))
+	return hex.EncodeToString(h[:4])
+}

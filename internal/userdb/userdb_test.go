@@ -1,0 +1,163 @@
+package userdb
+
+import (
+	"testing"
+)
+
+func newDB(t *testing.T) (*DB, *User) {
+	t.Helper()
+	db, err := New("admin", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin, err := db.Login("admin", "secret", RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, admin
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", "pw"); err == nil {
+		t.Error("empty admin name: expected error")
+	}
+	if _, err := New("a", ""); err == nil {
+		t.Error("empty password: expected error")
+	}
+}
+
+func TestLogin(t *testing.T) {
+	db, _ := newDB(t)
+	if _, err := db.Login("admin", "wrong", RoleAdmin); err != ErrAuth {
+		t.Errorf("wrong password err = %v", err)
+	}
+	if _, err := db.Login("ghost", "secret", RoleAdmin); err != ErrAuth {
+		t.Errorf("unknown user err = %v", err)
+	}
+	// Role ("TYPE") must match, per Figure 4.27.
+	if _, err := db.Login("admin", "secret", RoleUser); err != ErrAuth {
+		t.Errorf("wrong role err = %v", err)
+	}
+	u, err := db.Login("admin", "secret", RoleAdmin)
+	if err != nil || u.Role != RoleAdmin {
+		t.Errorf("valid login = %v, %v", u, err)
+	}
+}
+
+func TestAddDeleteModifyUser(t *testing.T) {
+	db, admin := newDB(t)
+	if err := db.AddUser(admin, "jessica", "pw1", RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddUser(admin, "jessica", "pw1", RoleUser); err == nil {
+		t.Error("duplicate user: expected error")
+	}
+	jess, err := db.Login("jessica", "pw1", RoleUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// System users cannot administer.
+	if err := db.AddUser(jess, "cfu", "pw", RoleUser); err == nil {
+		t.Error("non-admin AddUser: expected error")
+	}
+	if err := db.DeleteUser(jess, "admin"); err == nil {
+		t.Error("non-admin DeleteUser: expected error")
+	}
+	if err := db.ModifyUser(jess, "jessica", "x", RoleAdmin); err == nil {
+		t.Error("non-admin ModifyUser (privilege escalation): expected error")
+	}
+
+	// Modify: promote jessica and change her password.
+	if err := db.ModifyUser(admin, "jessica", "pw2", RoleAdmin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Login("jessica", "pw1", RoleAdmin); err != ErrAuth {
+		t.Error("old password still valid after modify")
+	}
+	if _, err := db.Login("jessica", "pw2", RoleAdmin); err != nil {
+		t.Errorf("new credentials rejected: %v", err)
+	}
+	// Empty password keeps the old one.
+	if err := db.ModifyUser(admin, "jessica", "", RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Login("jessica", "pw2", RoleUser); err != nil {
+		t.Errorf("password lost on role-only modify: %v", err)
+	}
+	if err := db.ModifyUser(admin, "ghost", "x", RoleUser); err == nil {
+		t.Error("modify missing user: expected error")
+	}
+
+	// Delete.
+	if err := db.DeleteUser(admin, "jessica"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Login("jessica", "pw2", RoleUser); err != ErrAuth {
+		t.Error("deleted user can still log in")
+	}
+	if err := db.DeleteUser(admin, "ghost"); err == nil {
+		t.Error("delete missing user: expected error")
+	}
+	if err := db.DeleteUser(admin, "admin"); err == nil {
+		t.Error("self-delete: expected error")
+	}
+}
+
+func TestStaleAdminHandle(t *testing.T) {
+	db, admin := newDB(t)
+	if err := db.AddUser(admin, "second", "pw", RoleAdmin); err != nil {
+		t.Fatal(err)
+	}
+	second, err := db.Login("second", "pw", RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteUser(admin, "second"); err != nil {
+		t.Fatal(err)
+	}
+	// The deleted admin's handle must stop working.
+	if err := db.AddUser(second, "x", "pw", RoleUser); err == nil {
+		t.Error("deleted admin handle still works")
+	}
+}
+
+func TestUsersList(t *testing.T) {
+	db, admin := newDB(t)
+	if err := db.AddUser(admin, "bbb", "pw", RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddUser(admin, "aaa", "pw", RoleUser); err != nil {
+		t.Fatal(err)
+	}
+	users := db.Users()
+	if len(users) != 3 || users[0] != "aaa" || users[2] != "bbb" {
+		t.Errorf("Users = %v", users)
+	}
+}
+
+func TestConfig(t *testing.T) {
+	db, admin := newDB(t)
+	if err := db.SetConfig(admin, ConfigDBPath, "/opt/gea"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.Config(ConfigDBPath); !ok || v != "/opt/gea" {
+		t.Errorf("Config = %q, %v", v, ok)
+	}
+	if _, ok := db.Config("missing"); ok {
+		t.Error("missing config key reported present")
+	}
+	if err := db.SetConfig(nil, "k", "v"); err == nil {
+		t.Error("nil actor SetConfig: expected error")
+	}
+}
+
+func TestRoleStringAndFingerprint(t *testing.T) {
+	if RoleAdmin.String() != "administrator" || RoleUser.String() != "user" {
+		t.Error("role strings wrong")
+	}
+	db, admin := newDB(t)
+	_ = db
+	if len(admin.FingerPrint()) != 8 {
+		t.Errorf("fingerprint = %q", admin.FingerPrint())
+	}
+}
