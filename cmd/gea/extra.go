@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"gea"
@@ -149,6 +150,9 @@ func cmdSession(args []string) error {
 		sys, err := gea.LoadSession(*dir, nil, 0)
 		if err != nil {
 			return err
+		}
+		if sys.LoadReport != nil && !sys.LoadReport.OK() {
+			fmt.Fprint(os.Stderr, sys.LoadReport)
 		}
 		fmt.Printf("session of user %q over %d libraries x %d tags\n",
 			sys.User, sys.Data.NumLibraries(), sys.Data.NumTags())

@@ -16,6 +16,7 @@
 //	gea xprofiler -in DIR -tissue T            pooled differential test
 //	gea annotate -tags T1,T2                   gene-database lookups
 //	gea session -run|-show -dir D              persistent sessions
+//	gea repl   [-in DIR] [-session DIR]        interactive session shell
 package main
 
 import (
@@ -56,6 +57,8 @@ func main() {
 		err = cmdAnnotate(args)
 	case "session":
 		err = cmdSession(args)
+	case "repl":
+		err = cmdRepl(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -84,6 +87,7 @@ commands:
   xprofiler  pooled Audic-Claverie comparison (the NCBI tool)
   annotate   resolve tags through the auxiliary gene databases
   session    run-and-save or inspect a persistent GEA session
+  repl       interactive session shell (crash-isolated command loop)
 
 run "gea <command> -h" for command flags`)
 }

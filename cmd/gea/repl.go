@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"strings"
+
+	"gea"
+)
+
+// cmdRepl runs the interactive command loop — the CLI analogue of keeping
+// a GEA GUI session open across many operations. One failing or panicking
+// command must not take the session (and its unsaved state) down with it.
+func cmdRepl(args []string) error {
+	fs := flag.NewFlagSet("repl", flag.ExitOnError)
+	in := fs.String("in", "", "corpus directory to open at startup")
+	session := fs.String("session", "", "session directory to load at startup")
+	fs.Parse(args)
+
+	r := &repl{out: os.Stdout, errw: os.Stderr}
+	if *in != "" {
+		if err := r.dispatch([]string{"open", *in}); err != nil {
+			return err
+		}
+	}
+	if *session != "" {
+		if err := r.dispatch([]string{"load", *session}); err != nil {
+			return err
+		}
+	}
+	return r.run(os.Stdin)
+}
+
+type repl struct {
+	out  io.Writer
+	errw io.Writer
+	sys  *gea.System
+}
+
+// run is the REPL command loop. Each line executes under panic recovery:
+// a command that panics prints the failure and the loop — with the live
+// session and all its unsaved state — continues.
+func (r *repl) run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	fmt.Fprintln(r.out, `gea repl — "help" lists commands, "quit" exits`)
+	for {
+		fmt.Fprint(r.out, "gea> ")
+		if !sc.Scan() {
+			fmt.Fprintln(r.out)
+			return sc.Err()
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "quit" || fields[0] == "exit" {
+			return nil
+		}
+		if err := r.safeDispatch(fields); err != nil {
+			fmt.Fprintf(r.errw, "error: %v\n", err)
+		}
+	}
+}
+
+// safeDispatch runs one command, converting a panic into an error so the
+// loop survives.
+func (r *repl) safeDispatch(fields []string) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic recovered: %v (session kept alive)\n%s", rec, debug.Stack())
+		}
+	}()
+	return r.dispatch(fields)
+}
+
+func (r *repl) needSession() (*gea.System, error) {
+	if r.sys == nil {
+		return nil, fmt.Errorf(`no session: "gen", "open DIR" or "load DIR" first`)
+	}
+	return r.sys, nil
+}
+
+func (r *repl) dispatch(fields []string) error {
+	cmd, args := fields[0], fields[1:]
+	arg := func(i int) string {
+		if i < len(args) {
+			return args[i]
+		}
+		return ""
+	}
+	switch cmd {
+	case "help":
+		fmt.Fprint(r.out, `commands:
+  gen                generate the small synthetic corpus and start a session
+  open DIR           start a session from the corpus in DIR
+  load DIR           load a saved session (salvages damaged artifacts)
+  save DIR           save the session (atomic, checksummed)
+  report             show what the last load had to salvage
+  info               session dimensions and tissue types
+  mine TISSUE        dataset + metadata + pure-fascicle search for a tissue
+  tree               print the lineage tree
+  quit               exit
+`)
+		return nil
+	case "gen":
+		res, err := gea.Generate(gea.SmallConfig())
+		if err != nil {
+			return err
+		}
+		sys, err := gea.NewSystem(res.Corpus, gea.SystemOptions{User: "repl"})
+		if err != nil {
+			return err
+		}
+		r.sys = sys
+		fmt.Fprintf(r.out, "session over %d libraries x %d tags\n", sys.Data.NumLibraries(), sys.Data.NumTags())
+		return nil
+	case "open":
+		if arg(0) == "" {
+			return fmt.Errorf("usage: open DIR")
+		}
+		corpus, err := gea.LoadCorpus(arg(0))
+		if err != nil {
+			return err
+		}
+		sys, err := gea.NewSystem(corpus, gea.SystemOptions{User: "repl"})
+		if err != nil {
+			return err
+		}
+		r.sys = sys
+		fmt.Fprintf(r.out, "session over %d libraries x %d tags\n", sys.Data.NumLibraries(), sys.Data.NumTags())
+		return nil
+	case "load":
+		if arg(0) == "" {
+			return fmt.Errorf("usage: load DIR")
+		}
+		sys, err := gea.LoadSession(arg(0), nil, 0)
+		if err != nil {
+			return err
+		}
+		r.sys = sys
+		if sys.LoadReport != nil && !sys.LoadReport.OK() {
+			fmt.Fprint(r.errw, sys.LoadReport)
+		}
+		fmt.Fprintf(r.out, "loaded session of user %q (%d lineage nodes)\n", sys.User, len(sys.Lineage.Names()))
+		return nil
+	case "save":
+		sys, err := r.needSession()
+		if err != nil {
+			return err
+		}
+		if arg(0) == "" {
+			return fmt.Errorf("usage: save DIR")
+		}
+		if err := sys.SaveSession(arg(0)); err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "session saved to %s\n", arg(0))
+		return nil
+	case "report":
+		sys, err := r.needSession()
+		if err != nil {
+			return err
+		}
+		if sys.LoadReport == nil {
+			fmt.Fprintln(r.out, "session was not loaded from disk")
+			return nil
+		}
+		fmt.Fprint(r.out, sys.LoadReport)
+		if sys.LoadReport.OK() {
+			fmt.Fprintln(r.out)
+		}
+		return nil
+	case "info":
+		sys, err := r.needSession()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "user %q, %d libraries x %d tags\n", sys.User, sys.Data.NumLibraries(), sys.Data.NumTags())
+		for tissue, libs := range sys.TissueTypes() {
+			fmt.Fprintf(r.out, "  %-10s %d libraries\n", tissue, len(libs))
+		}
+		return nil
+	case "mine":
+		sys, err := r.needSession()
+		if err != nil {
+			return err
+		}
+		tissue := arg(0)
+		if tissue == "" {
+			return fmt.Errorf("usage: mine TISSUE")
+		}
+		if _, err := sys.CreateTissueDataset(tissue); err != nil {
+			return err
+		}
+		if err := sys.GenerateMetadata(tissue, 10); err != nil {
+			return err
+		}
+		pure, err := sys.FindPureFascicle(tissue, gea.PropCancer, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.out, "pure cancerous fascicle: %s\n", pure)
+		return nil
+	case "tree":
+		sys, err := r.needSession()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(r.out, sys.Lineage.Tree())
+		return nil
+	case "debug-panic":
+		// Deliberate crash used to exercise the loop's panic recovery.
+		panic("debug-panic command")
+	default:
+		return fmt.Errorf("unknown command %q (try \"help\")", cmd)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReplSurvivesPanic drives the command loop through a deliberate panic
+// and asserts the loop keeps serving commands — with its session state
+// intact — instead of crashing the process.
+func TestReplSurvivesPanic(t *testing.T) {
+	var out, errw strings.Builder
+	r := &repl{out: &out, errw: &errw}
+	script := "gen\ndebug-panic\ninfo\nquit\n"
+	if err := r.run(strings.NewReader(script)); err != nil {
+		t.Fatalf("repl exited with error: %v", err)
+	}
+	if !strings.Contains(errw.String(), "panic recovered") {
+		t.Errorf("panic not surfaced to the user:\n%s", errw.String())
+	}
+	if r.sys == nil {
+		t.Fatal("session lost across the panic")
+	}
+	// The post-panic "info" command ran against the surviving session.
+	if !strings.Contains(out.String(), "libraries x") {
+		t.Errorf("post-panic command did not run:\n%s", out.String())
+	}
+}
+
+// TestReplUnknownAndSessionlessCommands checks ordinary error paths keep
+// the loop alive too.
+func TestReplUnknownAndSessionlessCommands(t *testing.T) {
+	var out, errw strings.Builder
+	r := &repl{out: &out, errw: &errw}
+	script := "bogus\ninfo\nsave\nhelp\nquit\n"
+	if err := r.run(strings.NewReader(script)); err != nil {
+		t.Fatalf("repl exited with error: %v", err)
+	}
+	for _, want := range []string{"unknown command", "no session"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Errorf("missing %q in error output:\n%s", want, errw.String())
+		}
+	}
+	if !strings.Contains(out.String(), "commands:") {
+		t.Error("help did not print after earlier errors")
+	}
+}
+
+// TestReplSaveLoadRoundTrip saves a session from the REPL and loads it in
+// a fresh loop, covering the CLI's durable save/load path.
+func TestReplSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir() + "/session"
+	var out, errw strings.Builder
+	r := &repl{out: &out, errw: &errw}
+	script := "gen\nmine brain\nsave " + dir + "\nquit\n"
+	if err := r.run(strings.NewReader(script)); err != nil {
+		t.Fatalf("save loop: %v", err)
+	}
+	if errw.Len() > 0 {
+		t.Fatalf("save loop errors:\n%s", errw.String())
+	}
+
+	var out2, errw2 strings.Builder
+	r2 := &repl{out: &out2, errw: &errw2}
+	if err := r2.run(strings.NewReader("load " + dir + "\nreport\ntree\nquit\n")); err != nil {
+		t.Fatalf("load loop: %v", err)
+	}
+	if errw2.Len() > 0 {
+		t.Fatalf("load loop errors:\n%s", errw2.String())
+	}
+	if !strings.Contains(out2.String(), "load clean") {
+		t.Errorf("expected clean load report:\n%s", out2.String())
+	}
+}

@@ -39,6 +39,7 @@
 package gea
 
 import (
+	"gea/internal/atomicio"
 	"gea/internal/clean"
 	"gea/internal/sage"
 	"gea/internal/sagegen"
@@ -91,15 +92,49 @@ var (
 	// BuildDatasetWithTags assembles a Dataset over an explicit tag universe.
 	BuildDatasetWithTags = sage.BuildWithTags
 	// SaveCorpus / LoadCorpus persist a corpus as sageName.txt plus one
-	// plain-text file per library.
+	// plain-text file per library, under the crash-safe generation
+	// protocol of internal/atomicio (checksummed files, atomic commit).
 	SaveCorpus = sage.SaveCorpus
 	LoadCorpus = sage.LoadCorpus
-	// WriteBinary / ReadBinary handle the dense ".b" tissue files.
+	// LoadCorpusSalvage loads what verifies and reports damaged library
+	// files instead of failing the whole corpus.
+	LoadCorpusSalvage = sage.LoadCorpusSalvage
+	// WriteBinary / ReadBinary are the stream codecs for the dense ".b"
+	// tissue format.
 	WriteBinary = sage.WriteBinary
 	ReadBinary  = sage.ReadBinary
-	// WriteMeta / ReadMeta handle ".meta" tolerance-vector files.
+	// SaveBinaryFile / LoadBinaryFile commit a ".b" file atomically with a
+	// checksum footer.
+	SaveBinaryFile = sage.SaveBinaryFile
+	LoadBinaryFile = sage.LoadBinaryFile
+	// WriteMeta / ReadMeta are the stream codecs for ".meta"
+	// tolerance-vector files.
 	WriteMeta = sage.WriteMeta
 	ReadMeta  = sage.ReadMeta
+	// SaveMetaFile / LoadMetaFile commit a ".meta" file atomically with a
+	// checksum footer.
+	SaveMetaFile = sage.SaveMetaFile
+	LoadMetaFile = sage.LoadMetaFile
+)
+
+// Durability layer (internal/atomicio).
+type (
+	// FS is the injectable filesystem every persistence path runs on;
+	// OSFS is the production implementation.
+	FS = atomicio.FS
+	// CorpusProblem records one damaged artifact a salvaging corpus load
+	// skipped.
+	CorpusProblem = sage.Problem
+)
+
+// OSFS is the real-disk FS used by default.
+var OSFS = atomicio.OS{}
+
+// Checksum-framing sentinel errors, for classifying load failures with
+// errors.Is.
+var (
+	ErrTruncated = atomicio.ErrTruncated
+	ErrChecksum  = atomicio.ErrChecksum
 )
 
 // Synthetic corpus generation (the substitute for the NCBI SAGE download).

@@ -1,0 +1,247 @@
+// Package atomicio is GEA's durability layer: every artifact the toolkit
+// persists (corpus indexes, library files, binary ".b" tissue files, the
+// relational catalog, the lineage graph, the session manifest) goes to disk
+// through this package.
+//
+// It provides three things:
+//
+//  1. An injectable FS interface so the save paths can be exercised under
+//     fault injection (package iofault) without touching the real disk API.
+//
+//  2. Checksummed framing: a fixed-size footer carrying a format version,
+//     the payload length and a CRC-32C of the payload. Truncation (payload
+//     shorter than the footer says, or footer missing entirely) is
+//     distinguishable from corruption (checksum mismatch) via the sentinel
+//     errors ErrTruncated and ErrChecksum.
+//
+//  3. Atomic commits: WriteFile stages the framed payload in a temporary
+//     file, fsyncs it, renames it over the destination and fsyncs the
+//     parent directory, so a crash at any point leaves either the old file
+//     or the new file, never a torn one. For multi-file artifacts the
+//     generation-directory protocol (NextGen/Commit/CurrentGen) writes a
+//     whole new directory and flips a single CURRENT pointer as the commit
+//     point.
+package atomicio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Framing errors. Callers classify load failures with errors.Is.
+var (
+	// ErrTruncated reports a file that is shorter than its footer claims,
+	// or that carries no footer at all — the signature a crash mid-write
+	// (or a file from a pre-durability version of GEA) leaves behind.
+	ErrTruncated = errors.New("atomicio: truncated file or missing footer")
+	// ErrChecksum reports a complete file whose payload does not match its
+	// recorded CRC — bit rot or external modification.
+	ErrChecksum = errors.New("atomicio: checksum mismatch")
+)
+
+// Footer layout (little endian), appended after the payload:
+//
+//	offset 0  magic   "GEAF" (4 bytes)
+//	offset 4  version uint32 — frame format version
+//	offset 8  length  uint64 — payload length in bytes
+//	offset 16 crc     uint32 — CRC-32C (Castagnoli) of the payload
+const (
+	frameMagic = "GEAF"
+	// FrameVersion is the current frame format version recorded in every
+	// footer. Readers reject newer versions rather than misparse them.
+	FrameVersion = 1
+	// FooterSize is the fixed size of the frame footer in bytes.
+	FooterSize = 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFooter returns payload with its frame footer appended.
+func AppendFooter(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+FooterSize)
+	out = append(out, payload...)
+	out = append(out, frameMagic...)
+	out = binary.LittleEndian.AppendUint32(out, FrameVersion)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return out
+}
+
+// SplitFrame verifies the footer of a framed file and returns the payload.
+// It reports ErrTruncated when the footer is absent or the payload is the
+// wrong length, and ErrChecksum when the payload fails its CRC.
+func SplitFrame(data []byte) ([]byte, error) {
+	if len(data) < FooterSize {
+		return nil, fmt.Errorf("%w (%d bytes, footer needs %d)", ErrTruncated, len(data), FooterSize)
+	}
+	foot := data[len(data)-FooterSize:]
+	if string(foot[:4]) != frameMagic {
+		return nil, fmt.Errorf("%w (no %q footer)", ErrTruncated, frameMagic)
+	}
+	version := binary.LittleEndian.Uint32(foot[4:8])
+	if version > FrameVersion {
+		return nil, fmt.Errorf("atomicio: frame version %d is newer than supported %d", version, FrameVersion)
+	}
+	length := binary.LittleEndian.Uint64(foot[8:16])
+	payload := data[:len(data)-FooterSize]
+	if length != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w (footer records %d payload bytes, file holds %d)", ErrTruncated, length, len(payload))
+	}
+	if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(foot[16:20]) {
+		return nil, fmt.Errorf("%w (payload CRC %08x, footer records %08x)",
+			ErrChecksum, crc, binary.LittleEndian.Uint32(foot[16:20]))
+	}
+	return payload, nil
+}
+
+// tempName returns the staging name for path. It is deterministic so fault
+// scripts replay identically; a leftover temp from a crashed commit is
+// simply truncated by the next attempt and never read by loaders.
+func tempName(path string) string {
+	dir, base := filepath.Split(path)
+	return dir + ".tmp." + base
+}
+
+// IsTempName reports whether base names a staging file left by an
+// interrupted commit. Loaders and directory scans skip such files.
+func IsTempName(base string) bool { return strings.HasPrefix(base, ".tmp.") }
+
+// WriteFile atomically commits payload (plus frame footer) to path:
+// stage in a temp file, write, fsync, close, rename over path, fsync the
+// parent directory. A crash at any step leaves the previous contents of
+// path intact.
+func WriteFile(fsys FS, path string, payload []byte) error {
+	tmp := tempName(path)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(AppendFooter(payload)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// WriteFileFunc buffers the output of write and atomically commits it to
+// path with WriteFile. It adapts GEA's stream codecs (WriteIndex,
+// WriteLibrary, WriteBinary, gob encoders…) to the framed atomic protocol.
+func WriteFileFunc(fsys FS, path string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	return WriteFile(fsys, path, buf.Bytes())
+}
+
+// ReadFile reads a framed file and returns its verified payload.
+func ReadFile(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := SplitFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}
+
+// Generation-directory protocol. A multi-file artifact (a corpus, a
+// session) lives under a root directory as
+//
+//	root/CURRENT      framed file naming the live generation
+//	root/gen-NNNNNN/  the generation's files
+//
+// A save writes a complete new generation directory — never touching the
+// live one — and then commits by atomically rewriting CURRENT. Stale
+// generations are removed only after the commit, so a crash anywhere
+// yields either the old or the new complete state.
+const (
+	// CurrentFile is the name of the commit-pointer file.
+	CurrentFile = "CURRENT"
+	genPrefix   = "gen-"
+)
+
+// NextGen scans root (creating it if needed) and returns the name of the
+// next unused generation directory, e.g. "gen-000003".
+func NextGen(fsys FS, root string) (string, error) {
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
+		return "", err
+	}
+	entries, err := fsys.ReadDir(root)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), genPrefix+"%06d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return fmt.Sprintf(genPrefix+"%06d", max+1), nil
+}
+
+// Commit atomically points root/CURRENT at gen. This is the commit point
+// of a multi-file save: before it, loaders see the previous state; after
+// it, the new one.
+func Commit(fsys FS, root, gen string) error {
+	return WriteFile(fsys, filepath.Join(root, CurrentFile), []byte(gen))
+}
+
+// CurrentGen reads root/CURRENT and returns the live generation name.
+func CurrentGen(fsys FS, root string) (string, error) {
+	payload, err := ReadFile(fsys, filepath.Join(root, CurrentFile))
+	if err != nil {
+		return "", err
+	}
+	gen := string(payload)
+	if !strings.HasPrefix(gen, genPrefix) || strings.ContainsAny(gen, "/\\") {
+		return "", fmt.Errorf("atomicio: %s/CURRENT names invalid generation %q", root, gen)
+	}
+	return gen, nil
+}
+
+// CleanupGens removes every generation directory under root except keep,
+// plus any stale staging files. Failures are ignored: orphan generations
+// are invisible to loaders and the next save retries the cleanup.
+func CleanupGens(fsys FS, root, keep string) {
+	entries, err := fsys.ReadDir(root)
+	if err != nil {
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		stale := (strings.HasPrefix(name, genPrefix) && name != keep) || IsTempName(name)
+		if stale {
+			fsys.RemoveAll(filepath.Join(root, name))
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), []byte("hello frame"), make([]byte, 4096)} {
+		framed := AppendFooter(payload)
+		got, err := SplitFrame(framed)
+		if err != nil {
+			t.Fatalf("SplitFrame(%d bytes): %v", len(payload), err)
+		}
+		if string(got) != string(payload) {
+			t.Fatalf("payload changed: %d vs %d bytes", len(got), len(payload))
+		}
+	}
+}
+
+func TestSplitFrameTruncation(t *testing.T) {
+	framed := AppendFooter([]byte("some payload worth keeping"))
+	// Every proper prefix must read as truncated or corrupt, never succeed.
+	for n := 0; n < len(framed); n++ {
+		_, err := SplitFrame(framed[:n])
+		if err == nil {
+			t.Fatalf("SplitFrame of %d/%d-byte prefix succeeded", n, len(framed))
+		}
+	}
+	// A cut that removes footer bytes is truncation, not a checksum error.
+	if _, err := SplitFrame(framed[:len(framed)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("cut footer: got %v, want ErrTruncated", err)
+	}
+	if _, err := SplitFrame(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty file: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestSplitFrameCorruption(t *testing.T) {
+	framed := AppendFooter([]byte("some payload worth keeping"))
+	payloadLen := len(framed) - FooterSize
+	for i := range framed {
+		mutated := append([]byte(nil), framed...)
+		mutated[i] ^= 0x40
+		_, err := SplitFrame(mutated)
+		if err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+		if i < payloadLen && !errors.Is(err, ErrChecksum) {
+			t.Errorf("payload flip at %d: got %v, want ErrChecksum", i, err)
+		}
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	if err := WriteFile(OS{}, path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(OS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("payload = %q", got)
+	}
+	// Overwrite is atomic and leaves no staging file behind.
+	if err := WriteFile(OS{}, path, []byte("v2 longer payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(OS{}, path)
+	if err != nil || string(got) != "v2 longer payload" {
+		t.Fatalf("after overwrite: %q, %v", got, err)
+	}
+	if _, err := os.Stat(tempName(path)); !os.IsNotExist(err) {
+		t.Errorf("staging file survived commit: %v", err)
+	}
+}
+
+func TestWriteFileFunc(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	err := WriteFileFunc(OS{}, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("streamed"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(OS{}, path)
+	if err != nil || string(got) != "streamed" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	// An error from the codec aborts before anything is committed.
+	boom := errors.New("boom")
+	err = WriteFileFunc(OS{}, filepath.Join(dir, "g"), func(io.Writer) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("codec error not propagated: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "g")); !os.IsNotExist(err) {
+		t.Error("failed write left a file behind")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(OS{}, filepath.Join(t.TempDir(), "nope")); !os.IsNotExist(err) {
+		t.Errorf("got %v, want not-exist", err)
+	}
+}
+
+func TestGenerationProtocol(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "store")
+	gen, err := NextGen(OS{}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != "gen-000001" {
+		t.Fatalf("first generation = %q", gen)
+	}
+	// CURRENT does not exist before the first commit.
+	if _, err := CurrentGen(OS{}, root); err == nil {
+		t.Fatal("CurrentGen before any commit: expected error")
+	}
+	if err := os.MkdirAll(filepath.Join(root, gen), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(OS{}, filepath.Join(root, gen, "data"), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Commit(OS{}, root, gen); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := CurrentGen(OS{}, root)
+	if err != nil || cur != gen {
+		t.Fatalf("CurrentGen = %q, %v", cur, err)
+	}
+
+	// Second generation: NextGen skips the live one, cleanup removes it
+	// only after the new commit.
+	gen2, err := NextGen(OS{}, root)
+	if err != nil || gen2 != "gen-000002" {
+		t.Fatalf("second generation = %q, %v", gen2, err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, gen2), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := Commit(OS{}, root, gen2); err != nil {
+		t.Fatal(err)
+	}
+	CleanupGens(OS{}, root, gen2)
+	if _, err := os.Stat(filepath.Join(root, gen)); !os.IsNotExist(err) {
+		t.Error("stale generation survived cleanup")
+	}
+	if _, err := os.Stat(filepath.Join(root, gen2)); err != nil {
+		t.Errorf("live generation removed: %v", err)
+	}
+}
+
+func TestCurrentGenRejectsEscapes(t *testing.T) {
+	root := t.TempDir()
+	if err := WriteFile(OS{}, filepath.Join(root, CurrentFile), []byte("../evil")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CurrentGen(OS{}, root); err == nil {
+		t.Fatal("path-escaping CURRENT accepted")
+	}
+}

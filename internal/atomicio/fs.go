@@ -1,0 +1,58 @@
+package atomicio
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the writable handle an FS hands out: the minimal surface the
+// atomic-commit protocol needs (write, fsync, close).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of every GEA save and load path.
+// Production code uses OS; the fault-injection harness (package iofault)
+// wraps one to script failures at exact operation counts.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a preceding rename survives power loss.
+	SyncDir(name string) error
+}
+
+// OS is the production FS backed by package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse fsync on directories; that only weakens
+	// durability timing, not atomicity, so it is not an error.
+	_ = d.Sync()
+	return d.Close()
+}

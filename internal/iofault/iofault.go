@@ -1,0 +1,234 @@
+// Package iofault is a deterministic fault-scripting filesystem for
+// testing GEA's durability layer. It wraps an atomicio.FS and counts every
+// filesystem operation — creates, writes, fsyncs, closes, renames,
+// removals, directory scans and directory syncs — in the order the save
+// path performs them. A Config then injects a failure at an exact
+// operation number:
+//
+//   - FailAt returns an error (ENOSPC by default) from that operation and
+//     lets the caller continue — a recoverable I/O error.
+//   - ShortWriteAt makes that write persist only half its buffer before
+//     failing — a torn write.
+//   - CrashAt simulates the machine dying at that operation: the
+//     operation itself half-applies (a write persists a prefix; a rename
+//     or create does not happen), and every later operation returns
+//     ErrCrashed. Whatever bytes reached the inner FS before the crash
+//     remain on disk, exactly like the partial state power loss leaves.
+//
+// Because GEA's save paths buffer each artifact and issue one write per
+// file, operation counts are deterministic, so a test can first run a save
+// against a counting FS (zero Config), read Ops(), and then replay the
+// save once per operation number with CrashAt set — walking every crash
+// point of the protocol.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+
+	"gea/internal/atomicio"
+)
+
+// Injected errors.
+var (
+	// ErrInjected is the default FailAt error.
+	ErrInjected = errors.New("iofault: injected I/O error")
+	// ErrNoSpace mimics ENOSPC from a full disk.
+	ErrNoSpace = errors.New("iofault: no space left on device")
+	// ErrCrashed is returned by every operation after the crash point.
+	ErrCrashed = errors.New("iofault: simulated crash")
+)
+
+// Config scripts at most one fault. Operation numbers are 1-based; zero
+// disables that fault.
+type Config struct {
+	// FailAt fails operation number FailAt with FailErr and performs it
+	// only partially (writes persist half their bytes, metadata ops do
+	// not happen). Later operations proceed normally.
+	FailAt  int
+	FailErr error // defaults to ErrInjected
+	// ShortWriteAt fails write-operation semantics at the given op
+	// number: half the buffer persists, then ErrInjected returns.
+	ShortWriteAt int
+	// CrashAt halts the world at the given operation number: that
+	// operation half-applies and every subsequent one returns ErrCrashed.
+	CrashAt int
+}
+
+// Op is one recorded filesystem operation.
+type Op struct {
+	N    int
+	Kind string // "create", "write", "sync", "close", "rename", ...
+	Path string
+}
+
+// FS wraps an inner atomicio.FS with the fault script.
+type FS struct {
+	inner atomicio.FS
+	cfg   Config
+
+	mu      sync.Mutex
+	n       int
+	crashed bool
+	trace   []Op
+}
+
+// New returns a fault-scripting FS over inner. A zero Config only counts.
+func New(inner atomicio.FS, cfg Config) *FS {
+	if cfg.FailErr == nil {
+		cfg.FailErr = ErrInjected
+	}
+	return &FS{inner: inner, cfg: cfg}
+}
+
+// Ops returns how many operations have been observed so far.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Trace returns the recorded operations in order.
+func (f *FS) Trace() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Op(nil), f.trace...)
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step records one operation and decides its fate:
+// proceed, fail (recoverable), or partial (half-apply then error).
+type fate int
+
+const (
+	proceed fate = iota
+	fail         // do not perform, return err
+	partial      // perform half (writes), return err
+)
+
+func (f *FS) step(kind, path string) (fate, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return fail, fmt.Errorf("%w (op %s %s)", ErrCrashed, kind, path)
+	}
+	f.n++
+	f.trace = append(f.trace, Op{N: f.n, Kind: kind, Path: path})
+	switch f.n {
+	case f.cfg.CrashAt:
+		f.crashed = true
+		return partial, fmt.Errorf("%w (op %d: %s %s)", ErrCrashed, f.n, kind, path)
+	case f.cfg.FailAt:
+		return partial, fmt.Errorf("%w (op %d: %s %s)", f.cfg.FailErr, f.n, kind, path)
+	case f.cfg.ShortWriteAt:
+		return partial, fmt.Errorf("%w (op %d: short %s %s)", ErrInjected, f.n, kind, path)
+	}
+	return proceed, nil
+}
+
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	if verdict, err := f.step("mkdirall", path); verdict != proceed {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) Create(name string) (atomicio.File, error) {
+	if verdict, err := f.step("create", name); verdict != proceed {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *FS) Open(name string) (io.ReadCloser, error) {
+	if verdict, err := f.step("open", name); verdict != proceed {
+		return nil, err
+	}
+	return f.inner.Open(name)
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	if verdict, err := f.step("rename", newname); verdict != proceed {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FS) Remove(name string) error {
+	if verdict, err := f.step("remove", name); verdict != proceed {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) RemoveAll(path string) error {
+	if verdict, err := f.step("removeall", path); verdict != proceed {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if verdict, err := f.step("readdir", name); verdict != proceed {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) SyncDir(name string) error {
+	if verdict, err := f.step("syncdir", name); verdict != proceed {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+// file wraps the inner handle so writes, syncs and closes count as
+// operations and honor partial-apply semantics.
+type file struct {
+	fs    *FS
+	inner atomicio.File
+	name  string
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	verdict, err := w.fs.step("write", w.name)
+	switch verdict {
+	case fail:
+		return 0, err
+	case partial:
+		// A torn write: only a prefix reaches the disk.
+		n, _ := w.inner.Write(p[:len(p)/2])
+		return n, err
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	if verdict, err := w.fs.step("sync", w.name); verdict != proceed {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Close() error {
+	if verdict, err := w.fs.step("close", w.name); verdict != proceed {
+		// Even on a failed close the inner handle is released, so the
+		// harness does not leak descriptors across hundreds of replays.
+		w.inner.Close()
+		return err
+	}
+	return w.inner.Close()
+}

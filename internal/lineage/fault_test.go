@@ -1,0 +1,134 @@
+package lineage
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gea/internal/atomicio"
+	"gea/internal/iofault"
+)
+
+func faultGraphs(t *testing.T) (old, new *Graph) {
+	t.Helper()
+	old = NewGraph()
+	if _, err := old.Record("SAGE", KindDataset, "load", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Record("brain", KindDataset, "subset", nil, "SAGE"); err != nil {
+		t.Fatal(err)
+	}
+	new = NewGraph()
+	if _, err := new.Record("SAGE", KindDataset, "load", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := new.Record("brain", KindDataset, "subset", nil, "SAGE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := new.Record("brain_fas1", KindFascicle, "mine", nil, "brain"); err != nil {
+		t.Fatal(err)
+	}
+	return old, new
+}
+
+// TestLineageSaveCrashWalk enumerates every filesystem operation of
+// Graph.Save and, for a crash injected at each one, asserts the file then
+// loads as either the complete old graph or the complete new graph.
+func TestLineageSaveCrashWalk(t *testing.T) {
+	oldG, newG := faultGraphs(t)
+
+	// Count the operations of one save over an existing file.
+	counter := iofault.New(atomicio.OS{}, iofault.Config{})
+	{
+		path := filepath.Join(t.TempDir(), "lineage.gob")
+		if err := oldG.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := newG.SaveFS(counter, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := counter.Ops()
+	if total < 5 {
+		t.Fatalf("implausible op count %d (trace %v)", total, counter.Trace())
+	}
+
+	sawOld, sawNew := false, false
+	for crash := 1; crash <= total; crash++ {
+		path := filepath.Join(t.TempDir(), "lineage.gob")
+		if err := oldG.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		fsys := iofault.New(atomicio.OS{}, iofault.Config{CrashAt: crash})
+		saveErr := newG.SaveFS(fsys, path)
+
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("crash at op %d: load after crash failed: %v", crash, err)
+		}
+		switch {
+		case reflect.DeepEqual(got.Names(), oldG.Names()):
+			sawOld = true
+			if saveErr == nil {
+				t.Errorf("crash at op %d: save reported success but old state loaded", crash)
+			}
+		case reflect.DeepEqual(got.Names(), newG.Names()):
+			sawNew = true
+		default:
+			t.Fatalf("crash at op %d: loaded neither old nor new graph: %v", crash, got.Names())
+		}
+
+		// Recovery: a clean retry lands the new state.
+		if err := newG.Save(path); err != nil {
+			t.Fatalf("crash at op %d: retry save failed: %v", crash, err)
+		}
+		if got, err := Load(path); err != nil || !reflect.DeepEqual(got.Names(), newG.Names()) {
+			t.Fatalf("crash at op %d: retry did not restore new state (%v)", crash, err)
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Errorf("crash walk did not cover both outcomes (old=%v new=%v)", sawOld, sawNew)
+	}
+}
+
+// TestLineageSaveENOSPC injects a recoverable disk-full error at every
+// operation: the save must fail without touching the previous graph.
+func TestLineageSaveENOSPC(t *testing.T) {
+	oldG, newG := faultGraphs(t)
+	counter := iofault.New(atomicio.OS{}, iofault.Config{})
+	{
+		path := filepath.Join(t.TempDir(), "lineage.gob")
+		if err := oldG.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := newG.SaveFS(counter, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for op := 1; op <= counter.Ops(); op++ {
+		path := filepath.Join(t.TempDir(), "lineage.gob")
+		if err := oldG.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		fsys := iofault.New(atomicio.OS{}, iofault.Config{FailAt: op, FailErr: iofault.ErrNoSpace})
+		saveErr := newG.SaveFS(fsys, path)
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("ENOSPC at op %d: load failed: %v", op, err)
+		}
+		// A failed save may have committed already (the directory sync after
+		// the rename can fail), but the state must be complete either way.
+		isOld := reflect.DeepEqual(got.Names(), oldG.Names())
+		isNew := reflect.DeepEqual(got.Names(), newG.Names())
+		if !isOld && !isNew {
+			t.Fatalf("ENOSPC at op %d: torn graph: %v", op, got.Names())
+		}
+		if saveErr == nil && !isNew {
+			t.Fatalf("ENOSPC at op %d: successful save lost the new graph", op)
+		}
+		// The fault is recoverable: a clean retry must land the new state.
+		if err := newG.Save(path); err != nil {
+			t.Fatalf("ENOSPC at op %d: retry failed: %v", op, err)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package lineage
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 	"sort"
+
+	"gea/internal/atomicio"
 )
 
 // storedNode is the persisted form of a Node (children are derivable).
@@ -68,25 +70,31 @@ func Read(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// Save persists the graph to a file.
+// Save persists the graph to a file: checksummed, committed atomically via
+// temp-and-rename, so a crash mid-save leaves the previous graph intact.
 func (g *Graph) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := g.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return g.SaveFS(atomicio.OS{}, path)
 }
 
-// Load reads a graph saved with Save.
+// SaveFS is Save over an injectable filesystem.
+func (g *Graph) SaveFS(fsys atomicio.FS, path string) error {
+	return atomicio.WriteFileFunc(fsys, path, g.Write)
+}
+
+// Load reads a graph saved with Save, verifying its checksum footer.
 func Load(path string) (*Graph, error) {
-	f, err := os.Open(path)
+	return LoadFS(atomicio.OS{}, path)
+}
+
+// LoadFS is Load over an injectable filesystem.
+func LoadFS(fsys atomicio.FS, path string) (*Graph, error) {
+	data, err := atomicio.ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	g, err := Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
 }

@@ -1,11 +1,14 @@
 package relational
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
-	"os"
+	"io"
 	"sort"
 	"sync"
+
+	"gea/internal/atomicio"
 )
 
 // Store is a named-table catalog — the GEA's "database". It is safe for
@@ -95,50 +98,62 @@ type storedTable struct {
 	Rows   []Row
 }
 
-// Save persists the store to path with encoding/gob.
+// Save persists the store to path with encoding/gob, checksummed and
+// committed atomically so a crash mid-save leaves the previous catalog
+// intact.
 func (s *Store) Save(path string) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := gob.NewEncoder(f)
-	names := make([]string, 0, len(s.tables))
-	for n := range s.tables {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	if err := enc.Encode(len(names)); err != nil {
-		return err
-	}
-	for _, n := range names {
-		t := s.tables[n]
-		if err := enc.Encode(storedTable{Name: t.Name, Schema: t.Schema, Rows: t.Rows}); err != nil {
-			return err
-		}
-	}
-	return f.Sync()
+	return s.SaveFS(atomicio.OS{}, path)
 }
 
-// Load reads a store previously written by Save.
+// SaveFS is Save over an injectable filesystem.
+func (s *Store) SaveFS(fsys atomicio.FS, path string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return atomicio.WriteFileFunc(fsys, path, func(w io.Writer) error {
+		enc := gob.NewEncoder(w)
+		names := make([]string, 0, len(s.tables))
+		for n := range s.tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if err := enc.Encode(len(names)); err != nil {
+			return err
+		}
+		for _, n := range names {
+			t := s.tables[n]
+			if err := enc.Encode(storedTable{Name: t.Name, Schema: t.Schema, Rows: t.Rows}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Load reads a store previously written by Save, verifying its checksum
+// footer.
 func Load(path string) (*Store, error) {
-	f, err := os.Open(path)
+	return LoadFS(atomicio.OS{}, path)
+}
+
+// LoadFS is Load over an injectable filesystem.
+func LoadFS(fsys atomicio.FS, path string) (*Store, error) {
+	data, err := atomicio.ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
+	dec := gob.NewDecoder(bytes.NewReader(data))
 	var n int
 	if err := dec.Decode(&n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%s: negative table count %d", path, n)
 	}
 	s := NewStore()
 	for i := 0; i < n; i++ {
 		var st storedTable
 		if err := dec.Decode(&st); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		s.tables[st.Name] = &Table{Name: st.Name, Schema: st.Schema, Rows: st.Rows}
 	}

@@ -1,0 +1,113 @@
+package sage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gea/internal/atomicio"
+)
+
+// TestBinaryFileEveryByteFlip corrupts each byte of a saved ".b" tissue
+// file in turn. Every flip must be detected at load — as a checksum or
+// format error, never a panic and never a silently wrong dataset.
+func TestBinaryFileEveryByteFlip(t *testing.T) {
+	c := buildTestCorpus()
+	ds := Build(c)
+	metaByName := map[string]LibraryMeta{}
+	for _, l := range c.Libraries {
+		metaByName[l.Meta.Name] = l.Meta
+	}
+
+	path := filepath.Join(t.TempDir(), "brain.b")
+	if err := SaveBinaryFile(atomicio.OS{}, path, ds); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinaryFile(atomicio.OS{}, path, metaByName); err != nil {
+		t.Fatalf("clean file must load: %v", err)
+	}
+
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xFF
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBinaryFile(atomicio.OS{}, path, metaByName); err == nil {
+			t.Errorf("flip of byte %d/%d went undetected", i, len(orig))
+		}
+	}
+}
+
+// TestMetaFileEveryByteFlip does the same for the ".meta" tolerance file.
+func TestMetaFileEveryByteFlip(t *testing.T) {
+	tol := map[TagID]float64{
+		MustParseTag("AAAAAAAAAA"): 1,
+		MustParseTag("ACGTACGTAC"): 2.5,
+	}
+	path := filepath.Join(t.TempDir(), "brain.meta")
+	if err := SaveMetaFile(atomicio.OS{}, path, tol); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xFF
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadMetaFile(atomicio.OS{}, path); err == nil {
+			t.Errorf("flip of byte %d/%d went undetected", i, len(orig))
+		}
+	}
+}
+
+// TestCorpusLibraryByteFlipSalvages corrupts one library file of a saved
+// corpus: the strict load must fail, while the salvaging load must return
+// the remaining libraries and report exactly what was skipped.
+func TestCorpusLibraryByteFlipSalvages(t *testing.T) {
+	dir := t.TempDir()
+	c := buildTestCorpus()
+	if err := SaveCorpus(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := atomicio.CurrentGen(atomicio.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, gen, "B2.sage")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Error("strict load accepted a corrupt library")
+	}
+	got, problems, err := LoadCorpusSalvage(atomicio.OS{}, dir)
+	if err != nil {
+		t.Fatalf("salvage load failed outright: %v", err)
+	}
+	if len(problems) != 1 || filepath.Base(problems[0].Path) != "B2.sage" {
+		t.Fatalf("problems = %v, want exactly B2.sage", problems)
+	}
+	if len(got.Libraries) != 2 {
+		t.Fatalf("salvaged %d libraries, want 2", len(got.Libraries))
+	}
+	for _, l := range got.Libraries {
+		if l.Meta.Name == "B2" {
+			t.Error("corrupt library made it into the salvaged corpus")
+		}
+	}
+}

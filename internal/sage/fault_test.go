@@ -1,0 +1,200 @@
+package sage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gea/internal/atomicio"
+	"gea/internal/iofault"
+)
+
+// faultCorpus builds a small corpus of n libraries whose counts are offset
+// by bump, so "old" and "new" corpora are cheaply distinguishable.
+func faultCorpus(n int, bump float64) *Corpus {
+	c := &Corpus{}
+	for i := 1; i <= n; i++ {
+		l := NewLibrary(testMeta(i, fmt.Sprintf("SAGE_lib%02d", i), "brain", Cancer, BulkTissue))
+		l.Add(MustParseTag("AAAAAAAAAC"), float64(10*i)+bump)
+		l.Add(MustParseTag("ACGTACGTAC"), 3+bump)
+		l.RefreshMeta()
+		c.Libraries = append(c.Libraries, l)
+	}
+	return c
+}
+
+func corporaEqual(a, b *Corpus) bool {
+	if len(a.Libraries) != len(b.Libraries) {
+		return false
+	}
+	for i, la := range a.Libraries {
+		lb := b.Libraries[i]
+		if la.Meta.Name != lb.Meta.Name || la.Unique() != lb.Unique() {
+			return false
+		}
+		for tag, count := range la.Counts {
+			if lb.Count(tag) != count {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// copyTree replicates a saved corpus/session directory so each crash
+// iteration starts from the same committed old state.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copyTree %s -> %s: %v", src, dst, err)
+	}
+}
+
+// TestSaveCorpusCrashWalk enumerates every filesystem operation of
+// SaveCorpus — each library write, the index write, the CURRENT commit and
+// the generation cleanup — and for a crash injected at each one asserts the
+// directory then loads as either the complete old corpus or the complete
+// new corpus, never a mix.
+func TestSaveCorpusCrashWalk(t *testing.T) {
+	oldC := faultCorpus(3, 0)
+	newC := faultCorpus(4, 100) // one more library AND different counts
+
+	seed := filepath.Join(t.TempDir(), "corpus")
+	if err := SaveCorpus(seed, oldC); err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the operations of one full overwrite save.
+	counter := iofault.New(atomicio.OS{}, iofault.Config{})
+	{
+		dir := filepath.Join(t.TempDir(), "corpus")
+		copyTree(t, seed, dir)
+		if err := SaveCorpusFS(counter, dir, newC); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := counter.Ops()
+	// 4 libraries + index = 5 atomic file commits of 6 ops each, plus the
+	// generation bookkeeping; anything shallow means the walk is not really
+	// enumerating the save.
+	if total < 30 {
+		t.Fatalf("implausible op count %d (trace %v)", total, counter.Trace())
+	}
+
+	sawOld, sawNew := false, false
+	for crash := 1; crash <= total; crash++ {
+		dir := filepath.Join(t.TempDir(), "corpus")
+		copyTree(t, seed, dir)
+		fsys := iofault.New(atomicio.OS{}, iofault.Config{CrashAt: crash})
+		saveErr := SaveCorpusFS(fsys, dir, newC)
+
+		got, err := LoadCorpus(dir)
+		if err != nil {
+			t.Fatalf("crash at op %d: load after crash failed: %v", crash, err)
+		}
+		switch {
+		case corporaEqual(got, oldC):
+			sawOld = true
+			if saveErr == nil {
+				t.Errorf("crash at op %d: save reported success but old corpus loaded", crash)
+			}
+		case corporaEqual(got, newC):
+			sawNew = true
+		default:
+			t.Fatalf("crash at op %d: loaded neither old nor new corpus (%d libraries)",
+				crash, len(got.Libraries))
+		}
+
+		// Recovery: a clean retry after the crash lands the new corpus.
+		if err := SaveCorpus(dir, newC); err != nil {
+			t.Fatalf("crash at op %d: retry save failed: %v", crash, err)
+		}
+		if got, err := LoadCorpus(dir); err != nil || !corporaEqual(got, newC) {
+			t.Fatalf("crash at op %d: retry did not restore new corpus (%v)", crash, err)
+		}
+	}
+	if !sawOld {
+		t.Error("no crash point preserved the old corpus — commit happens too early")
+	}
+	if !sawNew {
+		t.Error("no crash point yielded the new corpus — commit never became visible")
+	}
+}
+
+// TestSaveCorpusENOSPCAndShortWrite injects recoverable single-operation
+// faults (disk full, short write) at every step: the save may fail, but the
+// directory must always hold a complete corpus and a retry must succeed.
+func TestSaveCorpusENOSPCAndShortWrite(t *testing.T) {
+	oldC := faultCorpus(3, 0)
+	newC := faultCorpus(4, 100)
+	seed := filepath.Join(t.TempDir(), "corpus")
+	if err := SaveCorpus(seed, oldC); err != nil {
+		t.Fatal(err)
+	}
+	counter := iofault.New(atomicio.OS{}, iofault.Config{})
+	{
+		dir := filepath.Join(t.TempDir(), "corpus")
+		copyTree(t, seed, dir)
+		if err := SaveCorpusFS(counter, dir, newC); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, kind := range []string{"enospc", "shortwrite"} {
+		for op := 1; op <= counter.Ops(); op++ {
+			cfg := iofault.Config{FailAt: op, FailErr: iofault.ErrNoSpace}
+			if kind == "shortwrite" {
+				cfg = iofault.Config{ShortWriteAt: op}
+			}
+			dir := filepath.Join(t.TempDir(), "corpus")
+			copyTree(t, seed, dir)
+			saveErr := SaveCorpusFS(iofault.New(atomicio.OS{}, cfg), dir, newC)
+
+			got, err := LoadCorpus(dir)
+			if err != nil {
+				t.Fatalf("%s at op %d: load failed: %v", kind, op, err)
+			}
+			isOld, isNew := corporaEqual(got, oldC), corporaEqual(got, newC)
+			if !isOld && !isNew {
+				t.Fatalf("%s at op %d: torn corpus (%d libraries)", kind, op, len(got.Libraries))
+			}
+			if saveErr == nil && !isNew {
+				t.Fatalf("%s at op %d: successful save lost the new corpus", kind, op)
+			}
+			if err := SaveCorpus(dir, newC); err != nil {
+				t.Fatalf("%s at op %d: retry failed: %v", kind, op, err)
+			}
+			if got, err := LoadCorpus(dir); err != nil || !corporaEqual(got, newC) {
+				t.Fatalf("%s at op %d: retry did not restore new corpus (%v)", kind, op, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package sage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryRoundTrip throws arbitrary bytes at the ".b" codec. ReadBinary
+// must never panic; whenever it accepts an input, re-encoding the dataset
+// and reading it back must reproduce it exactly. The checked-in seeds under
+// testdata/fuzz cover a valid file, truncations and header damage, and run
+// as ordinary tests under plain "go test".
+func FuzzBinaryRoundTrip(f *testing.F) {
+	valid := func(c *Corpus) []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, Build(c)); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	full := valid(buildTestCorpus())
+	f.Add(full)
+	f.Add(full[:len(full)/2])                                     // truncated body
+	f.Add(full[:7])                                               // truncated header
+	f.Add([]byte{})                                               // empty
+	f.Add([]byte("GEAB"))                                         // magic only
+	f.Add(bytes.Replace(full, []byte("GEAB"), []byte("GEAX"), 1)) // bad magic
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinary(bytes.NewReader(data), nil)
+		if err != nil {
+			return // rejected input; only panics and silent corruption are bugs
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, d); err != nil {
+			t.Fatalf("accepted dataset failed to encode: %v", err)
+		}
+		d2, err := ReadBinary(bytes.NewReader(out.Bytes()), nil)
+		if err != nil {
+			t.Fatalf("our own encoding failed to read back: %v", err)
+		}
+		if d2.NumLibraries() != d.NumLibraries() || d2.NumTags() != d.NumTags() {
+			t.Fatalf("round trip changed dimensions: %dx%d -> %dx%d",
+				d.NumLibraries(), d.NumTags(), d2.NumLibraries(), d2.NumTags())
+		}
+		for j, tag := range d.Tags {
+			if d2.Tags[j] != tag {
+				t.Fatalf("round trip changed tag %d: %v -> %v", j, tag, d2.Tags[j])
+			}
+		}
+		for i := range d.Expr {
+			if d2.Libs[i].Name != d.Libs[i].Name {
+				t.Fatalf("round trip changed library %d name", i)
+			}
+			for j := range d.Expr[i] {
+				if d2.Expr[i][j] != d.Expr[i][j] {
+					t.Fatalf("round trip changed Expr[%d][%d]: %v -> %v",
+						i, j, d.Expr[i][j], d2.Expr[i][j])
+				}
+			}
+		}
+	})
+}

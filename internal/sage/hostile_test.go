@@ -1,0 +1,101 @@
+package sage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Targeted error-path tests for hostile persisted input: duplicate keys,
+// non-finite numbers and unusable names must be rejected by every reader,
+// not absorbed into the session.
+
+func TestReadLibraryHostileInput(t *testing.T) {
+	cases := map[string]string{
+		"duplicate tag": "AAAAAAAAAA\t3\nAAAAAAAAAA\t4\n",
+		"NaN count":     "AAAAAAAAAA\tNaN\n",
+		"+Inf count":    "AAAAAAAAAA\t+Inf\n",
+		"-Inf count":    "AAAAAAAAAA\t-Inf\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadLibrary(strings.NewReader(in), LibraryMeta{Name: "L"}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadIndexHostileInput(t *testing.T) {
+	cases := map[string]string{
+		"duplicate name": "A\tbrain\t1\t0\t5\t1\nA\tbrain\t1\t0\t5\t1\n",
+		"NaN total":      "A\tbrain\t1\t0\tNaN\t1\n",
+		"Inf total":      "A\tbrain\t1\t0\tInf\t1\n",
+		"negative total": "A\tbrain\t1\t0\t-5\t1\n",
+		"path separator": "a/b\tbrain\t1\t0\t5\t1\n",
+		"empty name":     "\tbrain\t1\t0\t5\t1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadIndex(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadMetaHostileInput(t *testing.T) {
+	cases := map[string]string{
+		"duplicate tag": "AAAAAAAAAA\t1\nAAAAAAAAAA\t2\n",
+		"NaN value":     "AAAAAAAAAA\tNaN\n",
+		"Inf value":     "AAAAAAAAAA\tInf\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMeta(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestReadBinaryHostileInput patches specific fields of a valid ".b"
+// encoding: a duplicated tag in the header and a NaN expression value.
+func TestReadBinaryHostileInput(t *testing.T) {
+	ds := Build(buildTestCorpus())
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Layout: "GEAB" | version u32 | nLibs u32 | nTags u32 | tag u32 ×nTags |
+	// per library: nameLen u16 | name | expr float64 ×nTags.
+	tagsOff := 4 + 3*4
+	if len(ds.Tags) < 2 {
+		t.Fatal("test corpus too small")
+	}
+
+	dupTag := append([]byte(nil), valid...)
+	copy(dupTag[tagsOff+4:tagsOff+8], dupTag[tagsOff:tagsOff+4])
+	if _, err := ReadBinary(bytes.NewReader(dupTag), nil); err == nil ||
+		!strings.Contains(err.Error(), "duplicate tag") {
+		t.Errorf("duplicated header tag: got %v", err)
+	}
+
+	exprOff := tagsOff + 4*len(ds.Tags) + 2 + len(ds.Libs[0].Name)
+	nanExpr := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(nanExpr[exprOff:exprOff+8], math.Float64bits(math.NaN()))
+	if _, err := ReadBinary(bytes.NewReader(nanExpr), nil); err == nil ||
+		!strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("NaN expression value: got %v", err)
+	}
+
+	infExpr := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(infExpr[exprOff:exprOff+8], math.Float64bits(math.Inf(1)))
+	if _, err := ReadBinary(bytes.NewReader(infExpr), nil); err == nil {
+		t.Error("Inf expression value: expected error")
+	}
+
+	hugeDims := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeDims[8:12], 1<<30) // nLibs
+	if _, err := ReadBinary(bytes.NewReader(hugeDims), nil); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Errorf("implausible dimensions: got %v", err)
+	}
+}

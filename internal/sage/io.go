@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,9 +35,12 @@ func WriteLibrary(w io.Writer, l *Library) error {
 }
 
 // ReadLibrary parses a plain-text library file into l (which supplies the
-// metadata). Blank lines and lines starting with '#' are ignored.
+// metadata). Blank lines and lines starting with '#' are ignored. Duplicate
+// tags and non-finite counts are rejected: both would otherwise build a
+// silently wrong library (Add accumulates; NaN poisons every aggregate).
 func ReadLibrary(r io.Reader, meta LibraryMeta) (*Library, error) {
 	l := NewLibrary(meta)
+	seen := make(map[TagID]bool)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
@@ -57,12 +58,16 @@ func ReadLibrary(r io.Reader, meta LibraryMeta) (*Library, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sage: %s line %d: %v", meta.Name, lineNo, err)
 		}
+		if seen[tag] {
+			return nil, fmt.Errorf("sage: %s line %d: duplicate tag %s", meta.Name, lineNo, tag)
+		}
+		seen[tag] = true
 		count, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("sage: %s line %d: bad count %q", meta.Name, lineNo, fields[1])
 		}
-		if count < 0 {
-			return nil, fmt.Errorf("sage: %s line %d: negative count %g", meta.Name, lineNo, count)
+		if count < 0 || math.IsNaN(count) || math.IsInf(count, 0) {
+			return nil, fmt.Errorf("sage: %s line %d: invalid count %g", meta.Name, lineNo, count)
 		}
 		l.Add(tag, count)
 	}
@@ -97,8 +102,11 @@ func WriteIndex(w io.Writer, c *Corpus) error {
 
 // ReadIndex parses sageName.txt and returns library metadata in file order.
 // IDs are assigned 1..n by position, as in the thesis's Libraries relation.
+// Duplicate or empty library names and non-finite totals are rejected — a
+// duplicate name would shadow another library's data file.
 func ReadIndex(r io.Reader) ([]LibraryMeta, error) {
 	var metas []LibraryMeta
+	seen := make(map[string]bool)
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
@@ -120,13 +128,23 @@ func ReadIndex(r io.Reader) ([]LibraryMeta, error) {
 			return nil, fmt.Errorf("sage: index line %d: bad source %q", lineNo, f[3])
 		}
 		total, err := strconv.ParseFloat(f[4], 64)
-		if err != nil {
+		if err != nil || total < 0 || math.IsNaN(total) || math.IsInf(total, 0) {
 			return nil, fmt.Errorf("sage: index line %d: bad total %q", lineNo, f[4])
 		}
 		unique, err := strconv.Atoi(f[5])
-		if err != nil {
+		if err != nil || unique < 0 {
 			return nil, fmt.Errorf("sage: index line %d: bad unique %q", lineNo, f[5])
 		}
+		if f[0] == "" {
+			return nil, fmt.Errorf("sage: index line %d: empty library name", lineNo)
+		}
+		if strings.ContainsAny(f[0], "/\\") {
+			return nil, fmt.Errorf("sage: index line %d: library name %q contains a path separator", lineNo, f[0])
+		}
+		if seen[f[0]] {
+			return nil, fmt.Errorf("sage: index line %d: duplicate library name %q", lineNo, f[0])
+		}
+		seen[f[0]] = true
 		m := LibraryMeta{
 			ID: len(metas) + 1, Name: f[0], Tissue: f[1],
 			TotalTags: total, UniqueTags: unique,
@@ -143,66 +161,6 @@ func ReadIndex(r io.Reader) ([]LibraryMeta, error) {
 		return nil, err
 	}
 	return metas, nil
-}
-
-// SaveCorpus writes the corpus to dir: sageName.txt plus one <name>.sage file
-// per library. The directory is created if needed.
-func SaveCorpus(dir string, c *Corpus) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	idx, err := os.Create(filepath.Join(dir, "sageName.txt"))
-	if err != nil {
-		return err
-	}
-	if err := WriteIndex(idx, c); err != nil {
-		idx.Close()
-		return err
-	}
-	if err := idx.Close(); err != nil {
-		return err
-	}
-	for _, l := range c.Libraries {
-		f, err := os.Create(filepath.Join(dir, l.Meta.Name+".sage"))
-		if err != nil {
-			return err
-		}
-		if err := WriteLibrary(f, l); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// LoadCorpus reads a corpus previously written by SaveCorpus.
-func LoadCorpus(dir string) (*Corpus, error) {
-	idx, err := os.Open(filepath.Join(dir, "sageName.txt"))
-	if err != nil {
-		return nil, err
-	}
-	metas, err := ReadIndex(idx)
-	idx.Close()
-	if err != nil {
-		return nil, err
-	}
-	c := &Corpus{}
-	for _, m := range metas {
-		f, err := os.Open(filepath.Join(dir, m.Name+".sage"))
-		if err != nil {
-			return nil, err
-		}
-		l, err := ReadLibrary(f, m)
-		f.Close()
-		if err != nil {
-			return nil, err
-		}
-		c.Libraries = append(c.Libraries, l)
-	}
-	return c, nil
 }
 
 // Binary ".b" format: the dense tissue file the fascicle miner consumes.
@@ -269,11 +227,15 @@ func ReadBinary(r io.Reader, metaByName map[string]LibraryMeta) (*Dataset, error
 	if version != binaryVersion {
 		return nil, fmt.Errorf("sage: unsupported binary version %d", version)
 	}
-	const maxDim = 1 << 26 // sanity bound against corrupt headers
+	// Sanity bound against corrupt headers: the tag space is 4^10 (~1M), so
+	// a larger dimension can never be valid, and accepting one would let a
+	// 16-byte header force gigabyte allocations.
+	const maxDim = 1 << 20
 	if nLibs > maxDim || nTags > maxDim {
 		return nil, fmt.Errorf("sage: implausible dimensions %d x %d", nLibs, nTags)
 	}
 	tags := make([]TagID, nTags)
+	seenTags := make(map[TagID]bool, nTags)
 	for j := range tags {
 		var v uint32
 		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
@@ -283,8 +245,13 @@ func ReadBinary(r io.Reader, metaByName map[string]LibraryMeta) (*Dataset, error
 		if !tags[j].Valid() {
 			return nil, fmt.Errorf("sage: invalid tag id %d", v)
 		}
+		if seenTags[tags[j]] {
+			return nil, fmt.Errorf("sage: duplicate tag %s in binary header", tags[j])
+		}
+		seenTags[tags[j]] = true
 	}
 	c := &Corpus{}
+	seenNames := make(map[string]bool, nLibs)
 	exprs := make([][]float64, nLibs)
 	for i := 0; i < int(nLibs); i++ {
 		var nameLen uint16
@@ -295,12 +262,25 @@ func ReadBinary(r io.Reader, metaByName map[string]LibraryMeta) (*Dataset, error
 		if _, err := io.ReadFull(br, nameBytes); err != nil {
 			return nil, err
 		}
+		name := string(nameBytes)
+		if name == "" {
+			return nil, fmt.Errorf("sage: library %d has an empty name", i+1)
+		}
+		if seenNames[name] {
+			return nil, fmt.Errorf("sage: duplicate library name %q", name)
+		}
+		seenNames[name] = true
 		row := make([]float64, nTags)
 		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
 			return nil, err
 		}
-		meta := LibraryMeta{ID: i + 1, Name: string(nameBytes)}
-		if m, ok := metaByName[meta.Name]; ok {
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("sage: library %q tag %s: non-finite expression value", name, tags[j])
+			}
+		}
+		meta := LibraryMeta{ID: i + 1, Name: name}
+		if m, ok := metaByName[name]; ok {
 			meta = m
 		}
 		l := NewLibrary(meta)
@@ -343,7 +323,8 @@ func WriteMeta(w io.Writer, tol map[TagID]float64) error {
 	return bw.Flush()
 }
 
-// ReadMeta parses a ".meta" tolerance-vector file.
+// ReadMeta parses a ".meta" tolerance-vector file. Duplicate tags and
+// non-finite tolerances are rejected.
 func ReadMeta(r io.Reader) (map[TagID]float64, error) {
 	tol := make(map[TagID]float64)
 	sc := bufio.NewScanner(r)
@@ -363,8 +344,11 @@ func ReadMeta(r io.Reader) (map[TagID]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sage: meta line %d: %v", lineNo, err)
 		}
+		if _, dup := tol[tag]; dup {
+			return nil, fmt.Errorf("sage: meta line %d: duplicate tag %s", lineNo, tag)
+		}
 		v, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil || v < 0 {
+		if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("sage: meta line %d: bad tolerance %q", lineNo, fields[1])
 		}
 		tol[tag] = v

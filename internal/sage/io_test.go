@@ -241,14 +241,27 @@ func TestSaveCorpusErrorPaths(t *testing.T) {
 	if err := SaveCorpus(filepath.Join(blocker, "sub"), c); err == nil {
 		t.Error("SaveCorpus under a file: expected error")
 	}
-	// A directory squatting on a library's file name breaks the per-library
-	// create.
+	// A non-empty directory squatting on the CURRENT commit pointer breaks
+	// the commit rename.
 	dir := t.TempDir()
-	if err := os.MkdirAll(filepath.Join(dir, c.Libraries[0].Meta.Name+".sage"), 0o755); err != nil {
+	if err := os.MkdirAll(filepath.Join(dir, "CURRENT", "junk"), 0o755); err != nil {
 		t.Fatal(err)
 	}
 	if err := SaveCorpus(dir, c); err == nil {
-		t.Error("SaveCorpus with directory-shadowed library file: expected error")
+		t.Error("SaveCorpus with directory-shadowed CURRENT: expected error")
+	}
+	// A library whose name escapes the directory is rejected outright.
+	bad := &Corpus{Libraries: []*Library{NewLibrary(LibraryMeta{ID: 1, Name: "../escape"})}}
+	if err := SaveCorpus(t.TempDir(), bad); err == nil {
+		t.Error("SaveCorpus with path-escaping library name: expected error")
+	}
+	// Duplicate library names would shadow each other's files.
+	dup := &Corpus{Libraries: []*Library{
+		NewLibrary(LibraryMeta{ID: 1, Name: "L"}),
+		NewLibrary(LibraryMeta{ID: 2, Name: "L"}),
+	}}
+	if err := SaveCorpus(t.TempDir(), dup); err == nil {
+		t.Error("SaveCorpus with duplicate library names: expected error")
 	}
 }
 

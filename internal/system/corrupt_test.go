@@ -1,0 +1,121 @@
+package system
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gea/internal/atomicio"
+	"gea/internal/sage"
+)
+
+// tinySystem builds the smallest useful session so that byte-level
+// corruption sweeps over its files stay fast.
+func tinySystem(t *testing.T) *System {
+	t.Helper()
+	c := &sage.Corpus{}
+	mk := func(id int, name string, state sage.NeoplasticState, counts map[string]float64) {
+		l := sage.NewLibrary(sage.LibraryMeta{
+			ID: id, Name: name, Tissue: "brain", State: state, Source: sage.BulkTissue,
+		})
+		for s, v := range counts {
+			l.Add(sage.MustParseTag(s), v)
+		}
+		l.RefreshMeta()
+		c.Libraries = append(c.Libraries, l)
+	}
+	mk(1, "B1", sage.Cancer, map[string]float64{"AAAAAAAAAA": 10, "CCCCCCCCCC": 5})
+	mk(2, "B2", sage.Cancer, map[string]float64{"AAAAAAAAAA": 8, "GGGGGGGGGG": 4})
+	mk(3, "B3", sage.Normal, map[string]float64{"AAAAAAAAAA": 2, "TTTTTTTTTT": 7})
+	sys, err := New(c, Options{User: "corrupt-test", SkipCleaning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateTissueDataset("brain"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSessionManifestEveryByteFlip corrupts each byte of the saved session
+// manifest in turn. Every flip must be caught: the load still succeeds
+// (the manifest is salvageable — the corpus, catalog and lineage survive)
+// but the damage must be surfaced in the LoadReport, never papered over.
+func TestSessionManifestEveryByteFlip(t *testing.T) {
+	sys := tinySystem(t)
+	dir := filepath.Join(t.TempDir(), "session")
+	if err := sys.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := atomicio.CurrentGen(atomicio.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, gen, sessionManifest)
+	orig, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpClean := loadFingerprint(t, dir, "clean session")
+
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xFF
+		if err := os.WriteFile(manifest, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, report, err := LoadSessionFS(atomicio.OS{}, dir, nil, 0)
+		if err != nil {
+			t.Fatalf("flip of byte %d/%d: load aborted instead of salvaging: %v", i, len(orig), err)
+		}
+		if report.OK() {
+			t.Fatalf("flip of byte %d/%d went undetected", i, len(orig))
+		}
+		found := false
+		for _, p := range report.Problems {
+			if p.Artifact == "manifest" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("flip of byte %d/%d: report blames %v, not the manifest", i, len(orig), report.Problems)
+		}
+		// The rest of the session survived the salvage.
+		if got.Data.NumLibraries() != 3 {
+			t.Fatalf("flip of byte %d/%d: corpus lost in salvage", i, len(orig))
+		}
+	}
+
+	// Restoring the original bytes restores a clean load.
+	if err := os.WriteFile(manifest, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadFingerprint(t, dir, "restored session"); got != fpClean {
+		t.Error("restored manifest did not load identically")
+	}
+}
+
+// TestSessionCommitPointerCorruption damages the CURRENT pointer: with no
+// way to know which generation is live, the load must refuse loudly.
+func TestSessionCommitPointerCorruption(t *testing.T) {
+	sys := tinySystem(t)
+	dir := filepath.Join(t.TempDir(), "session")
+	if err := sys.SaveSession(dir); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, atomicio.CurrentFile)
+	orig, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xFF
+		if err := os.WriteFile(cur, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadSessionFS(atomicio.OS{}, dir, nil, 0); err == nil {
+			t.Fatalf("flip of CURRENT byte %d went undetected", i)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package system
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"gea/internal/atomicio"
+	"gea/internal/iofault"
+	"gea/internal/sage"
+)
+
+// sessionFingerprint canonicalizes everything LoadSession restores, so two
+// sessions can be compared for whole-state equality.
+func sessionFingerprint(s *System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "user=%s\n", s.User)
+	fmt.Fprintf(&b, "data=%dx%d\n", s.Data.NumLibraries(), s.Data.NumTags())
+
+	var names []string
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := s.datasets[name]
+		libs := make([]string, len(d.Libs))
+		for i, m := range d.Libs {
+			libs[i] = m.Name
+		}
+		fmt.Fprintf(&b, "dataset %s: %v\n", name, libs)
+	}
+
+	names = names[:0]
+	for name := range s.tolerances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "tolerance %s: %d entries\n", name, len(s.tolerances[name]))
+	}
+
+	names = names[:0]
+	for name := range s.sumys {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sm := s.sumys[name]
+		fmt.Fprintf(&b, "sumy %s: %d rows %v\n", name, len(sm.Rows), sm.ExtraCols)
+	}
+
+	names = names[:0]
+	for name := range s.gaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.gaps[name]
+		fmt.Fprintf(&b, "gap %s: %d rows %v\n", name, len(g.Rows), g.Cols)
+	}
+
+	names = names[:0]
+	for name := range s.enums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := s.enums[name]
+		fmt.Fprintf(&b, "enum %s: rows=%v cols=%v\n", name, e.Rows, e.Cols)
+	}
+
+	names = names[:0]
+	for name := range s.fascicles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := s.fascicles[name]
+		fmt.Fprintf(&b, "fascicle %s: rows=%v compact=%d\n", name, f.Fascicle.Rows, f.Fascicle.NumCompact())
+	}
+
+	fmt.Fprintf(&b, "lineage=%v\n", s.Lineage.Names())
+	fmt.Fprintf(&b, "runCount=%d foundPure=%d\n", len(s.runCount), len(s.foundPure))
+	return b.String()
+}
+
+func copySessionTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copy %s -> %s: %v", src, dst, err)
+	}
+}
+
+// loadFingerprint loads the session at dir, requiring a clean report, and
+// returns its fingerprint.
+func loadFingerprint(t *testing.T, dir, label string) string {
+	t.Helper()
+	sys, report, err := LoadSessionFS(atomicio.OS{}, dir, nil, 0)
+	if err != nil {
+		t.Fatalf("%s: load failed: %v", label, err)
+	}
+	if !report.OK() {
+		t.Fatalf("%s: load needed salvage:\n%s", label, report)
+	}
+	return sessionFingerprint(sys)
+}
+
+// TestSaveSessionCrashWalk is the acceptance test for the whole persistence
+// stack: it enumerates every write, sync and rename SaveSession issues —
+// through the nested corpus store, the catalog, the lineage graph, the
+// manifest and both commit pointers — and for a crash injected at each one
+// diffs the subsequently loaded session against the complete old state and
+// the complete new state. Anything else (a torn mix, or a load needing
+// salvage) fails.
+func TestSaveSessionCrashWalk(t *testing.T) {
+	sys, _ := newSystem(t)
+	if _, err := sys.CreateTissueDataset("brain"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.GenerateMetadata("brain", 10); err != nil {
+		t.Fatal(err)
+	}
+	seed := filepath.Join(t.TempDir(), "session")
+	if err := sys.SaveSession(seed); err != nil {
+		t.Fatal(err)
+	}
+	fpOld := loadFingerprint(t, seed, "old session")
+
+	// Grow the session: pure-fascicle search, SUMY, GAP, top-gap table.
+	pure, err := sys.FindPureFascicle("brain", sage.PropCancer, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := sys.FormSUM(pure, "brain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CreateGap("brain_gap", groups.InFascicle, groups.Opposite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CalculateTopGap("brain_gap", 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Count the operations of one full overwrite save, and capture the new
+	// state's fingerprint from that committed copy.
+	counter := iofault.New(atomicio.OS{}, iofault.Config{})
+	var fpNew string
+	{
+		dir := filepath.Join(t.TempDir(), "session")
+		copySessionTree(t, seed, dir)
+		if err := sys.SaveSessionFS(counter, dir); err != nil {
+			t.Fatal(err)
+		}
+		fpNew = loadFingerprint(t, dir, "new session")
+	}
+	if fpOld == fpNew {
+		t.Fatal("old and new sessions are indistinguishable; the walk would prove nothing")
+	}
+	total := counter.Ops()
+	if total < 50 {
+		t.Fatalf("implausible op count %d for a session save", total)
+	}
+
+	sawOld, sawNew := false, false
+	for crash := 1; crash <= total; crash++ {
+		dir := filepath.Join(t.TempDir(), "session")
+		copySessionTree(t, seed, dir)
+		fsys := iofault.New(atomicio.OS{}, iofault.Config{CrashAt: crash})
+		saveErr := sys.SaveSessionFS(fsys, dir)
+
+		got := loadFingerprint(t, dir, fmt.Sprintf("crash at op %d", crash))
+		switch got {
+		case fpOld:
+			sawOld = true
+			if saveErr == nil {
+				t.Errorf("crash at op %d: save reported success but old session loaded", crash)
+			}
+		case fpNew:
+			sawNew = true
+		default:
+			t.Fatalf("crash at op %d: loaded session matches neither old nor new state", crash)
+		}
+	}
+	if !sawOld {
+		t.Error("no crash point preserved the old session — commit happens too early")
+	}
+	if !sawNew {
+		t.Error("no crash point yielded the new session — commit never became visible")
+	}
+
+	// Recovery from the worst case (crash at op 1): a clean retry must land
+	// the complete new session.
+	dir := filepath.Join(t.TempDir(), "session")
+	copySessionTree(t, seed, dir)
+	_ = sys.SaveSessionFS(iofault.New(atomicio.OS{}, iofault.Config{CrashAt: 1}), dir)
+	if err := sys.SaveSession(dir); err != nil {
+		t.Fatalf("retry save failed: %v", err)
+	}
+	if got := loadFingerprint(t, dir, "retry"); got != fpNew {
+		t.Error("retry after crash did not restore the new session")
+	}
+}
+
+// TestSaveSessionENOSPC injects a recoverable disk-full error at a spread of
+// operations; the session directory must stay loadable and complete.
+func TestSaveSessionENOSPC(t *testing.T) {
+	sys, _ := newSystem(t)
+	if _, err := sys.CreateTissueDataset("brain"); err != nil {
+		t.Fatal(err)
+	}
+	seed := filepath.Join(t.TempDir(), "session")
+	if err := sys.SaveSession(seed); err != nil {
+		t.Fatal(err)
+	}
+	fpOld := loadFingerprint(t, seed, "old session")
+
+	if err := sys.GenerateMetadata("brain", 10); err != nil {
+		t.Fatal(err)
+	}
+	counter := iofault.New(atomicio.OS{}, iofault.Config{})
+	var fpNew string
+	{
+		dir := filepath.Join(t.TempDir(), "session")
+		copySessionTree(t, seed, dir)
+		if err := sys.SaveSessionFS(counter, dir); err != nil {
+			t.Fatal(err)
+		}
+		fpNew = loadFingerprint(t, dir, "new session")
+	}
+
+	// Every 7th op plus the first and last keeps the runtime modest while
+	// still crossing every file the save touches.
+	ops := []int{1, counter.Ops()}
+	for op := 7; op < counter.Ops(); op += 7 {
+		ops = append(ops, op)
+	}
+	for _, op := range ops {
+		dir := filepath.Join(t.TempDir(), "session")
+		copySessionTree(t, seed, dir)
+		fsys := iofault.New(atomicio.OS{}, iofault.Config{FailAt: op, FailErr: iofault.ErrNoSpace})
+		saveErr := sys.SaveSessionFS(fsys, dir)
+
+		got := loadFingerprint(t, dir, fmt.Sprintf("ENOSPC at op %d", op))
+		if got != fpOld && got != fpNew {
+			t.Fatalf("ENOSPC at op %d: torn session", op)
+		}
+		if saveErr == nil && got != fpNew {
+			t.Fatalf("ENOSPC at op %d: successful save lost the new session", op)
+		}
+		if err := sys.SaveSession(dir); err != nil {
+			t.Fatalf("ENOSPC at op %d: retry failed: %v", op, err)
+		}
+		if got := loadFingerprint(t, dir, "retry"); got != fpNew {
+			t.Fatalf("ENOSPC at op %d: retry did not restore the new session", op)
+		}
+	}
+}

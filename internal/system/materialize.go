@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gea/internal/atomicio"
 	"gea/internal/lineage"
 	"gea/internal/relational"
 	"gea/internal/sage"
@@ -130,27 +131,11 @@ func (s *System) ExportTissueFiles(dir, datasetName string) (textDir, binPath, m
 		return "", "", "", err
 	}
 	binPath = filepath.Join(dir, datasetName+"file.b")
-	bf, err := os.Create(binPath)
-	if err != nil {
-		return "", "", "", err
-	}
-	if err := sage.WriteBinary(bf, d); err != nil {
-		bf.Close()
-		return "", "", "", err
-	}
-	if err := bf.Close(); err != nil {
+	if err := sage.SaveBinaryFile(atomicio.OS{}, binPath, d); err != nil {
 		return "", "", "", err
 	}
 	metaPath = filepath.Join(dir, datasetName+"file.meta")
-	mf, err := os.Create(metaPath)
-	if err != nil {
-		return "", "", "", err
-	}
-	if err := sage.WriteMeta(mf, tol); err != nil {
-		mf.Close()
-		return "", "", "", err
-	}
-	if err := mf.Close(); err != nil {
+	if err := sage.SaveMetaFile(atomicio.OS{}, metaPath, tol); err != nil {
 		return "", "", "", err
 	}
 	return textDir, binPath, metaPath, nil
@@ -163,25 +148,15 @@ func (s *System) ImportTissueFiles(name, binPath, metaPath string) (*sage.Datase
 	if err := s.checkFresh(name); err != nil {
 		return nil, err
 	}
-	bf, err := os.Open(binPath)
-	if err != nil {
-		return nil, err
-	}
 	metaByName := map[string]sage.LibraryMeta{}
 	for _, m := range s.Data.Libs {
 		metaByName[m.Name] = m
 	}
-	d, err := sage.ReadBinary(bf, metaByName)
-	bf.Close()
+	d, err := sage.LoadBinaryFile(atomicio.OS{}, binPath, metaByName)
 	if err != nil {
 		return nil, err
 	}
-	mf, err := os.Open(metaPath)
-	if err != nil {
-		return nil, err
-	}
-	tol, err := sage.ReadMeta(mf)
-	mf.Close()
+	tol, err := sage.LoadMetaFile(atomicio.OS{}, metaPath)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package system
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
-	"os"
 	"path/filepath"
+	"strings"
 
+	"gea/internal/atomicio"
 	"gea/internal/clean"
 	"gea/internal/core"
 	"gea/internal/fascicle"
@@ -18,19 +20,74 @@ import (
 )
 
 // Session persistence: the original GEA keeps every table in DB2, so a
-// session survives restarts. SaveSession writes a directory holding the
-// cleaned corpus (sageName.txt + per-library files), the relational catalog,
-// the lineage graph, and a manifest of every in-memory object (datasets,
-// tolerance vectors, fascicles, SUMY/ENUM/GAP tables); LoadSession restores
-// an equivalent session.
+// session survives restarts. SaveSession writes a session directory holding
+// the cleaned corpus (sageName.txt + per-library files), the relational
+// catalog, the lineage graph, and a manifest of every in-memory object
+// (datasets, tolerance vectors, fascicles, SUMY/ENUM/GAP tables);
+// LoadSession restores an equivalent session.
+//
+// Durability: a session directory is a generation store (see atomicio). A
+// save writes a complete new generation —
+//
+//	dir/gen-NNNNNN/corpus/      (itself a generation store)
+//	dir/gen-NNNNNN/catalog.gob
+//	dir/gen-NNNNNN/lineage.gob
+//	dir/gen-NNNNNN/session.gob
+//
+// — and commits by atomically rewriting dir/CURRENT, so a crash at any
+// write, sync or rename leaves either the old session or the new one.
+// Every file carries a checksum footer; LoadSession salvages around
+// damaged artifacts instead of refusing the whole session (see LoadReport).
 
-// Names of the files inside a session directory.
+// Names of the files inside a session generation.
 const (
 	sessionCorpusDir   = "corpus"
 	sessionCatalogFile = "catalog.gob"
 	sessionLineageFile = "lineage.gob"
 	sessionManifest    = "session.gob"
 )
+
+// LoadProblem records one artifact a salvaging LoadSession could not
+// restore.
+type LoadProblem struct {
+	// Artifact classifies what was lost: "library", "catalog", "lineage",
+	// "manifest", "dataset", "tolerance", "gap", "enum", "fascicle".
+	Artifact string
+	// Name is the object name or file path.
+	Name string
+	Err  error
+}
+
+func (p LoadProblem) String() string {
+	return fmt.Sprintf("%s %s: %v", p.Artifact, p.Name, p.Err)
+}
+
+// LoadReport lists everything a session load had to skip. A skipped
+// derived table can usually be recomputed with System.Regenerate (the
+// lineage graph records how it was produced); a skipped library is gone
+// unless the source corpus still exists.
+type LoadReport struct {
+	Problems []LoadProblem
+}
+
+// OK reports a clean load.
+func (r *LoadReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r *LoadReport) add(artifact, name string, err error) {
+	r.Problems = append(r.Problems, LoadProblem{Artifact: artifact, Name: name, Err: err})
+}
+
+func (r *LoadReport) String() string {
+	if r.OK() {
+		return "load clean"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "salvaged load: %d artifact(s) skipped\n", len(r.Problems))
+	for _, p := range r.Problems {
+		fmt.Fprintf(&b, "  %s\n", p)
+	}
+	return b.String()
+}
 
 type storedSumyRow struct {
 	Tag      uint32
@@ -108,21 +165,14 @@ func (s *System) datasetKey(d *sage.Dataset) (string, error) {
 	return "", fmt.Errorf("system: object references an unregistered dataset")
 }
 
-// SaveSession writes the session to dir (created if needed).
+// SaveSession writes the session to dir (created if needed) with the
+// crash-safe generation protocol.
 func (s *System) SaveSession(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	if err := sage.SaveCorpus(filepath.Join(dir, sessionCorpusDir), s.Data.ToCorpus()); err != nil {
-		return err
-	}
-	if err := s.Store.Save(filepath.Join(dir, sessionCatalogFile)); err != nil {
-		return err
-	}
-	if err := s.Lineage.Save(filepath.Join(dir, sessionLineageFile)); err != nil {
-		return err
-	}
+	return s.SaveSessionFS(atomicio.OS{}, dir)
+}
 
+// SaveSessionFS is SaveSession over an injectable filesystem.
+func (s *System) SaveSessionFS(fsys atomicio.FS, dir string) error {
 	m := sessionManifestData{
 		User:       s.User,
 		Datasets:   map[string][]string{},
@@ -181,16 +231,38 @@ func (s *System) SaveSession(dir string) error {
 			SumyName: r.Sumy.Name, Sumy: encodeSumy(r.Sumy), EnumName: r.Enum.Name,
 		}
 	}
+	var manifest bytes.Buffer
+	if err := gob.NewEncoder(&manifest).Encode(m); err != nil {
+		return err
+	}
 
-	f, err := os.Create(filepath.Join(dir, sessionManifest))
+	// Write a complete new generation, then commit it by flipping CURRENT.
+	// Nothing in the live generation is touched.
+	gen, err := atomicio.NextGen(fsys, dir)
 	if err != nil {
 		return err
 	}
-	if err := gob.NewEncoder(f).Encode(m); err != nil {
-		f.Close()
+	gd := filepath.Join(dir, gen)
+	if err := fsys.MkdirAll(gd, 0o755); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := sage.SaveCorpusFS(fsys, filepath.Join(gd, sessionCorpusDir), s.Data.ToCorpus()); err != nil {
+		return err
+	}
+	if err := s.Store.SaveFS(fsys, filepath.Join(gd, sessionCatalogFile)); err != nil {
+		return err
+	}
+	if err := s.Lineage.SaveFS(fsys, filepath.Join(gd, sessionLineageFile)); err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(fsys, filepath.Join(gd, sessionManifest), manifest.Bytes()); err != nil {
+		return err
+	}
+	if err := atomicio.Commit(fsys, dir, gen); err != nil {
+		return err
+	}
+	atomicio.CleanupGens(fsys, dir, gen)
+	return nil
 }
 
 func encodeSumy(sm *core.Sumy) storedSumy {
@@ -252,36 +324,72 @@ func decodeGap(name string, st storedGap) (*core.Gap, error) {
 
 // LoadSession restores a session saved with SaveSession. The gene databases
 // are rebuilt when a catalog is supplied (they are synthesized, not stored).
+//
+// The load salvages: a damaged or missing artifact is skipped and recorded
+// in the returned System's LoadReport rather than failing the whole load.
+// Only damage to the commit pointer or the corpus index — without which
+// there is no session at all — is a hard error.
 func LoadSession(dir string, catalog *sagegen.Catalog, geneDBSeed int64) (*System, error) {
-	corpus, err := sage.LoadCorpus(filepath.Join(dir, sessionCorpusDir))
+	sys, _, err := LoadSessionFS(atomicio.OS{}, dir, catalog, geneDBSeed)
+	return sys, err
+}
+
+// LoadSessionFS is LoadSession over an injectable filesystem, returning
+// the salvage report explicitly (it is also attached to the System).
+func LoadSessionFS(fsys atomicio.FS, dir string, catalog *sagegen.Catalog, geneDBSeed int64) (*System, *LoadReport, error) {
+	report := &LoadReport{}
+	gen, err := atomicio.CurrentGen(fsys, dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	store, err := relational.Load(filepath.Join(dir, sessionCatalogFile))
+	gd := filepath.Join(dir, gen)
+
+	corpus, corpusProblems, err := sage.LoadCorpusSalvage(fsys, filepath.Join(gd, sessionCorpusDir))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	lin, err := lineage.Load(filepath.Join(dir, sessionLineageFile))
-	if err != nil {
-		return nil, err
+	for _, p := range corpusProblems {
+		report.add("library", p.Path, p.Err)
 	}
-	f, err := os.Open(filepath.Join(dir, sessionManifest))
+	d := sage.Build(corpus)
+
+	store, err := relational.LoadFS(fsys, filepath.Join(gd, sessionCatalogFile))
 	if err != nil {
-		return nil, err
-	}
-	var m sessionManifestData
-	err = gob.NewDecoder(f).Decode(&m)
-	f.Close()
-	if err != nil {
-		return nil, err
+		// The catalog's fixed relations are rebuildable from the data.
+		report.add("catalog", sessionCatalogFile, err)
+		store = relational.NewStore()
+		if err := initCatalog(store); err != nil {
+			return nil, nil, err
+		}
+		if err := loadLibrariesRelation(store, d); err != nil {
+			return nil, nil, err
+		}
 	}
 
-	d := sage.Build(corpus)
+	lin, err := lineage.LoadFS(fsys, filepath.Join(gd, sessionLineageFile))
+	if err != nil {
+		report.add("lineage", sessionLineageFile, err)
+		lin = lineage.NewGraph()
+		if _, err := lin.Record(RootDataset, lineage.KindDataset, "load",
+			map[string]string{"libraries": fmt.Sprint(d.NumLibraries()), "tags": fmt.Sprint(d.NumTags())}); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var m sessionManifestData
+	if data, err := atomicio.ReadFile(fsys, filepath.Join(gd, sessionManifest)); err != nil {
+		report.add("manifest", sessionManifest, err)
+	} else if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		report.add("manifest", sessionManifest, err)
+		m = sessionManifestData{}
+	}
+
 	sys := &System{
 		User:       m.User,
 		Store:      store,
 		Lineage:    lin,
 		Data:       d,
+		LoadReport: report,
 		datasets:   map[string]*sage.Dataset{RootDataset: d},
 		tolerances: map[string]map[sage.TagID]float64{},
 		fascicles:  map[string]*core.MineResult{},
@@ -306,7 +414,10 @@ func LoadSession(dir string, catalog *sagegen.Catalog, geneDBSeed int64) (*Syste
 	for name, libNames := range m.Datasets {
 		sub, err := d.SubsetByNames(libNames)
 		if err != nil {
-			return nil, fmt.Errorf("system: dataset %q: %v", name, err)
+			// A member library was skipped above; the dataset (and below,
+			// anything built on it) is dropped rather than silently shrunk.
+			report.add("dataset", name, err)
+			continue
 		}
 		sys.datasets[name] = sub
 	}
@@ -323,30 +434,35 @@ func LoadSession(dir string, catalog *sagegen.Catalog, geneDBSeed int64) (*Syste
 	for name, st := range m.Gaps {
 		g, err := decodeGap(name, st)
 		if err != nil {
-			return nil, err
+			report.add("gap", name, err)
+			continue
 		}
 		sys.gaps[name] = g
 	}
 	for name, st := range m.Enums {
 		base, ok := sys.datasets[st.Dataset]
 		if !ok {
-			return nil, fmt.Errorf("system: enum %q references missing dataset %q", name, st.Dataset)
+			report.add("enum", name, fmt.Errorf("references missing dataset %q", st.Dataset))
+			continue
 		}
 		e, err := core.NewEnum(name, base, st.Rows, st.Cols)
 		if err != nil {
-			return nil, err
+			report.add("enum", name, err)
+			continue
 		}
 		sys.enums[name] = e
 	}
 	for name, st := range m.Fascicles {
 		base, ok := sys.datasets[st.Dataset]
 		if !ok {
-			return nil, fmt.Errorf("system: fascicle %q references missing dataset %q", name, st.Dataset)
+			report.add("fascicle", name, fmt.Errorf("references missing dataset %q", st.Dataset))
+			continue
 		}
 		sm := decodeSumy(st.SumyName, st.Sumy)
 		e, err := core.NewEnum(st.EnumName, base, st.Rows, st.CompactCols)
 		if err != nil {
-			return nil, err
+			report.add("fascicle", name, err)
+			continue
 		}
 		sys.fascicles[name] = &core.MineResult{
 			Fascicle: &fascicle.Fascicle{
@@ -359,9 +475,9 @@ func LoadSession(dir string, catalog *sagegen.Catalog, geneDBSeed int64) (*Syste
 	if catalog != nil {
 		gdb, err := genedb.Build(catalog, geneDBSeed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sys.GeneDB = gdb
 	}
-	return sys, nil
+	return sys, report, nil
 }

@@ -43,6 +43,10 @@ type System struct {
 	GeneDB      *genedb.DB
 	Data        *sage.Dataset
 	CleanReport *clean.Report
+	// LoadReport lists artifacts a salvaging LoadSession had to skip; nil
+	// for sessions built fresh with New, non-nil (possibly empty) after a
+	// LoadSession.
+	LoadReport *LoadReport
 
 	datasets   map[string]*sage.Dataset
 	tolerances map[string]map[sage.TagID]float64

@@ -238,7 +238,19 @@ var (
 )
 
 // Session persistence.
+type (
+	// LoadReport lists artifacts a salvaging LoadSession had to skip;
+	// inspect System.LoadReport after loading.
+	LoadReport = system.LoadReport
+	// LoadProblem is one skipped artifact in a LoadReport.
+	LoadProblem = system.LoadProblem
+)
+
 var (
-	// LoadSession restores a session saved with System.SaveSession.
+	// LoadSession restores a session saved with System.SaveSession,
+	// salvaging around damaged artifacts (see the System's LoadReport).
 	LoadSession = system.LoadSession
+	// LoadSessionFS is LoadSession over an injectable filesystem and
+	// returns the salvage report explicitly.
+	LoadSessionFS = system.LoadSessionFS
 )
