@@ -2,12 +2,17 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/debug"
+	"strconv"
 	"strings"
+	"time"
 
 	"gea"
 )
@@ -21,7 +26,13 @@ func cmdRepl(args []string) error {
 	session := fs.String("session", "", "session directory to load at startup")
 	fs.Parse(args)
 
-	r := &repl{out: os.Stdout, errw: os.Stderr}
+	// Ctrl-C cancels the in-flight operator's context instead of killing
+	// the process: the session — and any unsaved state — stays alive.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+
+	r := &repl{out: os.Stdout, errw: os.Stderr, sigc: sigc}
 	if *in != "" {
 		if err := r.dispatch([]string{"open", *in}); err != nil {
 			return err
@@ -39,6 +50,51 @@ type repl struct {
 	out  io.Writer
 	errw io.Writer
 	sys  *gea.System
+	// sigc delivers SIGINT while a command runs; nil (as in tests) means
+	// no signal wiring.
+	sigc chan os.Signal
+	// limits and deadline bound governed commands, set by "limit".
+	limits   gea.ExecLimits
+	deadline time.Duration
+}
+
+// opCtx builds the context for one governed command: the configured
+// deadline is applied, and while the command runs a SIGINT cancels the
+// context. The returned stop function must be called when the command
+// finishes to detach the signal watcher.
+func (r *repl) opCtx() (context.Context, func()) {
+	ctx := context.Background()
+	cancel := func() {}
+	if r.deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	if r.sigc == nil {
+		return ctx, cancel
+	}
+	// A Ctrl-C that arrived just before the command started counts: drain
+	// it synchronously so the operator is cancelled at its first checkpoint.
+	select {
+	case <-r.sigc:
+		fmt.Fprintln(r.errw, "interrupt: cancelling the running operation (session kept)")
+		cancel()
+		return ctx, cancel
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-r.sigc:
+			fmt.Fprintln(r.errw, "\ninterrupt: cancelling the running operation (session kept)")
+			cancel()
+		case <-done:
+		}
+	}()
+	return ctx, func() {
+		close(done)
+		cancel()
+	}
 }
 
 // run is the REPL command loop. Each line executes under panic recovery:
@@ -103,6 +159,10 @@ func (r *repl) dispatch(fields []string) error {
   report             show what the last load had to salvage
   info               session dimensions and tissue types
   mine TISSUE        dataset + metadata + pure-fascicle search for a tissue
+                     (Ctrl-C cancels the search, not the session)
+  limit budget N     cap mining work at N units (partial results flagged)
+  limit deadline D   bound mining wall time (e.g. 30s, 2m)
+  limit off          remove budget and deadline; bare "limit" shows current
   tree               print the lineage tree
   quit               exit
 `)
@@ -194,18 +254,69 @@ func (r *repl) dispatch(fields []string) error {
 		if tissue == "" {
 			return fmt.Errorf("usage: mine TISSUE")
 		}
+		// Re-mining a tissue (e.g. after an interrupted or budget-stopped
+		// run) reuses the existing dataset.
 		if _, err := sys.CreateTissueDataset(tissue); err != nil {
-			return err
+			var exists gea.ErrExists
+			if !errors.As(err, &exists) {
+				return err
+			}
 		}
 		if err := sys.GenerateMetadata(tissue, 10); err != nil {
 			return err
 		}
-		pure, err := sys.FindPureFascicle(tissue, gea.PropCancer, 3)
+		ctx, stop := r.opCtx()
+		defer stop()
+		pure, tr, err := sys.FindPureFascicleCtx(ctx, tissue, gea.PropCancer, 3, r.limits)
 		if err != nil {
+			if gea.IsCancellation(err) {
+				fmt.Fprintf(r.out, "mine %s cancelled after %d work units; session kept\n", tissue, tr.Units)
+				return nil
+			}
+			if gea.IsBudget(err) {
+				fmt.Fprintf(r.out, "mine %s stopped by the work budget after %d units (no pure fascicle yet); raise it with \"limit budget N\"\n", tissue, tr.Units)
+				return nil
+			}
 			return err
+		}
+		if tr.Partial {
+			fmt.Fprintf(r.out, "note: the search hit its work budget; the result may not be the tightest fascicle\n")
 		}
 		fmt.Fprintf(r.out, "pure cancerous fascicle: %s\n", pure)
 		return nil
+	case "limit":
+		switch arg(0) {
+		case "":
+			if r.limits.Budget == 0 && r.deadline == 0 {
+				fmt.Fprintln(r.out, "no limits set")
+			} else {
+				fmt.Fprintf(r.out, "budget %d units, deadline %v\n", r.limits.Budget, r.deadline)
+			}
+			return nil
+		case "off":
+			r.limits = gea.ExecLimits{}
+			r.deadline = 0
+			fmt.Fprintln(r.out, "limits cleared")
+			return nil
+		case "budget":
+			n, err := strconv.ParseInt(arg(1), 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("usage: limit budget N (a nonnegative integer)")
+			}
+			r.limits.Budget = n
+			fmt.Fprintf(r.out, "work budget set to %d units\n", n)
+			return nil
+		case "deadline":
+			d, err := time.ParseDuration(arg(1))
+			if err != nil || d <= 0 {
+				return fmt.Errorf("usage: limit deadline DUR (e.g. 30s)")
+			}
+			r.deadline = d
+			fmt.Fprintf(r.out, "deadline set to %v\n", d)
+			return nil
+		default:
+			return fmt.Errorf(`usage: limit [budget N | deadline DUR | off]`)
+		}
 	case "tree":
 		sys, err := r.needSession()
 		if err != nil {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestReplSurvivesPanic drives the command loop through a deliberate panic
@@ -70,5 +72,81 @@ func TestReplSaveLoadRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(out2.String(), "load clean") {
 		t.Errorf("expected clean load report:\n%s", out2.String())
+	}
+}
+
+// TestReplLimitCommand drives the "limit" command and a budget-bounded
+// mine: an impossible budget must produce a friendly note — not an error —
+// and the session must stay alive for the follow-up unlimited mine.
+func TestReplLimitCommand(t *testing.T) {
+	var out, errw strings.Builder
+	r := &repl{out: &out, errw: &errw}
+	script := strings.Join([]string{
+		"gen",
+		"limit budget 3",
+		"limit",
+		"mine brain",
+		"limit off",
+		"mine brain",
+		"quit",
+	}, "\n") + "\n"
+	if err := r.run(strings.NewReader(script)); err != nil {
+		t.Fatalf("repl exited with error: %v", err)
+	}
+	if errw.Len() > 0 {
+		t.Fatalf("limit script errors:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "budget 3 units, deadline") {
+		t.Errorf("limit did not report its setting:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "stopped by the work budget") {
+		t.Errorf("budget-stopped mine not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pure cancerous fascicle:") {
+		t.Errorf("unlimited mine after limit off did not succeed:\n%s", out.String())
+	}
+
+	var errOut strings.Builder
+	r2 := &repl{out: &strings.Builder{}, errw: &errOut}
+	if err := r2.run(strings.NewReader("limit budget x\nlimit deadline nope\nquit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "limit budget N") || !strings.Contains(errOut.String(), "limit deadline DUR") {
+		t.Errorf("bad limit arguments not rejected:\n%s", errOut.String())
+	}
+}
+
+// TestReplInterruptCancelsOperator delivers a synthetic SIGINT mid-mine and
+// asserts the command is cancelled while the loop and session survive.
+func TestReplInterruptCancelsOperator(t *testing.T) {
+	var out, errw strings.Builder
+	sigc := make(chan os.Signal, 1)
+	r := &repl{out: &out, errw: &errw, sigc: sigc}
+	if err := r.run(strings.NewReader("gen\nquit\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Queue the interrupt before dispatching: the watcher started by opCtx
+	// picks it up at the first checkpoint of the mining run.
+	sigc <- os.Interrupt
+	if err := r.safeDispatch([]string{"mine", "brain"}); err != nil {
+		t.Fatalf("interrupted mine returned an error: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out.String(), "cancelled") && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "cancelled") {
+		t.Fatalf("interrupt did not cancel the mine:\n%s\n%s", out.String(), errw.String())
+	}
+	if r.sys == nil {
+		t.Fatal("session lost across the interrupt")
+	}
+	// The session is still usable afterwards.
+	out.Reset()
+	if err := r.safeDispatch([]string{"info"}); err != nil {
+		t.Fatalf("post-interrupt command failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "libraries x") {
+		t.Errorf("post-interrupt info did not run:\n%s", out.String())
 	}
 }

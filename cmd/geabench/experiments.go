@@ -282,10 +282,13 @@ func brainPipeline(e *env) (*gea.System, *gea.Dataset, map[string]bool, gea.Case
 		if e.full {
 			alg = gea.GreedyAlgorithm
 		}
-		pure, err := sys.FindPureFascicleWith(dsName, gea.PropCancer, 3, alg)
+		ctx, cancel := e.opCtx()
+		pure, tr, err := sys.FindPureFascicleWithCtx(ctx, dsName, gea.PropCancer, 3, alg, gea.ExecLimits{})
+		cancel()
 		if err != nil {
 			return nil, nil, nil, groups, err
 		}
+		e.noteTrace(tr)
 		if groups, err = sys.FormSUM(pure, dsName); err != nil {
 			return nil, nil, nil, groups, err
 		}
@@ -401,10 +404,13 @@ func tissueGap(e *env, tissue string) (string, error) {
 	if e.full {
 		alg = gea.GreedyAlgorithm
 	}
-	pure, err := sys.FindPureFascicleWith(tissue, gea.PropCancer, 3, alg)
+	ctx, cancel := e.opCtx()
+	pure, tr, err := sys.FindPureFascicleWithCtx(ctx, tissue, gea.PropCancer, 3, alg, gea.ExecLimits{})
+	cancel()
 	if err != nil {
 		return "", err
 	}
+	e.noteTrace(tr)
 	groups, err := sys.FormSUM(pure, tissue)
 	if err != nil {
 		return "", err
@@ -781,12 +787,15 @@ func expCleaningAblation(e *env) error {
 			alg = gea.GreedyAlgorithm
 		}
 		start := time.Now()
-		names, err := sys.CalculateFascicles("brain", gea.FascicleOptions{
+		ctx, cancel := e.opCtx()
+		names, tr, err := sys.CalculateFasciclesCtx(ctx, "brain", gea.FascicleOptions{
 			K: d.NumTags() * e.kpct / 100, MinSize: 3, Algorithm: alg,
-		})
+		}, gea.ExecLimits{})
+		cancel()
 		if err != nil {
 			return err
 		}
+		e.noteTrace(tr)
 		elapsed := time.Since(start)
 		pure := 0
 		bestCompact := 0
@@ -994,11 +1003,14 @@ func expSeeds(e *env) error {
 		if err := sys.GenerateMetadata("brain", 10); err != nil {
 			return err
 		}
-		pure, err := sys.FindPureFascicle("brain", gea.PropCancer, 3)
+		ctx, cancel := e.opCtx()
+		pure, tr, err := sys.FindPureFascicleCtx(ctx, "brain", gea.PropCancer, 3, gea.ExecLimits{})
+		cancel()
 		if err != nil {
 			fmt.Printf("%4d | (none found: %v)\n", seed, err)
 			continue
 		}
+		e.noteTrace(tr)
 		f, err := sys.Fascicle(pure)
 		if err != nil {
 			return err

@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gea"
 )
@@ -36,11 +39,16 @@ type experiment struct {
 type env struct {
 	cfg    gea.GenConfig
 	res    *gea.GenResult
-	full   bool
-	seed   int64
-	kpct   int
-	topX   int
-	system *gea.System // lazily built
+	full     bool
+	seed     int64
+	kpct     int
+	topX     int
+	deadline time.Duration
+	system   *gea.System // lazily built
+
+	// Bounded-execution accounting for the -deadline flag.
+	deadlineHits int
+	partials     int
 
 	// Cached brain pipeline outputs shared across experiments.
 	brainPure   string
@@ -67,6 +75,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	kpct := flag.Int("kpct", 55, "compact-attribute percentage for fascicle mining")
 	topX := flag.Int("top", 10, "top gaps to display")
+	deadline := flag.Duration("deadline", 0, "wall-time bound per governed operator (0 = unlimited); expired operators stop gracefully")
 	flag.Parse()
 
 	exps := []experiment{
@@ -105,7 +114,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "geabench:", err)
 		os.Exit(1)
 	}
-	e := &env{cfg: cfg, res: res, full: *full, seed: *seed, kpct: *kpct, topX: *topX}
+	e := &env{cfg: cfg, res: res, full: *full, seed: *seed, kpct: *kpct, topX: *topX, deadline: *deadline}
 
 	ran := 0
 	for _, ex := range exps {
@@ -114,6 +123,16 @@ func main() {
 		}
 		fmt.Printf("==== %s: %s ====\n", ex.name, ex.desc)
 		if err := ex.run(e); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// A deadline stop is a bounded-execution outcome, not a
+				// failure: report it and keep running the remaining
+				// experiments.
+				e.deadlineHits++
+				fmt.Printf("(stopped at the %v deadline; continuing)\n", *deadline)
+				fmt.Println()
+				ran++
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "geabench %s: %v\n", ex.name, err)
 			os.Exit(1)
 		}
@@ -123,6 +142,26 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "geabench: unknown experiment %q (use -exp list)\n", *expName)
 		os.Exit(2)
+	}
+	if *deadline > 0 {
+		fmt.Printf("deadline report: %d experiment(s) stopped at the %v deadline, %d partial result(s) accepted\n",
+			e.deadlineHits, *deadline, e.partials)
+	}
+}
+
+// opCtx returns a context bounded by the -deadline flag (background when
+// unset). Callers must invoke the cancel function when the operator returns.
+func (e *env) opCtx() (context.Context, context.CancelFunc) {
+	if e.deadline <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), e.deadline)
+}
+
+// noteTrace folds one governed operator's trace into the run accounting.
+func (e *env) noteTrace(tr gea.ExecTrace) {
+	if tr.Partial {
+		e.partials++
 	}
 }
 

@@ -1,0 +1,84 @@
+package gea
+
+import (
+	"gea/internal/cluster"
+	"gea/internal/core"
+	"gea/internal/exec"
+	"gea/internal/fascicle"
+	"gea/internal/system"
+	"gea/internal/xprofiler"
+)
+
+// Execution governance (internal/exec). Every long-running operator has a
+// *Ctx variant taking a context.Context and ExecLimits: the computation
+// polls cancellation and deadlines at checkpoints, a work budget degrades
+// to an explicitly flagged partial result (ExecTrace.Partial), and panics
+// are recovered into structured *ExecError values instead of crashing the
+// session.
+type (
+	// ExecLimits bound a single operator call: Budget caps total work
+	// units (0 = unlimited), CheckEvery sets the checkpoint cadence.
+	ExecLimits = exec.Limits
+	// ExecTrace reports what a governed call did: units charged,
+	// checkpoints passed, and whether the result is partial.
+	ExecTrace = exec.Trace
+	// ExecError is a structured failure from a governed operator: the
+	// operator name, the lineage node involved, and — for recovered
+	// panics — the panic value and stack.
+	ExecError = exec.ExecError
+	// ExecHook observes checkpoints; install with WithExecHook for
+	// deterministic fault injection (the execwalk test driver).
+	ExecHook = exec.Hook
+	// FascicleParamError is a typed mining-parameter rejection.
+	FascicleParamError = fascicle.ParamError
+	// ClusterParamError is a typed clustering-parameter rejection.
+	ClusterParamError = cluster.ParamError
+	// ErrBusy reports that a System operation gave up waiting for an
+	// admission slot.
+	ErrBusy = system.ErrBusy
+)
+
+var (
+	// ErrWorkBudget is the sentinel inside budget-exhaustion errors (a
+	// budget stop on a collection-valued operator is NOT an error — the
+	// partial result is returned flagged; this sentinel appears only
+	// where no partial value exists, e.g. FindPureFascicleCtx).
+	ErrWorkBudget = exec.ErrBudget
+	// IsCancellation reports whether an error is a context cancellation
+	// or deadline expiry; IsBudget reports budget exhaustion.
+	IsCancellation = exec.IsCancellation
+	IsBudget       = exec.IsBudget
+	// WithExecHook returns a context whose governed operators call the
+	// hook at every checkpoint.
+	WithExecHook = exec.WithHook
+)
+
+// Governed operator variants. Each takes a context and ExecLimits and
+// returns the result plus an ExecTrace.
+var (
+	// MineCtx / PopulateCtx / AggregateCtx / DiffCtx / RangeSearchCtx are
+	// the governed forms of the core algebra.
+	MineCtx        = core.MineCtx
+	PopulateCtx    = core.PopulateCtx
+	AggregateCtx   = core.AggregateCtx
+	DiffCtx        = core.DiffCtx
+	RangeSearchCtx = core.RangeSearchCtx
+	// MineFasciclesLatticeCtx / MineFasciclesGreedyCtx are the governed
+	// miners.
+	MineFasciclesLatticeCtx = fascicle.LatticeCtx
+	MineFasciclesGreedyCtx  = fascicle.GreedyCtx
+	// Governed clustering baselines.
+	HierarchicalCtx = cluster.HierarchicalCtx
+	KMeansCtx       = cluster.KMeansCtx
+	SOMCtx          = cluster.SOMCtx
+	OPTICSCtx       = cluster.OPTICSCtx
+	CASTCtx         = cluster.CASTCtx
+	// XCompareCtx is the governed pooled differential test.
+	XCompareCtx = xprofiler.CompareCtx
+)
+
+// Admission-control defaults of a System session.
+const (
+	DefaultMaxConcurrent = system.DefaultMaxConcurrent
+	DefaultAdmitTimeout  = system.DefaultAdmitTimeout
+)

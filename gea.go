@@ -36,6 +36,15 @@
 // clusterers (hierarchical, k-means, SOM, OPTICS), the index-selection
 // analysis of thesis Section 3.3.2, the embedded relational engine, the
 // lineage tracker, the auxiliary gene databases and the user store.
+//
+// Every long-running operator also has a governed *Ctx variant (MineCtx,
+// PopulateCtx, KMeansCtx, System.CalculateFasciclesCtx, ...) that accepts
+// a context.Context and an ExecLimits work budget: cancellation and
+// deadlines are observed at cooperative checkpoints, an exhausted budget
+// degrades to an explicitly flagged partial result (ExecTrace.Partial),
+// panics are recovered into structured *ExecError values, and System
+// sessions gate heavy operations through an admission semaphore (see
+// execution.go and DESIGN.md's execution model).
 package gea
 
 import (

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+
+	"gea/internal/exec"
 )
 
 // CASTConfig configures the Cluster Affinity Search Technique of Ben-Dor,
@@ -32,12 +35,40 @@ func CorrelationAffinity(a, b []float64) float64 {
 // element until the open cluster stabilizes, then closes it and starts the
 // next with the unassigned elements.
 func CAST(rows [][]float64, cfg CASTConfig) ([]int, error) {
-	n := len(rows)
-	if n == 0 {
-		return nil, fmt.Errorf("cluster: no rows")
+	labels, _, err := CASTWith(exec.Background(), rows, cfg)
+	return labels, err
+}
+
+// CASTCtx is CAST under execution governance: cancellation is observed
+// per affinity pair and per stabilization iteration, a budget stop
+// returns the labels assigned so far (unassigned rows stay -1, result
+// flagged partial), and panics are recovered into a structured
+// *exec.ExecError.
+func CASTCtx(ctx context.Context, rows [][]float64, cfg CASTConfig, lim exec.Limits) ([]int, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var labels []int
+	var partial bool
+	err := exec.Guard("cluster.CAST", "", func() error {
+		var err error
+		labels, partial, err = CASTWith(c, rows, cfg)
+		return err
+	})
+	if err != nil {
+		labels = nil
 	}
-	if cfg.T < 0 || cfg.T > 1 {
-		return nil, fmt.Errorf("cluster: CAST threshold %v out of [0, 1]", cfg.T)
+	return labels, c.Snapshot(partial), err
+}
+
+// CASTWith is the metered implementation; one work unit is one affinity
+// pair computed or one add/remove stabilization iteration.
+func CASTWith(c *exec.Ctl, rows [][]float64, cfg CASTConfig) ([]int, bool, error) {
+	n := len(rows)
+	if _, err := validateRows("CAST", rows); err != nil {
+		return nil, false, err
+	}
+	if cfg.T < 0 || cfg.T > 1 || badNumber(cfg.T) {
+		return nil, false, &ParamError{Op: "CAST", Param: "T",
+			Msg: fmt.Sprintf("threshold %v out of [0, 1]", cfg.T)}
 	}
 	aff := cfg.Affinity
 	if aff == nil {
@@ -56,6 +87,16 @@ func CAST(rows [][]float64, cfg CASTConfig) ([]int, error) {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					all := make([]int, n)
+					for i := range all {
+						all[i] = -1
+					}
+					return all, true, nil
+				}
+				return nil, false, err
+			}
 			a := aff(rows[i], rows[j])
 			am[i][j] = a
 			am[j][i] = a
@@ -69,6 +110,12 @@ func CAST(rows [][]float64, cfg CASTConfig) ([]int, error) {
 	unassigned := n
 	cluster := 0
 	for unassigned > 0 {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return labels, true, nil
+			}
+			return nil, false, err
+		}
 		// Open a cluster with the unassigned element of maximum total
 		// affinity to the other unassigned elements.
 		seed, best := -1, -1.0
@@ -95,6 +142,13 @@ func CAST(rows [][]float64, cfg CASTConfig) ([]int, error) {
 		}
 
 		for iter := 0; iter < maxIters; iter++ {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					// The open cluster is abandoned; committed labels stand.
+					return labels, true, nil
+				}
+				return nil, false, err
+			}
 			changed := false
 			// ADD: the unassigned outside element with maximum affinity, if
 			// it meets the threshold.
@@ -144,7 +198,7 @@ func CAST(rows [][]float64, cfg CASTConfig) ([]int, error) {
 		}
 		cluster++
 	}
-	return labels, nil
+	return labels, false, nil
 }
 
 // NumClusters returns the number of distinct non-negative labels.

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gea/internal/exec"
+	"gea/internal/exec/execwalk"
+)
+
+// walkRows builds a small deterministic dataset; each Run closure must
+// reconstruct its rand source so every walk replay is identical.
+func walkRows() [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	return twoBlobs(rng, 4)
+}
+
+func TestHierarchicalCheckpointWalk(t *testing.T) {
+	rows := walkRows()
+	execwalk.Walk(t, execwalk.Target{
+		Name: "Hierarchical",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := HierarchicalCtx(ctx, rows, EuclideanDistance, AverageLinkage, lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+func TestKMeansCheckpointWalk(t *testing.T) {
+	rows := walkRows()
+	execwalk.Walk(t, execwalk.Target{
+		Name: "KMeans",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := KMeansCtx(ctx, rows, 2, rand.New(rand.NewSource(3)), 20, lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+func TestSOMCheckpointWalk(t *testing.T) {
+	rows := walkRows()
+	cfg := SOMConfig{GridW: 2, GridH: 1, Epochs: 5}
+	execwalk.Walk(t, execwalk.Target{
+		Name: "SOM",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := SOMCtx(ctx, rows, cfg, rand.New(rand.NewSource(3)), lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+func TestOPTICSCheckpointWalk(t *testing.T) {
+	rows := walkRows()
+	cfg := OPTICSConfig{Eps: math.Inf(1), MinPts: 2, Dist: EuclideanDistance}
+	execwalk.Walk(t, execwalk.Target{
+		Name: "OPTICS",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := OPTICSCtx(ctx, rows, cfg, lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+func TestCASTCheckpointWalk(t *testing.T) {
+	rows := walkRows()
+	cfg := CASTConfig{T: 0.5}
+	execwalk.Walk(t, execwalk.Target{
+		Name: "CAST",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := CASTCtx(ctx, rows, cfg, lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+// TestClusterParamErrors covers the typed up-front validation: the
+// nonsensical k/eps/grid/threshold values — including the NaNs that used
+// to sail through range comparisons — are rejected before any loop runs.
+func TestClusterParamErrors(t *testing.T) {
+	rows := walkRows()
+	rng := rand.New(rand.NewSource(1))
+	nan := math.NaN()
+	cases := map[string]func() error{
+		"kmeans k=0": func() error {
+			_, err := KMeans(rows, 0, rng, 10)
+			return err
+		},
+		"kmeans k>n": func() error {
+			_, err := KMeans(rows, len(rows)+1, rng, 10)
+			return err
+		},
+		"kmeans nil rng": func() error {
+			_, err := KMeans(rows, 2, nil, 10)
+			return err
+		},
+		"kmeans ragged rows": func() error {
+			_, err := KMeans([][]float64{{1, 2}, {1}}, 1, rng, 10)
+			return err
+		},
+		"som zero grid": func() error {
+			_, err := SOM(rows, SOMConfig{GridW: 0, GridH: 2}, rng)
+			return err
+		},
+		"som nan learning rate": func() error {
+			_, err := SOM(rows, SOMConfig{GridW: 2, GridH: 1, LearningRate: nan}, rng)
+			return err
+		},
+		"som nan radius": func() error {
+			_, err := SOM(rows, SOMConfig{GridW: 2, GridH: 1, Radius: nan}, rng)
+			return err
+		},
+		"optics minpts=0": func() error {
+			_, err := OPTICS(rows, OPTICSConfig{Eps: 1, MinPts: 0})
+			return err
+		},
+		"optics eps=0": func() error {
+			_, err := OPTICS(rows, OPTICSConfig{Eps: 0, MinPts: 1})
+			return err
+		},
+		"optics nan eps": func() error {
+			_, err := OPTICS(rows, OPTICSConfig{Eps: nan, MinPts: 1})
+			return err
+		},
+		"cast t>1": func() error {
+			_, err := CAST(rows, CASTConfig{T: 1.5})
+			return err
+		},
+		"cast nan t": func() error {
+			_, err := CAST(rows, CASTConfig{T: nan})
+			return err
+		},
+		"hierarchical nil dist": func() error {
+			_, err := Hierarchical(rows, nil, AverageLinkage)
+			return err
+		},
+		"hierarchical bad linkage": func() error {
+			_, err := Hierarchical(rows, EuclideanDistance, Linkage(99))
+			return err
+		},
+		"hierarchical no rows": func() error {
+			_, err := Hierarchical(nil, EuclideanDistance, AverageLinkage)
+			return err
+		},
+	}
+	for name, run := range cases {
+		err := run()
+		var pe *ParamError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: got %v, want *ParamError", name, err)
+		} else if pe.Op == "" || pe.Param == "" {
+			t.Errorf("%s: ParamError missing detail: %+v", name, pe)
+		}
+	}
+}
+
+// TestCASTPartialNeverLies asserts a budget-stopped CAST leaves
+// uncommitted rows at -1 instead of inventing cluster labels.
+func TestCASTPartialNeverLies(t *testing.T) {
+	rows := walkRows()
+	full, err := CAST(rows, CASTConfig{T: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for budget := int64(1); budget < 60; budget += 5 {
+		labels, tr, err := CASTCtx(context.Background(), rows, CASTConfig{T: 0.5}, exec.Limits{Budget: budget})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !tr.Partial {
+			if NumClusters(labels) != NumClusters(full) {
+				t.Fatalf("budget %d: silent truncation", budget)
+			}
+			continue
+		}
+		for i, l := range labels {
+			if l < -1 || l >= len(rows) {
+				t.Fatalf("budget %d: row %d has fabricated label %d", budget, i, l)
+			}
+		}
+	}
+}

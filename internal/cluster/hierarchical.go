@@ -9,9 +9,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"gea/internal/exec"
 	"gea/internal/stats"
 )
 
@@ -75,12 +77,47 @@ type Merge struct {
 // number of rows with O(n^2) memory — fine for the ~100 libraries of the
 // SAGE corpus (the thesis clusters libraries, not the 60k tags).
 func Hierarchical(rows [][]float64, dist DistanceFunc, linkage Linkage) (*Dendrogram, error) {
+	dg, _, err := HierarchicalWith(exec.Background(), rows, dist, linkage)
+	return dg, err
+}
+
+// HierarchicalCtx is Hierarchical under execution governance: the O(n^3)
+// merge search polls cancellation at every candidate pair, a budget stop
+// returns the merges completed so far as a flagged partial dendrogram,
+// and panics become structured *exec.ExecErrors.
+func HierarchicalCtx(ctx context.Context, rows [][]float64, dist DistanceFunc, linkage Linkage, lim exec.Limits) (*Dendrogram, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var dg *Dendrogram
+	var partial bool
+	err := exec.Guard("cluster.Hierarchical", "", func() error {
+		var err error
+		dg, partial, err = HierarchicalWith(c, rows, dist, linkage)
+		return err
+	})
+	if err != nil {
+		dg = nil
+	}
+	return dg, c.Snapshot(partial), err
+}
+
+// HierarchicalWith is the metered implementation; one work unit is one
+// leaf-pair distance or one candidate cluster pair scanned.
+func HierarchicalWith(c *exec.Ctl, rows [][]float64, dist DistanceFunc, linkage Linkage) (*Dendrogram, bool, error) {
 	n := len(rows)
-	if n == 0 {
-		return nil, fmt.Errorf("cluster: no rows")
+	if _, err := validateRows("Hierarchical", rows); err != nil {
+		return nil, false, err
+	}
+	if dist == nil {
+		return nil, false, &ParamError{Op: "Hierarchical", Param: "dist", Msg: "distance function required"}
+	}
+	switch linkage {
+	case AverageLinkage, SingleLinkage, CompleteLinkage:
+	default:
+		return nil, false, &ParamError{Op: "Hierarchical", Param: "linkage",
+			Msg: fmt.Sprintf("unknown linkage %d", int(linkage))}
 	}
 	if n == 1 {
-		return &Dendrogram{N: 1}, nil
+		return &Dendrogram{N: 1}, false, nil
 	}
 
 	// Active clusters: ID -> member leaf indices.
@@ -95,6 +132,12 @@ func Hierarchical(rows [][]float64, dist DistanceFunc, linkage Linkage) (*Dendro
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return &Dendrogram{N: n}, true, nil
+				}
+				return nil, false, err
+			}
 			d := dist(rows[i], rows[j])
 			leafDist[i][j] = d
 			leafDist[j][i] = d
@@ -144,6 +187,12 @@ func Hierarchical(rows [][]float64, dist DistanceFunc, linkage Linkage) (*Dendro
 		bi, bj, best := 0, 1, math.Inf(1)
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
+				if err := c.Point(1); err != nil {
+					if exec.IsBudget(err) {
+						return dg, true, nil
+					}
+					return nil, false, err
+				}
 				d := clusterDist(members[ids[i]], members[ids[j]])
 				if d < best {
 					best = d
@@ -163,7 +212,7 @@ func Hierarchical(rows [][]float64, dist DistanceFunc, linkage Linkage) (*Dendro
 		ids = append(ids, nextID)
 		nextID++
 	}
-	return dg, nil
+	return dg, false, nil
 }
 
 // Cut flattens the dendrogram into k clusters by undoing the last k-1

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"gea/internal/exec"
 )
 
 // KMeansResult holds a k-means clustering.
@@ -20,30 +23,80 @@ type KMeansResult struct {
 // clusters are initially assigned randomly and the genes are regrouped
 // iteratively until they are optimally clustered".
 func KMeans(rows [][]float64, k int, rng *rand.Rand, maxIters int) (*KMeansResult, error) {
+	res, _, err := KMeansWith(exec.Background(), rows, k, rng, maxIters)
+	return res, err
+}
+
+// KMeansCtx is KMeans under execution governance: cancellation and
+// deadlines are observed once per Lloyd's-iteration row, a budget stop
+// returns the current labels/centroids flagged partial, and panics are
+// recovered into a structured *exec.ExecError.
+func KMeansCtx(ctx context.Context, rows [][]float64, k int, rng *rand.Rand, maxIters int, lim exec.Limits) (*KMeansResult, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var res *KMeansResult
+	var partial bool
+	err := exec.Guard("cluster.KMeans", "", func() error {
+		var err error
+		res, partial, err = KMeansWith(c, rows, k, rng, maxIters)
+		return err
+	})
+	if err != nil {
+		res = nil
+	}
+	return res, c.Snapshot(partial), err
+}
+
+// KMeansWith is the metered implementation; one work unit is one row
+// visited during seeding or assignment.
+func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters int) (*KMeansResult, bool, error) {
 	n := len(rows)
-	if n == 0 {
-		return nil, fmt.Errorf("cluster: no rows")
+	dim, err := validateRows("KMeans", rows)
+	if err != nil {
+		return nil, false, err
 	}
 	if k < 1 || k > n {
-		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d]", k, n)
+		return nil, false, &ParamError{Op: "KMeans", Param: "k",
+			Msg: fmt.Sprintf("k=%d out of range [1, %d]", k, n)}
 	}
-	dim := len(rows[0])
-	for i, r := range rows {
-		if len(r) != dim {
-			return nil, fmt.Errorf("cluster: row %d has dimension %d, want %d", i, len(r), dim)
-		}
+	if rng == nil {
+		return nil, false, &ParamError{Op: "KMeans", Param: "rng", Msg: "random source required"}
 	}
 	if maxIters <= 0 {
 		maxIters = 100
 	}
 
-	centroids := kmeansPlusPlusInit(rows, k, rng)
+	centroids, stop := kmeansPlusPlusInit(c, rows, k, rng)
 	labels := make([]int, n)
 	res := &KMeansResult{Labels: labels, Centroids: centroids}
+	finish := func() (*KMeansResult, bool, error) {
+		var inertia float64
+		for i, r := range rows {
+			inertia += sqDist(r, res.Centroids[labels[i]])
+		}
+		res.Inertia = inertia
+		return res, true, nil
+	}
+	if stop != nil {
+		if exec.IsBudget(stop) {
+			// Seeding was cut short: pad with copies of the first seed so
+			// the flagged partial result still has k centroids.
+			for len(res.Centroids) < k {
+				res.Centroids = append(res.Centroids, append([]float64{}, res.Centroids[0]...))
+			}
+			return finish()
+		}
+		return nil, false, stop
+	}
 
 	for iter := 0; iter < maxIters; iter++ {
 		changed := false
 		for i, r := range rows {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return finish()
+				}
+				return nil, false, err
+			}
 			best, bestD := 0, math.Inf(1)
 			for c := range centroids {
 				d := sqDist(r, centroids[c])
@@ -101,11 +154,13 @@ func KMeans(rows [][]float64, k int, rng *rand.Rand, maxIters int) (*KMeansResul
 		inertia += sqDist(r, centroids[labels[i]])
 	}
 	res.Inertia = inertia
-	return res, nil
+	return res, false, nil
 }
 
-// kmeansPlusPlusInit seeds centroids with the k-means++ strategy.
-func kmeansPlusPlusInit(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
+// kmeansPlusPlusInit seeds centroids with the k-means++ strategy. The
+// returned error, if any, is the Ctl's stop condition; at least one
+// centroid is always produced.
+func kmeansPlusPlusInit(ctl *exec.Ctl, rows [][]float64, k int, rng *rand.Rand) ([][]float64, error) {
 	n := len(rows)
 	centroids := make([][]float64, 0, k)
 	first := rng.Intn(n)
@@ -114,6 +169,9 @@ func kmeansPlusPlusInit(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
 	for len(centroids) < k {
 		var sum float64
 		for i, r := range rows {
+			if err := ctl.Point(1); err != nil {
+				return centroids, err
+			}
 			best := math.Inf(1)
 			for _, c := range centroids {
 				if d := sqDist(r, c); d < best {
@@ -138,7 +196,7 @@ func kmeansPlusPlusInit(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
 		}
 		centroids = append(centroids, append([]float64{}, rows[pick]...))
 	}
-	return centroids
+	return centroids, nil
 }
 
 func sqDist(a, b []float64) float64 {

@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"gea/internal/exec"
 )
 
 // OPTICSConfig configures an OPTICS run (Ankerst, Breunig, Kriegel, Sander;
@@ -30,15 +33,42 @@ type OPTICSPoint struct {
 // reachability plot are clusters; ExtractDBSCAN flattens the ordering at a
 // fixed eps'.
 func OPTICS(rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint, error) {
+	order, _, err := OPTICSWith(exec.Background(), rows, cfg)
+	return order, err
+}
+
+// OPTICSCtx is OPTICS under execution governance: cancellation is
+// observed per distance-matrix pair and per processed point, a budget
+// stop returns the ordering produced so far flagged partial, and panics
+// are recovered into a structured *exec.ExecError.
+func OPTICSCtx(ctx context.Context, rows [][]float64, cfg OPTICSConfig, lim exec.Limits) ([]OPTICSPoint, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var order []OPTICSPoint
+	var partial bool
+	err := exec.Guard("cluster.OPTICS", "", func() error {
+		var err error
+		order, partial, err = OPTICSWith(c, rows, cfg)
+		return err
+	})
+	if err != nil {
+		order = nil
+	}
+	return order, c.Snapshot(partial), err
+}
+
+// OPTICSWith is the metered implementation; one work unit is one
+// distance-matrix pair computed or one point added to the ordering.
+func OPTICSWith(c *exec.Ctl, rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint, bool, error) {
 	n := len(rows)
-	if n == 0 {
-		return nil, fmt.Errorf("cluster: no rows")
+	if _, err := validateRows("OPTICS", rows); err != nil {
+		return nil, false, err
 	}
 	if cfg.MinPts < 1 {
-		return nil, fmt.Errorf("cluster: MinPts must be at least 1")
+		return nil, false, &ParamError{Op: "OPTICS", Param: "MinPts", Msg: "must be at least 1"}
 	}
-	if cfg.Eps <= 0 {
-		return nil, fmt.Errorf("cluster: Eps must be positive")
+	if cfg.Eps <= 0 || badNumber(cfg.Eps) {
+		return nil, false, &ParamError{Op: "OPTICS", Param: "Eps",
+			Msg: fmt.Sprintf("%v; must be a positive number", cfg.Eps)}
 	}
 	dist := cfg.Dist
 	if dist == nil {
@@ -52,6 +82,12 @@ func OPTICS(rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint, error) {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return nil, true, nil
+				}
+				return nil, false, err
+			}
 			d := dist(rows[i], rows[j])
 			dm[i][j] = d
 			dm[j][i] = d
@@ -87,6 +123,12 @@ func OPTICS(rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint, error) {
 		if processed[start] {
 			continue
 		}
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return order, true, nil
+			}
+			return nil, false, err
+		}
 		processed[start] = true
 		cd := coreDist(start)
 		order = append(order, OPTICSPoint{Index: start, Reachability: math.Inf(1), CoreDistance: cd})
@@ -114,13 +156,19 @@ func OPTICS(rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint, error) {
 			if processed[item.idx] || item.reach > reach[item.idx] {
 				continue // stale heap entry
 			}
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return order, true, nil
+				}
+				return nil, false, err
+			}
 			processed[item.idx] = true
 			cd := coreDist(item.idx)
 			order = append(order, OPTICSPoint{Index: item.idx, Reachability: reach[item.idx], CoreDistance: cd})
 			update(item.idx, cd)
 		}
 	}
-	return order, nil
+	return order, false, nil
 }
 
 // ExtractDBSCAN flattens an OPTICS ordering into DBSCAN-style clusters at

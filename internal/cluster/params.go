@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// ParamError is a typed clustering-parameter validation failure; Op
+// names the clusterer and Param the offending field, so callers can
+// report (or fix) the exact input instead of pattern-matching strings.
+// All parameter validation happens up front — nonsensical k/eps/grid
+// values are rejected before any loop runs.
+type ParamError struct {
+	Op    string
+	Param string
+	Msg   string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("cluster: %s: invalid %s: %s", e.Op, e.Param, e.Msg)
+}
+
+// validateRows checks the row matrix is non-empty, rectangular, and
+// returns its dimension.
+func validateRows(op string, rows [][]float64) (int, error) {
+	if len(rows) == 0 {
+		return 0, &ParamError{Op: op, Param: "rows", Msg: "no rows"}
+	}
+	dim := len(rows[0])
+	for i, r := range rows {
+		if len(r) != dim {
+			return 0, &ParamError{Op: op, Param: "rows",
+				Msg: fmt.Sprintf("row %d has dimension %d, want %d", i, len(r), dim)}
+		}
+	}
+	return dim, nil
+}
+
+// badNumber reports values that silently poison a whole run: NaN passes
+// every range comparison, so it must be rejected explicitly.
+func badNumber(v float64) bool { return math.IsNaN(v) }

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"gea/internal/exec"
 )
 
 // SOMConfig configures a self-organizing map run.
@@ -31,12 +34,49 @@ type SOMResult struct {
 // suited to identifying a small number of prominent classes in a small data
 // set" that Golub et al. used to separate ALL from AML (Section 2.3.2).
 func SOM(rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, error) {
+	res, _, err := SOMWith(exec.Background(), rows, cfg, rng)
+	return res, err
+}
+
+// SOMCtx is SOM under execution governance: cancellation is observed
+// once per training step, a budget stop labels the rows against the
+// partially trained map (flagged partial), and panics are recovered
+// into a structured *exec.ExecError.
+func SOMCtx(ctx context.Context, rows [][]float64, cfg SOMConfig, rng *rand.Rand, lim exec.Limits) (*SOMResult, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var res *SOMResult
+	var partial bool
+	err := exec.Guard("cluster.SOM", "", func() error {
+		var err error
+		res, partial, err = SOMWith(c, rows, cfg, rng)
+		return err
+	})
+	if err != nil {
+		res = nil
+	}
+	return res, c.Snapshot(partial), err
+}
+
+// SOMWith is the metered implementation; one work unit is one training
+// step (one sample folded into the map).
+func SOMWith(c *exec.Ctl, rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, bool, error) {
 	n := len(rows)
-	if n == 0 {
-		return nil, fmt.Errorf("cluster: no rows")
+	dim, err := validateRows("SOM", rows)
+	if err != nil {
+		return nil, false, err
 	}
 	if cfg.GridW < 1 || cfg.GridH < 1 {
-		return nil, fmt.Errorf("cluster: SOM grid %dx%d invalid", cfg.GridW, cfg.GridH)
+		return nil, false, &ParamError{Op: "SOM", Param: "grid",
+			Msg: fmt.Sprintf("grid %dx%d invalid", cfg.GridW, cfg.GridH)}
+	}
+	if badNumber(cfg.LearningRate) {
+		return nil, false, &ParamError{Op: "SOM", Param: "LearningRate", Msg: "must not be NaN"}
+	}
+	if badNumber(cfg.Radius) {
+		return nil, false, &ParamError{Op: "SOM", Param: "Radius", Msg: "must not be NaN"}
+	}
+	if rng == nil {
+		return nil, false, &ParamError{Op: "SOM", Param: "rng", Msg: "random source required"}
 	}
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 50
@@ -46,12 +86,6 @@ func SOM(rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, error) {
 	}
 	if cfg.Radius <= 0 {
 		cfg.Radius = math.Max(float64(cfg.GridW), float64(cfg.GridH)) / 2
-	}
-	dim := len(rows[0])
-	for i, r := range rows {
-		if len(r) != dim {
-			return nil, fmt.Errorf("cluster: row %d has dimension %d, want %d", i, len(r), dim)
-		}
 	}
 
 	units := cfg.GridW * cfg.GridH
@@ -66,6 +100,14 @@ func SOM(rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, error) {
 		weights[u] = w
 	}
 
+	finish := func(partial bool) (*SOMResult, bool, error) {
+		labels := make([]int, n)
+		for i, r := range rows {
+			labels[i] = bestMatchingUnit(r, weights)
+		}
+		return &SOMResult{Config: cfg, Weights: weights, Labels: labels}, partial, nil
+	}
+
 	order := rng.Perm(n)
 	totalSteps := cfg.Epochs * n
 	step := 0
@@ -76,6 +118,13 @@ func SOM(rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, error) {
 			order[i], order[j] = order[j], order[i]
 		}
 		for _, ri := range order {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					// Labels against the partially trained map, flagged.
+					return finish(true)
+				}
+				return nil, false, err
+			}
 			frac := float64(step) / float64(totalSteps)
 			lr := cfg.LearningRate * (1 - frac)
 			radius := cfg.Radius * (1 - frac)
@@ -100,11 +149,7 @@ func SOM(rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, error) {
 		}
 	}
 
-	labels := make([]int, n)
-	for i, r := range rows {
-		labels[i] = bestMatchingUnit(r, weights)
-	}
-	return &SOMResult{Config: cfg, Weights: weights, Labels: labels}, nil
+	return finish(false)
 }
 
 func bestMatchingUnit(r []float64, weights [][]float64) int {

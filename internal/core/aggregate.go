@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"gea/internal/exec"
 	"gea/internal/interval"
 	"gea/internal/stats"
 )
@@ -19,8 +21,32 @@ type AggregateOptions struct {
 // its expression levels across the member libraries (the aggregate()
 // operator of Figure 3.1, the inverse of populate).
 func Aggregate(name string, e *Enum, opts AggregateOptions) (*Sumy, error) {
+	s, _, err := AggregateWith(exec.Background(), name, e, opts)
+	return s, err
+}
+
+// AggregateCtx is Aggregate under execution governance; on budget
+// exhaustion the tags aggregated so far form a flagged partial SUMY.
+func AggregateCtx(ctx context.Context, name string, e *Enum, opts AggregateOptions, lim exec.Limits) (*Sumy, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var s *Sumy
+	var partial bool
+	err := exec.Guard("core.Aggregate", name, func() error {
+		var err error
+		s, partial, err = AggregateWith(c, name, e, opts)
+		return err
+	})
+	if err != nil {
+		s = nil
+	}
+	return s, c.Snapshot(partial), err
+}
+
+// AggregateWith is the metered implementation; one work unit is one tag
+// column aggregated.
+func AggregateWith(c *exec.Ctl, name string, e *Enum, opts AggregateOptions) (*Sumy, bool, error) {
 	if e.Size() == 0 {
-		return nil, fmt.Errorf("core: aggregate %s: enum %s has no libraries", name, e.Name)
+		return nil, false, fmt.Errorf("core: aggregate %s: enum %s has no libraries", name, e.Name)
 	}
 	var extraCols []string
 	if opts.WithMedian {
@@ -29,6 +55,12 @@ func Aggregate(name string, e *Enum, opts AggregateOptions) (*Sumy, error) {
 	rows := make([]SumyRow, 0, e.NumTags())
 	vals := make([]float64, e.Size())
 	for j := 0; j < e.NumTags(); j++ {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return NewSumy(name, rows, extraCols), true, nil
+			}
+			return nil, false, err
+		}
 		col := e.Cols[j]
 		lo := e.Data.Expr[e.Rows[0]][col]
 		hi := lo
@@ -52,13 +84,13 @@ func Aggregate(name string, e *Enum, opts AggregateOptions) (*Sumy, error) {
 		if opts.WithMedian {
 			med, err := stats.Median(vals)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			row.Extra = map[string]float64{"median": med}
 		}
 		rows = append(rows, row)
 	}
-	return NewSumy(name, rows, extraCols), nil
+	return NewSumy(name, rows, extraCols), false, nil
 }
 
 // SumyPredicate decides whether a SUMY row qualifies for selection.

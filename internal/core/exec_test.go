@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"gea/internal/exec"
+	"gea/internal/exec/execwalk"
+	"gea/internal/fascicle"
+	"gea/internal/interval"
+	"gea/internal/sage"
+)
+
+// execFixture builds the SUMY/ENUM inputs the governed operators run
+// over: the full dataset, a SUMY per tissue signature, and tag indexes.
+func execFixture(t *testing.T) (d *sage.Dataset, cancer, normal *Sumy, idx *TagIndexes) {
+	t.Helper()
+	d = smallDataset()
+	mk := func(name string, rows []int) *Sumy {
+		e, err := NewEnum(name+"_members", d, rows, []int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Aggregate(name, e, AggregateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cancer = mk("cancerSumy", []int{0, 1, 2})
+	normal = mk("normalSumy", []int{3, 4})
+	var err error
+	idx, err = BuildTagIndexes(d, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, cancer, normal, idx
+}
+
+func TestPopulateCheckpointWalk(t *testing.T) {
+	d, cancer, _, idx := execFixture(t)
+	for _, tc := range []struct {
+		name string
+		idx  *TagIndexes
+	}{
+		{"Populate/sequential", nil},
+		{"Populate/indexed", idx},
+	} {
+		execwalk.Walk(t, execwalk.Target{
+			Name: tc.name,
+			Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+				_, _, tr, err := PopulateCtx(ctx, "walkEnum", cancer, d, tc.idx, lim)
+				return tr, err
+			},
+			MaxUnitStep: 1,
+		})
+	}
+}
+
+func TestAggregateCheckpointWalk(t *testing.T) {
+	d := smallDataset()
+	e := FullEnum("SAGE", d)
+	execwalk.Walk(t, execwalk.Target{
+		Name: "Aggregate",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := AggregateCtx(ctx, "walkSumy", e, AggregateOptions{WithMedian: true}, lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+func TestDiffCheckpointWalk(t *testing.T) {
+	_, cancer, normal, _ := execFixture(t)
+	execwalk.Walk(t, execwalk.Target{
+		Name: "Diff",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := DiffCtx(ctx, "walkGap", cancer, normal, lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+func TestRangeSearchCheckpointWalk(t *testing.T) {
+	_, cancer, normal, _ := execFixture(t)
+	first := sage.MustParseTag("AAAAAAAAAA")
+	last := sage.MustParseTag("TTTTTTTTTT")
+	execwalk.Walk(t, execwalk.Target{
+		Name: "RangeSearch",
+		Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+			_, tr, err := RangeSearchCtx(ctx, []*Sumy{cancer, normal}, first, last,
+				BroadOverlap(interval.Interval{Min: 0, Max: 1000}), lim)
+			return tr, err
+		},
+		MaxUnitStep: 1,
+	})
+}
+
+func mineParams(d *sage.Dataset) fascicle.Params {
+	tol := make(map[sage.TagID]float64, d.NumTags())
+	for _, tg := range d.Tags {
+		tol[tg] = 25
+	}
+	return fascicle.Params{K: 2, Tolerance: tol, MinSize: 2}
+}
+
+func TestMineCheckpointWalk(t *testing.T) {
+	d := smallDataset()
+	p := mineParams(d)
+	for _, tc := range []struct {
+		name string
+		alg  Algorithm
+	}{
+		{"Mine/lattice", LatticeAlgorithm},
+		{"Mine/greedy", GreedyAlgorithm},
+	} {
+		execwalk.Walk(t, execwalk.Target{
+			Name: tc.name,
+			Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+				_, tr, err := MineCtx(ctx, "walk", d, p, tc.alg, lim)
+				return tr, err
+			},
+			MaxUnitStep: 1,
+		})
+	}
+}
+
+// TestMinePartialResultsAreComplete asserts the composite operator's
+// contract: any MineResult returned under a budget is fully converted
+// (fascicle + SUMY + ENUM all present) and the truncation is flagged.
+func TestMinePartialResultsAreComplete(t *testing.T) {
+	d := smallDataset()
+	p := mineParams(d)
+	full, err := Mine("walk", d, p, LatticeAlgorithm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for budget := int64(1); budget < 200; budget += 13 {
+		rs, tr, err := MineCtx(context.Background(), "walk", d, p, LatticeAlgorithm, exec.Limits{Budget: budget})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		for _, r := range rs {
+			if r.Fascicle == nil || r.Sumy == nil || r.Enum == nil {
+				t.Fatalf("budget %d: half-converted MineResult emitted: %+v", budget, r)
+			}
+		}
+		if !tr.Partial && len(rs) != len(full) {
+			t.Fatalf("budget %d: silent truncation: %d of %d results, no partial flag",
+				budget, len(rs), len(full))
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"gea/internal/exec"
 )
 
 // Diff takes two SUMY tables and produces a GAP table over their common tags
@@ -16,15 +19,51 @@ import (
 // NULL (Figure 3.4). Otherwise the sign is positive when the *first* table
 // has the higher mean and negative when it has the lower (Figure 3.5).
 func Diff(name string, a, b *Sumy) (*Gap, error) {
+	g, _, err := DiffWith(exec.Background(), name, a, b)
+	return g, err
+}
+
+// DiffCtx is Diff under execution governance; on budget exhaustion the
+// tags differenced so far form a flagged partial GAP.
+func DiffCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits) (*Gap, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var g *Gap
+	var partial bool
+	err := exec.Guard("core.Diff", name, func() error {
+		var err error
+		g, partial, err = DiffWith(c, name, a, b)
+		return err
+	})
+	if err != nil {
+		g = nil
+	}
+	return g, c.Snapshot(partial), err
+}
+
+// DiffWith is the metered implementation; one work unit is one tag of
+// the first SUMY table examined.
+func DiffWith(c *exec.Ctl, name string, a, b *Sumy) (*Gap, bool, error) {
 	var rows []GapRow
+	partial := false
 	for _, ra := range a.Rows {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				partial = true
+				break
+			}
+			return nil, false, err
+		}
 		rb, ok := b.Row(ra.Tag)
 		if !ok {
 			continue
 		}
 		rows = append(rows, GapRow{Tag: ra.Tag, Values: []GapValue{gapOf(ra, rb)}})
 	}
-	return NewGap(name, []string{"gap"}, rows)
+	g, err := NewGap(name, []string{"gap"}, rows)
+	if err != nil {
+		return nil, false, err
+	}
+	return g, partial, nil
 }
 
 // gapOf computes the gap level between a (first table) and b (second).

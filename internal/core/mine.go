@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"gea/internal/exec"
 	"gea/internal/fascicle"
 	"gea/internal/sage"
 )
@@ -42,36 +44,77 @@ type MineResult struct {
 // in the miner's report order, mirroring the brain35k_1... naming of the
 // case studies.
 func Mine(prefix string, d *sage.Dataset, p fascicle.Params, alg Algorithm) ([]MineResult, error) {
+	rs, _, err := MineWith(exec.Background(), prefix, d, p, alg)
+	return rs, err
+}
+
+// MineCtx is Mine under execution governance. The whole macro operation
+// — mining plus the per-fascicle aggregate and populate conversions —
+// shares one budget; when it expires, the fully converted results so
+// far are returned with Trace.Partial set (half-converted fascicles are
+// dropped, never emitted).
+func MineCtx(ctx context.Context, prefix string, d *sage.Dataset, p fascicle.Params, alg Algorithm, lim exec.Limits) ([]MineResult, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var rs []MineResult
+	var partial bool
+	err := exec.Guard("core.Mine", prefix, func() error {
+		var err error
+		rs, partial, err = MineWith(c, prefix, d, p, alg)
+		return err
+	})
+	if err != nil {
+		rs = nil
+	}
+	return rs, c.Snapshot(partial), err
+}
+
+// MineWith is the metered implementation, sharing c across the miner
+// and each fascicle's SUMY/ENUM conversion.
+func MineWith(c *exec.Ctl, prefix string, d *sage.Dataset, p fascicle.Params, alg Algorithm) ([]MineResult, bool, error) {
 	var fs []*fascicle.Fascicle
+	var partial bool
 	var err error
 	switch alg {
 	case GreedyAlgorithm:
-		fs, err = fascicle.Greedy(d, p)
+		fs, partial, err = fascicle.GreedyWith(c, d, p)
 	default:
-		fs, err = fascicle.Lattice(d, p)
+		fs, partial, err = fascicle.LatticeWith(c, d, p)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	results := make([]MineResult, 0, len(fs))
 	for i, f := range fs {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return results, true, nil
+			}
+			return nil, false, err
+		}
 		name := fmt.Sprintf("%s_%d", prefix, i+1)
 		enumMembers, err := NewEnum(name+"_members", d, f.Rows, f.CompactCols)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		sumy, err := Aggregate(name+"Sumy", enumMembers, AggregateOptions{})
+		sumy, sp, err := AggregateWith(c, name+"Sumy", enumMembers, AggregateOptions{})
 		if err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		if sp {
+			// Budget died mid-conversion: drop the incomplete result.
+			return results, true, nil
 		}
 		// populate() may admit libraries beyond the fascicle when the miner
 		// is not maximal; for the exact lattice it returns the members.
-		enum, _, err := Populate(name+"Enum", sumy, d, nil)
+		enum, _, ep, err := PopulateWith(c, name+"Enum", sumy, d, nil, PopulateOptions{})
 		if err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		if ep {
+			return results, true, nil
 		}
 		results = append(results, MineResult{Fascicle: f, Sumy: sumy, Enum: enum})
 	}
-	return results, nil
+	return results, partial, nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"gea/internal/exec"
 	"gea/internal/sage"
 )
 
@@ -106,12 +108,40 @@ func Populate(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes) (*Enum, Po
 
 // PopulateWithOptions is Populate with evaluation options.
 func PopulateWithOptions(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, opts PopulateOptions) (*Enum, PopulateStats, error) {
+	e, st, _, err := PopulateWith(exec.Background(), name, s, d, idx, opts)
+	return e, st, err
+}
+
+// PopulateCtx is Populate under execution governance: cancellation and
+// deadlines are observed at every checkpoint; on budget exhaustion the
+// rows verified so far become an explicitly flagged partial ENUM; a
+// panic is recovered into a structured *exec.ExecError.
+func PopulateCtx(ctx context.Context, name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, lim exec.Limits) (*Enum, PopulateStats, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var e *Enum
+	var st PopulateStats
+	var partial bool
+	err := exec.Guard("core.Populate", name, func() error {
+		var err error
+		e, st, partial, err = PopulateWith(c, name, s, d, idx, PopulateOptions{})
+		return err
+	})
+	if err != nil {
+		e = nil
+	}
+	return e, st, c.Snapshot(partial), err
+}
+
+// PopulateWith is the metered implementation, exported so composite
+// operators share one Ctl. One work unit is one index range scan or one
+// candidate row verified.
+func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, opts PopulateOptions) (*Enum, PopulateStats, bool, error) {
 	var st PopulateStats
 	if s.Len() == 0 {
-		return nil, st, fmt.Errorf("core: populate %s: SUMY %s is empty", name, s.Name)
+		return nil, st, false, fmt.Errorf("core: populate %s: SUMY %s is empty", name, s.Name)
 	}
 	if idx != nil && idx.data != d {
-		return nil, st, fmt.Errorf("core: populate %s: indexes were built on a different dataset", name)
+		return nil, st, false, fmt.Errorf("core: populate %s: indexes were built on a different dataset", name)
 	}
 
 	// Split conditions into indexed and residual.
@@ -122,28 +152,42 @@ func PopulateWithOptions(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes,
 	var indexed, residual []cond
 	var cols []int
 	for _, r := range s.Rows {
-		c := cond{col: -1, lo: r.Range.Min, hi: r.Range.Max}
+		cc := cond{col: -1, lo: r.Range.Min, hi: r.Range.Max}
 		if j, ok := d.TagColumn(r.Tag); ok {
-			c.col = j
+			cc.col = j
 			cols = append(cols, j)
 		}
-		if c.col >= 0 && idx != nil {
-			if _, ok := idx.byCol[c.col]; ok {
-				indexed = append(indexed, c)
+		if cc.col >= 0 && idx != nil {
+			if _, ok := idx.byCol[cc.col]; ok {
+				indexed = append(indexed, cc)
 				continue
 			}
 		}
-		residual = append(residual, c)
+		residual = append(residual, cc)
 	}
 	st.IndexesHit = len(indexed)
+
+	partialEnum := func(rows []int, cols []int) (*Enum, PopulateStats, bool, error) {
+		e, err := NewEnum(name, d, rows, cols)
+		if err != nil {
+			return nil, st, false, err
+		}
+		return e, st, true, nil
+	}
 
 	var candidates []int
 	if len(indexed) > 0 {
 		// Gather candidate sets (sorted by row), intersect smallest-first
 		// with a sorted merge.
 		sets := make([][]int, len(indexed))
-		for i, c := range indexed {
-			rows := idx.rangeRows(c.col, c.lo, c.hi)
+		for i, cd := range indexed {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return partialEnum(nil, cols)
+				}
+				return nil, st, false, err
+			}
+			rows := idx.rangeRows(cd.col, cd.lo, cd.hi)
 			sort.Ints(rows)
 			sets[i] = rows
 		}
@@ -180,19 +224,26 @@ func PopulateWithOptions(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes,
 	var rows []int
 	var fetchSink float64
 	for _, r := range candidates {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				_ = fetchSink
+				return partialEnum(rows, cols)
+			}
+			return nil, st, false, err
+		}
 		if opts.SimulateRowFetch {
 			for _, v := range d.Expr[r] {
 				fetchSink += v
 			}
 		}
 		ok := true
-		for _, c := range residual {
+		for _, cd := range residual {
 			st.ConditionsChecked++
 			v := 0.0
-			if c.col >= 0 {
-				v = d.Expr[r][c.col]
+			if cd.col >= 0 {
+				v = d.Expr[r][cd.col]
 			}
-			if v < c.lo || v > c.hi {
+			if v < cd.lo || v > cd.hi {
 				ok = false
 				break
 			}
@@ -205,7 +256,7 @@ func PopulateWithOptions(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes,
 	_ = fetchSink
 	e, err := NewEnum(name, d, rows, cols)
 	if err != nil {
-		return nil, st, err
+		return nil, st, false, err
 	}
-	return e, st, nil
+	return e, st, false, nil
 }

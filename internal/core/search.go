@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"gea/internal/exec"
 	"gea/internal/interval"
 	"gea/internal/sage"
 )
@@ -71,16 +73,46 @@ func BroadOverlap(query interval.Interval) RangeCondition {
 // in each SUMY table satisfies the condition — the Figure 4.16 search. Tags
 // outside every table are omitted.
 func RangeSearch(sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeCondition) ([]RangeSearchRow, error) {
+	rows, _, err := RangeSearchWith(exec.Background(), sumys, firstTag, lastTag, cond)
+	return rows, err
+}
+
+// RangeSearchCtx is RangeSearch under execution governance; on budget
+// exhaustion the tags examined so far form a flagged partial report.
+func RangeSearchCtx(ctx context.Context, sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeCondition, lim exec.Limits) ([]RangeSearchRow, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var rows []RangeSearchRow
+	var partial bool
+	err := exec.Guard("core.RangeSearch", "", func() error {
+		var err error
+		rows, partial, err = RangeSearchWith(c, sumys, firstTag, lastTag, cond)
+		return err
+	})
+	if err != nil {
+		rows = nil
+	}
+	return rows, c.Snapshot(partial), err
+}
+
+// RangeSearchWith is the metered implementation; one work unit is one
+// SUMY row scanned during tag collection or one candidate tag checked.
+func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeCondition) ([]RangeSearchRow, bool, error) {
 	if len(sumys) == 0 {
-		return nil, fmt.Errorf("core: range search needs at least one SUMY table")
+		return nil, false, fmt.Errorf("core: range search needs at least one SUMY table")
 	}
 	if firstTag > lastTag {
-		return nil, fmt.Errorf("core: tag range %v-%v is inverted", firstTag, lastTag)
+		return nil, false, fmt.Errorf("core: tag range %v-%v is inverted", firstTag, lastTag)
 	}
 	// Collect candidate tags in range from all tables.
 	tagSet := map[sage.TagID]bool{}
 	for _, s := range sumys {
 		for _, r := range s.Rows {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return nil, true, nil
+				}
+				return nil, false, err
+			}
 			if r.Tag >= firstTag && r.Tag <= lastTag {
 				tagSet[r.Tag] = true
 			}
@@ -94,6 +126,12 @@ func RangeSearch(sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeConditio
 
 	out := make([]RangeSearchRow, 0, len(tags))
 	for _, t := range tags {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return out, true, nil
+			}
+			return nil, false, err
+		}
 		row := RangeSearchRow{Tag: t, Cells: make([]RangeCell, len(sumys))}
 		for i, s := range sumys {
 			sr, ok := s.Row(t)
@@ -108,7 +146,7 @@ func RangeSearch(sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeConditio
 		}
 		out = append(out, row)
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // AnyTagSearch returns every tag of the SUMY table whose range satisfies the

@@ -1,0 +1,256 @@
+// Package exec is the execution-governance layer for GEA's operator
+// algebra. Every long-running operator (the fascicle miners, populate,
+// aggregate, diff, the clustering baselines, the expression profiler)
+// threads a *Ctl through its inner loops and charges work units at
+// checkpoints. A Ctl carries three independent bounds:
+//
+//   - cooperative cancellation: the context's Done channel is polled at
+//     every checkpoint, so Ctrl-C or a deadline stops an operator within
+//     one checkpoint interval;
+//   - a deadline: expressed through the context (context.WithTimeout /
+//     WithDeadline) — no separate machinery;
+//   - a work budget: a cap on total work units (candidates joined, rows
+//     verified, iterations run). Budget exhaustion is NOT an error — the
+//     operator stops early and returns what it has, with Trace.Partial
+//     set so the truncation is explicit, never silent.
+//
+// Operators additionally run panic-isolated: Guard converts a panic into
+// a structured *ExecError carrying the operator name and lineage node,
+// so one crashing operator cannot take a session down.
+//
+// The charge-then-check discipline matters: an operator calls Point(n)
+// BEFORE performing the n units of work, so a budget stop always means
+// at least one unit was left undone — Partial is never a false alarm.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrBudget is the sentinel returned by Ctl.Point once the work budget
+// is exhausted. Operators translate it into a flagged partial result
+// rather than propagating it as a failure.
+var ErrBudget = errors.New("exec: work budget exhausted")
+
+// Limits bounds one operator invocation. The zero value means
+// unlimited work with a checkpoint at every unit.
+type Limits struct {
+	// Budget caps the total work units the operator may charge.
+	// <= 0 means unlimited.
+	Budget int64
+	// CheckEvery is the number of units between cancellation polls.
+	// <= 0 means every unit. Raising it amortises the poll cost on
+	// very hot loops at the price of a coarser cancellation interval.
+	CheckEvery int64
+}
+
+// Trace reports how an operator invocation used its bounds.
+type Trace struct {
+	// Partial is true when the work budget expired and the result is
+	// an explicitly flagged prefix of the full computation.
+	Partial bool
+	// Reason says why the run stopped early ("budget exhausted",
+	// "context canceled", ...); empty for a clean, complete run.
+	Reason string
+	// Units is the total work charged.
+	Units int64
+	// Checkpoints is how many cancellation polls ran.
+	Checkpoints int64
+}
+
+// Hook observes checkpoints as they happen; nth is 1-based. Hooks are
+// test instrumentation: the checkpoint-walk driver uses them to cancel
+// at the Nth checkpoint or inject a panic deterministically. A hook
+// runs on the operator goroutine before the cancellation poll.
+type Hook func(nth int64)
+
+type hookKey struct{}
+
+// WithHook attaches a checkpoint hook to ctx; New extracts it.
+func WithHook(ctx context.Context, h Hook) context.Context {
+	return context.WithValue(ctx, hookKey{}, h)
+}
+
+func hookFrom(ctx context.Context) Hook {
+	if ctx == nil {
+		return nil
+	}
+	h, _ := ctx.Value(hookKey{}).(Hook)
+	return h
+}
+
+// Ctl meters one operator invocation (or one composite pipeline — e.g.
+// Mine shares a single Ctl across the miner, aggregate and populate so
+// the budget spans the whole job). Not safe for concurrent use; each
+// concurrent operator gets its own Ctl.
+type Ctl struct {
+	ctx        context.Context
+	done       <-chan struct{}
+	hook       Hook
+	budget     int64
+	checkEvery int64
+
+	units       int64
+	sinceCheck  int64
+	checkpoints int64
+	stopped     error // first budget/cancellation stop; sticky
+}
+
+// New builds a Ctl from a context and limits. A nil ctx behaves like
+// context.Background().
+func New(ctx context.Context, lim Limits) *Ctl {
+	c := &Ctl{ctx: ctx, budget: lim.Budget, checkEvery: lim.CheckEvery}
+	if c.checkEvery <= 0 {
+		c.checkEvery = 1
+	}
+	if ctx != nil {
+		c.done = ctx.Done()
+		c.hook = hookFrom(ctx)
+	}
+	return c
+}
+
+// Background returns an unbounded Ctl — what the legacy, non-context
+// operator entry points use so there is a single metered implementation.
+func Background() *Ctl {
+	return New(context.Background(), Limits{})
+}
+
+// Point charges n units of upcoming work and, at checkpoint cadence,
+// polls for cancellation and budget exhaustion. It returns nil to
+// proceed, the context error on cancellation/deadline, or ErrBudget
+// when the budget is spent. Once stopped, every later call returns the
+// same error, so composite operators cannot accidentally resume.
+func (c *Ctl) Point(n int64) error {
+	if c == nil {
+		return nil
+	}
+	c.units += n
+	c.sinceCheck += n
+	if c.sinceCheck < c.checkEvery {
+		return nil
+	}
+	c.sinceCheck = 0
+	return c.check()
+}
+
+func (c *Ctl) check() error {
+	c.checkpoints++
+	if c.hook != nil {
+		c.hook(c.checkpoints)
+	}
+	if c.stopped != nil {
+		return c.stopped
+	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+			c.stopped = c.ctx.Err()
+			return c.stopped
+		default:
+		}
+	}
+	if c.budget > 0 && c.units >= c.budget {
+		c.stopped = ErrBudget
+		return c.stopped
+	}
+	return nil
+}
+
+// Exhausted reports whether this Ctl has already stopped on budget
+// exhaustion; composite operators use it to skip follow-on stages.
+func (c *Ctl) Exhausted() bool {
+	return c != nil && errors.Is(c.stopped, ErrBudget)
+}
+
+// Err returns the sticky stop error, if any.
+func (c *Ctl) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.stopped
+}
+
+// Units returns the work charged so far.
+func (c *Ctl) Units() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.units
+}
+
+// Snapshot captures the invocation's Trace. partial is supplied by the
+// operator (only it knows whether it assembled a truncated result).
+func (c *Ctl) Snapshot(partial bool) Trace {
+	if c == nil {
+		return Trace{Partial: partial}
+	}
+	t := Trace{Partial: partial, Units: c.units, Checkpoints: c.checkpoints}
+	if c.stopped != nil {
+		t.Reason = c.stopped.Error()
+	}
+	return t
+}
+
+// ExecError is the structured failure produced when an operator panics
+// (or stops on cancellation inside Guard): it carries the operator
+// name, the lineage node being computed, and — for panics — the
+// recovered value and stack.
+type ExecError struct {
+	Op         string // operator, e.g. "fascicle.Lattice"
+	Node       string // lineage node / result name, when known
+	Err        error  // underlying cause; nil for bare panics
+	PanicValue any    // non-nil when the operator panicked
+	Stack      []byte // goroutine stack at recovery, for panics
+}
+
+func (e *ExecError) Error() string {
+	where := e.Op
+	if e.Node != "" {
+		where += " (" + e.Node + ")"
+	}
+	if e.PanicValue != nil {
+		return fmt.Sprintf("exec: %s: panic: %v", where, e.PanicValue)
+	}
+	return fmt.Sprintf("exec: %s: %v", where, e.Err)
+}
+
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// Guard runs fn panic-isolated. A panic is recovered into an
+// *ExecError; a cancellation/deadline error is wrapped into one too
+// (so callers learn which operator was cut short) while still
+// satisfying errors.Is(err, context.Canceled / DeadlineExceeded).
+// All other errors pass through untouched.
+func Guard(op, node string, fn func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &ExecError{
+				Op:         op,
+				Node:       node,
+				PanicValue: rec,
+				Stack:      debug.Stack(),
+			}
+		}
+	}()
+	err = fn()
+	if err != nil && IsCancellation(err) {
+		var ee *ExecError
+		if !errors.As(err, &ee) { // don't double-wrap nested operators
+			err = &ExecError{Op: op, Node: node, Err: err}
+		}
+	}
+	return err
+}
+
+// IsCancellation reports whether err stems from context cancellation
+// or a deadline expiry.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// IsBudget reports whether err is the budget-exhausted sentinel.
+func IsBudget(err error) bool { return errors.Is(err, ErrBudget) }

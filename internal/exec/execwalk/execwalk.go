@@ -1,0 +1,235 @@
+// Package execwalk is the deterministic checkpoint-walk test driver for
+// the exec governance layer — the compute-side sibling of PR 1's iofault
+// crash walks. Given a Target adapter around one context-accepting
+// operator, Walk first runs it unconstrained to count its checkpoints
+// and work units, then replays it many times, each replay stopping the
+// operator at a chosen point:
+//
+//   - cancel at the Nth checkpoint → the operator must return a
+//     cancellation error within one checkpoint interval (plus Slack);
+//   - pre-expired deadline → immediate deadline error at the very first
+//     checkpoint;
+//   - budget of B < total units → a nil error with Trace.Partial set
+//     and strictly less work than the full run — flagged, not silent;
+//   - panic injected at the Nth checkpoint → a structured *ExecError
+//     carrying the operator name and the recovered value.
+//
+// Hooks make every stop deterministic: no timers, no goroutines, no
+// flakes — the walk is a pure function of the operator's loop shape.
+package execwalk
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gea/internal/exec"
+)
+
+// Target adapts one operator to the walk driver.
+type Target struct {
+	// Name labels subtests.
+	Name string
+	// Run invokes the operator with the given context and limits and
+	// returns its trace and error. The closure must rebuild any
+	// mutable inputs (e.g. a rand source) on every call so replays are
+	// identical.
+	Run func(ctx context.Context, lim exec.Limits) (exec.Trace, error)
+	// MaxProbes caps how many cancel/budget/panic positions are probed
+	// (stride-sampled across the full run). 0 means 32.
+	MaxProbes int
+	// Slack is how many checkpoints past the stop an operator may
+	// still touch while unwinding (composite operators poll the sticky
+	// stop once per stage). 0 means 2.
+	Slack int64
+	// MaxUnitStep is the largest single Point(n) charge the operator
+	// makes; a budget stop may overshoot by at most this many units.
+	// 0 means 64.
+	MaxUnitStep int64
+}
+
+func (tg Target) probes() int {
+	if tg.MaxProbes <= 0 {
+		return 32
+	}
+	return tg.MaxProbes
+}
+
+func (tg Target) slack() int64 {
+	if tg.Slack <= 0 {
+		return 2
+	}
+	return tg.Slack
+}
+
+func (tg Target) unitStep() int64 {
+	if tg.MaxUnitStep <= 0 {
+		return 64
+	}
+	return tg.MaxUnitStep
+}
+
+// sample returns up to n probe positions in [1, max], always including
+// 1 and max, evenly strided.
+func sample(max int64, n int) []int64 {
+	if max <= 0 {
+		return nil
+	}
+	if int64(n) >= max {
+		out := make([]int64, 0, max)
+		for i := int64(1); i <= max; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	out := make([]int64, 0, n)
+	stride := max / int64(n)
+	for k := int64(1); k <= max; k += stride {
+		out = append(out, k)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// Walk drives the full deterministic suite against one operator.
+func Walk(t *testing.T, tg Target) {
+	t.Helper()
+
+	// Baseline: unconstrained run must complete cleanly and checkpoint.
+	var totalChecks int64
+	ctx := exec.WithHook(context.Background(), func(nth int64) { totalChecks = nth })
+	base, err := tg.Run(ctx, exec.Limits{})
+	if err != nil {
+		t.Fatalf("%s: baseline run failed: %v", tg.Name, err)
+	}
+	if base.Partial {
+		t.Fatalf("%s: baseline run flagged partial without any budget", tg.Name)
+	}
+	if totalChecks == 0 || base.Checkpoints == 0 {
+		t.Fatalf("%s: operator ran without a single checkpoint — it is not cancellable", tg.Name)
+	}
+	if base.Units <= 0 {
+		t.Fatalf("%s: operator charged no work units", tg.Name)
+	}
+
+	t.Run(tg.Name+"/deadline-pre-expired", func(t *testing.T) {
+		var seen int64
+		dctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+		defer cancel()
+		dctx = exec.WithHook(dctx, func(nth int64) { seen = nth })
+		_, err := tg.Run(dctx, exec.Limits{})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("expired deadline: got %v, want DeadlineExceeded", err)
+		}
+		if seen > tg.slack() {
+			t.Fatalf("operator ran %d checkpoints past an already-expired deadline", seen)
+		}
+		var ee *exec.ExecError
+		if !errors.As(err, &ee) || ee.Op == "" {
+			t.Fatalf("deadline error not a structured ExecError with operator name: %v", err)
+		}
+	})
+
+	t.Run(tg.Name+"/cancel-walk", func(t *testing.T) {
+		for _, k := range sample(totalChecks, tg.probes()) {
+			var seen int64
+			cctx, cancel := context.WithCancel(context.Background())
+			cctx = exec.WithHook(cctx, func(nth int64) {
+				seen = nth
+				if nth == k {
+					cancel()
+				}
+			})
+			_, err := tg.Run(cctx, exec.Limits{})
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancel at checkpoint %d/%d: got %v, want Canceled", k, totalChecks, err)
+			}
+			if seen > k+tg.slack() {
+				t.Fatalf("cancel at checkpoint %d: operator ran to checkpoint %d (slack %d)",
+					k, seen, tg.slack())
+			}
+		}
+	})
+
+	t.Run(tg.Name+"/budget-walk", func(t *testing.T) {
+		if base.Units < 2 {
+			t.Skipf("only %d work units; nothing to truncate", base.Units)
+		}
+		for _, b := range sample(base.Units-1, tg.probes()) {
+			tr, err := tg.Run(context.Background(), exec.Limits{Budget: b})
+			if err != nil {
+				t.Fatalf("budget %d/%d: unexpected error %v", b, base.Units, err)
+			}
+			if !tr.Partial {
+				t.Fatalf("budget %d/%d: truncated run not flagged partial", b, base.Units)
+			}
+			if tr.Units > b+tg.unitStep() {
+				t.Fatalf("budget %d: operator charged %d units (max step %d)",
+					b, tr.Units, tg.unitStep())
+			}
+		}
+		// A budget at least as large as the full run must not truncate.
+		tr, err := tg.Run(context.Background(), exec.Limits{Budget: base.Units + tg.unitStep()})
+		if err != nil {
+			t.Fatalf("ample budget: %v", err)
+		}
+		if tr.Partial {
+			t.Fatalf("ample budget %d for %d units still flagged partial", base.Units+tg.unitStep(), base.Units)
+		}
+	})
+
+	t.Run(tg.Name+"/panic-walk", func(t *testing.T) {
+		type boom struct{ at int64 }
+		for _, k := range sample(totalChecks, tg.probes()) {
+			pctx := exec.WithHook(context.Background(), func(nth int64) {
+				if nth == k {
+					panic(boom{at: k})
+				}
+			})
+			_, err := tg.Run(pctx, exec.Limits{})
+			var ee *exec.ExecError
+			if !errors.As(err, &ee) {
+				t.Fatalf("panic at checkpoint %d: got %v (%T), want *exec.ExecError", k, err, err)
+			}
+			if ee.Op == "" {
+				t.Fatalf("panic at checkpoint %d: ExecError missing operator name", k)
+			}
+			bv, ok := ee.PanicValue.(boom)
+			if !ok || bv.at != k {
+				t.Fatalf("panic at checkpoint %d: PanicValue = %#v", k, ee.PanicValue)
+			}
+		}
+	})
+
+	t.Run(tg.Name+"/coarse-cadence", func(t *testing.T) {
+		// A coarser poll cadence must still observe cancellation. Pick a
+		// cadence the operator's total work can actually reach.
+		cadence := base.Units / 4
+		if cadence < 2 {
+			cadence = 2
+		}
+		if base.Units < 2*cadence {
+			t.Skipf("only %d work units; no room for a coarser cadence", base.Units)
+		}
+		var seen int64
+		cctx, cancel := context.WithCancel(context.Background())
+		cctx = exec.WithHook(cctx, func(nth int64) {
+			seen = nth
+			if nth == 1 {
+				cancel()
+			}
+		})
+		_, err := tg.Run(cctx, exec.Limits{CheckEvery: cadence})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cadence %d: got %v, want Canceled", cadence, err)
+		}
+		if seen > 1+tg.slack() {
+			t.Fatalf("cadence %d: ran to checkpoint %d after cancel at 1", cadence, seen)
+		}
+	})
+}

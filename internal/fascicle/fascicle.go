@@ -18,9 +18,12 @@
 package fascicle
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 
+	"gea/internal/exec"
 	"gea/internal/sage"
 )
 
@@ -47,24 +50,45 @@ type Params struct {
 // DefaultMaxCandidates bounds the lattice miner's per-level frontier.
 const DefaultMaxCandidates = 200000
 
-// Validate reports parameter errors against the dataset.
+// ParamError is a typed mining-parameter validation failure; Param names
+// the offending field so callers (CLI, service layer) can point at it.
+type ParamError struct {
+	Param string
+	Msg   string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("fascicle: invalid %s: %s", e.Param, e.Msg)
+}
+
+// Validate reports parameter errors against the dataset. Every failure
+// is a *ParamError, caught up front instead of looping or panicking
+// deep inside a miner.
 func (p *Params) Validate(d *sage.Dataset) error {
 	if d == nil || d.NumLibraries() == 0 {
-		return fmt.Errorf("fascicle: empty dataset")
+		return &ParamError{Param: "dataset", Msg: "empty dataset"}
 	}
 	if p.K <= 0 {
-		return fmt.Errorf("fascicle: K must be positive")
+		return &ParamError{Param: "K", Msg: "must be positive"}
 	}
 	if p.K > d.NumTags() {
 		// "By definition, the number of compact attributes cannot exceed the
 		// total number of attributes in the tissue type."
-		return fmt.Errorf("fascicle: K=%d exceeds %d attributes", p.K, d.NumTags())
+		return &ParamError{Param: "K", Msg: fmt.Sprintf("K=%d exceeds %d attributes", p.K, d.NumTags())}
 	}
 	if p.MinSize < 1 {
-		return fmt.Errorf("fascicle: MinSize must be at least 1")
+		return &ParamError{Param: "MinSize", Msg: "must be at least 1"}
 	}
 	if p.BatchSize < 0 {
-		return fmt.Errorf("fascicle: negative BatchSize")
+		return &ParamError{Param: "BatchSize", Msg: "must not be negative"}
+	}
+	if p.MaxCandidates < 0 {
+		return &ParamError{Param: "MaxCandidates", Msg: "must not be negative"}
+	}
+	for t, v := range p.Tolerance {
+		if v < 0 || math.IsNaN(v) {
+			return &ParamError{Param: "Tolerance", Msg: fmt.Sprintf("tag %s has tolerance %g; must be a non-negative number", t, v)}
+		}
 	}
 	return nil
 }
@@ -150,8 +174,38 @@ type candidate struct {
 // Lattice mines all maximal fascicles of d satisfying p exactly, by
 // level-wise search with anti-monotone pruning.
 func Lattice(d *sage.Dataset, p Params) ([]*Fascicle, error) {
+	fs, _, err := LatticeWith(exec.Background(), d, p)
+	return fs, err
+}
+
+// LatticeCtx is Lattice under execution governance: it observes ctx
+// cancellation and deadlines at every checkpoint, stops at lim.Budget
+// work units with a flagged partial result, and converts panics into a
+// structured *exec.ExecError.
+func LatticeCtx(ctx context.Context, d *sage.Dataset, p Params, lim exec.Limits) ([]*Fascicle, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var fs []*Fascicle
+	var partial bool
+	err := exec.Guard("fascicle.Lattice", "", func() error {
+		var err error
+		fs, partial, err = LatticeWith(c, d, p)
+		return err
+	})
+	if err != nil {
+		fs = nil
+	}
+	return fs, c.Snapshot(partial), err
+}
+
+// LatticeWith is the metered implementation, exported so composite
+// operators (core.Mine, the System wrappers) can share one Ctl across
+// stages. One work unit is one singleton initialisation, one candidate
+// join attempt, or one subsumption scan. On budget exhaustion it
+// returns the fascicles confirmed so far plus the current level's
+// unsubsumed candidates, with partial = true.
+func LatticeWith(c *exec.Ctl, d *sage.Dataset, p Params) ([]*Fascicle, bool, error) {
 	if err := p.Validate(d); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	maxCand := p.MaxCandidates
 	if maxCand == 0 {
@@ -159,9 +213,30 @@ func Lattice(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 	}
 	tol := toleranceSlice(d, p.Tolerance)
 
+	// cut assembles the flagged partial result when the budget expires:
+	// everything emitted so far plus the current level's candidates that
+	// no superset has (yet) subsumed.
+	cut := func(results []*Fascicle, level []*candidate, subsumed []bool) []*Fascicle {
+		for i, cd := range level {
+			if (subsumed == nil || !subsumed[i]) && len(cd.rows) >= p.MinSize {
+				results = append(results, &Fascicle{
+					Rows: cd.rows, CompactCols: cd.cols, Min: cd.min, Max: cd.max,
+				})
+			}
+		}
+		sortFascicles(results)
+		return results
+	}
+
 	// Level 1: singletons; every column is trivially compact.
-	level := make([]*candidate, d.NumLibraries())
-	for i := range level {
+	level := make([]*candidate, 0, d.NumLibraries())
+	for i := 0; i < d.NumLibraries(); i++ {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return cut(nil, level, nil), true, nil
+			}
+			return nil, false, err
+		}
 		cols := make([]int, d.NumTags())
 		mn := make([]float64, d.NumTags())
 		mx := make([]float64, d.NumTags())
@@ -170,11 +245,10 @@ func Lattice(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 			mn[j] = d.Expr[i][j]
 			mx[j] = d.Expr[i][j]
 		}
-		level[i] = &candidate{rows: []int{i}, cols: cols, min: mn, max: mx}
+		level = append(level, &candidate{rows: []int{i}, cols: cols, min: mn, max: mx})
 	}
 
 	var results []*Fascicle
-	// emitted tracks candidates already subsumed by a surviving superset.
 	for len(level) > 0 {
 		subsumed := make([]bool, len(level))
 		var next []*candidate
@@ -187,6 +261,12 @@ func Lattice(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 		for _, group := range byPrefix {
 			for a := 0; a < len(group); a++ {
 				for b := a + 1; b < len(group); b++ {
+					if err := c.Point(1); err != nil {
+						if exec.IsBudget(err) {
+							return cut(results, level, subsumed), true, nil
+						}
+						return nil, false, err
+					}
 					ca, cb := level[group[a]], level[group[b]]
 					merged := merge(ca, cb, tol, p.K)
 					if merged == nil {
@@ -196,7 +276,7 @@ func Lattice(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 					subsumed[group[b]] = true
 					next = append(next, merged)
 					if len(next) > maxCand {
-						return nil, fmt.Errorf("fascicle: candidate frontier exceeded %d; raise K or MaxCandidates", maxCand)
+						return nil, false, fmt.Errorf("fascicle: candidate frontier exceeded %d; raise K or MaxCandidates", maxCand)
 					}
 				}
 			}
@@ -209,6 +289,12 @@ func Lattice(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 				idx[rowsKey(c.rows)] = i
 			}
 			for _, sup := range next {
+				if err := c.Point(1); err != nil {
+					if exec.IsBudget(err) {
+						return cut(results, level, subsumed), true, nil
+					}
+					return nil, false, err
+				}
 				forEachDropOne(sup.rows, func(sub []int) {
 					if i, ok := idx[rowsKey(sub)]; ok {
 						subsumed[i] = true
@@ -226,7 +312,7 @@ func Lattice(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 		level = next
 	}
 	sortFascicles(results)
-	return results, nil
+	return results, false, nil
 }
 
 // merge combines two candidates sharing all but their last row; returns nil
@@ -314,13 +400,51 @@ func forEachDropOne(rows []int, fn func([]int)) {
 // above k compact tags, else seeds a new cluster. It is linear in libraries
 // and tags but order-dependent and not guaranteed maximal.
 func Greedy(d *sage.Dataset, p Params) ([]*Fascicle, error) {
+	fs, _, err := GreedyWith(exec.Background(), d, p)
+	return fs, err
+}
+
+// GreedyCtx is Greedy under execution governance; see LatticeCtx.
+func GreedyCtx(ctx context.Context, d *sage.Dataset, p Params, lim exec.Limits) ([]*Fascicle, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var fs []*Fascicle
+	var partial bool
+	err := exec.Guard("fascicle.Greedy", "", func() error {
+		var err error
+		fs, partial, err = GreedyWith(c, d, p)
+		return err
+	})
+	if err != nil {
+		fs = nil
+	}
+	return fs, c.Snapshot(partial), err
+}
+
+// GreedyWith is the metered implementation; one work unit is one
+// library folded into the running clustering. A budget stop returns the
+// clusters built from the libraries folded so far, flagged partial.
+func GreedyWith(c *exec.Ctl, d *sage.Dataset, p Params) ([]*Fascicle, bool, error) {
 	if err := p.Validate(d); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	tol := toleranceSlice(d, p.Tolerance)
 	batch := p.BatchSize
 	if batch <= 0 {
 		batch = d.NumLibraries()
+	}
+
+	finish := func(clusters []*candidate) []*Fascicle {
+		var results []*Fascicle
+		for _, c := range clusters {
+			if len(c.rows) >= p.MinSize {
+				sort.Ints(c.rows)
+				results = append(results, &Fascicle{
+					Rows: c.rows, CompactCols: c.cols, Min: c.min, Max: c.max,
+				})
+			}
+		}
+		sortFascicles(results)
+		return results
 	}
 
 	var clusters []*candidate
@@ -330,6 +454,12 @@ func Greedy(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 			end = d.NumLibraries()
 		}
 		for i := start; i < end; i++ {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return finish(clusters), true, nil
+				}
+				return nil, false, err
+			}
 			placed := false
 			for _, c := range clusters {
 				if tryAdd(c, d, i, tol, p.K) {
@@ -350,18 +480,7 @@ func Greedy(d *sage.Dataset, p Params) ([]*Fascicle, error) {
 			}
 		}
 	}
-
-	var results []*Fascicle
-	for _, c := range clusters {
-		if len(c.rows) >= p.MinSize {
-			sort.Ints(c.rows)
-			results = append(results, &Fascicle{
-				Rows: c.rows, CompactCols: c.cols, Min: c.min, Max: c.max,
-			})
-		}
-	}
-	sortFascicles(results)
-	return results, nil
+	return finish(clusters), false, nil
 }
 
 // tryAdd extends cluster c with row i if at least k compact columns survive.

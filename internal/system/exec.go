@@ -1,0 +1,135 @@
+package system
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gea/internal/core"
+	"gea/internal/exec"
+	"gea/internal/sage"
+)
+
+// Admission-control defaults; see Options.MaxConcurrent and
+// Options.AdmitTimeout.
+const (
+	DefaultMaxConcurrent = 4
+	DefaultAdmitTimeout  = 10 * time.Second
+)
+
+// ErrBusy is returned when a heavy operation could not get an admission
+// slot within the session's AdmitTimeout: MaxConcurrent other operations
+// were still computing when the caller gave up.
+type ErrBusy struct {
+	// Waited is how long the caller queued before giving up.
+	Waited time.Duration
+}
+
+func (e *ErrBusy) Error() string {
+	return fmt.Sprintf("system: busy: no admission slot after %v", e.Waited)
+}
+
+// initAdmission sets up the admission semaphore; zero arguments select the
+// defaults. Called from New and LoadSessionFS (a loaded session gets the
+// defaults — admission settings are runtime policy, not session state).
+func (s *System) initAdmission(maxConcurrent int, admitTimeout time.Duration) {
+	if maxConcurrent <= 0 {
+		maxConcurrent = DefaultMaxConcurrent
+	}
+	if admitTimeout <= 0 {
+		admitTimeout = DefaultAdmitTimeout
+	}
+	s.admit = make(chan struct{}, maxConcurrent)
+	s.admitTimeout = admitTimeout
+}
+
+// acquire takes an admission slot, queueing until one frees, the context
+// is done, or the admission timeout elapses. It returns the release
+// function on success.
+func (s *System) acquire(ctx context.Context) (func(), error) {
+	if s.admit == nil {
+		// Zero-value or hand-built System: admission control disabled.
+		return func() {}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case s.admit <- struct{}{}:
+		return func() { <-s.admit }, nil
+	default:
+	}
+	start := time.Now()
+	timer := time.NewTimer(s.admitTimeout)
+	defer timer.Stop()
+	select {
+	case s.admit <- struct{}{}:
+		return func() { <-s.admit }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		return nil, &ErrBusy{Waited: time.Since(start)}
+	}
+}
+
+// CalculateFasciclesCtx is CalculateFascicles under execution governance:
+// the call queues for an admission slot, the mining observes ctx
+// cancellation and the work budget in lim, a budget stop registers the
+// fascicles found so far (trace flagged partial, lineage annotated), and
+// panics surface as structured *exec.ExecErrors.
+func (s *System) CalculateFasciclesCtx(ctx context.Context, datasetName string, opts FascicleOptions, lim exec.Limits) ([]string, exec.Trace, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, exec.Trace{}, err
+	}
+	defer release()
+	c := exec.New(ctx, lim)
+	names, partial, err := s.calculateFascicles(c, datasetName, opts)
+	if err != nil {
+		names = nil
+	}
+	return names, c.Snapshot(partial), err
+}
+
+// FindPureFascicleCtx is FindPureFascicle under execution governance with
+// the default lattice miner.
+func (s *System) FindPureFascicleCtx(ctx context.Context, datasetName string, prop sage.Property, minSize int, lim exec.Limits) (string, exec.Trace, error) {
+	return s.FindPureFascicleWithCtx(ctx, datasetName, prop, minSize, core.LatticeAlgorithm, lim)
+}
+
+// FindPureFascicleWithCtx is FindPureFascicleWith under execution
+// governance. One admission slot and one work budget span the entire
+// strict-to-loose threshold scan. A search yields a single name, so budget
+// exhaustion before success is an error (satisfying
+// errors.Is(err, exec.ErrBudget)) rather than a partial result.
+func (s *System) FindPureFascicleWithCtx(ctx context.Context, datasetName string, prop sage.Property, minSize int, alg core.Algorithm, lim exec.Limits) (string, exec.Trace, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return "", exec.Trace{}, err
+	}
+	defer release()
+	c := exec.New(ctx, lim)
+	name, partial, err := s.findPureFascicle(c, datasetName, prop, minSize, alg)
+	if err != nil {
+		name = ""
+	}
+	return name, c.Snapshot(partial), err
+}
+
+// CreateGapCtx is CreateGap under execution governance: the diff queues
+// for an admission slot, observes cancellation and the work budget, and a
+// budget stop registers the rows diffed so far (trace flagged partial,
+// lineage annotated).
+func (s *System) CreateGapCtx(ctx context.Context, name, sumy1, sumy2 string, lim exec.Limits) (*core.Gap, exec.Trace, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, exec.Trace{}, err
+	}
+	defer release()
+	c := exec.New(ctx, lim)
+	g, partial, err := s.createGap(c, name, sumy1, sumy2)
+	if err != nil {
+		g = nil
+	}
+	return g, c.Snapshot(partial), err
+}

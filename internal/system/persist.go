@@ -171,8 +171,12 @@ func (s *System) SaveSession(dir string) error {
 	return s.SaveSessionFS(atomicio.OS{}, dir)
 }
 
-// SaveSessionFS is SaveSession over an injectable filesystem.
+// SaveSessionFS is SaveSession over an injectable filesystem. It holds the
+// session's registry lock for the duration, so a save taken concurrently
+// with other session operations is a consistent snapshot.
 func (s *System) SaveSessionFS(fsys atomicio.FS, dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := sessionManifestData{
 		User:       s.User,
 		Datasets:   map[string][]string{},
@@ -405,6 +409,7 @@ func LoadSessionFS(fsys atomicio.FS, dir string, catalog *sagegen.Catalog, geneD
 	if sys.foundPure == nil {
 		sys.foundPure = map[string]string{}
 	}
+	sys.initAdmission(0, 0)
 	if m.CleanReport != nil {
 		sys.CleanReport = &clean.Report{
 			UniqueTagsBefore: m.CleanReport.UniqueTagsBefore,

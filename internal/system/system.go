@@ -5,9 +5,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"gea/internal/clean"
 	"gea/internal/core"
+	"gea/internal/exec"
 	"gea/internal/fascicle"
 	"gea/internal/genedb"
 	"gea/internal/lineage"
@@ -30,12 +33,22 @@ type Options struct {
 	Catalog *sagegen.Catalog
 	// GeneDBSeed seeds the synthetic auxiliary databases.
 	GeneDBSeed int64
+	// MaxConcurrent bounds how many heavy operations (mining, diffs) may
+	// run at once; further callers queue for an admission slot. Zero means
+	// the default of 4.
+	MaxConcurrent int
+	// AdmitTimeout bounds how long a caller queues for an admission slot
+	// before failing with *ErrBusy. Zero means the default of 10s.
+	AdmitTimeout time.Duration
 }
 
-// System is one GEA session over a cleaned corpus. A session serializes its
-// operations: it is not safe for concurrent use (the original is a
-// single-user desktop application; run one System per goroutine, or guard
-// externally).
+// System is one GEA session over a cleaned corpus. Registry access is
+// serialized by an internal mutex, so a System is safe for concurrent use;
+// heavy operations (mining, diffs) additionally pass through an admission
+// semaphore so at most MaxConcurrent compute at once — further callers
+// queue, and give up with *ErrBusy after AdmitTimeout. The exported Store,
+// Lineage and Data fields are not themselves synchronized: direct access
+// to them concurrently with session operations needs external care.
 type System struct {
 	User        string
 	Store       *relational.Store
@@ -58,6 +71,13 @@ type System struct {
 	runCount map[string]int
 	// foundPure caches FindPureFascicle results per dataset+property.
 	foundPure map[string]string
+
+	// mu serializes access to the registries, catalog and lineage.
+	mu sync.Mutex
+	// admit is the admission semaphore for heavy operations; a send
+	// acquires a slot, a receive releases it.
+	admit        chan struct{}
+	admitTimeout time.Duration
 }
 
 // RootDataset is the lineage name of the full cleaned data set.
@@ -102,6 +122,7 @@ func New(corpus *sage.Corpus, opts Options) (*System, error) {
 		runCount:    map[string]int{},
 		foundPure:   map[string]string{},
 	}
+	sys.initAdmission(opts.MaxConcurrent, opts.AdmitTimeout)
 	if err := initCatalog(sys.Store); err != nil {
 		return nil, err
 	}
@@ -138,6 +159,12 @@ func (s *System) checkFresh(name string) error {
 
 // Dataset returns a named dataset.
 func (s *System) Dataset(name string) (*sage.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.datasetLocked(name)
+}
+
+func (s *System) datasetLocked(name string) (*sage.Dataset, error) {
 	d, ok := s.datasets[name]
 	if !ok {
 		return nil, fmt.Errorf("system: no dataset %q", name)
@@ -147,6 +174,12 @@ func (s *System) Dataset(name string) (*sage.Dataset, error) {
 
 // Sumy returns a named SUMY table.
 func (s *System) Sumy(name string) (*core.Sumy, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sumyLocked(name)
+}
+
+func (s *System) sumyLocked(name string) (*core.Sumy, error) {
 	v, ok := s.sumys[name]
 	if !ok {
 		return nil, fmt.Errorf("system: no SUMY table %q", name)
@@ -156,6 +189,8 @@ func (s *System) Sumy(name string) (*core.Sumy, error) {
 
 // Enum returns a named ENUM table.
 func (s *System) Enum(name string) (*core.Enum, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v, ok := s.enums[name]
 	if !ok {
 		return nil, fmt.Errorf("system: no ENUM table %q", name)
@@ -165,6 +200,12 @@ func (s *System) Enum(name string) (*core.Enum, error) {
 
 // Gap returns a named GAP table.
 func (s *System) Gap(name string) (*core.Gap, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gapLocked(name)
+}
+
+func (s *System) gapLocked(name string) (*core.Gap, error) {
 	v, ok := s.gaps[name]
 	if !ok {
 		return nil, fmt.Errorf("system: no GAP table %q", name)
@@ -174,6 +215,12 @@ func (s *System) Gap(name string) (*core.Gap, error) {
 
 // Fascicle returns a named mined fascicle.
 func (s *System) Fascicle(name string) (*core.MineResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fascicleLocked(name)
+}
+
+func (s *System) fascicleLocked(name string) (*core.MineResult, error) {
 	v, ok := s.fascicles[name]
 	if !ok {
 		return nil, fmt.Errorf("system: no fascicle %q", name)
@@ -184,6 +231,8 @@ func (s *System) Fascicle(name string) (*core.MineResult, error) {
 // RegisterSumy adds an externally built SUMY table (e.g. a selection result)
 // to the session under lineage tracking.
 func (s *System) RegisterSumy(v *core.Sumy, op string, inputs ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkFresh(v.Name); err != nil {
 		return err
 	}
@@ -196,6 +245,8 @@ func (s *System) RegisterSumy(v *core.Sumy, op string, inputs ...string) error {
 
 // RegisterGap adds an externally built GAP table to the session.
 func (s *System) RegisterGap(v *core.Gap, op string, inputs ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkFresh(v.Name); err != nil {
 		return err
 	}
@@ -209,6 +260,8 @@ func (s *System) RegisterGap(v *core.Gap, op string, inputs ...string) error {
 // CreateTissueDataset materializes the system-defined tissue-type data set
 // (Figure 4.4); its lineage name is the tissue name.
 func (s *System) CreateTissueDataset(tissue string) (*sage.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkFresh(tissue); err != nil {
 		return nil, err
 	}
@@ -232,6 +285,8 @@ func (s *System) CreateTissueDataset(tissue string) (*sage.Dataset, error) {
 // CreateCustomDataset materializes a user-defined tissue type from library
 // names (Figure 4.15).
 func (s *System) CreateCustomDataset(name string, libNames []string) (*sage.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkFresh(name); err != nil {
 		return nil, err
 	}
@@ -256,7 +311,9 @@ func (s *System) CreateCustomDataset(name string, libNames []string) (*sage.Data
 // (Figure 4.5). percent is the compact tolerance as a percentage of each
 // attribute's width.
 func (s *System) GenerateMetadata(datasetName string, percent float64) error {
-	d, err := s.Dataset(datasetName)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := s.datasetLocked(datasetName)
 	if err != nil {
 		return err
 	}
@@ -280,13 +337,25 @@ type FascicleOptions struct {
 // SUMY and ENUM forms) as <dataset><K>k_<i>; it returns the names.
 // GenerateMetadata must have been called for the dataset.
 func (s *System) CalculateFascicles(datasetName string, opts FascicleOptions) ([]string, error) {
-	d, err := s.Dataset(datasetName)
+	names, _, err := s.calculateFascicles(exec.Background(), datasetName, opts)
+	return names, err
+}
+
+// calculateFascicles is the metered implementation behind both the legacy
+// method and CalculateFasciclesCtx. The registry lock is held only around
+// lookup and registration; the mining itself — the expensive part — runs
+// unlocked, panic-isolated and metered by the caller's Ctl.
+func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts FascicleOptions) ([]string, bool, error) {
+	s.mu.Lock()
+	d, err := s.datasetLocked(datasetName)
 	if err != nil {
-		return nil, err
+		s.mu.Unlock()
+		return nil, false, err
 	}
 	tol, ok := s.tolerances[datasetName]
 	if !ok {
-		return nil, fmt.Errorf("system: generate metadata for %q before calculating fascicles", datasetName)
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("system: generate metadata for %q before calculating fascicles", datasetName)
 	}
 	prefix := fmt.Sprintf("%s%dk", datasetName, opts.K/1000)
 	if opts.K < 1000 {
@@ -299,43 +368,59 @@ func (s *System) CalculateFascicles(datasetName string, opts FascicleOptions) ([
 		prefix = fmt.Sprintf("%s_r%d", base, n)
 	}
 	s.runCount[base]++
+	s.mu.Unlock()
+
 	params := fascicle.Params{
 		K: opts.K, Tolerance: tol, MinSize: opts.MinSize, BatchSize: opts.BatchSize,
 	}
-	results, err := core.Mine(prefix, d, params, opts.Algorithm)
+	var results []core.MineResult
+	var partial bool
+	err = exec.Guard("system.CalculateFascicles", prefix, func() error {
+		var err error
+		results, partial, err = core.MineWith(c, prefix, d, params, opts.Algorithm)
+		return err
+	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fasFile, err := s.Store.Get(TblFasFile)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	fasInfo, err := s.Store.Get(TblFasInfo)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	fasLib, err := s.Store.Get(TblFasLib)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	fasFile.MustInsert(relational.S(s.User), relational.S(prefix), relational.S(datasetName),
 		relational.I(int64(opts.K)), relational.S(datasetName+"file.b"),
 		relational.S(datasetName+"file.meta"), relational.I(int64(opts.BatchSize)),
 		relational.I(int64(opts.MinSize)))
 
+	lineageParams := map[string]string{
+		"k": fmt.Sprint(opts.K), "minSize": fmt.Sprint(opts.MinSize),
+		"batch": fmt.Sprint(opts.BatchSize), "algorithm": opts.Algorithm.String(),
+	}
+	if partial {
+		// A budget-stopped run is registered as such: the lineage records
+		// that the fascicle list may be incomplete.
+		lineageParams["partial"] = "true"
+	}
 	var names []string
 	for i := range results {
 		r := results[i]
 		name := fmt.Sprintf("%s_%d", prefix, i+1)
 		if err := s.checkFresh(name); err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		if _, err := s.Lineage.Record(name, lineage.KindFascicle, "mine", map[string]string{
-			"k": fmt.Sprint(opts.K), "minSize": fmt.Sprint(opts.MinSize),
-			"batch": fmt.Sprint(opts.BatchSize), "algorithm": opts.Algorithm.String(),
-		}, datasetName); err != nil {
-			return nil, err
+		if _, err := s.Lineage.Record(name, lineage.KindFascicle, "mine", lineageParams, datasetName); err != nil {
+			return nil, false, err
 		}
 		s.fascicles[name] = &r
 		fasInfo.MustInsert(relational.S(s.User), relational.S(name), relational.S(prefix),
@@ -346,13 +431,15 @@ func (s *System) CalculateFascicles(datasetName string, opts FascicleOptions) ([
 		}
 		names = append(names, name)
 	}
-	return names, nil
+	return names, partial, nil
 }
 
 // PurityCheck reports whether the fascicle is pure for the property
 // (Figure 4.8).
 func (s *System) PurityCheck(fasName string, p sage.Property) (bool, error) {
-	r, err := s.Fascicle(fasName)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.fascicleLocked(fasName)
 	if err != nil {
 		return false, err
 	}
@@ -377,12 +464,14 @@ type CaseGroups struct {
 // (Figure 4.8's formSUM button). Non-pure fascicles are rejected: "if a
 // fascicle is non-pure ... the analysis of this fascicle is terminated".
 func (s *System) FormSUM(fasName, datasetName string) (CaseGroups, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var g CaseGroups
-	r, err := s.Fascicle(fasName)
+	r, err := s.fascicleLocked(fasName)
 	if err != nil {
 		return g, err
 	}
-	d, err := s.Dataset(datasetName)
+	d, err := s.datasetLocked(datasetName)
 	if err != nil {
 		return g, err
 	}
@@ -408,9 +497,9 @@ func (s *System) FormSUM(fasName, datasetName string) (CaseGroups, error) {
 	if inProp == sage.PropNormal {
 		suffixProbe = "NorNotInFasTbl"
 	}
-	if _, err1 := s.Sumy(fasName + inLabel); err1 == nil {
-		if _, err2 := s.Sumy(fasName + suffixProbe); err2 == nil {
-			if _, err3 := s.Sumy(fasName + outLabel); err3 == nil {
+	if _, err1 := s.sumyLocked(fasName + inLabel); err1 == nil {
+		if _, err2 := s.sumyLocked(fasName + suffixProbe); err2 == nil {
+			if _, err3 := s.sumyLocked(fasName + outLabel); err3 == nil {
 				return CaseGroups{
 					InFascicle:        fasName + inLabel,
 					SameNotInFascicle: fasName + suffixProbe,
@@ -496,37 +585,70 @@ func (s *System) recordSumCatalog(name, fasName, category string, d *sage.Datase
 // CreateGap runs diff() on two registered SUMY tables and registers the
 // result (Figure 4.9's Find GAP button).
 func (s *System) CreateGap(name, sumy1, sumy2 string) (*core.Gap, error) {
+	g, _, err := s.createGap(exec.Background(), name, sumy1, sumy2)
+	return g, err
+}
+
+// createGap computes the diff unlocked and metered, holding the registry
+// lock only for lookup and registration.
+func (s *System) createGap(c *exec.Ctl, name, sumy1, sumy2 string) (*core.Gap, bool, error) {
+	s.mu.Lock()
 	if err := s.checkFresh(name); err != nil {
-		return nil, err
+		s.mu.Unlock()
+		return nil, false, err
 	}
-	a, err := s.Sumy(sumy1)
+	a, err := s.sumyLocked(sumy1)
 	if err != nil {
-		return nil, err
+		s.mu.Unlock()
+		return nil, false, err
 	}
-	b, err := s.Sumy(sumy2)
+	b, err := s.sumyLocked(sumy2)
 	if err != nil {
-		return nil, err
+		s.mu.Unlock()
+		return nil, false, err
 	}
-	g, err := core.Diff(name, a, b)
+	s.mu.Unlock()
+
+	var g *core.Gap
+	var partial bool
+	err = exec.Guard("system.CreateGap", name, func() error {
+		var err error
+		g, partial, err = core.DiffWith(c, name, a, b)
+		return err
+	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if _, err := s.Lineage.Record(name, lineage.KindGap, "diff", nil, sumy1, sumy2); err != nil {
-		return nil, err
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The name may have been taken while the diff computed; losing that
+	// race is reported the same way as an up-front collision.
+	if err := s.checkFresh(name); err != nil {
+		return nil, false, err
+	}
+	var params map[string]string
+	if partial {
+		params = map[string]string{"partial": "true"}
+	}
+	if _, err := s.Lineage.Record(name, lineage.KindGap, "diff", params, sumy1, sumy2); err != nil {
+		return nil, false, err
 	}
 	s.gaps[name] = g
 	gapInfo, err := s.Store.Get(TblGapInfo)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	gapInfo.MustInsert(relational.S(s.User), relational.S(name), relational.S("gap"),
 		relational.I(1), relational.S(sumy1), relational.S(sumy2))
-	return g, nil
+	return g, partial, nil
 }
 
 // CalculateTopGap builds the top-x gap table <gap>_<x> (Figure 4.19).
 func (s *System) CalculateTopGap(gapName string, x int) (*core.Gap, error) {
-	g, err := s.Gap(gapName)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, err := s.gapLocked(gapName)
 	if err != nil {
 		return nil, err
 	}
@@ -554,14 +676,16 @@ func (s *System) CalculateTopGap(gapName string, x int) (*core.Gap, error) {
 // CompareGaps combines two GAP tables with a set operation and registers the
 // compare table (Figure 4.13).
 func (s *System) CompareGaps(name, gap1, gap2 string, op core.CompareOp) (*core.Gap, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.checkFresh(name); err != nil {
 		return nil, err
 	}
-	a, err := s.Gap(gap1)
+	a, err := s.gapLocked(gap1)
 	if err != nil {
 		return nil, err
 	}
-	b, err := s.Gap(gap2)
+	b, err := s.gapLocked(gap2)
 	if err != nil {
 		return nil, err
 	}
@@ -586,6 +710,8 @@ func (s *System) CompareGaps(name, gap1, gap2 string, op core.CompareOp) (*core.
 // session and the lineage — the second deletion option of Section 4.4.2. It
 // returns the deleted names (the confirmation check of Section 4.4.5.3).
 func (s *System) DeleteCascade(name string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	deleted, err := s.Lineage.DeleteCascade(name)
 	if err != nil {
 		return nil, err
@@ -641,32 +767,50 @@ func (s *System) FindPureFascicle(datasetName string, prop sage.Property, minSiz
 // combinatorially there, which is exactly why the original system ran the
 // [JMN99] single-pass algorithm.
 func (s *System) FindPureFascicleWith(datasetName string, prop sage.Property, minSize int, alg core.Algorithm) (string, error) {
+	name, _, err := s.findPureFascicle(exec.Background(), datasetName, prop, minSize, alg)
+	return name, err
+}
+
+// findPureFascicle is the metered search shared by the legacy methods and
+// FindPureFascicleWithCtx; one Ctl spans the whole strict-to-loose scan, so
+// a budget covers the search as a whole, not each mining run separately.
+func (s *System) findPureFascicle(c *exec.Ctl, datasetName string, prop sage.Property, minSize int, alg core.Algorithm) (string, bool, error) {
 	cacheKey := fmt.Sprintf("%s|%v|%d|%v", datasetName, prop, minSize, alg)
+	s.mu.Lock()
 	if name, ok := s.foundPure[cacheKey]; ok {
-		if _, err := s.Fascicle(name); err == nil {
-			return name, nil
+		if _, err := s.fascicleLocked(name); err == nil {
+			s.mu.Unlock()
+			return name, false, nil
 		}
 		delete(s.foundPure, cacheKey) // deleted since; redo the search
 	}
-	d, err := s.Dataset(datasetName)
+	d, err := s.datasetLocked(datasetName)
 	if err != nil {
-		return "", err
+		s.mu.Unlock()
+		return "", false, err
 	}
 	if _, ok := s.tolerances[datasetName]; !ok {
-		return "", fmt.Errorf("system: generate metadata for %q before mining", datasetName)
+		s.mu.Unlock()
+		return "", false, fmt.Errorf("system: generate metadata for %q before mining", datasetName)
 	}
+	s.mu.Unlock()
+
+	sawPartial := false
 	for kpct := 75; kpct >= 45; kpct -= 5 {
-		names, err := s.CalculateFascicles(datasetName, FascicleOptions{
+		names, partial, err := s.calculateFascicles(c, datasetName, FascicleOptions{
 			K: d.NumTags() * kpct / 100, MinSize: minSize, Algorithm: alg,
 		})
 		if err != nil {
-			return "", err
+			return "", sawPartial, err
 		}
+		sawPartial = sawPartial || partial
+		s.mu.Lock()
 		best, bestCompact := "", -1
 		for _, n := range names {
-			r, err := s.Fascicle(n)
+			r, err := s.fascicleLocked(n)
 			if err != nil {
-				return "", err
+				s.mu.Unlock()
+				return "", sawPartial, err
 			}
 			if !r.Enum.IsPure(prop) {
 				continue
@@ -678,14 +822,24 @@ func (s *System) FindPureFascicleWith(datasetName string, prop sage.Property, mi
 		if best != "" {
 			cd, err := s.Store.Get(TblCDInfo)
 			if err != nil {
-				return "", err
+				s.mu.Unlock()
+				return "", sawPartial, err
 			}
 			cd.MustInsert(relational.S(datasetName), relational.I(int64(d.NumTags()*kpct/100)))
 			s.foundPure[cacheKey] = best
-			return best, nil
+			s.mu.Unlock()
+			return best, sawPartial, nil
+		}
+		s.mu.Unlock()
+		if partial {
+			// The budget ran out mid-scan; looser thresholds would only mine
+			// against an already-exhausted budget. A search has no usable
+			// partial value, so exhaustion surfaces as an error here.
+			return "", true, fmt.Errorf("system: work budget exhausted before a pure %v fascicle was found in %q: %w",
+				prop, datasetName, exec.ErrBudget)
 		}
 	}
-	return "", fmt.Errorf("system: no pure %v fascicle found in %q at any threshold", prop, datasetName)
+	return "", sawPartial, fmt.Errorf("system: no pure %v fascicle found in %q at any threshold", prop, datasetName)
 }
 
 // DropContents frees a derived GAP-family table's contents while keeping its
@@ -695,6 +849,8 @@ func (s *System) FindPureFascicleWith(datasetName string, prop sage.Property, mi
 // directly"). Only intermediate results (diff, top-gap and compare tables)
 // are droppable; base tables and fascicles are not.
 func (s *System) DropContents(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.gaps[name]; !ok {
 		return fmt.Errorf("system: %q is not a droppable GAP-family table", name)
 	}
@@ -708,6 +864,8 @@ func (s *System) DropContents(name string) error {
 // Regenerate rebuilds a content-dropped table (and any dropped tables it
 // depends on) by replaying the operations recorded in the lineage.
 func (s *System) Regenerate(name string) (*core.Gap, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	plan, err := s.Lineage.RegenerationPlan(name)
 	if err != nil {
 		return nil, err
@@ -725,7 +883,7 @@ func (s *System) Regenerate(name string) (*core.Gap, error) {
 			return nil, err
 		}
 	}
-	return s.Gap(name)
+	return s.gapLocked(name)
 }
 
 // replay re-executes one recorded operation.
@@ -735,11 +893,11 @@ func (s *System) replay(node *lineage.Node) (*core.Gap, error) {
 		if len(node.Inputs) != 2 {
 			return nil, fmt.Errorf("diff needs 2 inputs, recorded %d", len(node.Inputs))
 		}
-		a, err := s.Sumy(node.Inputs[0])
+		a, err := s.sumyLocked(node.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.Sumy(node.Inputs[1])
+		b, err := s.sumyLocked(node.Inputs[1])
 		if err != nil {
 			return nil, err
 		}
@@ -752,7 +910,7 @@ func (s *System) replay(node *lineage.Node) (*core.Gap, error) {
 		if err != nil {
 			return nil, fmt.Errorf("topgap has no recorded x: %v", err)
 		}
-		g, err := s.Gap(node.Inputs[0])
+		g, err := s.gapLocked(node.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -772,11 +930,11 @@ func (s *System) replay(node *lineage.Node) (*core.Gap, error) {
 		default:
 			return nil, fmt.Errorf("unknown compare operation %q", node.Operation)
 		}
-		a, err := s.Gap(node.Inputs[0])
+		a, err := s.gapLocked(node.Inputs[0])
 		if err != nil {
 			return nil, err
 		}
-		b, err := s.Gap(node.Inputs[1])
+		b, err := s.gapLocked(node.Inputs[1])
 		if err != nil {
 			return nil, err
 		}

@@ -25,10 +25,12 @@
 package xprofiler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"gea/internal/exec"
 	"gea/internal/sage"
 )
 
@@ -104,29 +106,87 @@ type Options struct {
 // Compare runs the pooled differential test of the xProfiler and returns the
 // significant tags sorted by ascending p-value (ties by tag).
 func Compare(a, b *Pool, opts Options) ([]Result, error) {
+	out, _, err := CompareWith(exec.Background(), a, b, opts)
+	return out, err
+}
+
+// CompareCtx is Compare under execution governance: cancellation is
+// observed once per tag tested, a budget stop returns the significant
+// tags found so far (sorted, flagged partial), and panics are recovered
+// into a structured *exec.ExecError.
+func CompareCtx(ctx context.Context, a, b *Pool, opts Options, lim exec.Limits) ([]Result, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var out []Result
+	var partial bool
+	err := exec.Guard("xprofiler.Compare", poolNode(a, b), func() error {
+		var err error
+		out, partial, err = CompareWith(c, a, b, opts)
+		return err
+	})
+	if err != nil {
+		out = nil
+	}
+	return out, c.Snapshot(partial), err
+}
+
+func poolNode(a, b *Pool) string {
 	if a == nil || b == nil {
-		return nil, fmt.Errorf("xprofiler: nil pool")
+		return ""
+	}
+	return a.Name + " vs " + b.Name
+}
+
+// CompareWith is the metered implementation; one work unit is one tag
+// tested. Tags are visited in sorted order so a partial result is a
+// deterministic prefix of the tag universe.
+func CompareWith(c *exec.Ctl, a, b *Pool, opts Options) ([]Result, bool, error) {
+	if a == nil || b == nil {
+		return nil, false, fmt.Errorf("xprofiler: nil pool")
 	}
 	if opts.Alpha == 0 {
 		opts.Alpha = 0.01
 	}
-	if opts.Alpha < 0 || opts.Alpha > 1 {
-		return nil, fmt.Errorf("xprofiler: alpha %v out of (0, 1]", opts.Alpha)
+	if opts.Alpha < 0 || opts.Alpha > 1 || math.IsNaN(opts.Alpha) {
+		return nil, false, fmt.Errorf("xprofiler: alpha %v out of (0, 1]", opts.Alpha)
+	}
+	if math.IsNaN(opts.MinCount) || opts.MinCount < 0 {
+		return nil, false, fmt.Errorf("xprofiler: min count %v invalid", opts.MinCount)
 	}
 	if opts.MinCount == 0 {
 		opts.MinCount = 2
 	}
 
-	tags := map[sage.TagID]bool{}
+	tagSet := map[sage.TagID]bool{}
 	for t := range a.Counts {
-		tags[t] = true
+		tagSet[t] = true
 	}
 	for t := range b.Counts {
-		tags[t] = true
+		tagSet[t] = true
+	}
+	tags := make([]sage.TagID, 0, len(tagSet))
+	for t := range tagSet {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+
+	finish := func(out []Result, partial bool) ([]Result, bool, error) {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].PValue != out[j].PValue {
+				return out[i].PValue < out[j].PValue
+			}
+			return out[i].Tag < out[j].Tag
+		})
+		return out, partial, nil
 	}
 
 	var out []Result
-	for t := range tags {
+	for _, t := range tags {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return finish(out, true)
+			}
+			return nil, false, err
+		}
 		x, y := a.Counts[t], b.Counts[t]
 		if x < opts.MinCount && y < opts.MinCount {
 			continue
@@ -143,13 +203,7 @@ func Compare(a, b *Pool, opts Options) ([]Result, error) {
 			HigherInA: x/a.Total > y/b.Total,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].PValue != out[j].PValue {
-			return out[i].PValue < out[j].PValue
-		}
-		return out[i].Tag < out[j].Tag
-	})
-	return out, nil
+	return finish(out, false)
 }
 
 // logP returns ln p(y|x) under the Audic-Claverie null.
