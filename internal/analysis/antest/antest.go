@@ -1,0 +1,263 @@
+// Package antest is the golden-file test harness for GEA's analyzers —
+// an offline mirror of golang.org/x/tools/go/analysis/analysistest.
+// Corpus packages live GOPATH-style under a shared testdata/src tree
+// (import path == directory under src). Expected findings are declared
+// inline with want comments:
+//
+//	for i := 0; i < n; i++ { // want `loop does not checkpoint`
+//
+// A line must produce exactly the diagnostics its want comment lists
+// (each quoted string is a regexp matched against one diagnostic), and
+// lines without a want comment must produce none — so a "good" corpus
+// package is simply one with no want comments at all.
+//
+// The harness applies the framework's //lint:gea suppression filtering,
+// so corpora can also assert end-to-end that a reasoned directive
+// silences a finding.
+//
+// Imports inside corpus packages resolve first against testdata/src
+// (stub packages such as gea/internal/exec), then against the standard
+// library via the compiler export data that `go list -export` provides.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gea/internal/analysis"
+	"gea/internal/analysis/load"
+	"gea/internal/analysis/stdimport"
+)
+
+// SharedTestData returns the suite-wide testdata directory,
+// internal/analysis/testdata, resolved from the calling test's package
+// directory (go test always runs a test binary in its package dir, so
+// ../testdata is stable for every analyzer package in the suite).
+func SharedTestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each corpus package from testdata/src/<path>, applies the
+// analyzer, filters suppressed findings, and compares the rest against
+// the corpus's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgpaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			pkg, err := ld.load(path)
+			if err != nil {
+				t.Fatalf("loading corpus %s: %v", path, err)
+			}
+			diags, err := analysis.Run(a, ld.fset, pkg.files, pkg.types, pkg.info)
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			}
+			findings := make([]analysis.Finding, 0, len(diags))
+			for _, d := range diags {
+				findings = append(findings, analysis.Finding{
+					Analyzer: a.Name,
+					Position: ld.fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			dirs := make(map[string][]analysis.Directive)
+			for _, f := range pkg.files {
+				name := ld.fset.Position(f.Pos()).Filename
+				dirs[name] = analysis.ParseDirectives(ld.fset, f)
+			}
+			findings = analysis.Filter(findings, dirs)
+			check(t, ld.fset, pkg.files, findings)
+		})
+	}
+}
+
+// want is one line's expectations.
+type want struct {
+	res []*regexp.Regexp
+	hit []bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// check compares findings against the want comments of the corpus files.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[lineKey]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A want expectation may follow other comment text on the
+				// same line (e.g. after a //lint:gea directive under test),
+				// so look for the "// want " marker anywhere in the comment.
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				w, err := parseWant(c.Text[idx+len("// want "):])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				wants[lineKey{pos.Filename, pos.Line}] = w
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := lineKey{f.Position.Filename, f.Position.Line}
+		w := wants[k]
+		matched := false
+		if w != nil {
+			for i, re := range w.res {
+				if !w.hit[i] && re.MatchString(f.Message) {
+					w.hit[i] = true
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for k, w := range wants {
+		for i, re := range w.res {
+			if !w.hit[i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant splits a want comment body into its quoted regexps.
+func parseWant(s string) (*want, error) {
+	w := &want{}
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		s = s[len(q):]
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		w.res = append(w.res, re)
+		w.hit = append(w.hit, false)
+	}
+	if len(w.res) == 0 {
+		return nil, fmt.Errorf("want comment lists no regexps")
+	}
+	return w, nil
+}
+
+// loadedPkg is one type-checked corpus (or stub) package.
+type loadedPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves corpus imports: testdata/src first, stdlib second.
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	std    types.Importer
+	pkgs   map[string]*loadedPkg
+	// loading guards against import cycles in corpus packages.
+	loading map[string]bool
+}
+
+func newLoader(srcDir string) *loader {
+	l := &loader{
+		srcDir:  srcDir,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*loadedPkg),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", stdimport.Lookup)
+	return l
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.types, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.srcDir, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks testdata/src/<path>.
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcDir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{files: files, types: tpkg, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}

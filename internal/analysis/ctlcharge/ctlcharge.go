@@ -1,0 +1,95 @@
+// Package ctlcharge enforces the checkpoint discipline of the metered
+// operator implementations: inside a function that threads a *exec.Ctl,
+// every outermost loop must charge work through the Ctl — either by
+// calling its Point method directly or by delegating to another metered
+// function that receives the Ctl. A loop that does neither is an
+// unbounded hot loop: cancellation, deadlines and work budgets are all
+// invisible to it, which is exactly the failure the governance layer of
+// PR 2 exists to prevent.
+//
+// Only outermost loops are checked: an inner loop is covered by the
+// charge its enclosing loop makes per iteration (charging at the finest
+// granularity is a per-operator tuning decision, not a contract).
+package ctlcharge
+
+import (
+	"go/ast"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags loops in Ctl-threaded functions that never checkpoint.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctlcharge",
+	Doc:  "flag loops in *exec.Ctl-carrying functions that neither call Point nor delegate to a metered helper",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sig := analysis.FuncType(pass.TypesInfo, fn)
+			if sig == nil || analysis.CtlParam(sig) == nil {
+				continue
+			}
+			checkLoops(pass, fn.Body, false)
+		}
+	}
+	return nil
+}
+
+// checkLoops reports outermost loops without a checkpoint. enclosed is
+// true once we are inside any loop (checkpointing or not): nested loops
+// are never reported separately.
+func checkLoops(pass *analysis.Pass, n ast.Node, enclosed bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := node.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return true
+		}
+		if !enclosed && !checkpoints(pass, body) {
+			pass.Reportf(node.Pos(), "loop does not checkpoint: call the *exec.Ctl's Point method or pass the Ctl to a metered helper so cancellation and budgets reach this loop")
+		}
+		// Descend exactly once, marking everything below as enclosed.
+		checkLoops(pass, body, true)
+		return false
+	})
+}
+
+// checkpoints reports whether the subtree charges the Ctl: a Point call
+// on a *exec.Ctl value, or any call that passes a *exec.Ctl onward.
+func checkpoints(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Point" {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && analysis.IsExecCtl(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, ok := pass.TypesInfo.Types[arg]; ok && analysis.IsExecCtl(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

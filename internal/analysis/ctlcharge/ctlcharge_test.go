@@ -1,0 +1,12 @@
+package ctlcharge_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/ctlcharge"
+)
+
+func TestCtlcharge(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), ctlcharge.Analyzer, "ctlchargebad", "ctlchargegood")
+}

@@ -1,0 +1,145 @@
+// Package errwrap enforces sentinel discipline on the
+// cancellation/budget error paths of governed packages: callers must be
+// able to dispatch on errors.Is(err, context.Canceled /
+// context.DeadlineExceeded / exec.ErrBudget) no matter how many
+// operator layers wrapped the error. Three anti-patterns are flagged:
+//
+//   - fmt.Errorf with a message about cancellation, deadlines or
+//     budgets that has no %w verb: the sentinel is narrated instead of
+//     wrapped, so errors.Is stops working;
+//   - errors.New with such a message: a stringly-typed imitation of a
+//     sentinel;
+//   - direct == / != comparison against one of the sentinels: operators
+//     wrap sentinels (e.g. in *exec.ExecError), so only errors.Is is a
+//     reliable test.
+//
+// A package is governed when it is one of the operator packages or
+// imports the internal/exec governance layer.
+package errwrap
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags stringly-typed cancellation/budget errors and direct
+// sentinel comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "cancellation/budget errors must wrap their sentinels (%w + errors.Is), never restate them as strings",
+	Run:  run,
+}
+
+// keywords mark an error message as being about a governance stop.
+var keywords = []string{"cancel", "deadline", "budget"}
+
+func run(pass *analysis.Pass) error {
+	if !governed(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorCtor(pass, x)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// governed reports whether the package is bound by the governance
+// contract.
+func governed(pkg *types.Package) bool {
+	if analysis.IsOperatorPkg(pkg.Path()) {
+		return true
+	}
+	for _, imp := range pkg.Imports() {
+		if analysis.IsExecPkg(imp.Path()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrorCtor flags fmt.Errorf / errors.New building a
+// governance-keyword message without wrapping.
+func checkErrorCtor(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	msg, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !hasKeyword(msg) {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if !strings.Contains(msg, "%w") {
+			pass.Reportf(call.Pos(), "error about cancellation/deadline/budget does not wrap its sentinel: use %%w so errors.Is(err, context.Canceled / exec.ErrBudget) keeps working")
+		}
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		pass.Reportf(call.Pos(), "stringly-typed cancellation/deadline/budget error: wrap the governance sentinel with fmt.Errorf(\"...: %%w\", err) instead of errors.New")
+	}
+}
+
+func hasKeyword(msg string) bool {
+	lower := strings.ToLower(msg)
+	for _, k := range keywords {
+		if strings.Contains(lower, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSentinelCompare flags err == context.Canceled-style comparisons.
+func checkSentinelCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op.String() != "==" && be.Op.String() != "!=" {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if name, ok := sentinelName(pass.TypesInfo, side); ok {
+			pass.Reportf(be.Pos(), "direct comparison against %s: operators wrap sentinels, use errors.Is instead", name)
+			return
+		}
+	}
+}
+
+// sentinelName recognises the governance sentinels.
+func sentinelName(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case v.Pkg().Path() == "context" && (v.Name() == "Canceled" || v.Name() == "DeadlineExceeded"):
+		return "context." + v.Name(), true
+	case analysis.IsExecPkg(v.Pkg().Path()) && v.Name() == "ErrBudget":
+		return "exec.ErrBudget", true
+	}
+	return "", false
+}

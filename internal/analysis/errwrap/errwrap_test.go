@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), errwrap.Analyzer, "errwrapbad", "errwrapgood")
+}

@@ -1,0 +1,140 @@
+// Package geacheck assembles GEA's analyzer suite into a runnable
+// multichecker — the library behind cmd/geacheck. It loads packages with
+// internal/analysis/load, applies every analyzer, filters //lint:gea
+// suppressions, and prints findings in the familiar
+// path:line:col: message (analyzer) shape. See ANALYSIS.md for the
+// catalogue of analyzers and the invariants they enforce.
+package geacheck
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gea/internal/analysis"
+	"gea/internal/analysis/ctlcharge"
+	"gea/internal/analysis/errwrap"
+	"gea/internal/analysis/load"
+	"gea/internal/analysis/locksafe"
+	"gea/internal/analysis/nopanic"
+	"gea/internal/analysis/partialflag"
+	"gea/internal/analysis/triad"
+)
+
+// Analyzers returns the full suite: the six invariant analyzers plus
+// the //lint:gea directive validator.
+func Analyzers() []*analysis.Analyzer {
+	core := []*analysis.Analyzer{
+		ctlcharge.Analyzer,
+		triad.Analyzer,
+		locksafe.Analyzer,
+		errwrap.Analyzer,
+		partialflag.Analyzer,
+		nopanic.Analyzer,
+	}
+	names := make([]string, len(core))
+	for i, a := range core {
+		names[i] = a.Name
+	}
+	return append(core, analysis.NewSuppressAnalyzer(names))
+}
+
+// Check loads patterns from dir, runs the given analyzers, and returns
+// the unsuppressed findings sorted by position.
+func Check(dir string, analyzers []*analysis.Analyzer, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		dirs := make(map[string][]analysis.Directive)
+		for _, f := range pkg.Syntax {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			dirs[name] = analysis.ParseDirectives(pkg.Fset, f)
+		}
+		var pkgFindings []analysis.Finding
+		for _, a := range analyzers {
+			diags, err := analysis.Run(a, pkg.Fset, pkg.Syntax, pkg.Types, pkg.Info)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				pkgFindings = append(pkgFindings, analysis.Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+		findings = append(findings, analysis.Filter(pkgFindings, dirs)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// Main is the command-line entry point; it returns the process exit
+// code: 0 clean, 1 findings, 2 usage or load failure.
+func Main(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("geacheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: geacheck [-list] [-only a,b] [packages]\n\nMachine-enforces GEA's operator-algebra and execution-governance\ninvariants; see ANALYSIS.md. With no package patterns, checks ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, n := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(stderr, "geacheck: unknown analyzer %q (try -list)\n", n)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+	findings, err := Check(".", suite, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "geacheck: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "geacheck: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), locksafe.Analyzer, "locksafebad", "locksafegood")
+}

@@ -1,0 +1,64 @@
+// Package nopanic bans naked panics from governed packages. The
+// execution-governance contract routes every fault through error
+// returns; exec.Guard exists precisely so that a *real* programming
+// error (an out-of-range index, a nil map write) is recovered into a
+// structured *exec.ExecError instead of taking the session down.
+// Deliberate panics in operator code defeat that design twice over:
+// they turn recoverable conditions into crashes for every caller that
+// didn't run under Guard, and under Guard they masquerade as internal
+// faults. Return an error instead; genuinely unreachable states can
+// carry a //lint:gea nopanic suppression with the reason spelled out.
+//
+// A package is governed when it is one of the operator packages or
+// imports the internal/exec governance layer.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags naked panic calls in governed packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "no naked panic in governed packages: return errors and let exec.Guard isolate real faults",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !governed(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pass.Reportf(call.Pos(), "naked panic in a governed package: return an error (exec.Guard recovers real faults into *exec.ExecError)")
+			return true
+		})
+	}
+	return nil
+}
+
+func governed(pkg *types.Package) bool {
+	if analysis.IsOperatorPkg(pkg.Path()) {
+		return true
+	}
+	for _, imp := range pkg.Imports() {
+		if analysis.IsExecPkg(imp.Path()) {
+			return true
+		}
+	}
+	return false
+}

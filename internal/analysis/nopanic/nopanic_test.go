@@ -1,0 +1,13 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), nopanic.Analyzer,
+		"nopanicbad", "nopanicgood", "nopanicungoverned")
+}

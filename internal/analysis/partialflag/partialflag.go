@@ -1,0 +1,130 @@
+// Package partialflag guards the "flagged, never silent" truncation
+// contract: when a metered operator stops on budget exhaustion
+// (exec.IsBudget / errors.Is(err, exec.ErrBudget)), the early return
+// must either flag the result as partial (the bool of the
+// (results..., bool, error) shape set to true) or propagate an error
+// that wraps exec.ErrBudget. A budget branch that returns an unflagged
+// result with a nil error silently truncates — the caller has no way to
+// learn the result is a prefix.
+package partialflag
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags budget-stop returns that neither set the partial flag
+// nor propagate an error.
+var Analyzer = &analysis.Analyzer{
+	Name: "partialflag",
+	Doc:  "a budget-stop return must flag the partial result or propagate an error wrapping exec.ErrBudget",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			sig := analysis.FuncType(pass.TypesInfo, fn)
+			if sig == nil || analysis.CtlParam(sig) == nil {
+				continue
+			}
+			boolIdx, errIdx := resultShape(sig)
+			if boolIdx < 0 || errIdx < 0 {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				ifs, ok := n.(*ast.IfStmt)
+				if !ok || !condTestsBudget(pass.TypesInfo, ifs.Cond) {
+					return true
+				}
+				checkBudgetBranch(pass, ifs.Body, boolIdx, errIdx)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// resultShape finds the partial-flag bool and trailing error in the
+// function's results; -1 when absent.
+func resultShape(sig *types.Signature) (boolIdx, errIdx int) {
+	boolIdx, errIdx = -1, -1
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if types.Identical(t, types.Typ[types.Bool]) {
+			boolIdx = i
+		}
+		if analysis.IsErrorType(t) {
+			errIdx = i
+		}
+	}
+	return boolIdx, errIdx
+}
+
+// condTestsBudget reports whether the condition checks for the budget
+// sentinel: exec.IsBudget(err) or errors.Is(err, exec.ErrBudget).
+func condTestsBudget(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case analysis.IsExecPkg(fn.Pkg().Path()) && fn.Name() == "IsBudget":
+			found = true
+		case fn.Pkg().Path() == "errors" && fn.Name() == "Is" && len(call.Args) == 2:
+			if sel, ok := ast.Unparen(call.Args[1]).(*ast.SelectorExpr); ok {
+				if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Name() == "ErrBudget" &&
+					v.Pkg() != nil && analysis.IsExecPkg(v.Pkg().Path()) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkBudgetBranch flags returns inside a budget-stop branch that
+// return (partial=false, err=nil).
+func checkBudgetBranch(pass *analysis.Pass, body *ast.BlockStmt, boolIdx, errIdx int) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) <= boolIdx || len(ret.Results) <= errIdx {
+			return true // naked return or different arity; cannot judge
+		}
+		if isFalse(pass.TypesInfo, ret.Results[boolIdx]) && isNil(pass.TypesInfo, ret.Results[errIdx]) {
+			pass.Reportf(ret.Pos(), "budget stop returns an unflagged result with a nil error: set the partial flag to true or return an error wrapping exec.ErrBudget — truncation must never be silent")
+		}
+		return true
+	})
+}
+
+func isFalse(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,12 @@
+package partialflag_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/partialflag"
+)
+
+func TestPartialflag(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), partialflag.Analyzer, "partialflagbad", "partialflaggood")
+}

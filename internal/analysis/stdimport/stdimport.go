@@ -1,0 +1,61 @@
+// Package stdimport serves standard-library compiler export data to the
+// analysis test harness. The first miss for an import path shells out to
+// `go list -deps -export -json <path>`, which (re)uses the go build
+// cache to produce export files for the package and its entire
+// transitive closure; every result is memoised process-wide, so a test
+// binary pays at most a handful of go invocations.
+package stdimport
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	exports = make(map[string]string)
+)
+
+// Lookup returns a reader of the compiler export data for the standard
+// library package at path. It has the signature go/importer's gc lookup
+// expects.
+func Lookup(path string) (io.ReadCloser, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if e, ok := exports[path]; ok {
+		return os.Open(e)
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json", "--", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %w\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	e, ok := exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(e)
+}

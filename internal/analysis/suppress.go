@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding can be silenced in source with a scoped, reason-required
+// comment shared by every analyzer in the suite:
+//
+//	//lint:gea <analyzer>[,<analyzer>...] -- <reason>
+//
+// The directive silences diagnostics from the named analyzers on the
+// line it occupies and on the line immediately below it, so it works
+// both as a trailing comment and as a standalone comment above the
+// flagged statement. The reason is mandatory: a directive without the
+// " -- reason" tail, with an empty analyzer list, or naming an unknown
+// analyzer is itself reported as a diagnostic (by the "suppress"
+// analyzer), so suppressions stay auditable. Directives cannot silence
+// the suppress analyzer.
+
+// DirectivePrefix is the comment marker that introduces a suppression.
+const DirectivePrefix = "lint:gea"
+
+// reasonSep separates the analyzer list from the mandatory reason.
+const reasonSep = " -- "
+
+// Directive is one parsed //lint:gea comment.
+type Directive struct {
+	Pos    token.Pos
+	Line   int      // line the comment starts on
+	Names  []string // analyzers being suppressed
+	Reason string
+	// Malformed is a non-empty description when the directive does not
+	// follow the grammar; malformed directives never suppress anything.
+	Malformed string
+}
+
+// ParseDirectives extracts every //lint:gea directive from a file.
+func ParseDirectives(fset *token.FileSet, file *ast.File) []Directive {
+	var dirs []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			d := Directive{Pos: c.Pos(), Line: fset.Position(c.Pos()).Line}
+			rest := text[len(DirectivePrefix):]
+			if rest != "" && !strings.HasPrefix(rest, " ") {
+				// e.g. //lint:geaxyz — some other tool's namespace.
+				continue
+			}
+			body, reason, ok := strings.Cut(rest, reasonSep)
+			switch {
+			case !ok || strings.TrimSpace(reason) == "":
+				d.Malformed = "missing reason: write //lint:gea <analyzer> -- <reason>"
+			case strings.TrimSpace(body) == "":
+				d.Malformed = "missing analyzer list: write //lint:gea <analyzer> -- <reason>"
+			default:
+				for _, n := range strings.Split(strings.TrimSpace(body), ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						d.Malformed = "empty analyzer name in list"
+						break
+					}
+					d.Names = append(d.Names, n)
+				}
+				d.Reason = strings.TrimSpace(reason)
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs
+}
+
+// Suppresses reports whether d silences a diagnostic from the named
+// analyzer on the given line. Malformed directives suppress nothing, and
+// the suppress analyzer itself cannot be silenced.
+func (d Directive) Suppresses(analyzer string, line int) bool {
+	if d.Malformed != "" || analyzer == SuppressName {
+		return false
+	}
+	if line != d.Line && line != d.Line+1 {
+		return false
+	}
+	for _, n := range d.Names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter drops the findings silenced by the directives and returns the
+// rest, preserving order. Directives are grouped per file by the caller
+// giving all of them; matching is by filename+line.
+func Filter(findings []Finding, dirs map[string][]Directive) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		silenced := false
+		for _, d := range dirs[f.Position.Filename] {
+			if d.Suppresses(f.Analyzer, f.Position.Line) {
+				silenced = true
+				break
+			}
+		}
+		if !silenced {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// SuppressName is the name of the directive-validating analyzer.
+const SuppressName = "suppress"
+
+// NewSuppressAnalyzer builds the analyzer that validates //lint:gea
+// directives: a directive with no reason, an empty analyzer list, or an
+// analyzer name outside known is itself a diagnostic. known is the set
+// of valid analyzer names (the suite being run).
+func NewSuppressAnalyzer(known []string) *Analyzer {
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	return &Analyzer{
+		Name: SuppressName,
+		Doc:  "validate //lint:gea suppression directives: reasons are mandatory and analyzer names must exist",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				for _, d := range ParseDirectives(pass.Fset, file) {
+					if d.Malformed != "" {
+						pass.Reportf(d.Pos, "malformed //lint:gea directive: %s", d.Malformed)
+						continue
+					}
+					for _, n := range d.Names {
+						if n == SuppressName {
+							pass.Reportf(d.Pos, "//lint:gea cannot suppress the %q analyzer", SuppressName)
+						} else if !knownSet[n] {
+							pass.Reportf(d.Pos, "//lint:gea names unknown analyzer %q", n)
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,48 @@
+// Bad corpus for the ctlcharge analyzer: Ctl-threaded functions whose
+// loops never charge work, so cancellation and budgets cannot reach
+// them.
+package ctlchargebad
+
+import "gea/internal/exec"
+
+// SumWith loops over its input without a single checkpoint.
+func SumWith(c *exec.Ctl, rows []int) (int, bool, error) {
+	total := 0
+	for _, r := range rows { // want `loop does not checkpoint`
+		total += r
+	}
+	return total, false, nil
+}
+
+// Nested reports only the outermost loop; the inner one is its
+// responsibility.
+func Nested(c *exec.Ctl, rows [][]int) int {
+	t := 0
+	for _, row := range rows { // want `loop does not checkpoint`
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Classic three-clause for loops are covered too.
+func CountWith(c *exec.Ctl, n int) (int, bool, error) {
+	total := 0
+	for i := 0; i < n; i++ { // want `loop does not checkpoint`
+		total += i
+	}
+	return total, false, nil
+}
+
+// ErrOnly consults the Ctl's sticky error but never charges: budgets
+// and cancellation polls still cannot fire inside the loop.
+func ErrOnly(c *exec.Ctl, rows []int) error {
+	for _, r := range rows { // want `loop does not checkpoint`
+		if c.Err() != nil {
+			return c.Err()
+		}
+		_ = r
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Good corpus for the ctlcharge analyzer: every loop either charges the
+// Ctl, delegates to a metered helper, sits inside a charging loop, or
+// carries a reasoned suppression.
+package ctlchargegood
+
+import "gea/internal/exec"
+
+// SumWith charges one unit per row — the canonical metered loop.
+func SumWith(c *exec.Ctl, rows []int) (int, bool, error) {
+	total := 0
+	for _, r := range rows {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return total, true, nil
+			}
+			return 0, false, err
+		}
+		total += r
+	}
+	return total, false, nil
+}
+
+// PipelineWith delegates: passing the Ctl into the helper hands the
+// loop's metering to it.
+func PipelineWith(c *exec.Ctl, batches [][]int) (int, bool, error) {
+	total := 0
+	for _, b := range batches {
+		n, partial, err := SumWith(c, b)
+		if partial || err != nil {
+			return total, partial, err
+		}
+		total += n
+	}
+	return total, false, nil
+}
+
+// OuterCharges needs no charge in the inner loop: the enclosing loop
+// checkpoints once per row.
+func OuterCharges(c *exec.Ctl, rows [][]int) error {
+	for _, row := range rows {
+		if err := c.Point(int64(len(row))); err != nil {
+			return err
+		}
+		for _, v := range row {
+			_ = v
+		}
+	}
+	return nil
+}
+
+// PlainLoop threads no Ctl, so it is outside the contract.
+func PlainLoop(rows []int) int {
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+// RegisterWith shows the reasoned escape hatch for a bounded
+// post-processing loop.
+func RegisterWith(c *exec.Ctl, names []string) {
+	//lint:gea ctlcharge -- registration is bounded by already-metered mining results
+	for _, n := range names {
+		_ = n
+	}
+}

@@ -1,0 +1,43 @@
+// Bad corpus for the errwrap analyzer: cancellation/budget errors that
+// narrate their sentinel instead of wrapping it, and direct sentinel
+// comparisons that break once an operator layer wraps the error.
+package errwrapbad
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gea/internal/exec"
+)
+
+// Stop narrates the cancellation instead of wrapping it: errors.Is on
+// context.Canceled fails for every caller.
+func Stop(err error) error {
+	if err != nil {
+		return fmt.Errorf("operator canceled: %v", err) // want `does not wrap its sentinel`
+	}
+	return nil
+}
+
+// Deadline messages are governance messages too.
+func Expire() error {
+	return fmt.Errorf("deadline passed while mining") // want `does not wrap its sentinel`
+}
+
+// errStopped is a stringly-typed imitation of exec.ErrBudget.
+var errStopped = errors.New("work budget exhausted") // want `stringly-typed`
+
+// CheckCancel compares a sentinel directly; operators wrap sentinels in
+// *exec.ExecError, so this is false for any wrapped error.
+func CheckCancel(err error) bool {
+	return err == context.Canceled // want `direct comparison against context.Canceled`
+}
+
+func CheckDeadline(err error) bool {
+	return err == context.DeadlineExceeded // want `direct comparison against context.DeadlineExceeded`
+}
+
+func CheckBudget(err error) bool {
+	return err != exec.ErrBudget // want `direct comparison against exec.ErrBudget`
+}

@@ -1,0 +1,36 @@
+// Good corpus for the errwrap analyzer: wrapped sentinels, errors.Is
+// dispatch, and error text that merely mentions none of the governance
+// keywords.
+package errwrapgood
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gea/internal/exec"
+)
+
+// Stop wraps, so errors.Is keeps working through any operator layer.
+func Stop(err error) error {
+	if err != nil {
+		return fmt.Errorf("operator canceled: %w", err)
+	}
+	return nil
+}
+
+// Budget stops that must be errors wrap the sentinel.
+func Exhaust() error {
+	return fmt.Errorf("work budget exhausted before a result: %w", exec.ErrBudget)
+}
+
+// Dispatch uses errors.Is / the exec helpers.
+func Dispatch(err error) bool {
+	return errors.Is(err, context.Canceled) || exec.IsBudget(err)
+}
+
+// Non-governance errors may be plain.
+var errNoRows = errors.New("no rows selected")
+
+// Comparing arbitrary errors is not a sentinel comparison.
+func Same(a, b error) bool { return a == b }

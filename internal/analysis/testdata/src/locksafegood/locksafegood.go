@@ -1,0 +1,67 @@
+// Good corpus for the locksafe analyzer: the lock → look up → unlock →
+// compute → lock → register pattern, cheap accessors under the lock,
+// and correctly paired admission slots.
+package locksafegood
+
+import (
+	"context"
+	"sync"
+
+	"gea/internal/core"
+	"gea/internal/exec"
+)
+
+type System struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (s *System) acquire(ctx context.Context) (func(), error) { return func() {}, nil }
+
+// Calculate computes between the two critical sections.
+func (s *System) Calculate(prefix string) ([]int, error) {
+	s.mu.Lock()
+	n := s.count
+	s.mu.Unlock()
+	_ = n
+	r, _, err := core.MineWith(exec.Background(), prefix)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	return r, nil
+}
+
+// Lookup's early-exit branches unlock before returning; the compute
+// below runs unlocked.
+func (s *System) Lookup(prefix string) ([]int, error) {
+	s.mu.Lock()
+	if s.count == 0 {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.mu.Unlock()
+	r, _, err := core.MineWith(exec.Background(), prefix)
+	return r, err
+}
+
+// Cheap kernel-package accessors are fine under the lock.
+func (s *System) Name(a core.Algorithm) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return a.String() + core.Describe(s.count)
+}
+
+// Admit pairs the acquire with an immediate defer after the error
+// guard.
+func (s *System) Admit(ctx context.Context) ([]int, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	r, _, err := core.MineWith(exec.Background(), "x")
+	return r, err
+}

@@ -1,0 +1,28 @@
+// Bad corpus for the nopanic analyzer: naked panics in a governed
+// package (it imports the exec governance layer).
+package nopanicbad
+
+import "gea/internal/exec"
+
+// Mine panics on bad input instead of returning an error.
+func Mine(c *exec.Ctl, rows []int) (int, error) {
+	if rows == nil {
+		panic("nil rows") // want `naked panic in a governed package`
+	}
+	total := 0
+	for _, r := range rows {
+		if err := c.Point(1); err != nil {
+			return 0, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// mustIndex hides the panic in a helper — still flagged.
+func mustIndex(rows []int, i int) int {
+	if i >= len(rows) {
+		panic(i) // want `naked panic in a governed package`
+	}
+	return rows[i]
+}

@@ -1,0 +1,41 @@
+// Good corpus for the nopanic analyzer: faults are returned as errors,
+// and the one deliberate panic carries a reasoned suppression.
+package nopanicgood
+
+import (
+	"errors"
+
+	"gea/internal/exec"
+)
+
+var errNilRows = errors.New("nil rows")
+
+// Mine returns its fault instead of panicking.
+func Mine(c *exec.Ctl, rows []int) (int, error) {
+	if rows == nil {
+		return 0, errNilRows
+	}
+	total := 0
+	for _, r := range rows {
+		if err := c.Point(1); err != nil {
+			return 0, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// Crash exists to exercise exec.Guard's recovery path in tests; the
+// panic is the whole point, so it is suppressed with the reason.
+func Crash() error {
+	return exec.Guard("crash", "", func() error {
+		//lint:gea nopanic -- deliberate fault injection to exercise Guard's recover path
+		panic("injected fault")
+	})
+}
+
+// Shadowed panic identifiers are not the builtin and are never flagged.
+func Shadow() {
+	panic := func(v any) {}
+	panic("not the builtin")
+}

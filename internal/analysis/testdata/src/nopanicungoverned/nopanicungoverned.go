@@ -1,0 +1,13 @@
+// Ungoverned corpus for the nopanic analyzer: this package neither is
+// an operator package nor imports the exec governance layer, so its
+// panics are out of scope and produce no diagnostics.
+package nopanicungoverned
+
+// Must panics freely — this package never runs under the governance
+// contract.
+func Must(v int, err error) int {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,40 @@
+// Bad corpus for the partialflag analyzer: budget-stop branches that
+// return an unflagged result with a nil error — silent truncation.
+package partialflagbad
+
+import (
+	"errors"
+
+	"gea/internal/exec"
+)
+
+// SumWith silently truncates: the budget branch returns the prefix with
+// partial=false and no error.
+func SumWith(c *exec.Ctl, rows []int) (int, bool, error) {
+	total := 0
+	for _, r := range rows {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return total, false, nil // want `budget stop returns an unflagged result`
+			}
+			return 0, false, err
+		}
+		total += r
+	}
+	return total, false, nil
+}
+
+// ScanWith tests for the sentinel via errors.Is — same contract.
+func ScanWith(c *exec.Ctl, rows []int) ([]int, bool, error) {
+	var out []int
+	for range rows {
+		if err := c.Point(1); err != nil {
+			if errors.Is(err, exec.ErrBudget) {
+				return out, false, nil // want `budget stop returns an unflagged result`
+			}
+			return nil, false, err
+		}
+		out = append(out, 1)
+	}
+	return out, false, nil
+}

@@ -1,0 +1,55 @@
+// Good corpus for the partialflag analyzer: budget stops either flag
+// the partial result or propagate an error wrapping the sentinel.
+package partialflaggood
+
+import (
+	"fmt"
+
+	"gea/internal/exec"
+)
+
+// SumWith flags the truncated prefix.
+func SumWith(c *exec.Ctl, rows []int) (int, bool, error) {
+	total := 0
+	for _, r := range rows {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return total, true, nil
+			}
+			return 0, false, err
+		}
+		total += r
+	}
+	return total, false, nil
+}
+
+// FindWith yields a single value, so budget exhaustion before success
+// is an error — wrapping the sentinel keeps errors.Is working.
+func FindWith(c *exec.Ctl, rows []int) (int, bool, error) {
+	for _, r := range rows {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return 0, false, fmt.Errorf("work budget exhausted before a match: %w", err)
+			}
+			return 0, false, err
+		}
+		if r > 0 {
+			return r, false, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// PassErrWith may propagate the raw sentinel too: errors.Is still
+// holds.
+func PassErrWith(c *exec.Ctl, rows []int) (int, bool, error) {
+	for range rows {
+		if err := c.Point(1); err != nil {
+			if exec.IsBudget(err) {
+				return 0, false, err
+			}
+			return 0, false, err
+		}
+	}
+	return len(rows), false, nil
+}

@@ -1,0 +1,56 @@
+// Bad corpus for the suppress analyzer: directives that are malformed,
+// name analyzers that do not exist, or try to silence the validator
+// itself.
+package suppressbad
+
+import "gea/internal/exec"
+
+// Reasonless directives never suppress and are themselves diagnostics.
+func Reasonless(c *exec.Ctl, rows []int) int {
+	total := 0
+	//lint:gea ctlcharge // want `malformed //lint:gea directive: missing reason`
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+// A reason without an analyzer list is equally unauditable.
+func Nameless(c *exec.Ctl, rows []int) int {
+	total := 0
+	//lint:gea -- the loop is bounded // want `malformed //lint:gea directive: missing analyzer list`
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+// Unknown analyzer names are typos waiting to hide a real finding.
+func Typo(c *exec.Ctl, rows []int) int {
+	total := 0
+	//lint:gea ctlchrge -- bounded registration loop // want `unknown analyzer "ctlchrge"`
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+// The validator cannot be silenced, or suppressions stop being audited.
+func Meta(c *exec.Ctl, rows []int) int {
+	total := 0
+	//lint:gea suppress -- quiet the auditor // want `cannot suppress the "suppress" analyzer`
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}
+
+// An empty name inside an otherwise plausible list is malformed too.
+func Gappy(c *exec.Ctl, rows []int) int {
+	total := 0
+	//lint:gea ctlcharge,, locksafe -- bounded loop // want `malformed //lint:gea directive: empty analyzer name`
+	for _, r := range rows {
+		total += r
+	}
+	return total
+}

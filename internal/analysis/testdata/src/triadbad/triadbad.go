@@ -1,0 +1,50 @@
+// Bad corpus for the triad analyzer: With forms missing their Ctx or
+// legacy siblings, and triads whose shapes drifted apart.
+package triadbad
+
+import (
+	"context"
+
+	"gea/internal/exec"
+)
+
+// OrphanWith has neither an OrphanCtx nor a legacy Orphan.
+func OrphanWith(c *exec.Ctl, n int) (int, bool, error) { // want `has no OrphanCtx form` `has no legacy Orphan form`
+	return n, false, nil
+}
+
+// ShapelessWith lacks the partial-flag bool before the error.
+func ShapelessWith(c *exec.Ctl, n int) (int, error) { // want `must return \(results\.\.\., bool, error\)`
+	return n, nil
+}
+
+// DriftCtx lost the scale parameter its With form carries.
+func DriftWith(c *exec.Ctl, n int, scale float64) (int, bool, error) {
+	return n, false, nil
+}
+
+func DriftCtx(ctx context.Context, n int, lim exec.Limits) (int, exec.Trace, error) { // want `DriftCtx parameters are inconsistent with DriftWith`
+	return n, exec.Trace{}, nil
+}
+
+func Drift(n int, scale float64) (int, error) { return n, nil }
+
+// Skew's legacy form returns a different result type.
+func SkewWith(c *exec.Ctl, n int) (int, bool, error) { return n, false, nil }
+
+func SkewCtx(ctx context.Context, n int, lim exec.Limits) (int, exec.Trace, error) {
+	return n, exec.Trace{}, nil
+}
+
+func Skew(n int) (float64, error) { // want `Skew results are inconsistent with SkewWith`
+	return 0, nil
+}
+
+// WarpCtx forgot the trailing exec.Limits.
+func WarpWith(c *exec.Ctl, n int) (int, bool, error) { return n, false, nil }
+
+func WarpCtx(ctx context.Context, n int) (int, exec.Trace, error) { // want `WarpCtx parameters are inconsistent with WarpWith`
+	return n, exec.Trace{}, nil
+}
+
+func Warp(n int) (int, error) { return n, nil }

@@ -1,0 +1,42 @@
+// Good corpus for the triad analyzer: complete, shape-consistent
+// triads, a defaulted-options legacy prefix, a method triad, and names
+// whose "With" does not mean "metered".
+package triadgood
+
+import (
+	"context"
+
+	"gea/internal/exec"
+)
+
+type Options struct{ Depth int }
+
+// The canonical function triad; the legacy form defaults the trailing
+// options away (a prefix of the With parameters).
+func ScanWith(c *exec.Ctl, name string, opts Options) ([]string, bool, error) {
+	return nil, false, nil
+}
+
+func ScanCtx(ctx context.Context, name string, opts Options, lim exec.Limits) ([]string, exec.Trace, error) {
+	return nil, exec.Trace{}, nil
+}
+
+func Scan(name string) ([]string, error) { return nil, nil }
+
+// A method triad on a receiver.
+type Store struct{}
+
+func (s *Store) GapWith(c *exec.Ctl, a, b string) (string, bool, error) { return "", false, nil }
+
+func (s *Store) GapCtx(ctx context.Context, a, b string, lim exec.Limits) (string, exec.Trace, error) {
+	return "", exec.Trace{}, nil
+}
+
+func (s *Store) Gap(a, b string) (string, error) { return "", nil }
+
+// "With" meaning "with algorithm", not "metered": no Ctl first
+// parameter, so no triad is demanded.
+func FindWith(name string, alg int) (string, error) { return name, nil }
+
+// Unexported cores are implementation detail, not API triads.
+func scanWith(c *exec.Ctl, name string) (int, bool, error) { return 0, false, nil }

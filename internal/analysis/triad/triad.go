@@ -1,0 +1,183 @@
+// Package triad enforces the three-entry-point shape of every governed
+// operator. PR 2 established the convention:
+//
+//	XWith(c *exec.Ctl, P...) (R..., bool, error)          // metered core
+//	XCtx(ctx context.Context, P..., lim exec.Limits)
+//	     (R..., exec.Trace, error)                        // governed API
+//	X(P...) (R..., error)                                 // legacy API
+//
+// The analyzer triggers on every exported function (or method) whose
+// name ends in "With" and whose first parameter is a *exec.Ctl, and
+// then demands that the Ctx and legacy forms exist with consistent
+// parameter and return shapes. The legacy form may omit trailing
+// parameters of the With form (a defaulted-options convenience, e.g.
+// core.Populate versus core.PopulateWithOptions), but the shared prefix
+// and the result shape must align exactly.
+//
+// Functions that merely end in "With" without threading a Ctl (e.g.
+// System.FindPureFascicleWith, where "With" reads as "with algorithm")
+// are not operator cores and are ignored.
+package triad
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer checks With/Ctx/legacy operator triads for presence and
+// shape consistency.
+var Analyzer = &analysis.Analyzer{
+	Name: "triad",
+	Doc:  "every exported XWith(*exec.Ctl, ...) operator must expose a consistent XCtx and legacy X form",
+	Run:  run,
+}
+
+// declared is one function or method declaration of the package.
+type declared struct {
+	decl *ast.FuncDecl
+	sig  *types.Signature
+}
+
+func run(pass *analysis.Pass) error {
+	// Group declarations by receiver type name ("" for functions) so
+	// method triads are matched within their receiver.
+	groups := make(map[string]map[string]declared)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			sig := analysis.FuncType(pass.TypesInfo, fn)
+			if sig == nil {
+				continue
+			}
+			key := receiverKey(sig)
+			if groups[key] == nil {
+				groups[key] = make(map[string]declared)
+			}
+			groups[key][fn.Name.Name] = declared{decl: fn, sig: sig}
+		}
+	}
+
+	for _, group := range groups {
+		for name, with := range group {
+			if !strings.HasSuffix(name, "With") || !ast.IsExported(name) {
+				continue
+			}
+			params := with.sig.Params()
+			if params.Len() == 0 || !analysis.IsExecCtl(params.At(0).Type()) {
+				continue // "With" suffix without a Ctl: not an operator core
+			}
+			base := strings.TrimSuffix(name, "With")
+			if base == "" {
+				continue
+			}
+			checkTriad(pass, group, base, with)
+		}
+	}
+	return nil
+}
+
+func receiverKey(sig *types.Signature) string {
+	recv := sig.Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return types.TypeString(t, nil)
+}
+
+func checkTriad(pass *analysis.Pass, group map[string]declared, base string, with declared) {
+	name := with.decl.Name.Name
+	// The With form itself must return (R..., bool, error).
+	res := with.sig.Results()
+	if res.Len() < 2 || res.At(res.Len()-2).Type().String() != "bool" || !analysis.IsErrorType(res.At(res.Len()-1).Type()) {
+		pass.Reportf(with.decl.Pos(), "%s must return (results..., bool, error): the bool is the partial flag of a budget-stopped run", name)
+		return
+	}
+	core := tupleTypes(res)[:res.Len()-2]        // R...
+	carried := tupleTypes(with.sig.Params())[1:] // P... (Ctl dropped)
+
+	// Ctx form: XCtx(ctx, P..., lim) (R..., exec.Trace, error).
+	ctxName := base + "Ctx"
+	ctxd, ok := group[ctxName]
+	if !ok {
+		pass.Reportf(with.decl.Pos(), "exported operator %s has no %s form: the With/Ctx/legacy triad is incomplete", name, ctxName)
+	} else {
+		wantParams := fmt.Sprintf("(context.Context, %s, exec.Limits)", typesList(carried))
+		cp := tupleTypes(ctxd.sig.Params())
+		ok := len(cp) == len(carried)+2 &&
+			analysis.IsContext(cp[0]) &&
+			analysis.IsExecLimits(cp[len(cp)-1]) &&
+			identicalList(cp[1:len(cp)-1], carried)
+		if !ok {
+			pass.Reportf(ctxd.decl.Pos(), "%s parameters are inconsistent with %s: want %s", ctxName, name, wantParams)
+		}
+		cr := tupleTypes(ctxd.sig.Results())
+		ok = len(cr) == len(core)+2 &&
+			identicalList(cr[:len(core)], core) &&
+			analysis.IsExecTrace(cr[len(cr)-2]) &&
+			analysis.IsErrorType(cr[len(cr)-1])
+		if !ok {
+			pass.Reportf(ctxd.decl.Pos(), "%s results are inconsistent with %s: want (%s, exec.Trace, error)", ctxName, name, typesList(core))
+		}
+	}
+
+	// Legacy form: X(P-prefix...) (R..., error). Trailing parameters of
+	// the With form may be defaulted away.
+	legacy, ok := group[base]
+	if !ok {
+		pass.Reportf(with.decl.Pos(), "exported operator %s has no legacy %s form: the With/Ctx/legacy triad is incomplete", name, base)
+	} else {
+		lp := tupleTypes(legacy.sig.Params())
+		if len(lp) > len(carried) || !identicalList(lp, carried[:min(len(lp), len(carried))]) {
+			pass.Reportf(legacy.decl.Pos(), "%s parameters are inconsistent with %s: want a prefix of (%s)", base, name, typesList(carried))
+		}
+		lr := tupleTypes(legacy.sig.Results())
+		ok := len(lr) == len(core)+1 &&
+			identicalList(lr[:len(core)], core) &&
+			analysis.IsErrorType(lr[len(lr)-1])
+		if !ok {
+			pass.Reportf(legacy.decl.Pos(), "%s results are inconsistent with %s: want (%s, error)", base, name, typesList(core))
+		}
+	}
+}
+
+func tupleTypes(t *types.Tuple) []types.Type {
+	out := make([]types.Type, t.Len())
+	for i := range out {
+		out[i] = t.At(i).Type()
+	}
+	return out
+}
+
+func identicalList(a, b []types.Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !types.Identical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func typesList(ts []types.Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,12 @@
+package triad_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/triad"
+)
+
+func TestTriad(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), triad.Analyzer, "triadbad", "triadgood")
+}
