@@ -49,7 +49,7 @@ func TestPopulateCheckpointWalk(t *testing.T) {
 		execwalk.Walk(t, execwalk.Target{
 			Name: tc.name,
 			Run: func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
-				_, _, tr, err := PopulateCtx(ctx, "walkEnum", cancer, d, tc.idx, lim)
+				_, _, tr, err := PopulateCtx(ctx, "walkEnum", cancer, d, tc.idx, PopulateOptions{}, lim)
 				return tr, err
 			},
 			MaxUnitStep: 1,

@@ -116,14 +116,14 @@ func PopulateWithOptions(name string, s *Sumy, d *sage.Dataset, idx *TagIndexes,
 // deadlines are observed at every checkpoint; on budget exhaustion the
 // rows verified so far become an explicitly flagged partial ENUM; a
 // panic is recovered into a structured *exec.ExecError.
-func PopulateCtx(ctx context.Context, name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, lim exec.Limits) (*Enum, PopulateStats, exec.Trace, error) {
+func PopulateCtx(ctx context.Context, name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, opts PopulateOptions, lim exec.Limits) (*Enum, PopulateStats, exec.Trace, error) {
 	c := exec.New(ctx, lim)
 	var e *Enum
 	var st PopulateStats
 	var partial bool
 	err := exec.Guard("core.Populate", name, func() error {
 		var err error
-		e, st, partial, err = PopulateWith(c, name, s, d, idx, PopulateOptions{})
+		e, st, partial, err = PopulateWith(c, name, s, d, idx, opts)
 		return err
 	})
 	if err != nil {
