@@ -133,8 +133,8 @@ func PopulateCtx(ctx context.Context, name string, s *Sumy, d *sage.Dataset, idx
 }
 
 // PopulateWith is the metered implementation, exported so composite
-// operators share one Ctl. One work unit is one index range scan or one
-// candidate row verified.
+// operators share one Ctl. One work unit is one index range scan, one
+// candidate set intersected, or one candidate row verified.
 func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, opts PopulateOptions) (*Enum, PopulateStats, bool, error) {
 	var st PopulateStats
 	if s.Len() == 0 {
@@ -151,6 +151,7 @@ func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIn
 	}
 	var indexed, residual []cond
 	var cols []int
+	//lint:gea ctlcharge -- condition split is O(|SUMY|) setup; the range scans and row checks it feeds are metered below
 	for _, r := range s.Rows {
 		cc := cond{col: -1, lo: r.Range.Min, hi: r.Range.Max}
 		if j, ok := d.TagColumn(r.Tag); ok {
@@ -194,6 +195,12 @@ func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIn
 		sort.Slice(sets, func(a, b int) bool { return len(sets[a]) < len(sets[b]) })
 		candidates = append([]int(nil), sets[0]...)
 		for _, set := range sets[1:] {
+			if err := c.Point(1); err != nil {
+				if exec.IsBudget(err) {
+					return partialEnum(nil, cols)
+				}
+				return nil, st, false, err
+			}
 			if len(candidates) == 0 {
 				break
 			}
@@ -215,6 +222,7 @@ func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIn
 		}
 	} else {
 		candidates = make([]int, d.NumLibraries())
+		//lint:gea ctlcharge -- identity initialization; the verification loop below meters every candidate it produces
 		for i := range candidates {
 			candidates[i] = i
 		}

@@ -119,6 +119,7 @@ func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, c
 		}
 	}
 	tags := make([]sage.TagID, 0, len(tagSet))
+	//lint:gea ctlcharge -- set-to-slice materialization; every tag was charged on collection and is charged again when checked
 	for t := range tagSet {
 		tags = append(tags, t)
 	}
