@@ -81,6 +81,7 @@ func CASTWith(c *exec.Ctl, rows [][]float64, cfg CASTConfig) ([]int, bool, error
 
 	// Precompute the affinity matrix.
 	am := make([][]float64, n)
+	//lint:gea ctlcharge -- matrix allocation; every affinity pair is charged in the computation loop below
 	for i := range am {
 		am[i] = make([]float64, n)
 		am[i][i] = 1
@@ -104,6 +105,7 @@ func CASTWith(c *exec.Ctl, rows [][]float64, cfg CASTConfig) ([]int, bool, error
 	}
 
 	labels := make([]int, n)
+	//lint:gea ctlcharge -- label initialization; stabilization iterations are metered below
 	for i := range labels {
 		labels[i] = -1
 	}

@@ -68,22 +68,24 @@ func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters i
 	centroids, stop := kmeansPlusPlusInit(c, rows, k, rng)
 	labels := make([]int, n)
 	res := &KMeansResult{Labels: labels, Centroids: centroids}
-	finish := func() (*KMeansResult, bool, error) {
+	finish := func(partial bool) (*KMeansResult, bool, error) {
 		var inertia float64
+		//lint:gea ctlcharge -- single closing pass; it also runs after a budget stop, where a charge would re-trip the exhausted budget
 		for i, r := range rows {
 			inertia += sqDist(r, res.Centroids[labels[i]])
 		}
 		res.Inertia = inertia
-		return res, true, nil
+		return res, partial, nil
 	}
 	if stop != nil {
 		if exec.IsBudget(stop) {
 			// Seeding was cut short: pad with copies of the first seed so
 			// the flagged partial result still has k centroids.
+			//lint:gea ctlcharge -- bounded by k; pads the partial result after the budget already stopped the run
 			for len(res.Centroids) < k {
 				res.Centroids = append(res.Centroids, append([]float64{}, res.Centroids[0]...))
 			}
-			return finish()
+			return finish(true)
 		}
 		return nil, false, stop
 	}
@@ -93,7 +95,7 @@ func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters i
 		for i, r := range rows {
 			if err := c.Point(1); err != nil {
 				if exec.IsBudget(err) {
-					return finish()
+					return finish(true)
 				}
 				return nil, false, err
 			}
@@ -149,12 +151,7 @@ func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters i
 			break
 		}
 	}
-	var inertia float64
-	for i, r := range rows {
-		inertia += sqDist(r, centroids[labels[i]])
-	}
-	res.Inertia = inertia
-	return res, false, nil
+	return finish(false)
 }
 
 // kmeansPlusPlusInit seeds centroids with the k-means++ strategy. The

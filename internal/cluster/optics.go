@@ -77,6 +77,7 @@ func OPTICSWith(c *exec.Ctl, rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint,
 
 	// Precompute the distance matrix; the SAGE corpus is small.
 	dm := make([][]float64, n)
+	//lint:gea ctlcharge -- matrix allocation; every pair is charged in the computation loop below
 	for i := range dm {
 		dm[i] = make([]float64, n)
 	}
@@ -99,6 +100,7 @@ func OPTICSWith(c *exec.Ctl, rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint,
 		// counts, as in the original paper's neighbourhood definition).
 		ds := make([]float64, 0, n)
 		ds = append(ds, 0) // self
+		//lint:gea ctlcharge -- neighbourhood scan over the precomputed matrix; one unit is charged per point ordered
 		for j := 0; j < n; j++ {
 			if j != i && dm[i][j] <= cfg.Eps {
 				ds = append(ds, dm[i][j])
@@ -114,6 +116,7 @@ func OPTICSWith(c *exec.Ctl, rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint,
 
 	processed := make([]bool, n)
 	reach := make([]float64, n)
+	//lint:gea ctlcharge -- reachability initialization; ordering work is metered below
 	for i := range reach {
 		reach[i] = math.Inf(1)
 	}

@@ -90,6 +90,7 @@ func SOMWith(c *exec.Ctl, rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOM
 
 	units := cfg.GridW * cfg.GridH
 	weights := make([][]float64, units)
+	//lint:gea ctlcharge -- weight initialization at random input rows; training steps are metered below
 	for u := range weights {
 		// Initialize each unit at a random input row plus noise.
 		src := rows[rng.Intn(n)]
@@ -102,6 +103,7 @@ func SOMWith(c *exec.Ctl, rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOM
 
 	finish := func(partial bool) (*SOMResult, bool, error) {
 		labels := make([]int, n)
+		//lint:gea ctlcharge -- labels the trained map once at the end; it also runs after a budget stop, where a charge would re-trip the exhausted budget
 		for i, r := range rows {
 			labels[i] = bestMatchingUnit(r, weights)
 		}
