@@ -187,6 +187,7 @@ func Walk(t *testing.T, tg Target) {
 		for _, k := range sample(totalChecks, tg.probes()) {
 			pctx := exec.WithHook(context.Background(), func(nth int64) {
 				if nth == k {
+					//lint:gea nopanic -- deliberate fault injection: the walk asserts Guard recovers this panic into *exec.ExecError
 					panic(boom{at: k})
 				}
 			})

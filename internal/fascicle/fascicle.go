@@ -217,6 +217,7 @@ func LatticeWith(c *exec.Ctl, d *sage.Dataset, p Params) ([]*Fascicle, bool, err
 	// everything emitted so far plus the current level's candidates that
 	// no superset has (yet) subsumed.
 	cut := func(results []*Fascicle, level []*candidate, subsumed []bool) []*Fascicle {
+		//lint:gea ctlcharge -- assembles the flagged partial result after a stop; another charge would re-trip the exhausted budget
 		for i, cd := range level {
 			if (subsumed == nil || !subsumed[i]) && len(cd.rows) >= p.MinSize {
 				results = append(results, &Fascicle{
@@ -435,6 +436,7 @@ func GreedyWith(c *exec.Ctl, d *sage.Dataset, p Params) ([]*Fascicle, bool, erro
 
 	finish := func(clusters []*candidate) []*Fascicle {
 		var results []*Fascicle
+		//lint:gea ctlcharge -- materializes the clustering once at the end; it also runs after a budget stop, where a charge would re-trip the exhausted budget
 		for _, c := range clusters {
 			if len(c.rows) >= p.MinSize {
 				sort.Ints(c.rows)

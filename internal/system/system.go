@@ -413,6 +413,7 @@ func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts Fascic
 		lineageParams["partial"] = "true"
 	}
 	var names []string
+	//lint:gea ctlcharge -- registers already-mined results; a mid-loop stop would strand half-registered fascicles in the lineage and relational stores
 	for i := range results {
 		r := results[i]
 		name := fmt.Sprintf("%s_%d", prefix, i+1)

@@ -157,13 +157,16 @@ func CompareWith(c *exec.Ctl, a, b *Pool, opts Options) ([]Result, bool, error) 
 	}
 
 	tagSet := map[sage.TagID]bool{}
+	//lint:gea ctlcharge -- tag-universe union; the per-tag test loop below charges every tag collected here
 	for t := range a.Counts {
 		tagSet[t] = true
 	}
+	//lint:gea ctlcharge -- tag-universe union; the per-tag test loop below charges every tag collected here
 	for t := range b.Counts {
 		tagSet[t] = true
 	}
 	tags := make([]sage.TagID, 0, len(tagSet))
+	//lint:gea ctlcharge -- set-to-slice materialization of the same tags the metered loop below visits
 	for t := range tagSet {
 		tags = append(tags, t)
 	}
