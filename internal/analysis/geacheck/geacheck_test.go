@@ -1,0 +1,60 @@
+package geacheck_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gea/internal/analysis/geacheck"
+)
+
+// repoRoot walks up from the test's package directory to the module
+// root (internal/analysis/geacheck is two packages below internal).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRepoIsClean pins the clean baseline: the whole tree must pass
+// every analyzer. A violation introduced anywhere in gea/... fails
+// this test, so `go test ./...` enforces the invariants even where CI
+// does not run the standalone binary.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := geacheck.Check(repoRoot(t), geacheck.Analyzers(), "gea/...")
+	if err != nil {
+		t.Fatalf("loading the repository: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("%d finding(s); fix them or add a reasoned //lint:gea suppression (see ANALYSIS.md)", len(findings))
+	}
+}
+
+func TestMainList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := geacheck.Main(&stdout, &stderr, []string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"ctlcharge", "triad", "locksafe", "errwrap", "partialflag", "nopanic", "suppress"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestMainUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := geacheck.Main(&stdout, &stderr, []string{"-only", "nosuch"}); code != 2 {
+		t.Fatalf("-only nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want an unknown-analyzer message", stderr.String())
+	}
+}
