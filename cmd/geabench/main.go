@@ -37,8 +37,8 @@ type experiment struct {
 
 // env carries the shared corpus/session so experiments don't regenerate it.
 type env struct {
-	cfg    gea.GenConfig
-	res    *gea.GenResult
+	cfg      gea.GenConfig
+	res      *gea.GenResult
 	full     bool
 	seed     int64
 	kpct     int
