@@ -94,6 +94,25 @@ func sample(max int64, n int) []int64 {
 	return out
 }
 
+// validateBaseline vets the unconstrained run: a walkable operator must
+// complete cleanly, charge work, and poll at least one checkpoint — a
+// zero-work or checkpoint-free operator is ungovernable and the walk
+// would vacuously pass against it.
+func validateBaseline(base exec.Trace, totalChecks int64) error {
+	if base.Partial {
+		//lint:gea errwrap -- harness diagnostic about an operator's shape; no governance sentinel exists to wrap
+		return errors.New("baseline run flagged partial without any budget")
+	}
+	if totalChecks == 0 || base.Checkpoints == 0 {
+		//lint:gea errwrap -- harness diagnostic about an operator's shape; no governance sentinel exists to wrap
+		return errors.New("operator ran without a single checkpoint — it is not cancellable")
+	}
+	if base.Units <= 0 {
+		return errors.New("operator charged no work units")
+	}
+	return nil
+}
+
 // Walk drives the full deterministic suite against one operator.
 func Walk(t *testing.T, tg Target) {
 	t.Helper()
@@ -105,14 +124,8 @@ func Walk(t *testing.T, tg Target) {
 	if err != nil {
 		t.Fatalf("%s: baseline run failed: %v", tg.Name, err)
 	}
-	if base.Partial {
-		t.Fatalf("%s: baseline run flagged partial without any budget", tg.Name)
-	}
-	if totalChecks == 0 || base.Checkpoints == 0 {
-		t.Fatalf("%s: operator ran without a single checkpoint — it is not cancellable", tg.Name)
-	}
-	if base.Units <= 0 {
-		t.Fatalf("%s: operator charged no work units", tg.Name)
+	if err := validateBaseline(base, totalChecks); err != nil {
+		t.Fatalf("%s: %v", tg.Name, err)
 	}
 
 	t.Run(tg.Name+"/deadline-pre-expired", func(t *testing.T) {

@@ -1,0 +1,173 @@
+package execwalk
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gea/internal/exec"
+)
+
+// syntheticOp is a minimal governed operator: units metered work steps,
+// charged one at a time, under Guard like the real operators.
+func syntheticOp(units int64) func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+	return func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+		c := exec.New(ctx, lim)
+		var partial bool
+		err := exec.Guard("execwalk.synthetic", "", func() error {
+			for i := int64(0); i < units; i++ {
+				if err := c.Point(1); err != nil {
+					if exec.IsBudget(err) {
+						partial = true
+						return nil
+					}
+					return err
+				}
+			}
+			return nil
+		})
+		return c.Snapshot(partial), err
+	}
+}
+
+// TestWalkSyntheticOperator exercises the whole driver against a known
+// loop shape, so a regression in the walk itself (rather than in an
+// operator) is caught here first.
+func TestWalkSyntheticOperator(t *testing.T) {
+	Walk(t, Target{
+		Name:        "synthetic",
+		Run:         syntheticOp(40),
+		MaxUnitStep: 1,
+	})
+}
+
+func TestValidateBaseline(t *testing.T) {
+	healthy := exec.Trace{Units: 40, Checkpoints: 40}
+	tests := []struct {
+		name        string
+		base        exec.Trace
+		totalChecks int64
+		wantErr     bool
+	}{
+		{"healthy", healthy, 40, false},
+		{"zero work", exec.Trace{Checkpoints: 1}, 1, true},
+		{"no checkpoints", exec.Trace{Units: 40}, 0, true},
+		{"hook silent", healthy, 0, true},
+		{"partial without budget", exec.Trace{Partial: true, Units: 40, Checkpoints: 40}, 40, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateBaseline(tt.base, tt.totalChecks)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("validateBaseline(%+v, %d) = %v, wantErr %v", tt.base, tt.totalChecks, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestWalkRejectsZeroWorkOperator feeds the baseline validator the
+// trace a do-nothing operator produces: Walk must refuse to bless it
+// rather than run a vacuous suite.
+func TestWalkRejectsZeroWorkOperator(t *testing.T) {
+	var totalChecks int64
+	ctx := exec.WithHook(context.Background(), func(nth int64) { totalChecks = nth })
+	tr, err := syntheticOp(0)(ctx, exec.Limits{})
+	if err != nil {
+		t.Fatalf("zero-work operator errored: %v", err)
+	}
+	if err := validateBaseline(tr, totalChecks); err == nil {
+		t.Fatal("validateBaseline accepted a zero-work operator")
+	}
+}
+
+// TestCadenceCoarserThanTotalWork pins the documented boundary of
+// CheckEvery: when the poll interval exceeds the operator's entire
+// workload, no checkpoint ever fires — the run completes, the trace
+// records zero checkpoints, and cancellation is never observed.
+func TestCadenceCoarserThanTotalWork(t *testing.T) {
+	op := syntheticOp(10)
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the run even starts
+	tr, err := op(cctx, exec.Limits{CheckEvery: 100})
+	if err != nil {
+		t.Fatalf("coarse cadence: %v (cancellation should never be polled)", err)
+	}
+	if tr.Checkpoints != 0 {
+		t.Fatalf("CheckEvery 100 over 10 units polled %d checkpoints, want 0", tr.Checkpoints)
+	}
+	if tr.Units != 10 {
+		t.Fatalf("charged %d units, want 10", tr.Units)
+	}
+	if tr.Partial {
+		t.Fatal("complete run flagged partial")
+	}
+
+	// The same workload at unit cadence observes the cancellation at the
+	// first poll.
+	if _, err := op(cctx, exec.Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("unit cadence: got %v, want Canceled", err)
+	}
+}
+
+// TestCadenceCoarserThanBudget: a budget below one checkpoint interval
+// can only be enforced at the first poll, so the overshoot is bounded
+// by CheckEvery, not by the budget itself.
+func TestCadenceCoarserThanBudget(t *testing.T) {
+	tr, err := syntheticOp(10)(context.Background(), exec.Limits{Budget: 2, CheckEvery: 5})
+	if err != nil {
+		t.Fatalf("budget under coarse cadence: %v", err)
+	}
+	if !tr.Partial {
+		t.Fatal("budget-stopped run not flagged partial")
+	}
+	if tr.Units != 5 {
+		t.Fatalf("charged %d units, want 5 (budget 2 rounded up to the first poll)", tr.Units)
+	}
+}
+
+func TestSample(t *testing.T) {
+	t.Run("no work", func(t *testing.T) {
+		if got := sample(0, 8); got != nil {
+			t.Fatalf("sample(0, 8) = %v, want nil", got)
+		}
+		if got := sample(-3, 8); got != nil {
+			t.Fatalf("sample(-3, 8) = %v, want nil", got)
+		}
+	})
+	t.Run("single position", func(t *testing.T) {
+		got := sample(1, 8)
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("sample(1, 8) = %v, want [1]", got)
+		}
+	})
+	t.Run("probes cover everything", func(t *testing.T) {
+		got := sample(5, 8)
+		want := []int64{1, 2, 3, 4, 5}
+		if len(got) != len(want) {
+			t.Fatalf("sample(5, 8) = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sample(5, 8) = %v, want %v", got, want)
+			}
+		}
+	})
+	t.Run("strided", func(t *testing.T) {
+		got := sample(1000, 10)
+		if got[0] != 1 {
+			t.Fatalf("first probe %d, want 1", got[0])
+		}
+		if got[len(got)-1] != 1000 {
+			t.Fatalf("last probe %d, want 1000", got[len(got)-1])
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("probes not strictly increasing: %v", got)
+			}
+			if got[i] > 1000 {
+				t.Fatalf("probe %d out of range: %v", got[i], got)
+			}
+		}
+	})
+}
