@@ -162,7 +162,8 @@ func (r *repl) dispatch(fields []string) error {
                      (Ctrl-C cancels the search, not the session)
   limit budget N     cap mining work at N units (partial results flagged)
   limit deadline D   bound mining wall time (e.g. 30s, 2m)
-  limit off          remove budget and deadline; bare "limit" shows current
+  limit workers N    evaluate sharded scans on N workers (same results)
+  limit off          remove all limits; bare "limit" shows current
   tree               print the lineage tree
   quit               exit
 `)
@@ -287,10 +288,14 @@ func (r *repl) dispatch(fields []string) error {
 	case "limit":
 		switch arg(0) {
 		case "":
-			if r.limits.Budget == 0 && r.deadline == 0 {
+			if r.limits.Budget == 0 && r.deadline == 0 && r.limits.Workers <= 1 {
 				fmt.Fprintln(r.out, "no limits set")
 			} else {
-				fmt.Fprintf(r.out, "budget %d units, deadline %v\n", r.limits.Budget, r.deadline)
+				workers := r.limits.Workers
+				if workers < 1 {
+					workers = 1
+				}
+				fmt.Fprintf(r.out, "budget %d units, deadline %v, workers %d\n", r.limits.Budget, r.deadline, workers)
 			}
 			return nil
 		case "off":
@@ -314,8 +319,16 @@ func (r *repl) dispatch(fields []string) error {
 			r.deadline = d
 			fmt.Fprintf(r.out, "deadline set to %v\n", d)
 			return nil
+		case "workers":
+			n, err := strconv.ParseInt(arg(1), 10, 32)
+			if err != nil || n < 1 || n > 1024 {
+				return fmt.Errorf("usage: limit workers N (an integer in [1, 1024]; results are identical at any setting)")
+			}
+			r.limits.Workers = int(n)
+			fmt.Fprintf(r.out, "worker count set to %d\n", n)
+			return nil
 		default:
-			return fmt.Errorf(`usage: limit [budget N | deadline DUR | off]`)
+			return fmt.Errorf(`usage: limit [budget N | deadline DUR | workers N | off]`)
 		}
 	case "tree":
 		sys, err := r.needSession()

@@ -108,11 +108,44 @@ func TestReplLimitCommand(t *testing.T) {
 
 	var errOut strings.Builder
 	r2 := &repl{out: &strings.Builder{}, errw: &errOut}
-	if err := r2.run(strings.NewReader("limit budget x\nlimit deadline nope\nquit\n")); err != nil {
+	if err := r2.run(strings.NewReader("limit budget x\nlimit deadline nope\nlimit workers 0\nlimit workers many\nquit\n")); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(errOut.String(), "limit budget N") || !strings.Contains(errOut.String(), "limit deadline DUR") {
 		t.Errorf("bad limit arguments not rejected:\n%s", errOut.String())
+	}
+	if strings.Count(errOut.String(), "limit workers N") != 2 {
+		t.Errorf("bad worker counts not rejected:\n%s", errOut.String())
+	}
+}
+
+// TestReplLimitWorkers sets a worker count, checks the status line shows
+// it, and runs a mine under it: the parallel evaluation must produce the
+// same successful outcome as the sequential default.
+func TestReplLimitWorkers(t *testing.T) {
+	var out, errw strings.Builder
+	r := &repl{out: &out, errw: &errw}
+	script := strings.Join([]string{
+		"gen",
+		"limit workers 4",
+		"limit",
+		"mine brain",
+		"quit",
+	}, "\n") + "\n"
+	if err := r.run(strings.NewReader(script)); err != nil {
+		t.Fatalf("repl exited with error: %v", err)
+	}
+	if errw.Len() > 0 {
+		t.Fatalf("workers script errors:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "worker count set to 4") {
+		t.Errorf("limit workers did not confirm:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "workers 4") {
+		t.Errorf("limit status does not show the worker count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pure cancerous fascicle:") {
+		t.Errorf("mine under workers 4 did not succeed:\n%s", out.String())
 	}
 }
 

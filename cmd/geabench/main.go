@@ -14,6 +14,8 @@
 //	geabench -exp baselines           one-step clusterers vs fascicles
 //	geabench -exp cleaning-ablation   mining raw vs cleaned data
 //	geabench -exp scaling             operator complexity (Section 3.3.1)
+//	geabench -exp perf -workers 8     sharded evaluation vs sequential
+//	geabench -json                    record perf cells to BENCH_<n>.json
 //	geabench -full                    use the 100-library full-scale corpus
 package main
 
@@ -44,7 +46,13 @@ type env struct {
 	kpct     int
 	topX     int
 	deadline time.Duration
+	workers  int
+	jsonOut  bool
+	benchNum int
 	system   *gea.System // lazily built
+
+	// bench collects the perf experiment's cells for -json.
+	bench []benchRecord
 
 	// Bounded-execution accounting for the -deadline flag.
 	deadlineHits int
@@ -61,6 +69,7 @@ func (e *env) sys() (*gea.System, error) {
 	}
 	sys, err := gea.NewSystem(e.res.Corpus, gea.SystemOptions{
 		User: "geabench", Catalog: e.res.Catalog, GeneDBSeed: e.seed,
+		Workers: e.workers,
 	})
 	if err != nil {
 		return nil, err
@@ -76,6 +85,9 @@ func main() {
 	kpct := flag.Int("kpct", 55, "compact-attribute percentage for fascicle mining")
 	topX := flag.Int("top", 10, "top gaps to display")
 	deadline := flag.Duration("deadline", 0, "wall-time bound per governed operator (0 = unlimited); expired operators stop gracefully")
+	workers := flag.Int("workers", 1, "worker count for sharded operator evaluation (results are identical at any setting)")
+	jsonOut := flag.Bool("json", false, "write the perf experiment's records to BENCH_<n>.json")
+	benchNum := flag.Int("benchnum", 0, "pin the BENCH_<n>.json slot written by -json (0 = first unused)")
 	flag.Parse()
 
 	exps := []experiment{
@@ -95,6 +107,7 @@ func main() {
 		{"cleaning-ablation", "fascicle purity on raw vs cleaned data", expCleaningAblation},
 		{"scaling", "operator complexity (Section 3.3.1)", expScaling},
 		{"seeds", "robustness: pipeline outcome across generator seeds", expSeeds},
+		{"perf", "sharded evaluation: sequential vs -workers N", expPerf},
 	}
 
 	if *expName == "list" {
@@ -114,7 +127,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "geabench:", err)
 		os.Exit(1)
 	}
-	e := &env{cfg: cfg, res: res, full: *full, seed: *seed, kpct: *kpct, topX: *topX, deadline: *deadline}
+	e := &env{cfg: cfg, res: res, full: *full, seed: *seed, kpct: *kpct, topX: *topX,
+		deadline: *deadline, workers: *workers, jsonOut: *jsonOut, benchNum: *benchNum}
 
 	ran := 0
 	for _, ex := range exps {
@@ -146,6 +160,12 @@ func main() {
 	if *deadline > 0 {
 		fmt.Printf("deadline report: %d experiment(s) stopped at the %v deadline, %d partial result(s) accepted\n",
 			e.deadlineHits, *deadline, e.partials)
+	}
+	if *jsonOut && len(e.bench) > 0 {
+		if err := writeBenchJSON(e); err != nil {
+			fmt.Fprintln(os.Stderr, "geabench: writing benchmark records:", err)
+			os.Exit(1)
+		}
 	}
 }
 

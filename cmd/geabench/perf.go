@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"gea"
+)
+
+// This file implements the "perf" experiment and the -json benchmark
+// record: the first datapoints of the repo's performance trajectory, as
+// sequential-vs-sharded measurements of the core operators (see
+// internal/exec/shard). Each record is one (operator, worker count) cell;
+// -json persists the run to BENCH_<n>.json so successive PRs can compare.
+
+// benchRecord is one measured cell of the perf experiment.
+type benchRecord struct {
+	// Op names the operator benchmarked (e.g. "populate", "diff").
+	Op string `json:"op"`
+	// Workers is the exec.Limits.Workers setting of this cell.
+	Workers int `json:"workers"`
+	// WallNS is the best-of-reps wall time in nanoseconds; Wall is the
+	// same value rendered for humans.
+	WallNS int64  `json:"wall_ns"`
+	Wall   string `json:"wall"`
+	// Units is the exec work charged by one run (identical at any worker
+	// count — the shard substrate splits the budget, it does not change
+	// what is charged).
+	Units int64 `json:"units"`
+	// Reps is how many timed repetitions the best was taken over.
+	Reps int `json:"reps"`
+}
+
+// benchFile is the BENCH_<n>.json document. NumCPU and GoMaxProcs pin the
+// hardware context: a parallel cell can only beat its sequential baseline
+// when the recording machine actually has spare cores, so the trajectory
+// is meaningless without them.
+type benchFile struct {
+	Bench      int           `json:"bench"`
+	Corpus     string        `json:"corpus"`
+	Seed       int64         `json:"seed"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Records    []benchRecord `json:"records"`
+}
+
+// writeBenchJSON persists the collected records to BENCH_<n>.json. A
+// positive -benchnum pins n; otherwise the first unused slot is taken, so
+// successive recorded runs accumulate a trajectory instead of overwriting.
+func writeBenchJSON(e *env) error {
+	n := e.benchNum
+	if n <= 0 {
+		for n = 1; ; n++ {
+			if _, err := os.Stat(benchName(n)); os.IsNotExist(err) {
+				break
+			}
+		}
+	}
+	corpus := "small"
+	if e.full {
+		corpus = "full"
+	}
+	doc := benchFile{Bench: n, Corpus: corpus, Seed: e.seed,
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), Records: e.bench}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(benchName(n), buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark records written to %s\n", benchName(n))
+	return nil
+}
+
+func benchName(n int) string { return fmt.Sprintf("BENCH_%d.json", n) }
+
+// timeBest runs f reps times and returns the smallest wall time: the
+// measurement least disturbed by scheduling noise.
+func timeBest(reps int, f func() error) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// expPerf measures populate(), diff() and aggregate() sequentially and at
+// the -workers setting, asserts the outputs are identical, and records the
+// cells for -json. The sequential baseline always runs so every recorded
+// run carries its own reference point.
+func expPerf(e *env) error {
+	sys, err := e.sys()
+	if err != nil {
+		return err
+	}
+	d := sys.Data
+	workers := e.workers
+	if workers < 1 {
+		workers = 1
+	}
+	counts := []int{1}
+	if workers > 1 {
+		counts = append(counts, workers)
+	}
+	reps := 5
+	if e.full {
+		reps = 3
+	}
+
+	// One SUMY over the whole corpus drives all three operators: populate
+	// verifies every library against every tag range, diff walks every
+	// tag, aggregate summarizes every tag.
+	rows := make([]int, d.NumLibraries())
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := make([]int, d.NumTags())
+	for j := range cols {
+		cols[j] = j
+	}
+	enum, err := gea.NewEnum("perf", d, rows, cols)
+	if err != nil {
+		return err
+	}
+	sumy, err := gea.Aggregate("perfSumy", enum, gea.AggregateOptions{})
+	if err != nil {
+		return err
+	}
+	// A second SUMY over half the libraries gives diff() two distinct
+	// operands.
+	halfEnum, err := gea.NewEnum("perfHalf", d, rows[:(len(rows)+1)/2], cols)
+	if err != nil {
+		return err
+	}
+	halfSumy, err := gea.Aggregate("perfHalfSumy", halfEnum, gea.AggregateOptions{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sharded evaluation, best of %d (workers from -workers):\n", reps)
+	if workers > 1 && runtime.NumCPU() == 1 {
+		fmt.Println("note: this machine exposes a single CPU; parallel cells measure")
+		fmt.Println("the substrate's overhead, not a speedup")
+	}
+	rule()
+	fmt.Println("operator     workers   wall         units    vs seq")
+
+	type opSpec struct {
+		name string
+		run  func(w int) (interface{}, gea.ExecTrace, error)
+	}
+	ops := []opSpec{
+		{"populate", func(w int) (interface{}, gea.ExecTrace, error) {
+			en, _, tr, err := gea.PopulateCtx(context.Background(), "perfPop", sumy, d, nil,
+				gea.PopulateOptions{SimulateRowFetch: true}, gea.ExecLimits{Workers: w})
+			return en, tr, err
+		}},
+		{"diff", func(w int) (interface{}, gea.ExecTrace, error) {
+			g, tr, err := gea.DiffCtx(context.Background(), "perfGap", sumy, halfSumy, gea.ExecLimits{Workers: w})
+			return g, tr, err
+		}},
+		{"aggregate", func(w int) (interface{}, gea.ExecTrace, error) {
+			s, tr, err := gea.AggregateCtx(context.Background(), "perfAgg", enum,
+				gea.AggregateOptions{}, gea.ExecLimits{Workers: w})
+			return s, tr, err
+		}},
+	}
+
+	for _, op := range ops {
+		var seqNS int64
+		var seqOut interface{}
+		for _, w := range counts {
+			out, tr, err := op.run(w)
+			if err != nil {
+				return fmt.Errorf("%s at %d workers: %v", op.name, w, err)
+			}
+			if w == 1 {
+				seqOut = out
+			} else if !reflect.DeepEqual(stripName(seqOut), stripName(out)) {
+				return fmt.Errorf("%s at %d workers diverged from the sequential result", op.name, w)
+			}
+			best, err := timeBest(reps, func() error {
+				_, _, err := op.run(w)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			rec := benchRecord{Op: op.name, Workers: w, WallNS: best.Nanoseconds(),
+				Wall: best.String(), Units: tr.Units, Reps: reps}
+			e.bench = append(e.bench, rec)
+			vs := "(baseline)"
+			if w == 1 {
+				seqNS = rec.WallNS
+			} else if rec.WallNS > 0 {
+				vs = fmt.Sprintf("%.2fx", float64(seqNS)/float64(rec.WallNS))
+			}
+			fmt.Printf("%-12s %7d   %-12v %6d    %s\n", op.name, w, best.Round(time.Microsecond), rec.Units, vs)
+		}
+	}
+	if workers == 1 {
+		fmt.Println("(sequential only; rerun with -workers N for the parallel cells)")
+	}
+	return nil
+}
+
+// stripName zeroes the result's Name field so the identity check compares
+// the computed content, not the label both runs were created under.
+func stripName(v interface{}) interface{} {
+	switch t := v.(type) {
+	case *gea.Enum:
+		cp := *t
+		cp.Name = ""
+		return &cp
+	case *gea.Gap:
+		cp := *t
+		cp.Name = ""
+		return &cp
+	case *gea.Sumy:
+		cp := *t
+		cp.Name = ""
+		return &cp
+	default:
+		return v
+	}
+}

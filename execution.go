@@ -17,7 +17,10 @@ import (
 // session.
 type (
 	// ExecLimits bound a single operator call: Budget caps total work
-	// units (0 = unlimited), CheckEvery sets the checkpoint cadence.
+	// units (0 = unlimited), CheckEvery sets the checkpoint cadence, and
+	// Workers sets the intra-operator worker count for sharded scans
+	// (<= 0 means 1; results are bit-identical at any setting, including
+	// the partial prefix produced by a budget stop).
 	ExecLimits = exec.Limits
 	// ExecTrace reports what a governed call did: units charged,
 	// checkpoints passed, and whether the result is partial.

@@ -10,10 +10,19 @@
 // Only outermost loops are checked: an inner loop is covered by the
 // charge its enclosing loop makes per iteration (charging at the finest
 // granularity is a per-operator tuning decision, not a contract).
+//
+// Shard kernels — function literals that receive their own *exec.Ctl,
+// the shape shard.For dispatches onto worker-sliced budgets — are
+// independent metered scopes: their loops must charge their own Ctl,
+// and they are checked wherever the literal appears, even inside a
+// function that threads no Ctl itself. Conversely the enclosing scan
+// never looks inside a kernel, so a kernel's internal charges cannot
+// masquerade as the checkpoint of an outer loop that merely defines it.
 package ctlcharge
 
 import (
 	"go/ast"
+	"go/types"
 
 	"gea/internal/analysis"
 )
@@ -33,13 +42,37 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			sig := analysis.FuncType(pass.TypesInfo, fn)
-			if sig == nil || analysis.CtlParam(sig) == nil {
-				continue
+			if sig != nil && analysis.CtlParam(sig) != nil {
+				checkLoops(pass, fn.Body, false)
 			}
-			checkLoops(pass, fn.Body, false)
+			// Every shard kernel in the function is its own metered
+			// scope, whether or not the enclosing function threads a
+			// Ctl. checkLoops and checkpoints skip kernel literals, so
+			// this inspection is the one place each kernel is checked.
+			ast.Inspect(fn.Body, func(node ast.Node) bool {
+				if lit, ok := node.(*ast.FuncLit); ok && isKernel(pass, lit) {
+					checkLoops(pass, lit.Body, false)
+				}
+				return true
+			})
 		}
 	}
 	return nil
+}
+
+// isKernel reports whether the function literal receives its own
+// *exec.Ctl — the shard-kernel shape, making it an independent metered
+// scope.
+func isKernel(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	return analysis.CtlParam(sig) != nil
 }
 
 // checkLoops reports outermost loops without a checkpoint. enclosed is
@@ -53,6 +86,9 @@ func checkLoops(pass *analysis.Pass, n ast.Node, enclosed bool) {
 			body = l.Body
 		case *ast.RangeStmt:
 			body = l.Body
+		case *ast.FuncLit:
+			// A shard kernel is its own scope, checked independently.
+			return !isKernel(pass, l)
 		default:
 			return true
 		}
@@ -71,6 +107,11 @@ func checkpoints(pass *analysis.Pass, n ast.Node) bool {
 	found := false
 	ast.Inspect(n, func(node ast.Node) bool {
 		if found {
+			return false
+		}
+		if lit, ok := node.(*ast.FuncLit); ok && isKernel(pass, lit) {
+			// A kernel's internal charges belong to its own sliced Ctl;
+			// defining one does not checkpoint the enclosing loop.
 			return false
 		}
 		call, ok := node.(*ast.CallExpr)

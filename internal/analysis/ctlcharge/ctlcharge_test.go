@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtlcharge(t *testing.T) {
-	antest.Run(t, antest.SharedTestData(t), ctlcharge.Analyzer, "ctlchargebad", "ctlchargegood")
+	antest.Run(t, antest.SharedTestData(t), ctlcharge.Analyzer, "ctlchargebad", "ctlchargegood", "shardbad", "shardgood")
 }

@@ -16,6 +16,7 @@ var ErrBudget = errors.New("exec: work budget exhausted")
 type Limits struct {
 	Budget     int64
 	CheckEvery int64
+	Workers    int
 }
 
 type Trace struct {
@@ -45,3 +46,11 @@ func IsBudget(err error) bool { return errors.Is(err, ErrBudget) }
 func IsCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
+
+func (c *Ctl) Workers() int { return 1 }
+
+func (c *Ctl) Split(n int) []*Ctl { return make([]*Ctl, n) }
+
+func (c *Ctl) SplitWork(counts []int64) []*Ctl { return make([]*Ctl, len(counts)) }
+
+func (c *Ctl) Merge(kids ...*Ctl) {}

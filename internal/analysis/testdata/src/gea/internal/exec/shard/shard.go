@@ -1,0 +1,25 @@
+// Package shard is the testdata stub of GEA's parallel evaluation
+// substrate: just enough surface (Kernel, For, ForN) for the analyzer
+// corpora to typecheck kernel-shaped function literals. As with the
+// exec stub, the analyzers match by import-path suffix, so this stub is
+// indistinguishable from the real package to them.
+package shard
+
+import "gea/internal/exec"
+
+type Kernel func(c *exec.Ctl, shard, lo, hi int) (done int, err error)
+
+func For(c *exec.Ctl, work, grain int, kernel Kernel) (int, bool, error) {
+	return ForN(c, 0, work, grain, kernel)
+}
+
+func ForN(c *exec.Ctl, workers, work, grain int, kernel Kernel) (int, bool, error) {
+	done, err := kernel(c, 0, 0, work)
+	if err != nil {
+		if exec.IsBudget(err) {
+			return done, true, nil
+		}
+		return 0, false, err
+	}
+	return done, false, nil
+}

@@ -1,0 +1,50 @@
+// Bad corpus for the ctlcharge shard-kernel rule: kernels whose loops
+// never charge their sliced Ctl, and outer loops that try to borrow a
+// kernel's internal charge.
+package shardbad
+
+import (
+	"gea/internal/exec"
+	"gea/internal/exec/shard"
+)
+
+// UnchargedKernel receives a sliced Ctl but scans without a single
+// checkpoint: a budget can never stop this shard mid-range.
+func UnchargedKernel(rows []int) shard.Kernel {
+	return func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ { // want `loop does not checkpoint`
+			_ = rows[i]
+		}
+		return hi - lo, nil
+	}
+}
+
+// UnchargedInline is the same defect at a dispatch site: the enclosing
+// function passes the Ctl onward, but the kernel itself never charges.
+func UnchargedInline(c *exec.Ctl, rows []int) error {
+	_, _, err := shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ { // want `loop does not checkpoint`
+			_ = rows[i]
+		}
+		return hi - lo, nil
+	})
+	return err
+}
+
+// BorrowedCharge defines a (correctly charging) kernel inside its loop
+// but never dispatches it with the Ctl: the kernel's internal Point
+// belongs to the kernel's own scope, so the outer loop is uncharged.
+func BorrowedCharge(c *exec.Ctl, rows []int) []shard.Kernel {
+	var kernels []shard.Kernel
+	for range rows { // want `loop does not checkpoint`
+		kernels = append(kernels, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			for i := lo; i < hi; i++ {
+				if err := c.Point(1); err != nil {
+					return i - lo, err
+				}
+			}
+			return hi - lo, nil
+		})
+	}
+	return kernels
+}

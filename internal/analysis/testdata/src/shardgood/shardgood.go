@@ -1,0 +1,64 @@
+// Good corpus for the ctlcharge shard-kernel rule: kernels charge
+// their own sliced Ctl, enclosing loops charge through the call that
+// passes the Ctl onward, and none of it needs a suppression.
+package shardgood
+
+import (
+	"gea/internal/exec"
+	"gea/internal/exec/shard"
+)
+
+// ScanWith evaluates through the shard substrate: the enclosing
+// function charges nothing itself — passing the Ctl to shard.For hands
+// the metering to the kernel, whose loop charges one unit per item on
+// its own sliced Ctl.
+func ScanWith(c *exec.Ctl, rows []int) ([]int, bool, error) {
+	out := make([]int, len(rows))
+	prefix, partial, err := shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			out[i] = rows[i] * rows[i]
+		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return out[:prefix], partial, nil
+}
+
+// KernelInPlainFunc builds a kernel inside a function that threads no
+// Ctl at all; the kernel is still a metered scope and passes because
+// its loop charges.
+func KernelInPlainFunc(rows []int) shard.Kernel {
+	return func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			_ = rows[i]
+		}
+		return hi - lo, nil
+	}
+}
+
+// RoundsWith dispatches a shard scan per round: the outer loop
+// checkpoints by passing the Ctl into shard.For each iteration.
+func RoundsWith(c *exec.Ctl, rows []int, rounds int) (bool, error) {
+	for r := 0; r < rounds; r++ {
+		_, partial, err := shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			for i := lo; i < hi; i++ {
+				if err := c.Point(1); err != nil {
+					return i - lo, err
+				}
+			}
+			return hi - lo, nil
+		})
+		if partial || err != nil {
+			return partial, err
+		}
+	}
+	return false, nil
+}

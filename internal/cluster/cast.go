@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 )
 
 // CASTConfig configures the Cluster Affinity Search Technique of Ben-Dor,
@@ -86,22 +87,34 @@ func CASTWith(c *exec.Ctl, rows [][]float64, cfg CASTConfig) ([]int, bool, error
 		am[i] = make([]float64, n)
 		am[i][i] = 1
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
+	// The affinity pairs are independent, so the matrix fills through
+	// the shard substrate over a flattened pair index; each pair writes
+	// only its own two mirrored cells. The affinity function must be a
+	// pure function of its two vectors.
+	pi, pj := trianglePairs(n)
+	_, affPartial, err := shard.For(c, len(pi), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for p := lo; p < hi; p++ {
 			if err := c.Point(1); err != nil {
-				if exec.IsBudget(err) {
-					all := make([]int, n)
-					for i := range all {
-						all[i] = -1
-					}
-					return all, true, nil
-				}
-				return nil, false, err
+				return p - lo, err
 			}
+			i, j := pi[p], pj[p]
 			a := aff(rows[i], rows[j])
 			am[i][j] = a
 			am[j][i] = a
 		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if affPartial {
+		// No labels can be assigned from a half-computed matrix.
+		all := make([]int, n)
+		//lint:gea ctlcharge -- constant fill of the flagged partial result after the budget already stopped the run
+		for i := range all {
+			all[i] = -1
+		}
+		return all, true, nil
 	}
 
 	labels := make([]int, n)

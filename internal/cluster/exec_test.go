@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -186,4 +187,173 @@ func TestCASTPartialNeverLies(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestShardEquivHierarchical drives the agglomeration through the full
+// sharded-equivalence suite: merges are appended only after a round's
+// candidate scan completes, so the flagged partial dendrogram is always
+// a strict prefix of the full merge list.
+func TestShardEquivHierarchical(t *testing.T) {
+	rows := walkRows()
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "Hierarchical",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			dg, tr, err := HierarchicalCtx(ctx, rows, EuclideanDistance, AverageLinkage, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			out := make([]string, len(dg.Merges))
+			for i, m := range dg.Merges {
+				out[i] = fmt.Sprintf("%d+%d@%x", m.A, m.B, m.Distance)
+			}
+			return out, tr, nil
+		},
+	})
+}
+
+// TestShardEquivOPTICS drives the ordering through the full suite: a
+// budget stop in the matrix phase yields an empty ordering, one in the
+// (sequential, deterministic) ordering phase a strict prefix of it.
+func TestShardEquivOPTICS(t *testing.T) {
+	rows := walkRows()
+	cfg := OPTICSConfig{Eps: math.Inf(1), MinPts: 2, Dist: EuclideanDistance}
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "OPTICS",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			order, tr, err := OPTICSCtx(ctx, rows, cfg, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			out := make([]string, len(order))
+			for i, p := range order {
+				out[i] = fmt.Sprintf("%d r=%x c=%x", p.Index, p.Reachability, p.CoreDistance)
+			}
+			return out, tr, nil
+		},
+	})
+}
+
+// assertShardEquivalence asserts the substrate's promise for clusterers
+// whose partial results are not row prefixes (a label exists for every
+// row wherever the budget lands, reflecting the last applied update):
+// bit-identical output and identical charges at every worker count on a
+// full run, and bit-identical flagged output under any fixed budget.
+func assertShardEquivalence(t *testing.T, run func(workers int, lim exec.Limits) ([]string, exec.Trace, error)) {
+	t.Helper()
+	base, baseTr, err := run(1, exec.Limits{})
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	if baseTr.Partial {
+		t.Fatal("baseline run flagged partial without any budget")
+	}
+	if baseTr.Units <= 0 {
+		t.Fatal("operator charged no work units")
+	}
+	for _, w := range []int{2, 8} {
+		rows, tr, err := run(w, exec.Limits{})
+		if err != nil {
+			t.Fatalf("workers %d: %v", w, err)
+		}
+		if tr.Partial {
+			t.Fatalf("workers %d: unbudgeted run flagged partial", w)
+		}
+		if tr.Units != baseTr.Units {
+			t.Fatalf("workers %d: charged %d units, workers 1 charged %d", w, tr.Units, baseTr.Units)
+		}
+		if !slicesEqual(base, rows) {
+			t.Fatalf("workers %d: result differs from workers 1:\n%v\nvs\n%v", w, rows, base)
+		}
+	}
+	for _, b := range []int64{1, baseTr.Units / 3, baseTr.Units / 2, baseTr.Units - 1} {
+		if b < 1 {
+			continue
+		}
+		var want []string
+		for i, w := range []int{1, 2, 8} {
+			rows, tr, err := run(w, exec.Limits{Budget: b})
+			if err != nil {
+				t.Fatalf("budget %d workers %d: %v", b, w, err)
+			}
+			if !tr.Partial {
+				t.Fatalf("budget %d workers %d: truncated run not flagged partial", b, w)
+			}
+			if tr.Units > b {
+				t.Fatalf("budget %d workers %d: charged %d units", b, w, tr.Units)
+			}
+			if i == 0 {
+				want = rows
+			} else if !slicesEqual(want, rows) {
+				t.Fatalf("budget %d: workers %d result differs from workers 1:\n%v\nvs\n%v", b, w, rows, want)
+			}
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShardEquivKMeans(t *testing.T) {
+	rows := walkRows()
+	assertShardEquivalence(t, func(workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+		lim.Workers = workers
+		res, tr, err := KMeansCtx(context.Background(), rows, 2, rand.New(rand.NewSource(3)), 20, lim)
+		if err != nil {
+			return nil, tr, err
+		}
+		out := []string{fmt.Sprintf("labels=%v iters=%d inertia=%x", res.Labels, res.Iters, res.Inertia)}
+		for _, cent := range res.Centroids {
+			line := "cent"
+			for _, v := range cent {
+				line += fmt.Sprintf(" %x", v)
+			}
+			out = append(out, line)
+		}
+		return out, tr, nil
+	})
+}
+
+func TestShardEquivSOM(t *testing.T) {
+	rows := walkRows()
+	cfg := SOMConfig{GridW: 2, GridH: 1, Epochs: 5}
+	assertShardEquivalence(t, func(workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+		lim.Workers = workers
+		res, tr, err := SOMCtx(context.Background(), rows, cfg, rand.New(rand.NewSource(3)), lim)
+		if err != nil {
+			return nil, tr, err
+		}
+		out := []string{fmt.Sprintf("labels=%v", res.Labels)}
+		for _, w := range res.Weights {
+			line := "unit"
+			for _, v := range w {
+				line += fmt.Sprintf(" %x", v)
+			}
+			out = append(out, line)
+		}
+		return out, tr, nil
+	})
+}
+
+func TestShardEquivCAST(t *testing.T) {
+	rows := walkRows()
+	cfg := CASTConfig{T: 0.5}
+	assertShardEquivalence(t, func(workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+		lim.Workers = workers
+		labels, tr, err := CASTCtx(context.Background(), rows, cfg, lim)
+		if err != nil {
+			return nil, tr, err
+		}
+		return []string{fmt.Sprintf("labels=%v", labels)}, tr, nil
+	})
 }

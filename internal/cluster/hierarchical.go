@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 	"gea/internal/stats"
 )
 
@@ -132,18 +133,29 @@ func HierarchicalWith(c *exec.Ctl, rows [][]float64, dist DistanceFunc, linkage 
 	for i := range leafDist {
 		leafDist[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
+	// The leaf-pair distances are independent, so the triangular matrix
+	// fills through the shard substrate over a flattened pair index;
+	// each pair writes only its own two mirrored cells. The distance
+	// function must be a pure function of its two vectors.
+	pi, pj := trianglePairs(n)
+	_, leafPartial, err := shard.For(c, len(pi), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for p := lo; p < hi; p++ {
 			if err := c.Point(1); err != nil {
-				if exec.IsBudget(err) {
-					return &Dendrogram{N: n}, true, nil
-				}
-				return nil, false, err
+				return p - lo, err
 			}
+			i, j := pi[p], pj[p]
 			d := dist(rows[i], rows[j])
 			leafDist[i][j] = d
 			leafDist[j][i] = d
 		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if leafPartial {
+		// A half-computed distance matrix supports no merges at all.
+		return &Dendrogram{N: n}, true, nil
 	}
 
 	clusterDist := func(a, b []int) float64 {
@@ -189,21 +201,35 @@ func HierarchicalWith(c *exec.Ctl, rows [][]float64, dist DistanceFunc, linkage 
 	for i := 0; i < n; i++ {
 		ids = append(ids, i)
 	}
+	dall := make([]float64, n*(n-1)/2)
 	for len(ids) > 1 {
-		bi, bj, best := 0, 1, math.Inf(1)
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
+		// Candidate-pair scan: linkage distances fill per-pair slots in
+		// parallel, then a sequential strict-< argmin keeps the old
+		// loop's first-minimum tie-breaking at any worker count.
+		qi, qj := trianglePairs(len(ids))
+		_, scanPartial, err := shard.For(c, len(qi), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			for p := lo; p < hi; p++ {
 				if err := c.Point(1); err != nil {
-					if exec.IsBudget(err) {
-						return dg, true, nil
-					}
-					return nil, false, err
+					return p - lo, err
 				}
-				d := clusterDist(members[ids[i]], members[ids[j]])
-				if d < best {
-					best = d
-					bi, bj = i, j
-				}
+				dall[p] = clusterDist(members[ids[qi[p]]], members[ids[qj[p]]])
+			}
+			return hi - lo, nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if scanPartial {
+			// The round's scan was cut short: the merges completed so
+			// far are the flagged partial dendrogram.
+			return dg, true, nil
+		}
+		bi, bj, best := 0, 1, math.Inf(1)
+		//lint:gea ctlcharge -- sequential argmin over the already-metered distances; kept serial so tie-breaking is bit-identical at any worker count
+		for p := range qi {
+			if dall[p] < best {
+				best = dall[p]
+				bi, bj = qi[p], qj[p]
 			}
 		}
 		a, b := ids[bi], ids[bj]
@@ -219,6 +245,23 @@ func HierarchicalWith(c *exec.Ctl, rows [][]float64, dist DistanceFunc, linkage 
 		nextID++
 	}
 	return dg, false, nil
+}
+
+// trianglePairs flattens the strict upper triangle of an m×m matrix
+// into parallel (i, j) index slices, in the row-major order the old
+// sequential double loops visited, so sharded scans keep their
+// tie-breaking and budget-stop positions.
+func trianglePairs(m int) ([]int, []int) {
+	np := m * (m - 1) / 2
+	pi := make([]int, 0, np)
+	pj := make([]int, 0, np)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			pi = append(pi, i)
+			pj = append(pj, j)
+		}
+	}
+	return pi, pj
 }
 
 // Cut flattens the dendrogram into k clusters by undoing the last k-1

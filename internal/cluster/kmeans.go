@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 )
 
 // KMeansResult holds a k-means clustering.
@@ -90,27 +91,42 @@ func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters i
 		return nil, false, stop
 	}
 
+	next := make([]int, n)
 	for iter := 0; iter < maxIters; iter++ {
+		// Assignment: each row's nearest centroid is independent of every
+		// other row's, so the scan evaluates through the shard substrate
+		// into per-row slots; the argmin keeps the sequential loop's
+		// first-minimum tie-breaking.
+		prefix, asgPartial, err := shard.For(c, n, 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			for i := lo; i < hi; i++ {
+				if err := c.Point(1); err != nil {
+					return i - lo, err
+				}
+				best, bestD := 0, math.Inf(1)
+				for ci := range centroids {
+					d := sqDist(rows[i], centroids[ci])
+					if d < bestD {
+						bestD = d
+						best = ci
+					}
+				}
+				next[i] = best
+			}
+			return hi - lo, nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
 		changed := false
-		for i, r := range rows {
-			if err := c.Point(1); err != nil {
-				if exec.IsBudget(err) {
-					return finish(true)
-				}
-				return nil, false, err
-			}
-			best, bestD := 0, math.Inf(1)
-			for c := range centroids {
-				d := sqDist(r, centroids[c])
-				if d < bestD {
-					bestD = d
-					best = c
-				}
-			}
-			if labels[i] != best {
-				labels[i] = best
+		//lint:gea ctlcharge -- applies the already-metered assignment prefix; every row was charged inside the kernel above
+		for i := 0; i < prefix; i++ {
+			if labels[i] != next[i] {
+				labels[i] = next[i]
 				changed = true
 			}
+		}
+		if asgPartial {
+			return finish(true)
 		}
 		res.Iters = iter + 1
 		// Recompute centroids.
@@ -164,19 +180,37 @@ func kmeansPlusPlusInit(ctl *exec.Ctl, rows [][]float64, k int, rng *rand.Rand) 
 	centroids = append(centroids, append([]float64{}, rows[first]...))
 	d2 := make([]float64, n)
 	for len(centroids) < k {
-		var sum float64
-		for i, r := range rows {
-			if err := ctl.Point(1); err != nil {
-				return centroids, err
-			}
-			best := math.Inf(1)
-			for _, c := range centroids {
-				if d := sqDist(r, c); d < best {
-					best = d
+		// The per-row distances are embarrassingly parallel; the weighted
+		// sum that seeds the next pick stays sequential so its floating-
+		// point rounding — and therefore the chosen seed — is identical
+		// at any worker count.
+		_, partial, err := shard.For(ctl, n, 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			for i := lo; i < hi; i++ {
+				if err := c.Point(1); err != nil {
+					return i - lo, err
 				}
+				best := math.Inf(1)
+				for _, cent := range centroids {
+					if d := sqDist(rows[i], cent); d < best {
+						best = d
+					}
+				}
+				d2[i] = best
 			}
-			d2[i] = best
-			sum += best
+			return hi - lo, nil
+		})
+		if err != nil {
+			return centroids, err
+		}
+		if partial {
+			// The round was cut short; the caller pads the seeds already
+			// chosen into a flagged partial result.
+			return centroids, ctl.Err()
+		}
+		var sum float64
+		//lint:gea ctlcharge -- sequential reduction over the already-metered distances; kept serial so seeding is bit-identical at any worker count
+		for _, d := range d2 {
+			sum += d
 		}
 		var pick int
 		if sum == 0 {

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 )
 
 // OPTICSConfig configures an OPTICS run (Ankerst, Breunig, Kriegel, Sander;
@@ -81,18 +82,29 @@ func OPTICSWith(c *exec.Ctl, rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint,
 	for i := range dm {
 		dm[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
+	// The distance pairs are independent, so the matrix fills through
+	// the shard substrate over a flattened pair index; each pair writes
+	// only its own two mirrored cells. The distance function must be a
+	// pure function of its two vectors.
+	pi, pj := trianglePairs(n)
+	_, dmPartial, err := shard.For(c, len(pi), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for p := lo; p < hi; p++ {
 			if err := c.Point(1); err != nil {
-				if exec.IsBudget(err) {
-					return nil, true, nil
-				}
-				return nil, false, err
+				return p - lo, err
 			}
+			i, j := pi[p], pj[p]
 			d := dist(rows[i], rows[j])
 			dm[i][j] = d
 			dm[j][i] = d
 		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if dmPartial {
+		// No ordering can be produced from a half-computed matrix.
+		return nil, true, nil
 	}
 
 	coreDist := func(i int) float64 {

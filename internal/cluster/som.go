@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 )
 
 // SOMConfig configures a self-organizing map run.
@@ -102,10 +103,23 @@ func SOMWith(c *exec.Ctl, rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOM
 	}
 
 	finish := func(partial bool) (*SOMResult, bool, error) {
+		// The closing labeling pass runs on a fresh unbudgeted Ctl that
+		// inherits only the worker count: it must complete even after a
+		// budget stop (a charge on c would re-trip the exhausted budget),
+		// and each row's best-matching unit is independent, so it shards.
+		lc := exec.New(context.Background(), exec.Limits{Workers: c.Workers()})
 		labels := make([]int, n)
-		//lint:gea ctlcharge -- labels the trained map once at the end; it also runs after a budget stop, where a charge would re-trip the exhausted budget
-		for i, r := range rows {
-			labels[i] = bestMatchingUnit(r, weights)
+		_, _, err := shard.For(lc, n, 0, func(lc *exec.Ctl, _, lo, hi int) (int, error) {
+			for i := lo; i < hi; i++ {
+				if err := lc.Point(1); err != nil {
+					return i - lo, err
+				}
+				labels[i] = bestMatchingUnit(rows[i], weights)
+			}
+			return hi - lo, nil
+		})
+		if err != nil {
+			return nil, false, err
 		}
 		return &SOMResult{Config: cfg, Weights: weights, Labels: labels}, partial, nil
 	}

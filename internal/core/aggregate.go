@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 	"gea/internal/interval"
 	"gea/internal/stats"
 )
@@ -43,7 +44,10 @@ func AggregateCtx(ctx context.Context, name string, e *Enum, opts AggregateOptio
 }
 
 // AggregateWith is the metered implementation; one work unit is one tag
-// column aggregated.
+// column aggregated. Columns evaluate through the shard substrate —
+// each worker aggregates a contiguous column range into its own slots
+// with its own scratch buffer, so the SUMY is bit-identical at any
+// worker count.
 func AggregateWith(c *exec.Ctl, name string, e *Enum, opts AggregateOptions) (*Sumy, bool, error) {
 	if e.Size() == 0 {
 		return nil, false, fmt.Errorf("core: aggregate %s: enum %s has no libraries", name, e.Name)
@@ -52,45 +56,48 @@ func AggregateWith(c *exec.Ctl, name string, e *Enum, opts AggregateOptions) (*S
 	if opts.WithMedian {
 		extraCols = []string{"median"}
 	}
-	rows := make([]SumyRow, 0, e.NumTags())
-	vals := make([]float64, e.Size())
-	for j := 0; j < e.NumTags(); j++ {
-		if err := c.Point(1); err != nil {
-			if exec.IsBudget(err) {
-				return NewSumy(name, rows, extraCols), true, nil
+	out := make([]SumyRow, e.NumTags())
+	prefix, partial, err := shard.For(c, e.NumTags(), 0, func(c *exec.Ctl, _, klo, khi int) (int, error) {
+		vals := make([]float64, e.Size())
+		for j := klo; j < khi; j++ {
+			if err := c.Point(1); err != nil {
+				return j - klo, err
 			}
-			return nil, false, err
-		}
-		col := e.Cols[j]
-		lo := e.Data.Expr[e.Rows[0]][col]
-		hi := lo
-		for i, r := range e.Rows {
-			v := e.Data.Expr[r][col]
-			vals[i] = v
-			if v < lo {
-				lo = v
+			col := e.Cols[j]
+			lo := e.Data.Expr[e.Rows[0]][col]
+			hi := lo
+			for i, r := range e.Rows {
+				v := e.Data.Expr[r][col]
+				vals[i] = v
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
 			}
-			if v > hi {
-				hi = v
+			mean, std := stats.MeanStd(vals)
+			row := SumyRow{
+				Tag:   e.Data.Tags[col],
+				Range: interval.Interval{Min: lo, Max: hi},
+				Mean:  mean,
+				Std:   std,
 			}
-		}
-		mean, std := stats.MeanStd(vals)
-		row := SumyRow{
-			Tag:   e.Data.Tags[col],
-			Range: interval.Interval{Min: lo, Max: hi},
-			Mean:  mean,
-			Std:   std,
-		}
-		if opts.WithMedian {
-			med, err := stats.Median(vals)
-			if err != nil {
-				return nil, false, err
+			if opts.WithMedian {
+				med, err := stats.Median(vals)
+				if err != nil {
+					return j - klo, err
+				}
+				row.Extra = map[string]float64{"median": med}
 			}
-			row.Extra = map[string]float64{"median": med}
+			out[j] = row
 		}
-		rows = append(rows, row)
+		return khi - klo, nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
-	return NewSumy(name, rows, extraCols), false, nil
+	return NewSumy(name, out[:prefix], extraCols), partial, nil
 }
 
 // SumyPredicate decides whether a SUMY row qualifies for selection.
@@ -98,14 +105,54 @@ type SumyPredicate func(SumyRow) bool
 
 // SelectSumy applies relational selection to a SUMY table, producing another
 // SUMY table (Section 3.2.3).
-func SelectSumy(name string, s *Sumy, pred SumyPredicate) *Sumy {
+func SelectSumy(name string, s *Sumy, pred SumyPredicate) (*Sumy, error) {
+	out, _, err := SelectSumyWith(exec.Background(), name, s, pred)
+	return out, err
+}
+
+// SelectSumyCtx is SelectSumy under execution governance; on budget
+// exhaustion the rows tested so far form a flagged partial SUMY.
+func SelectSumyCtx(ctx context.Context, name string, s *Sumy, pred SumyPredicate, lim exec.Limits) (*Sumy, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var out *Sumy
+	var partial bool
+	err := exec.Guard("core.SelectSumy", name, func() error {
+		var err error
+		out, partial, err = SelectSumyWith(c, name, s, pred)
+		return err
+	})
+	if err != nil {
+		out = nil
+	}
+	return out, c.Snapshot(partial), err
+}
+
+// SelectSumyWith is the metered implementation; one work unit is one
+// row tested. The predicate must be a pure function of its row: the
+// scan evaluates through the shard substrate, which may call it from
+// several goroutines.
+func SelectSumyWith(c *exec.Ctl, name string, s *Sumy, pred SumyPredicate) (*Sumy, bool, error) {
+	keep := make([]bool, len(s.Rows))
+	prefix, partial, err := shard.For(c, len(s.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			keep[i] = pred(s.Rows[i])
+		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
 	var rows []SumyRow
-	for _, r := range s.Rows {
-		if pred(r) {
-			rows = append(rows, r)
+	//lint:gea ctlcharge -- compaction of the already-metered shard prefix; every row was charged inside the kernel above
+	for i := 0; i < prefix; i++ {
+		if keep[i] {
+			rows = append(rows, s.Rows[i])
 		}
 	}
-	return NewSumy(name, rows, s.ExtraCols)
+	return NewSumy(name, rows, s.ExtraCols), partial, nil
 }
 
 // RangeRelation returns a predicate that holds when the row's range stands
@@ -123,68 +170,221 @@ func RangeAnyOverlap(query interval.Interval) SumyPredicate {
 
 // ProjectSumy drops extra aggregate columns, keeping only the named ones
 // (the standard projection operator on SUMY tables).
-func ProjectSumy(name string, s *Sumy, keep ...string) *Sumy {
+func ProjectSumy(name string, s *Sumy, keep ...string) (*Sumy, error) {
+	out, _, err := ProjectSumyWith(exec.Background(), name, s, keep)
+	return out, err
+}
+
+// ProjectSumyCtx is ProjectSumy under execution governance; on budget
+// exhaustion the rows projected so far form a flagged partial SUMY.
+func ProjectSumyCtx(ctx context.Context, name string, s *Sumy, keep []string, lim exec.Limits) (*Sumy, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var out *Sumy
+	var partial bool
+	err := exec.Guard("core.ProjectSumy", name, func() error {
+		var err error
+		out, partial, err = ProjectSumyWith(c, name, s, keep)
+		return err
+	})
+	if err != nil {
+		out = nil
+	}
+	return out, c.Snapshot(partial), err
+}
+
+// ProjectSumyWith is the metered implementation; one work unit is one
+// row projected.
+func ProjectSumyWith(c *exec.Ctl, name string, s *Sumy, keep []string) (*Sumy, bool, error) {
 	keepSet := make(map[string]bool, len(keep))
+	//lint:gea ctlcharge -- O(|keep|) setup over the caller's column list; the per-row projection is metered below
 	for _, k := range keep {
 		keepSet[k] = true
 	}
 	var cols []string
-	for _, c := range s.ExtraCols {
-		if keepSet[c] {
-			cols = append(cols, c)
+	//lint:gea ctlcharge -- O(|extra columns|) setup; the per-row projection is metered below
+	for _, col := range s.ExtraCols {
+		if keepSet[col] {
+			cols = append(cols, col)
 		}
 	}
-	rows := make([]SumyRow, len(s.Rows))
-	for i, r := range s.Rows {
-		nr := r
-		if len(cols) == 0 {
-			nr.Extra = nil
-		} else {
-			nr.Extra = make(map[string]float64, len(cols))
-			for _, c := range cols {
-				if v, ok := r.Extra[c]; ok {
-					nr.Extra[c] = v
+	out := make([]SumyRow, len(s.Rows))
+	prefix, partial, err := shard.For(c, len(s.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			nr := s.Rows[i]
+			if len(cols) == 0 {
+				nr.Extra = nil
+			} else {
+				nr.Extra = make(map[string]float64, len(cols))
+				for _, col := range cols {
+					if v, ok := s.Rows[i].Extra[col]; ok {
+						nr.Extra[col] = v
+					}
 				}
 			}
+			out[i] = nr
 		}
-		rows[i] = nr
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
-	return NewSumy(name, rows, cols)
+	return NewSumy(name, out[:prefix], cols), partial, nil
 }
 
 // MinusSumy extracts the tags appearing in a but missing in b (tag-level set
 // minus, Section 3.2.3).
-func MinusSumy(name string, a, b *Sumy) *Sumy {
-	var rows []SumyRow
-	for _, r := range a.Rows {
-		if _, ok := b.Row(r.Tag); !ok {
-			rows = append(rows, r)
-		}
+func MinusSumy(name string, a, b *Sumy) (*Sumy, error) {
+	out, _, err := MinusSumyWith(exec.Background(), name, a, b)
+	return out, err
+}
+
+// MinusSumyCtx is MinusSumy under execution governance; on budget
+// exhaustion the tags examined so far form a flagged partial SUMY.
+func MinusSumyCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits) (*Sumy, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var out *Sumy
+	var partial bool
+	err := exec.Guard("core.MinusSumy", name, func() error {
+		var err error
+		out, partial, err = MinusSumyWith(c, name, a, b)
+		return err
+	})
+	if err != nil {
+		out = nil
 	}
-	return NewSumy(name, rows, a.ExtraCols)
+	return out, c.Snapshot(partial), err
+}
+
+// MinusSumyWith is the metered implementation; one work unit is one tag
+// of a probed against b.
+func MinusSumyWith(c *exec.Ctl, name string, a, b *Sumy) (*Sumy, bool, error) {
+	return sumySetScan(c, name, a, func(r SumyRow) bool {
+		_, ok := b.Row(r.Tag)
+		return !ok
+	})
 }
 
 // IntersectSumy keeps the tags of a that also appear in b, with a's
 // aggregates.
-func IntersectSumy(name string, a, b *Sumy) *Sumy {
-	var rows []SumyRow
-	for _, r := range a.Rows {
-		if _, ok := b.Row(r.Tag); ok {
-			rows = append(rows, r)
-		}
+func IntersectSumy(name string, a, b *Sumy) (*Sumy, error) {
+	out, _, err := IntersectSumyWith(exec.Background(), name, a, b)
+	return out, err
+}
+
+// IntersectSumyCtx is IntersectSumy under execution governance; on
+// budget exhaustion the tags examined so far form a flagged partial
+// SUMY.
+func IntersectSumyCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits) (*Sumy, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var out *Sumy
+	var partial bool
+	err := exec.Guard("core.IntersectSumy", name, func() error {
+		var err error
+		out, partial, err = IntersectSumyWith(c, name, a, b)
+		return err
+	})
+	if err != nil {
+		out = nil
 	}
-	return NewSumy(name, rows, a.ExtraCols)
+	return out, c.Snapshot(partial), err
+}
+
+// IntersectSumyWith is the metered implementation; one work unit is one
+// tag of a probed against b.
+func IntersectSumyWith(c *exec.Ctl, name string, a, b *Sumy) (*Sumy, bool, error) {
+	return sumySetScan(c, name, a, func(r SumyRow) bool {
+		_, ok := b.Row(r.Tag)
+		return ok
+	})
 }
 
 // UnionSumy concatenates a with the b-only tags (a's values win on common
 // tags; extra columns from a).
-func UnionSumy(name string, a, b *Sumy) *Sumy {
-	rows := make([]SumyRow, 0, a.Len()+b.Len())
-	rows = append(rows, a.Rows...)
-	for _, r := range b.Rows {
-		if _, ok := a.Row(r.Tag); !ok {
-			rows = append(rows, r)
+func UnionSumy(name string, a, b *Sumy) (*Sumy, error) {
+	out, _, err := UnionSumyWith(exec.Background(), name, a, b)
+	return out, err
+}
+
+// UnionSumyCtx is UnionSumy under execution governance; on budget
+// exhaustion the tags merged so far form a flagged partial SUMY.
+func UnionSumyCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits) (*Sumy, exec.Trace, error) {
+	c := exec.New(ctx, lim)
+	var out *Sumy
+	var partial bool
+	err := exec.Guard("core.UnionSumy", name, func() error {
+		var err error
+		out, partial, err = UnionSumyWith(c, name, a, b)
+		return err
+	})
+	if err != nil {
+		out = nil
+	}
+	return out, c.Snapshot(partial), err
+}
+
+// UnionSumyWith is the metered implementation; one work unit is one tag
+// of a copied or one tag of b probed against a.
+func UnionSumyWith(c *exec.Ctl, name string, a, b *Sumy) (*Sumy, bool, error) {
+	na := len(a.Rows)
+	out := make([]SumyRow, na+len(b.Rows))
+	keep := make([]bool, na+len(b.Rows))
+	prefix, partial, err := shard.For(c, na+len(b.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			if i < na {
+				out[i] = a.Rows[i]
+				keep[i] = true
+				continue
+			}
+			r := b.Rows[i-na]
+			if _, ok := a.Row(r.Tag); !ok {
+				out[i] = r
+				keep[i] = true
+			}
+		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	var rows []SumyRow
+	//lint:gea ctlcharge -- compaction of the already-metered shard prefix; every tag was charged inside the kernel above
+	for i := 0; i < prefix; i++ {
+		if keep[i] {
+			rows = append(rows, out[i])
 		}
 	}
-	return NewSumy(name, rows, a.ExtraCols)
+	return NewSumy(name, rows, a.ExtraCols), partial, nil
+}
+
+// sumySetScan is the shared kernel of the tag-level set operations: it
+// keeps the rows of a satisfying keep, evaluated through the shard
+// substrate with one unit charged per tag.
+func sumySetScan(c *exec.Ctl, name string, a *Sumy, keepRow func(SumyRow) bool) (*Sumy, bool, error) {
+	keep := make([]bool, len(a.Rows))
+	prefix, partial, err := shard.For(c, len(a.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			keep[i] = keepRow(a.Rows[i])
+		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	var rows []SumyRow
+	//lint:gea ctlcharge -- compaction of the already-metered shard prefix; every tag was charged inside the kernel above
+	for i := 0; i < prefix; i++ {
+		if keep[i] {
+			rows = append(rows, a.Rows[i])
+		}
+	}
+	return NewSumy(name, rows, a.ExtraCols), partial, nil
 }

@@ -184,13 +184,19 @@ func TestSelectSumyRangeArithmetic(t *testing.T) {
 	}
 	// Tags whose range overlaps (broadly) [80, 500]: signature (0..205),
 	// GGGG (0..90), TTTT (0..400).
-	hits := SelectSumy("hits", s, RangeAnyOverlap(interval.New(80, 500)))
+	hits, err := SelectSumy("hits", s, RangeAnyOverlap(interval.New(80, 500)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hits.Len() != 3 {
 		t.Errorf("broad overlap = %d tags", hits.Len())
 	}
 	// Strict Allen relation: tags whose range includes [1, 2]. Three tags
 	// have ranges [0, hi] with hi > 2; the flat tag's range is [9, 11].
-	inc := SelectSumy("inc", s, RangeRelation(interval.Includes, interval.New(1, 2)))
+	inc, err := SelectSumy("inc", s, RangeRelation(interval.Includes, interval.New(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if inc.Len() != 3 {
 		t.Errorf("includes = %d tags", inc.Len())
 	}
@@ -203,11 +209,17 @@ func TestProjectSumyAndSetOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := ProjectSumy("p", s)
+	p, err := ProjectSumy("p", s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(p.ExtraCols) != 0 || p.Rows[0].Extra != nil {
 		t.Error("projection kept extra columns")
 	}
-	pm := ProjectSumy("pm", s, "median")
+	pm, err := ProjectSumy("pm", s, "median")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pm.ExtraCols) != 1 || pm.Rows[0].Extra["median"] == 0 && pm.Rows[0].Tag == s.Rows[0].Tag && s.Rows[0].Extra["median"] != 0 {
 		t.Error("projection dropped requested column")
 	}
@@ -215,15 +227,24 @@ func TestProjectSumyAndSetOps(t *testing.T) {
 	s2 := NewSumy("s2", []SumyRow{
 		{Tag: d.Tags[0], Range: interval.New(0, 1), Mean: 0.5, Std: 0.1},
 	}, nil)
-	minus := MinusSumy("m", s, s2)
+	minus, err := MinusSumy("m", s, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if minus.Len() != 3 {
 		t.Errorf("sumy minus = %d", minus.Len())
 	}
-	inter := IntersectSumy("i", s, s2)
+	inter, err := IntersectSumy("i", s, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if inter.Len() != 1 || inter.Rows[0].Mean == 0.5 {
 		t.Errorf("sumy intersect = %+v (must keep a's aggregates)", inter.Rows)
 	}
-	un := UnionSumy("u", minus, s2)
+	un, err := UnionSumy("u", minus, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if un.Len() != 4 {
 		t.Errorf("sumy union = %d", un.Len())
 	}

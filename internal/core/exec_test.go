@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"gea/internal/exec"
@@ -151,4 +152,151 @@ func TestMinePartialResultsAreComplete(t *testing.T) {
 				budget, len(rs), len(full))
 		}
 	}
+}
+
+// renderSumy gives one canonical line per SUMY row; %x renders each
+// float losslessly, so "bit-identical at any worker count" really is a
+// string comparison.
+func renderSumy(s *Sumy) []string {
+	out := make([]string, len(s.Rows))
+	for i, r := range s.Rows {
+		line := fmt.Sprintf("%v [%x,%x] mean=%x std=%x", r.Tag, r.Range.Min, r.Range.Max, r.Mean, r.Std)
+		for _, col := range s.ExtraCols {
+			line += fmt.Sprintf(" %s=%x", col, r.Extra[col])
+		}
+		out[i] = line
+	}
+	return out
+}
+
+// TestShardEquivPopulate drives populate's candidate-verification scan
+// through the sharded-equivalence suite. The SUMY admits every library,
+// so each charged candidate keeps exactly one ENUM row and the prefix
+// left by a budget stop is visible in the result itself.
+func TestShardEquivPopulate(t *testing.T) {
+	d := smallDataset()
+	rows := make([]SumyRow, 0, d.NumTags())
+	for _, tg := range d.Tags {
+		rows = append(rows, SumyRow{Tag: tg, Range: interval.Interval{Min: 0, Max: 1e9}})
+	}
+	allPass := NewSumy("allPass", rows, nil)
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "Populate",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			e, _, tr, err := PopulateCtx(ctx, "shardEnum", allPass, d, nil, PopulateOptions{}, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			out := make([]string, len(e.Rows))
+			for i, r := range e.Rows {
+				out[i] = fmt.Sprintf("lib%d", r)
+			}
+			return out, tr, nil
+		},
+	})
+}
+
+func TestShardEquivAggregate(t *testing.T) {
+	d := smallDataset()
+	e := FullEnum("SAGE", d)
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "Aggregate",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			s, tr, err := AggregateCtx(ctx, "shardSumy", e, AggregateOptions{WithMedian: true}, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			return renderSumy(s), tr, nil
+		},
+	})
+}
+
+// TestShardEquivDiff joins two SUMY tables that share every tag, so
+// each charged tag emits exactly one GAP row.
+func TestShardEquivDiff(t *testing.T) {
+	_, cancer, normal, _ := execFixture(t)
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "Diff",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			g, tr, err := DiffCtx(ctx, "shardGap", cancer, normal, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			out := make([]string, len(g.Rows))
+			for i, r := range g.Rows {
+				out[i] = fmt.Sprintf("%v null=%v v=%x", r.Tag, r.Values[0].Null, r.Values[0].V)
+			}
+			return out, tr, nil
+		},
+	})
+}
+
+func TestShardEquivRangeSearch(t *testing.T) {
+	_, cancer, normal, _ := execFixture(t)
+	first := sage.MustParseTag("AAAAAAAAAA")
+	last := sage.MustParseTag("TTTTTTTTTT")
+	cond := BroadOverlap(interval.Interval{Min: 0, Max: 1000})
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "RangeSearch",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			rows, tr, err := RangeSearchCtx(ctx, []*Sumy{cancer, normal}, first, last, cond, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			out := make([]string, len(rows))
+			for i, r := range rows {
+				line := fmt.Sprintf("%v", r.Tag)
+				for _, cell := range r.Cells {
+					line += fmt.Sprintf(" %v[%x,%x]", cell.Outcome, cell.Range.Min, cell.Range.Max)
+				}
+				out[i] = line
+			}
+			return out, tr, nil
+		},
+	})
+}
+
+// TestShardEquivSelectSumy covers sumySetScan, the kernel shared by
+// selection, minus and intersection. The keep-all predicate makes every
+// charged tag emit one row, as the prefix contract requires.
+func TestShardEquivSelectSumy(t *testing.T) {
+	_, cancer, _, _ := execFixture(t)
+	keepAll := func(SumyRow) bool { return true }
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "SelectSumy",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			s, tr, err := SelectSumyCtx(ctx, "shardSel", cancer, keepAll, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			return renderSumy(s), tr, nil
+		},
+	})
+}
+
+// TestShardEquivUnionSumy covers the union kernel. The operands are
+// disjoint and a's tags all sort before b's, so the sorted output order
+// equals the charge order and every unit keeps one row.
+func TestShardEquivUnionSumy(t *testing.T) {
+	mk := func(tag string, lo, hi float64) SumyRow {
+		return SumyRow{Tag: sage.MustParseTag(tag), Range: interval.Interval{Min: lo, Max: hi}}
+	}
+	a := NewSumy("ua", []SumyRow{mk("AAAAAAAAAA", 1, 2), mk("AAAACCCCGG", 3, 4), mk("CCCCAAAAAA", 5, 6)}, nil)
+	b := NewSumy("ub", []SumyRow{mk("GGGGAAAAAA", 7, 8), mk("TTTTAAAAAA", 9, 10)}, nil)
+	execwalk.WalkSharded(t, execwalk.ShardedTarget{
+		Name: "UnionSumy",
+		Run: func(ctx context.Context, workers int, lim exec.Limits) ([]string, exec.Trace, error) {
+			lim.Workers = workers
+			s, tr, err := UnionSumyCtx(ctx, "shardUnion", a, b, lim)
+			if err != nil {
+				return nil, tr, err
+			}
+			return renderSumy(s), tr, nil
+		},
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 )
 
 // Diff takes two SUMY tables and produces a GAP table over their common tags
@@ -41,23 +42,34 @@ func DiffCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits) (*Ga
 }
 
 // DiffWith is the metered implementation; one work unit is one tag of
-// the first SUMY table examined.
+// the first SUMY table examined. The per-tag joins evaluate through
+// the shard substrate, so the result is bit-identical at any worker
+// count.
 func DiffWith(c *exec.Ctl, name string, a, b *Sumy) (*Gap, bool, error) {
-	var rows []GapRow
-	partial := false
-	for _, ra := range a.Rows {
-		if err := c.Point(1); err != nil {
-			if exec.IsBudget(err) {
-				partial = true
-				break
+	out := make([]GapRow, len(a.Rows))
+	has := make([]bool, len(a.Rows))
+	prefix, partial, err := shard.For(c, len(a.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
 			}
-			return nil, false, err
+			ra := a.Rows[i]
+			if rb, ok := b.Row(ra.Tag); ok {
+				out[i] = GapRow{Tag: ra.Tag, Values: []GapValue{gapOf(ra, rb)}}
+				has[i] = true
+			}
 		}
-		rb, ok := b.Row(ra.Tag)
-		if !ok {
-			continue
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	var rows []GapRow
+	//lint:gea ctlcharge -- compaction of the already-metered shard prefix; every row was charged inside the kernel above
+	for i := 0; i < prefix; i++ {
+		if has[i] {
+			rows = append(rows, out[i])
 		}
-		rows = append(rows, GapRow{Tag: ra.Tag, Values: []GapValue{gapOf(ra, rb)}})
 	}
 	g, err := NewGap(name, []string{"gap"}, rows)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 	"gea/internal/sage"
 )
 
@@ -90,6 +91,10 @@ type PopulateOptions struct {
 	// otherwise so cheap that index savings would be invisible in wall
 	// time.
 	SimulateRowFetch bool
+	// Workers overrides the Ctl's worker count for the candidate
+	// verification scan (<= 0 defers to it). Results are bit-identical
+	// at any setting; see internal/exec/shard.
+	Workers int
 }
 
 // Populate finds all libraries of the dataset satisfying every tag range of
@@ -229,39 +234,58 @@ func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIn
 	}
 	st.CandidateRows = len(candidates)
 
+	// Verify the surviving candidates through the shard substrate: each
+	// kernel writes only its own per-candidate slots, so the kept rows
+	// and per-row condition counts are bit-identical at any worker
+	// count, and a budget stop yields the same flagged prefix the
+	// sequential scan would have produced.
+	keep := make([]bool, len(candidates))
+	nchecked := make([]int, len(candidates))
+	prefix, partial, err := shard.ForN(c, opts.Workers, len(candidates), 0,
+		func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			var fetchSink float64
+			for i := lo; i < hi; i++ {
+				if err := c.Point(1); err != nil {
+					_ = fetchSink
+					return i - lo, err
+				}
+				r := candidates[i]
+				if opts.SimulateRowFetch {
+					for _, v := range d.Expr[r] {
+						fetchSink += v
+					}
+				}
+				ok := true
+				for _, cd := range residual {
+					nchecked[i]++
+					v := 0.0
+					if cd.col >= 0 {
+						v = d.Expr[r][cd.col]
+					}
+					if v < cd.lo || v > cd.hi {
+						ok = false
+						break
+					}
+				}
+				keep[i] = ok
+			}
+			_ = fetchSink
+			return hi - lo, nil
+		})
+	if err != nil {
+		return nil, st, false, err
+	}
 	var rows []int
-	var fetchSink float64
-	for _, r := range candidates {
-		if err := c.Point(1); err != nil {
-			if exec.IsBudget(err) {
-				_ = fetchSink
-				return partialEnum(rows, cols)
-			}
-			return nil, st, false, err
-		}
-		if opts.SimulateRowFetch {
-			for _, v := range d.Expr[r] {
-				fetchSink += v
-			}
-		}
-		ok := true
-		for _, cd := range residual {
-			st.ConditionsChecked++
-			v := 0.0
-			if cd.col >= 0 {
-				v = d.Expr[r][cd.col]
-			}
-			if v < cd.lo || v > cd.hi {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			rows = append(rows, r)
+	//lint:gea ctlcharge -- compaction of the already-metered shard prefix; every candidate was charged inside the kernel above
+	for i := 0; i < prefix; i++ {
+		st.ConditionsChecked += nchecked[i]
+		if keep[i] {
+			rows = append(rows, candidates[i])
 		}
 	}
-
-	_ = fetchSink
+	if partial {
+		return partialEnum(rows, cols)
+	}
 	e, err := NewEnum(name, d, rows, cols)
 	if err != nil {
 		return nil, st, false, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gea/internal/exec"
+	"gea/internal/exec/shard"
 	"gea/internal/interval"
 	"gea/internal/sage"
 )
@@ -96,6 +97,10 @@ func RangeSearchCtx(ctx context.Context, sumys []*Sumy, firstTag, lastTag sage.T
 
 // RangeSearchWith is the metered implementation; one work unit is one
 // SUMY row scanned during tag collection or one candidate tag checked.
+// Both phases evaluate through the shard substrate: collection marks
+// per-row hits and checking fills per-tag rows, each worker touching
+// only its own slots, so the report is bit-identical at any worker
+// count. The condition must be a pure function of its interval.
 func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeCondition) ([]RangeSearchRow, bool, error) {
 	if len(sumys) == 0 {
 		return nil, false, fmt.Errorf("core: range search needs at least one SUMY table")
@@ -103,17 +108,31 @@ func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, c
 	if firstTag > lastTag {
 		return nil, false, fmt.Errorf("core: tag range %v-%v is inverted", firstTag, lastTag)
 	}
-	// Collect candidate tags in range from all tables.
+	// Collect candidate tags in range from all tables. A budget stop
+	// during collection discards the incomplete candidate set: a report
+	// built from half-collected tags would not be a prefix of the full
+	// report.
 	tagSet := map[sage.TagID]bool{}
 	for _, s := range sumys {
-		for _, r := range s.Rows {
-			if err := c.Point(1); err != nil {
-				if exec.IsBudget(err) {
-					return nil, true, nil
+		hit := make([]bool, len(s.Rows))
+		_, partial, err := shard.For(c, len(s.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			for i := lo; i < hi; i++ {
+				if err := c.Point(1); err != nil {
+					return i - lo, err
 				}
-				return nil, false, err
+				hit[i] = s.Rows[i].Tag >= firstTag && s.Rows[i].Tag <= lastTag
 			}
-			if r.Tag >= firstTag && r.Tag <= lastTag {
+			return hi - lo, nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if partial {
+			return nil, true, nil
+		}
+		//lint:gea ctlcharge -- set accumulation over already-metered hits; every row was charged inside the kernel above
+		for i, r := range s.Rows {
+			if hit[i] {
 				tagSet[r.Tag] = true
 			}
 		}
@@ -125,29 +144,33 @@ func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, c
 	}
 	sortTags(tags)
 
-	out := make([]RangeSearchRow, 0, len(tags))
-	for _, t := range tags {
-		if err := c.Point(1); err != nil {
-			if exec.IsBudget(err) {
-				return out, true, nil
+	out := make([]RangeSearchRow, len(tags))
+	prefix, partial, err := shard.For(c, len(tags), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for j := lo; j < hi; j++ {
+			if err := c.Point(1); err != nil {
+				return j - lo, err
 			}
-			return nil, false, err
-		}
-		row := RangeSearchRow{Tag: t, Cells: make([]RangeCell, len(sumys))}
-		for i, s := range sumys {
-			sr, ok := s.Row(t)
-			switch {
-			case !ok:
-				row.Cells[i] = RangeCell{Outcome: RangeNotExist}
-			case cond(sr.Range):
-				row.Cells[i] = RangeCell{Outcome: RangeSatisfied, Range: sr.Range}
-			default:
-				row.Cells[i] = RangeCell{Outcome: RangeNo}
+			t := tags[j]
+			row := RangeSearchRow{Tag: t, Cells: make([]RangeCell, len(sumys))}
+			for i, s := range sumys {
+				sr, ok := s.Row(t)
+				switch {
+				case !ok:
+					row.Cells[i] = RangeCell{Outcome: RangeNotExist}
+				case cond(sr.Range):
+					row.Cells[i] = RangeCell{Outcome: RangeSatisfied, Range: sr.Range}
+				default:
+					row.Cells[i] = RangeCell{Outcome: RangeNo}
+				}
 			}
+			out[j] = row
 		}
-		out = append(out, row)
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
-	return out, false, nil
+	return out[:prefix], partial, nil
 }
 
 // AnyTagSearch returns every tag of the SUMY table whose range satisfies the

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 )
 
 // ErrBudget is the sentinel returned by Ctl.Point once the work budget
@@ -45,6 +46,10 @@ type Limits struct {
 	// <= 0 means every unit. Raising it amortises the poll cost on
 	// very hot loops at the price of a coarser cancellation interval.
 	CheckEvery int64
+	// Workers is the number of goroutines sharded operator loops may
+	// use (see internal/exec/shard). <= 0 means 1 — parallelism is
+	// strictly opt-in, and results are bit-identical at any setting.
+	Workers int
 }
 
 // Trace reports how an operator invocation used its bounds.
@@ -85,26 +90,37 @@ func hookFrom(ctx context.Context) Hook {
 // Ctl meters one operator invocation (or one composite pipeline — e.g.
 // Mine shares a single Ctl across the miner, aggregate and populate so
 // the budget spans the whole job). Not safe for concurrent use; each
-// concurrent operator gets its own Ctl.
+// concurrent operator gets its own Ctl. Sharded loops obtain per-worker
+// child Ctls through Split/SplitWork and fold them back with Merge.
 type Ctl struct {
 	ctx        context.Context
 	done       <-chan struct{}
 	hook       Hook
 	budget     int64
 	checkEvery int64
+	workers    int
 
 	units       int64
 	sinceCheck  int64
 	checkpoints int64
 	stopped     error // first budget/cancellation stop; sticky
+
+	// seq is the shared checkpoint numbering across a shard family:
+	// every child of one Split draws hook sequence numbers from the
+	// same counter, so hooks observe one global 1-based stream exactly
+	// as they would against the unsharded sequential loop.
+	seq *atomic.Int64
 }
 
 // New builds a Ctl from a context and limits. A nil ctx behaves like
 // context.Background().
 func New(ctx context.Context, lim Limits) *Ctl {
-	c := &Ctl{ctx: ctx, budget: lim.Budget, checkEvery: lim.CheckEvery}
+	c := &Ctl{ctx: ctx, budget: lim.Budget, checkEvery: lim.CheckEvery, workers: lim.Workers}
 	if c.checkEvery <= 0 {
 		c.checkEvery = 1
+	}
+	if c.workers <= 0 {
+		c.workers = 1
 	}
 	if ctx != nil {
 		c.done = ctx.Done()
@@ -128,6 +144,9 @@ func (c *Ctl) Point(n int64) error {
 	if c == nil {
 		return nil
 	}
+	if c.stopped != nil {
+		return c.stopped
+	}
 	c.units += n
 	c.sinceCheck += n
 	if c.sinceCheck < c.checkEvery {
@@ -139,8 +158,12 @@ func (c *Ctl) Point(n int64) error {
 
 func (c *Ctl) check() error {
 	c.checkpoints++
+	nth := c.checkpoints
+	if c.seq != nil {
+		nth = c.seq.Add(1)
+	}
 	if c.hook != nil {
-		c.hook(c.checkpoints)
+		c.hook(nth)
 	}
 	if c.stopped != nil {
 		return c.stopped
@@ -180,6 +203,132 @@ func (c *Ctl) Units() int64 {
 		return 0
 	}
 	return c.units
+}
+
+// Workers returns the worker count this Ctl authorises for sharded
+// loops; it is always at least 1.
+func (c *Ctl) Workers() int {
+	if c == nil || c.workers <= 1 {
+		return 1
+	}
+	return c.workers
+}
+
+// Split divides the remaining budget evenly across n child Ctls, one
+// per worker. Each child inherits the parent's context, hook and
+// checkpoint cadence and preserves the charge-then-check discipline
+// against its own budget slice; fold the children back with Merge.
+// Callers that know how much work each child will perform should use
+// SplitWork instead so slices are proportional to the work.
+func (c *Ctl) Split(n int) []*Ctl {
+	if n < 1 {
+		n = 1
+	}
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = 1
+	}
+	return c.SplitWork(counts)
+}
+
+// SplitWork divides the remaining budget across len(counts) child
+// Ctls in proportion to each child's planned work, where counts[i] is
+// the number of units child i will charge if it runs to completion.
+// The split is exact and deterministic: slices sum to the remaining
+// budget, a child whose slice is zero is born already stopped on
+// ErrBudget, and when the remaining budget covers all the planned
+// work every child runs uncapped (so an ample parent budget can never
+// produce a spurious partial). Children also inherit the parent's
+// checkpoint phase: child i starts its cadence at the point the
+// sequential loop would have reached at the child's first unit, so
+// checkpoint positions — and hook sequence numbers, drawn from one
+// shared counter — are identical to the unsharded loop.
+func (c *Ctl) SplitWork(counts []int64) []*Ctl {
+	kids := make([]*Ctl, len(counts))
+	if c == nil {
+		return kids // nil Ctl is inert; so are its children
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	rem := int64(-1) // -1 means the children run uncapped
+	if c.budget > 0 && total > 0 {
+		rem = c.budget - c.units
+		if rem < 0 {
+			rem = 0
+		}
+		if rem > total {
+			rem = -1
+		}
+	}
+	// The shared checkpoint numbering exists for the hook's benefit: its
+	// sequence numbers must match the unsharded loop. Without a hook the
+	// numbers are observable by nobody, and the contended atomic would
+	// throttle fine-grained kernels, so each child counts locally and
+	// Merge reconciles the totals.
+	seq := c.seq
+	if seq == nil && c.hook != nil {
+		seq = new(atomic.Int64)
+		seq.Store(c.checkpoints)
+	}
+	var lo int64 // cumulative units before child i
+	for i := range kids {
+		kid := &Ctl{
+			ctx:        c.ctx,
+			done:       c.done,
+			hook:       c.hook,
+			checkEvery: c.checkEvery,
+			workers:    1,
+			sinceCheck: (c.sinceCheck + lo) % c.checkEvery,
+			seq:        seq,
+		}
+		if rem >= 0 {
+			// Cumulative-floor apportioning: slices sum exactly to rem
+			// and depend only on (rem, counts), never on worker count.
+			slice := rem*(lo+counts[i])/total - rem*lo/total
+			if slice == 0 {
+				kid.stopped = ErrBudget
+			} else {
+				kid.budget = slice
+			}
+		}
+		kids[i] = kid
+		lo += counts[i]
+	}
+	return kids
+}
+
+// Merge folds Split/SplitWork children back into the parent: Units()
+// and Checkpoints totals are exact, the cadence phase advances as if
+// the parent had charged every unit itself, and — if the parent is not
+// already stopped — it adopts the first stopped child's error in child
+// order, so budget exhaustion and cancellation stay sticky across the
+// whole pipeline exactly as in the sequential loop.
+func (c *Ctl) Merge(kids ...*Ctl) {
+	if c == nil {
+		return
+	}
+	var units, checks int64
+	var stop error
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		units += k.units
+		checks += k.checkpoints
+		if stop == nil && k.stopped != nil {
+			stop = k.stopped
+		}
+	}
+	c.units += units
+	c.checkpoints += checks
+	if c.checkEvery > 0 {
+		c.sinceCheck = (c.sinceCheck + units) % c.checkEvery
+	}
+	if c.stopped == nil {
+		c.stopped = stop
+	}
 }
 
 // Snapshot captures the invocation's Trace. partial is supplied by the

@@ -21,6 +21,8 @@ package execwalk
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -244,6 +246,172 @@ func Walk(t *testing.T, tg Target) {
 		}
 		if seen > 1+tg.slack() {
 			t.Fatalf("cadence %d: ran to checkpoint %d after cancel at 1", cadence, seen)
+		}
+	})
+}
+
+// ShardedTarget adapts one sharded operator to WalkSharded. Where
+// Target probes a sequential loop, ShardedTarget probes the same loop
+// at several worker counts and asserts the shard substrate's promise:
+// the rows an operator returns are bit-identical at any worker count,
+// including the flagged partial prefix left by a budget stop.
+type ShardedTarget struct {
+	// Name labels subtests.
+	Name string
+	// Run invokes the operator at the given worker count and returns a
+	// canonical row-per-item rendering of its result (so "bit-identical"
+	// is a string comparison), plus the trace and error. The closure
+	// must rebuild any mutable inputs on every call.
+	Run func(ctx context.Context, workers int, lim exec.Limits) (rows []string, tr exec.Trace, err error)
+	// Workers are the counts probed. Empty means {1, 2, 8}.
+	Workers []int
+	// MaxProbes caps the budget/cancel positions probed. 0 means 16.
+	MaxProbes int
+	// Slack is the per-worker checkpoint slack after a cancellation
+	// (each in-flight shard may poll once more while unwinding).
+	// 0 means 2.
+	Slack int64
+}
+
+func (tg ShardedTarget) workers() []int {
+	if len(tg.Workers) == 0 {
+		return []int{1, 2, 8}
+	}
+	return tg.Workers
+}
+
+func (tg ShardedTarget) probes() int {
+	if tg.MaxProbes <= 0 {
+		return 16
+	}
+	return tg.MaxProbes
+}
+
+func (tg ShardedTarget) slack() int64 {
+	if tg.Slack <= 0 {
+		return 2
+	}
+	return tg.Slack
+}
+
+func sameRows(a, b []string) error {
+	if len(a) != len(b) {
+		//lint:gea errwrap -- harness diagnostic; no governance sentinel applies
+		return fmt.Errorf("%d rows vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			//lint:gea errwrap -- harness diagnostic; no governance sentinel applies
+			return fmt.Errorf("row %d differs:\n  %q\n  %q", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// WalkSharded drives the sharded-equivalence suite against one
+// operator: identical full results at every worker count, identical
+// flagged partial prefixes under a walked budget, and cancellation
+// observed promptly by every worker.
+func WalkSharded(t *testing.T, tg ShardedTarget) {
+	t.Helper()
+
+	workers := tg.workers()
+	base, baseTr, err := tg.Run(context.Background(), 1, exec.Limits{})
+	if err != nil {
+		t.Fatalf("%s: baseline run failed: %v", tg.Name, err)
+	}
+	if baseTr.Partial {
+		t.Fatalf("%s: baseline run flagged partial without any budget", tg.Name)
+	}
+	if baseTr.Units <= 0 {
+		t.Fatalf("%s: operator charged no work units", tg.Name)
+	}
+
+	t.Run(tg.Name+"/equivalence", func(t *testing.T) {
+		for _, w := range workers {
+			rows, tr, err := tg.Run(context.Background(), w, exec.Limits{})
+			if err != nil {
+				t.Fatalf("workers %d: %v", w, err)
+			}
+			if tr.Partial {
+				t.Fatalf("workers %d: unbudgeted run flagged partial", w)
+			}
+			if err := sameRows(base, rows); err != nil {
+				t.Fatalf("workers %d: result differs from workers 1: %v", w, err)
+			}
+			if tr.Units != baseTr.Units {
+				t.Fatalf("workers %d: charged %d units, workers 1 charged %d", w, tr.Units, baseTr.Units)
+			}
+		}
+	})
+
+	t.Run(tg.Name+"/budget-walk", func(t *testing.T) {
+		if baseTr.Units < 2 {
+			t.Skipf("only %d work units; nothing to truncate", baseTr.Units)
+		}
+		for _, b := range sample(baseTr.Units-1, tg.probes()) {
+			var want []string
+			for _, w := range workers {
+				rows, tr, err := tg.Run(context.Background(), w, exec.Limits{Budget: b})
+				if err != nil {
+					t.Fatalf("budget %d workers %d: %v", b, w, err)
+				}
+				if !tr.Partial {
+					t.Fatalf("budget %d workers %d: truncated run not flagged partial", b, w)
+				}
+				if tr.Units > b {
+					t.Fatalf("budget %d workers %d: charged %d units", b, w, tr.Units)
+				}
+				if len(rows) >= len(base) {
+					t.Fatalf("budget %d workers %d: partial result has %d rows, full run %d",
+						b, w, len(rows), len(base))
+				}
+				if err := sameRows(base[:len(rows)], rows); err != nil {
+					t.Fatalf("budget %d workers %d: partial result is not a prefix of the full result: %v", b, w, err)
+				}
+				if want == nil {
+					want = rows
+				} else if err := sameRows(want, rows); err != nil {
+					t.Fatalf("budget %d: workers %d prefix differs from workers %d: %v",
+						b, w, workers[0], err)
+				}
+			}
+		}
+	})
+
+	t.Run(tg.Name+"/cancel-walk", func(t *testing.T) {
+		totalChecks := baseTr.Checkpoints
+		for _, w := range workers {
+			for _, k := range sample(totalChecks, tg.probes()) {
+				var seen atomic.Int64
+				var fired atomic.Bool
+				cctx, cancel := context.WithCancel(context.Background())
+				cctx = exec.WithHook(cctx, func(nth int64) {
+					for {
+						cur := seen.Load()
+						if nth <= cur || seen.CompareAndSwap(cur, nth) {
+							break
+						}
+					}
+					if nth >= k && fired.CompareAndSwap(false, true) {
+						cancel()
+					}
+				})
+				_, _, err := tg.Run(cctx, w, exec.Limits{})
+				cancel()
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("workers %d cancel at checkpoint %d/%d: got %v, want Canceled",
+						w, k, totalChecks, err)
+				}
+				// Every in-flight worker may take one more checkpoint
+				// (plus the operator's own unwind slack) before it
+				// observes the stop.
+				bound := k + int64(w)*(tg.slack()+1)
+				if got := seen.Load(); got > bound {
+					t.Fatalf("workers %d cancel at checkpoint %d: ran to checkpoint %d (bound %d)",
+						w, k, got, bound)
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSplitWorkSlicesSumToRemaining(t *testing.T) {
+	for _, tc := range []struct {
+		budget, used int64
+		counts       []int64
+	}{
+		{budget: 10, used: 0, counts: []int64{7, 7, 7}},
+		{budget: 10, used: 3, counts: []int64{5, 5, 5}},
+		{budget: 100, used: 1, counts: []int64{1, 98, 1}},
+		{budget: 5, used: 0, counts: []int64{10, 10, 10, 10, 10, 10, 10}},
+		{budget: 3, used: 0, counts: []int64{1, 1, 1}},
+	} {
+		c := New(context.Background(), Limits{Budget: tc.budget})
+		c.units = tc.used
+		kids := c.SplitWork(tc.counts)
+		var total, got int64
+		for _, n := range tc.counts {
+			total += n
+		}
+		rem := tc.budget - tc.used
+		for i, k := range kids {
+			if k.stopped != nil {
+				if !IsBudget(k.stopped) {
+					t.Fatalf("child %d born stopped with %v", i, k.stopped)
+				}
+				continue
+			}
+			if k.budget <= 0 {
+				t.Fatalf("budget %d rem %d: child %d uncapped", tc.budget, rem, i)
+			}
+			got += k.budget
+		}
+		if rem > total {
+			t.Fatalf("test case covers only rem <= total")
+		}
+		if got != rem {
+			t.Fatalf("budget %d used %d: slices sum to %d, want %d", tc.budget, tc.used, got, rem)
+		}
+	}
+}
+
+func TestSplitWorkAmpleBudgetUncapsChildren(t *testing.T) {
+	c := New(context.Background(), Limits{Budget: 100})
+	kids := c.SplitWork([]int64{30, 30, 30}) // 90 < 100 remaining
+	for i, k := range kids {
+		if k.budget != 0 || k.stopped != nil {
+			t.Fatalf("child %d capped (budget %d, stopped %v) despite ample parent budget", i, k.budget, k.stopped)
+		}
+	}
+	// Unlimited parents always produce uncapped children.
+	kids = New(context.Background(), Limits{}).SplitWork([]int64{1 << 40})
+	if kids[0].budget != 0 {
+		t.Fatalf("unlimited parent produced capped child (budget %d)", kids[0].budget)
+	}
+}
+
+func TestSplitMergeRoundTripMatchesSequential(t *testing.T) {
+	// Running the same charges through split children must leave the
+	// parent with the units, checkpoint count and cadence phase the
+	// sequential loop would have produced.
+	const work, cadence = 95, 10
+	seq := New(context.Background(), Limits{CheckEvery: cadence})
+	for i := 0; i < work; i++ {
+		if err := seq.Point(1); err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+	}
+
+	par := New(context.Background(), Limits{CheckEvery: cadence})
+	counts := []int64{40, 40, 15}
+	kids := par.SplitWork(counts)
+	for i, k := range kids {
+		for j := int64(0); j < counts[i]; j++ {
+			if err := k.Point(1); err != nil {
+				t.Fatalf("child %d: %v", i, err)
+			}
+		}
+	}
+	par.Merge(kids...)
+
+	if par.Units() != seq.Units() {
+		t.Fatalf("units: sharded %d, sequential %d", par.Units(), seq.Units())
+	}
+	if par.checkpoints != seq.checkpoints {
+		t.Fatalf("checkpoints: sharded %d, sequential %d", par.checkpoints, seq.checkpoints)
+	}
+	if par.sinceCheck != seq.sinceCheck {
+		t.Fatalf("cadence phase: sharded %d, sequential %d", par.sinceCheck, seq.sinceCheck)
+	}
+}
+
+func TestSplitSharesHookNumbering(t *testing.T) {
+	// Hook sequence numbers come from one shared counter: children of
+	// one split never reuse a number, and they continue the parent's.
+	var seen []int64
+	ctx := WithHook(context.Background(), func(nth int64) { seen = append(seen, nth) })
+	c := New(ctx, Limits{})
+	for i := 0; i < 3; i++ { // parent checkpoints 1..3
+		if err := c.Point(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kids := c.SplitWork([]int64{2, 2})
+	for _, k := range kids {
+		for i := 0; i < 2; i++ {
+			if err := k.Point(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Merge(kids...)
+	if err := c.Point(1); err != nil { // parent resumes numbering
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if len(seen) != len(want) {
+		t.Fatalf("hook saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestMergeAdoptsFirstChildStop(t *testing.T) {
+	c := New(context.Background(), Limits{Budget: 4})
+	kids := c.SplitWork([]int64{2, 2})
+	// Drive both children to their budget stops.
+	for _, k := range kids {
+		for k.Err() == nil {
+			k.Point(1)
+		}
+	}
+	c.Merge(kids...)
+	if !c.Exhausted() {
+		t.Fatalf("parent not exhausted after children tripped: %v", c.Err())
+	}
+	if err := c.Point(1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("parent Point after merge = %v, want ErrBudget", err)
+	}
+}
+
+func TestMergeAdoptsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, Limits{})
+	kids := c.SplitWork([]int64{5, 5})
+	cancel()
+	err := kids[1].Point(1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("child Point = %v, want Canceled", err)
+	}
+	c.Merge(kids...)
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("parent Err = %v, want Canceled", c.Err())
+	}
+}
+
+func TestSplitWorkOnNilAndStoppedParents(t *testing.T) {
+	var nilCtl *Ctl
+	kids := nilCtl.SplitWork([]int64{3, 3})
+	for i, k := range kids {
+		if k != nil {
+			t.Fatalf("nil parent produced non-nil child %d", i)
+		}
+	}
+	nilCtl.Merge(kids...) // must not panic
+
+	// A parent over budget hands out only zero slices.
+	c := New(context.Background(), Limits{Budget: 2})
+	c.units = 5
+	for i, k := range c.SplitWork([]int64{4, 4}) {
+		if !IsBudget(k.Err()) {
+			t.Fatalf("child %d of an over-budget parent not born stopped: %v", i, k.Err())
+		}
+	}
+}
+
+func TestSplitChildrenPreserveCadencePhase(t *testing.T) {
+	// With cadence 10 and ranges [0,4) [4,12), the sequential loop
+	// checkpoints once, inside the second range at its 6th unit. The
+	// children must reproduce exactly that.
+	var seen int
+	ctx := WithHook(context.Background(), func(int64) { seen++ })
+	c := New(ctx, Limits{CheckEvery: 10})
+	kids := c.SplitWork([]int64{4, 8})
+	for i := 0; i < 4; i++ {
+		kids[0].Point(1)
+	}
+	if seen != 0 {
+		t.Fatalf("first child checkpointed after 4/10 units")
+	}
+	for i := 0; i < 8; i++ {
+		kids[1].Point(1)
+	}
+	if seen != 1 {
+		t.Fatalf("children ran %d checkpoints over 12 units at cadence 10, want 1", seen)
+	}
+}

@@ -72,6 +72,23 @@ func (s *System) acquire(ctx context.Context) (func(), error) {
 	}
 }
 
+// limits applies the session's worker default to a caller's Limits: an
+// explicit Workers setting wins, otherwise Options.Workers fills it in.
+// The budget and cadence pass through untouched.
+func (s *System) limits(lim exec.Limits) exec.Limits {
+	if lim.Workers == 0 {
+		lim.Workers = s.workers
+	}
+	return lim
+}
+
+// background builds the unbudgeted Ctl the legacy (non-Ctx) methods run
+// under, carrying the session's worker default so they too evaluate
+// through the sharded substrate.
+func (s *System) background() *exec.Ctl {
+	return exec.New(context.Background(), exec.Limits{Workers: s.workers})
+}
+
 // CalculateFasciclesCtx is CalculateFascicles under execution governance:
 // the call queues for an admission slot, the mining observes ctx
 // cancellation and the work budget in lim, a budget stop registers the
@@ -83,7 +100,7 @@ func (s *System) CalculateFasciclesCtx(ctx context.Context, datasetName string, 
 		return nil, exec.Trace{}, err
 	}
 	defer release()
-	c := exec.New(ctx, lim)
+	c := exec.New(ctx, s.limits(lim))
 	names, partial, err := s.calculateFascicles(c, datasetName, opts)
 	if err != nil {
 		names = nil
@@ -108,7 +125,7 @@ func (s *System) FindPureFascicleWithCtx(ctx context.Context, datasetName string
 		return "", exec.Trace{}, err
 	}
 	defer release()
-	c := exec.New(ctx, lim)
+	c := exec.New(ctx, s.limits(lim))
 	name, partial, err := s.findPureFascicle(c, datasetName, prop, minSize, alg)
 	if err != nil {
 		name = ""
@@ -126,7 +143,7 @@ func (s *System) CreateGapCtx(ctx context.Context, name, sumy1, sumy2 string, li
 		return nil, exec.Trace{}, err
 	}
 	defer release()
-	c := exec.New(ctx, lim)
+	c := exec.New(ctx, s.limits(lim))
 	g, partial, err := s.createGap(c, name, sumy1, sumy2)
 	if err != nil {
 		g = nil

@@ -40,6 +40,14 @@ type Options struct {
 	// AdmitTimeout bounds how long a caller queues for an admission slot
 	// before failing with *ErrBusy. Zero means the default of 10s.
 	AdmitTimeout time.Duration
+	// Workers is the default intra-operation worker count for sharded
+	// evaluation; <= 0 means 1 (sequential). It composes with
+	// MaxConcurrent without deadlock risk: workers are plain goroutines
+	// inside an operation that already holds its admission slot, and they
+	// never touch the admission semaphore themselves. Results are
+	// bit-identical at any setting. An explicit exec.Limits.Workers on a
+	// Ctx call overrides this default.
+	Workers int
 }
 
 // System is one GEA session over a cleaned corpus. Registry access is
@@ -78,6 +86,9 @@ type System struct {
 	// acquires a slot, a receive releases it.
 	admit        chan struct{}
 	admitTimeout time.Duration
+	// workers is the session default for exec.Limits.Workers; see
+	// Options.Workers.
+	workers int
 }
 
 // RootDataset is the lineage name of the full cleaned data set.
@@ -121,6 +132,7 @@ func New(corpus *sage.Corpus, opts Options) (*System, error) {
 		gaps:        map[string]*core.Gap{},
 		runCount:    map[string]int{},
 		foundPure:   map[string]string{},
+		workers:     opts.Workers,
 	}
 	sys.initAdmission(opts.MaxConcurrent, opts.AdmitTimeout)
 	if err := initCatalog(sys.Store); err != nil {
@@ -337,7 +349,7 @@ type FascicleOptions struct {
 // SUMY and ENUM forms) as <dataset><K>k_<i>; it returns the names.
 // GenerateMetadata must have been called for the dataset.
 func (s *System) CalculateFascicles(datasetName string, opts FascicleOptions) ([]string, error) {
-	names, _, err := s.calculateFascicles(exec.Background(), datasetName, opts)
+	names, _, err := s.calculateFascicles(s.background(), datasetName, opts)
 	return names, err
 }
 
@@ -586,7 +598,7 @@ func (s *System) recordSumCatalog(name, fasName, category string, d *sage.Datase
 // CreateGap runs diff() on two registered SUMY tables and registers the
 // result (Figure 4.9's Find GAP button).
 func (s *System) CreateGap(name, sumy1, sumy2 string) (*core.Gap, error) {
-	g, _, err := s.createGap(exec.Background(), name, sumy1, sumy2)
+	g, _, err := s.createGap(s.background(), name, sumy1, sumy2)
 	return g, err
 }
 
@@ -768,7 +780,7 @@ func (s *System) FindPureFascicle(datasetName string, prop sage.Property, minSiz
 // combinatorially there, which is exactly why the original system ran the
 // [JMN99] single-pass algorithm.
 func (s *System) FindPureFascicleWith(datasetName string, prop sage.Property, minSize int, alg core.Algorithm) (string, error) {
-	name, _, err := s.findPureFascicle(exec.Background(), datasetName, prop, minSize, alg)
+	name, _, err := s.findPureFascicle(s.background(), datasetName, prop, minSize, alg)
 	return name, err
 }
 

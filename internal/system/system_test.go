@@ -277,7 +277,10 @@ func TestRegisterSumyAndGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := core.SelectSumy("mySelection", src, func(core.SumyRow) bool { return true })
+	sel, err := core.SelectSumy("mySelection", src, func(core.SumyRow) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := sys.RegisterSumy(sel, "select", groups.InFascicle); err != nil {
 		t.Fatal(err)
 	}
