@@ -17,6 +17,8 @@
 //	gea annotate -tags T1,T2                   gene-database lookups
 //	gea session -run|-show -dir D              persistent sessions
 //	gea repl   [-in DIR] [-session DIR]        interactive session shell
+//	gea serve  -in DIR [-addr A] [-debug]      HTTP front end; -debug exposes
+//	                                           /debug/vars, spans and metrics
 package main
 
 import (
@@ -59,6 +61,8 @@ func main() {
 		err = cmdSession(args)
 	case "repl":
 		err = cmdRepl(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -88,6 +92,7 @@ commands:
   annotate   resolve tags through the auxiliary gene databases
   session    run-and-save or inspect a persistent GEA session
   repl       interactive session shell (crash-isolated command loop)
+  serve      HTTP front end (-debug adds span and metrics endpoints)
 
 run "gea <command> -h" for command flags`)
 }

@@ -56,6 +56,9 @@ type repl struct {
 	// limits and deadline bound governed commands, set by "limit".
 	limits   gea.ExecLimits
 	deadline time.Duration
+	// trace, when set by "trace on", collects spans and metrics from
+	// every governed command; "stats" and "explain last" read it.
+	trace *gea.ObsCollector
 }
 
 // opCtx builds the context for one governed command: the configured
@@ -64,6 +67,12 @@ type repl struct {
 // finishes to detach the signal watcher.
 func (r *repl) opCtx() (context.Context, func()) {
 	ctx := context.Background()
+	if r.trace != nil {
+		// Tracing on: governed operators record spans into the session
+		// collector, and the checkpoint hook meters poll cadence.
+		ctx = gea.WithObsCollector(ctx, r.trace)
+		ctx = gea.WithExecHook(ctx, r.trace.ExecHook())
+	}
 	cancel := func() {}
 	if r.deadline > 0 {
 		ctx, cancel = context.WithTimeout(ctx, r.deadline)
@@ -164,6 +173,9 @@ func (r *repl) dispatch(fields []string) error {
   limit deadline D   bound mining wall time (e.g. 30s, 2m)
   limit workers N    evaluate sharded scans on N workers (same results)
   limit off          remove all limits; bare "limit" shows current
+  trace on|off       record spans + metrics for governed commands
+  stats              print the metrics snapshot collected so far
+  explain last       print the span tree of the last governed command
   tree               print the lineage tree
   quit               exit
 `)
@@ -330,6 +342,40 @@ func (r *repl) dispatch(fields []string) error {
 		default:
 			return fmt.Errorf(`usage: limit [budget N | deadline DUR | workers N | off]`)
 		}
+	case "trace":
+		switch arg(0) {
+		case "on":
+			if r.trace == nil {
+				r.trace = gea.NewObsCollector()
+			}
+			fmt.Fprintln(r.out, "tracing on: governed commands now record spans and metrics")
+			return nil
+		case "off":
+			r.trace = nil
+			fmt.Fprintln(r.out, "tracing off (collected spans and metrics discarded)")
+			return nil
+		default:
+			return fmt.Errorf("usage: trace on|off")
+		}
+	case "stats":
+		if r.trace == nil {
+			return fmt.Errorf(`tracing is off: "trace on" first`)
+		}
+		fmt.Fprint(r.out, r.trace.Metrics.Snapshot().String())
+		return nil
+	case "explain":
+		if arg(0) != "last" {
+			return fmt.Errorf("usage: explain last")
+		}
+		if r.trace == nil {
+			return fmt.Errorf(`tracing is off: "trace on" first`)
+		}
+		root := r.trace.LastRoot()
+		if root == nil {
+			return fmt.Errorf("no governed command has completed since tracing was enabled")
+		}
+		fmt.Fprint(r.out, root.Tree())
+		return nil
 	case "tree":
 		sys, err := r.needSession()
 		if err != nil {

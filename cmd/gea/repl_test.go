@@ -149,6 +149,82 @@ func TestReplLimitWorkers(t *testing.T) {
 	}
 }
 
+// TestReplLimitWorkersErrorPaths rejects every malformed worker count —
+// zero, negative, non-numeric, and a missing value — with the same usage
+// message, and leaves the session's worker setting untouched.
+func TestReplLimitWorkersErrorPaths(t *testing.T) {
+	var out, errOut strings.Builder
+	r := &repl{out: &out, errw: &errOut}
+	script := strings.Join([]string{
+		"limit workers 0",
+		"limit workers -2",
+		"limit workers many",
+		"limit workers",
+		"quit",
+	}, "\n") + "\n"
+	if err := r.run(strings.NewReader(script)); err != nil {
+		t.Fatalf("repl exited with error: %v", err)
+	}
+	if got := strings.Count(errOut.String(), "limit workers N"); got != 4 {
+		t.Errorf("want 4 usage rejections, got %d:\n%s", got, errOut.String())
+	}
+	if r.limits.Workers != 0 {
+		t.Errorf("rejected inputs changed the worker setting to %d", r.limits.Workers)
+	}
+}
+
+// TestReplTraceStatsExplain exercises the observability commands end to
+// end: the off-state errors, the usage errors, and a traced mine whose
+// spans and metrics are then readable through "stats" and "explain last".
+func TestReplTraceStatsExplain(t *testing.T) {
+	var out, errw strings.Builder
+	r := &repl{out: &out, errw: &errw}
+	script := strings.Join([]string{
+		"stats",        // tracing off
+		"explain last", // tracing off
+		"explain",      // usage
+		"trace",        // usage
+		"trace maybe",  // usage
+		"gen",
+		"trace on",
+		"explain last", // nothing recorded yet
+		"mine brain",
+		"stats",
+		"explain last",
+		"trace off",
+		"stats", // tracing off again
+		"quit",
+	}, "\n") + "\n"
+	if err := r.run(strings.NewReader(script)); err != nil {
+		t.Fatalf("repl exited with error: %v", err)
+	}
+	if got := strings.Count(errw.String(), "tracing is off"); got != 3 {
+		t.Errorf("want 3 tracing-off errors, got %d:\n%s", got, errw.String())
+	}
+	if got := strings.Count(errw.String(), "usage: trace on|off"); got != 2 {
+		t.Errorf("want 2 trace usage errors, got %d:\n%s", got, errw.String())
+	}
+	if !strings.Contains(errw.String(), "usage: explain last") {
+		t.Errorf("bare explain not rejected:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "no governed command has completed") {
+		t.Errorf("explain before any traced run not reported:\n%s", errw.String())
+	}
+	// The traced mine fed the metrics registry and the span ring.
+	if !strings.Contains(out.String(), "ops.system.FindPureFascicle.count") {
+		t.Errorf("stats does not show the traced operator:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "exec.checkpoints") {
+		t.Errorf("stats does not show the checkpoint hook counter:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "system.FindPureFascicle") || !strings.Contains(out.String(), "core.Mine") {
+		t.Errorf("explain last does not render the span tree:\n%s", out.String())
+	}
+	if r.trace != nil {
+		t.Error("trace off did not discard the collector")
+	}
+}
+
 // TestReplInterruptCancelsOperator delivers a synthetic SIGINT mid-mine and
 // asserts the command is cancelled while the loop and session survive.
 func TestReplInterruptCancelsOperator(t *testing.T) {

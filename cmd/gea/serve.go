@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+
+	"gea"
+)
+
+// This file implements "gea serve": a small HTTP front end over a session,
+// built so the observability layer has a live surface. Every /mine request
+// runs a governed pure-fascicle search; with -debug the server also exposes
+// the collected spans and metrics (/debug/spans, /debug/metrics) and the
+// standard expvar dump (/debug/vars) the registry publishes into.
+
+// debugServer bundles the session, its execution limits and the trace
+// collector every request records into.
+type debugServer struct {
+	sys    *gea.System
+	trace  *gea.ObsCollector
+	limits gea.ExecLimits
+}
+
+// newServeMux wires the HTTP routes. The debug endpoints are opt-in so a
+// plain "gea serve" exposes analysis only, no introspection surface.
+func newServeMux(sys *gea.System, limits gea.ExecLimits, debug bool) (*debugServer, *http.ServeMux) {
+	s := &debugServer{sys: sys, trace: gea.NewObsCollector(), limits: limits}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/mine", s.handleMine)
+	if debug {
+		s.trace.Metrics.Publish("gea.metrics")
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/spans", s.handleSpans)
+		mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	}
+	return s, mux
+}
+
+// mineResponse is the JSON body of a /mine reply.
+type mineResponse struct {
+	Tissue   string `json:"tissue"`
+	Fascicle string `json:"fascicle,omitempty"`
+	Units    int64  `json:"units"`
+	Partial  bool   `json:"partial"`
+	Note     string `json:"note,omitempty"`
+}
+
+// handleMine runs the tissue pipeline (dataset, metadata, governed
+// pure-fascicle search) with the request's context, recording spans and
+// metrics into the server's collector.
+func (s *debugServer) handleMine(w http.ResponseWriter, r *http.Request) {
+	tissue := r.URL.Query().Get("tissue")
+	if tissue == "" {
+		http.Error(w, "missing ?tissue= parameter", http.StatusBadRequest)
+		return
+	}
+	// Re-mining a tissue reuses the dataset already in the session.
+	if _, err := s.sys.CreateTissueDataset(tissue); err != nil {
+		var exists gea.ErrExists
+		if !errors.As(err, &exists) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if err := s.sys.GenerateMetadata(tissue, 10); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ctx := gea.WithObsCollector(r.Context(), s.trace)
+	ctx = gea.WithExecHook(ctx, s.trace.ExecHook())
+	pure, tr, err := s.sys.FindPureFascicleCtx(ctx, tissue, gea.PropCancer, 3, s.limits)
+	resp := mineResponse{Tissue: tissue, Fascicle: pure, Units: tr.Units, Partial: tr.Partial}
+	switch {
+	case err == nil:
+	case gea.IsCancellation(err):
+		resp.Note = "cancelled"
+	case gea.IsBudget(err):
+		resp.Note = "stopped by the work budget"
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleSpans dumps the collector's retained root span records, oldest
+// first — the run-record analogue of a goroutine dump.
+func (s *debugServer) handleSpans(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.trace.Roots())
+}
+
+// handleMetrics serves the deterministic metrics snapshot.
+func (s *debugServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.trace.Metrics.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "SageLibrary", "corpus directory")
+	addr := fs.String("addr", "127.0.0.1:7333", "listen address")
+	workers := fs.Int("workers", 1, "worker count for sharded evaluation (results are identical at any setting)")
+	budget := fs.Int64("budget", 0, "work-unit budget per request (0 = unlimited; exceeded requests return partial results)")
+	debug := fs.Bool("debug", false, "expose /debug/vars, /debug/spans and /debug/metrics")
+	fs.Parse(args)
+
+	corpus, err := gea.LoadCorpus(*in)
+	if err != nil {
+		return err
+	}
+	sys, err := gea.NewSystem(corpus, gea.SystemOptions{User: "serve", Workers: *workers})
+	if err != nil {
+		return err
+	}
+	_, mux := newServeMux(sys, gea.ExecLimits{Budget: *budget, Workers: *workers}, *debug)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gea serve listening on http://%s (debug endpoints: %v)\n", ln.Addr(), *debug)
+	return http.Serve(ln, mux)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gea"
+)
+
+// serveSystem builds a small synthetic session for the HTTP tests.
+func serveSystem(t *testing.T) *gea.System {
+	t.Helper()
+	res, err := gea.Generate(gea.SmallConfig())
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	sys, err := gea.NewSystem(res.Corpus, gea.SystemOptions{User: "serve-test"})
+	if err != nil {
+		t.Fatalf("new system: %v", err)
+	}
+	return sys
+}
+
+// get runs one request through the mux without a network listener.
+func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, url, nil))
+	return rr
+}
+
+// TestServeMineRecordsSpans drives /mine through the debug mux and checks
+// the observability surfaces: the span dump holds the governed run's tree,
+// the metrics endpoint its counters, and /debug/vars the published
+// registry.
+func TestServeMineRecordsSpans(t *testing.T) {
+	_, mux := newServeMux(serveSystem(t), gea.ExecLimits{}, true)
+
+	if rr := get(t, mux, "/healthz"); rr.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", rr.Code)
+	}
+	if rr := get(t, mux, "/mine"); rr.Code != http.StatusBadRequest {
+		t.Errorf("/mine without tissue = %d, want 400", rr.Code)
+	}
+
+	rr := get(t, mux, "/mine?tissue=brain")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/mine?tissue=brain = %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp mineResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("mine response: %v", err)
+	}
+	if resp.Fascicle == "" || resp.Units <= 0 {
+		t.Errorf("mine found no fascicle or charged no work: %+v", resp)
+	}
+
+	rr = get(t, mux, "/debug/spans")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/spans = %d", rr.Code)
+	}
+	var spans []*gea.ObsRecord
+	if err := json.Unmarshal(rr.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("span dump: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Op != "system.FindPureFascicle" {
+		t.Fatalf("span dump does not hold the mine's root span: %s", rr.Body.String())
+	}
+	if spans[0].Find("core.Mine") == nil {
+		t.Errorf("mine's span tree is missing the core.Mine child:\n%s", spans[0].Tree())
+	}
+
+	rr = get(t, mux, "/debug/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/metrics = %d", rr.Code)
+	}
+	for _, want := range []string{"ops.system.FindPureFascicle.count", "exec.checkpoints"} {
+		if !strings.Contains(rr.Body.String(), want) {
+			t.Errorf("/debug/metrics missing %q:\n%s", want, rr.Body.String())
+		}
+	}
+
+	rr = get(t, mux, "/debug/vars")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), `"gea.metrics"`) {
+		t.Errorf("/debug/vars does not publish the registry:\n%s", rr.Body.String())
+	}
+}
+
+// TestServeWithoutDebugHidesIntrospection checks a plain serve mux exposes
+// analysis only.
+func TestServeWithoutDebugHidesIntrospection(t *testing.T) {
+	_, mux := newServeMux(serveSystem(t), gea.ExecLimits{}, false)
+	for _, url := range []string{"/debug/spans", "/debug/metrics", "/debug/vars"} {
+		if rr := get(t, mux, url); rr.Code != http.StatusNotFound {
+			t.Errorf("%s = %d, want 404 with -debug off", url, rr.Code)
+		}
+	}
+	if rr := get(t, mux, "/healthz"); rr.Code != http.StatusOK {
+		t.Errorf("/healthz = %d", rr.Code)
+	}
+}
+
+// TestServeBudgetStop checks an impossible per-request budget surfaces as a
+// friendly note, not a 500, and the span records the budget outcome.
+func TestServeBudgetStop(t *testing.T) {
+	srv, mux := newServeMux(serveSystem(t), gea.ExecLimits{Budget: 3}, true)
+	rr := get(t, mux, "/mine?tissue=brain")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("budget-stopped mine = %d: %s", rr.Code, rr.Body.String())
+	}
+	var resp mineResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Note != "stopped by the work budget" {
+		t.Errorf("budget stop not reported: %+v", resp)
+	}
+	root := srv.trace.LastRoot()
+	if root == nil || root.Outcome != gea.ObsOutcomeBudget {
+		t.Errorf("budget outcome not recorded on the span: %+v", root)
+	}
+}

@@ -16,6 +16,8 @@
 //	geabench -exp scaling             operator complexity (Section 3.3.1)
 //	geabench -exp perf -workers 8     sharded evaluation vs sequential
 //	geabench -json                    record perf cells to BENCH_<n>.json
+//	                                  (with span trees + metrics snapshot)
+//	geabench -json-out PATH           same, but to an explicit path
 //	geabench -full                    use the 100-library full-scale corpus
 package main
 
@@ -48,8 +50,14 @@ type env struct {
 	deadline time.Duration
 	workers  int
 	jsonOut  bool
+	jsonPath string
 	benchNum int
 	system   *gea.System // lazily built
+
+	// trace collects spans and metrics from the perf experiment's
+	// governed runs when -json is on, so the benchmark document carries
+	// the full execution story, not just wall times.
+	trace *gea.ObsCollector
 
 	// bench collects the perf experiment's cells for -json.
 	bench []benchRecord
@@ -87,8 +95,12 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-time bound per governed operator (0 = unlimited); expired operators stop gracefully")
 	workers := flag.Int("workers", 1, "worker count for sharded operator evaluation (results are identical at any setting)")
 	jsonOut := flag.Bool("json", false, "write the perf experiment's records to BENCH_<n>.json")
+	jsonPath := flag.String("json-out", "", "write the perf experiment's records to this exact path (implies -json; empty = scan the CWD for the first unused BENCH_<n>.json)")
 	benchNum := flag.Int("benchnum", 0, "pin the BENCH_<n>.json slot written by -json (0 = first unused)")
 	flag.Parse()
+	if *jsonPath != "" {
+		*jsonOut = true
+	}
 
 	exps := []experiment{
 		{"table2.2", "fascicle worked example on the Table 2.2 fragment", expTable22},
@@ -128,7 +140,11 @@ func main() {
 		os.Exit(1)
 	}
 	e := &env{cfg: cfg, res: res, full: *full, seed: *seed, kpct: *kpct, topX: *topX,
-		deadline: *deadline, workers: *workers, jsonOut: *jsonOut, benchNum: *benchNum}
+		deadline: *deadline, workers: *workers, jsonOut: *jsonOut, jsonPath: *jsonPath,
+		benchNum: *benchNum}
+	if *jsonOut {
+		e.trace = gea.NewObsCollector()
+	}
 
 	ran := 0
 	for _, ex := range exps {

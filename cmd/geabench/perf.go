@@ -47,19 +47,30 @@ type benchFile struct {
 	NumCPU     int           `json:"num_cpu"`
 	GoMaxProcs int           `json:"go_max_procs"`
 	Records    []benchRecord `json:"records"`
+	// Spans holds the span trees of the perf experiment's identity-check
+	// runs (the timed repetitions run untraced, so the collector never
+	// perturbs the measurement) and Metrics the deterministic snapshot
+	// they fed — the full execution story behind the wall times.
+	Spans   []*gea.ObsRecord `json:"spans,omitempty"`
+	Metrics *gea.ObsSnapshot `json:"metrics,omitempty"`
 }
 
-// writeBenchJSON persists the collected records to BENCH_<n>.json. A
-// positive -benchnum pins n; otherwise the first unused slot is taken, so
+// writeBenchJSON persists the collected records. An explicit -json-out
+// path wins; otherwise a positive -benchnum pins the BENCH_<n>.json slot,
+// and failing that the first unused slot in the CWD is taken, so
 // successive recorded runs accumulate a trajectory instead of overwriting.
 func writeBenchJSON(e *env) error {
 	n := e.benchNum
-	if n <= 0 {
-		for n = 1; ; n++ {
-			if _, err := os.Stat(benchName(n)); os.IsNotExist(err) {
-				break
+	path := e.jsonPath
+	if path == "" {
+		if n <= 0 {
+			for n = 1; ; n++ {
+				if _, err := os.Stat(benchName(n)); os.IsNotExist(err) {
+					break
+				}
 			}
 		}
+		path = benchName(n)
 	}
 	corpus := "small"
 	if e.full {
@@ -67,15 +78,20 @@ func writeBenchJSON(e *env) error {
 	}
 	doc := benchFile{Bench: n, Corpus: corpus, Seed: e.seed,
 		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), Records: e.bench}
+	if e.trace != nil {
+		doc.Spans = e.trace.Roots()
+		snap := e.trace.Metrics.Snapshot()
+		doc.Metrics = &snap
+	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(benchName(n), buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchmark records written to %s\n", benchName(n))
+	fmt.Printf("benchmark records written to %s\n", path)
 	return nil
 }
 
@@ -158,22 +174,31 @@ func expPerf(e *env) error {
 	rule()
 	fmt.Println("operator     workers   wall         units    vs seq")
 
+	// The identity-check run records spans and metrics when -json is on;
+	// the timed repetitions stay on the untraced background context so
+	// the collector never disturbs the measurement.
+	traced := context.Background()
+	if e.trace != nil {
+		traced = gea.WithObsCollector(traced, e.trace)
+		traced = gea.WithExecHook(traced, e.trace.ExecHook())
+	}
+
 	type opSpec struct {
 		name string
-		run  func(w int) (interface{}, gea.ExecTrace, error)
+		run  func(ctx context.Context, w int) (interface{}, gea.ExecTrace, error)
 	}
 	ops := []opSpec{
-		{"populate", func(w int) (interface{}, gea.ExecTrace, error) {
-			en, _, tr, err := gea.PopulateCtx(context.Background(), "perfPop", sumy, d, nil,
+		{"populate", func(ctx context.Context, w int) (interface{}, gea.ExecTrace, error) {
+			en, _, tr, err := gea.PopulateCtx(ctx, "perfPop", sumy, d, nil,
 				gea.PopulateOptions{SimulateRowFetch: true}, gea.ExecLimits{Workers: w})
 			return en, tr, err
 		}},
-		{"diff", func(w int) (interface{}, gea.ExecTrace, error) {
-			g, tr, err := gea.DiffCtx(context.Background(), "perfGap", sumy, halfSumy, gea.ExecLimits{Workers: w})
+		{"diff", func(ctx context.Context, w int) (interface{}, gea.ExecTrace, error) {
+			g, tr, err := gea.DiffCtx(ctx, "perfGap", sumy, halfSumy, gea.ExecLimits{Workers: w})
 			return g, tr, err
 		}},
-		{"aggregate", func(w int) (interface{}, gea.ExecTrace, error) {
-			s, tr, err := gea.AggregateCtx(context.Background(), "perfAgg", enum,
+		{"aggregate", func(ctx context.Context, w int) (interface{}, gea.ExecTrace, error) {
+			s, tr, err := gea.AggregateCtx(ctx, "perfAgg", enum,
 				gea.AggregateOptions{}, gea.ExecLimits{Workers: w})
 			return s, tr, err
 		}},
@@ -183,7 +208,7 @@ func expPerf(e *env) error {
 		var seqNS int64
 		var seqOut interface{}
 		for _, w := range counts {
-			out, tr, err := op.run(w)
+			out, tr, err := op.run(traced, w)
 			if err != nil {
 				return fmt.Errorf("%s at %d workers: %v", op.name, w, err)
 			}
@@ -193,7 +218,7 @@ func expPerf(e *env) error {
 				return fmt.Errorf("%s at %d workers diverged from the sequential result", op.name, w)
 			}
 			best, err := timeBest(reps, func() error {
-				_, _, err := op.run(w)
+				_, _, err := op.run(context.Background(), w)
 				return err
 			})
 			if err != nil {

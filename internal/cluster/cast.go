@@ -62,7 +62,10 @@ func CASTCtx(ctx context.Context, rows [][]float64, cfg CASTConfig, lim exec.Lim
 
 // CASTWith is the metered implementation; one work unit is one affinity
 // pair computed or one add/remove stabilization iteration.
-func CASTWith(c *exec.Ctl, rows [][]float64, cfg CASTConfig) ([]int, bool, error) {
+func CASTWith(c *exec.Ctl, rows [][]float64, cfg CASTConfig) (_ []int, partial bool, err error) {
+	sp := c.StartSpan("cluster.CAST")
+	sp.SetInput("%d rows, T=%v", len(rows), cfg.T)
+	defer c.EndSpan(sp, &partial, &err)
 	n := len(rows)
 	if _, err := validateRows("CAST", rows); err != nil {
 		return nil, false, err

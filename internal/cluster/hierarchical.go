@@ -103,7 +103,10 @@ func HierarchicalCtx(ctx context.Context, rows [][]float64, dist DistanceFunc, l
 
 // HierarchicalWith is the metered implementation; one work unit is one
 // leaf-pair distance or one candidate cluster pair scanned.
-func HierarchicalWith(c *exec.Ctl, rows [][]float64, dist DistanceFunc, linkage Linkage) (*Dendrogram, bool, error) {
+func HierarchicalWith(c *exec.Ctl, rows [][]float64, dist DistanceFunc, linkage Linkage) (_ *Dendrogram, partial bool, err error) {
+	sp := c.StartSpan("cluster.Hierarchical")
+	sp.SetInput("%d rows, linkage=%d", len(rows), int(linkage))
+	defer c.EndSpan(sp, &partial, &err)
 	n := len(rows)
 	if _, err := validateRows("Hierarchical", rows); err != nil {
 		return nil, false, err

@@ -49,7 +49,10 @@ func KMeansCtx(ctx context.Context, rows [][]float64, k int, rng *rand.Rand, max
 
 // KMeansWith is the metered implementation; one work unit is one row
 // visited during seeding or assignment.
-func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters int) (*KMeansResult, bool, error) {
+func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters int) (_ *KMeansResult, partial bool, err error) {
+	sp := c.StartSpan("cluster.KMeans")
+	sp.SetInput("%d rows, k=%d", len(rows), k)
+	defer c.EndSpan(sp, &partial, &err)
 	n := len(rows)
 	dim, err := validateRows("KMeans", rows)
 	if err != nil {

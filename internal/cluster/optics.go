@@ -59,7 +59,10 @@ func OPTICSCtx(ctx context.Context, rows [][]float64, cfg OPTICSConfig, lim exec
 
 // OPTICSWith is the metered implementation; one work unit is one
 // distance-matrix pair computed or one point added to the ordering.
-func OPTICSWith(c *exec.Ctl, rows [][]float64, cfg OPTICSConfig) ([]OPTICSPoint, bool, error) {
+func OPTICSWith(c *exec.Ctl, rows [][]float64, cfg OPTICSConfig) (_ []OPTICSPoint, partial bool, err error) {
+	sp := c.StartSpan("cluster.OPTICS")
+	sp.SetInput("%d rows, minPts=%d eps=%v", len(rows), cfg.MinPts, cfg.Eps)
+	defer c.EndSpan(sp, &partial, &err)
 	n := len(rows)
 	if _, err := validateRows("OPTICS", rows); err != nil {
 		return nil, false, err

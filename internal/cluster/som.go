@@ -60,7 +60,10 @@ func SOMCtx(ctx context.Context, rows [][]float64, cfg SOMConfig, rng *rand.Rand
 
 // SOMWith is the metered implementation; one work unit is one training
 // step (one sample folded into the map).
-func SOMWith(c *exec.Ctl, rows [][]float64, cfg SOMConfig, rng *rand.Rand) (*SOMResult, bool, error) {
+func SOMWith(c *exec.Ctl, rows [][]float64, cfg SOMConfig, rng *rand.Rand) (_ *SOMResult, partial bool, err error) {
+	sp := c.StartSpan("cluster.SOM")
+	sp.SetInput("%d rows, grid %dx%d", len(rows), cfg.GridW, cfg.GridH)
+	defer c.EndSpan(sp, &partial, &err)
 	n := len(rows)
 	dim, err := validateRows("SOM", rows)
 	if err != nil {

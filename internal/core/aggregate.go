@@ -48,7 +48,10 @@ func AggregateCtx(ctx context.Context, name string, e *Enum, opts AggregateOptio
 // each worker aggregates a contiguous column range into its own slots
 // with its own scratch buffer, so the SUMY is bit-identical at any
 // worker count.
-func AggregateWith(c *exec.Ctl, name string, e *Enum, opts AggregateOptions) (*Sumy, bool, error) {
+func AggregateWith(c *exec.Ctl, name string, e *Enum, opts AggregateOptions) (_ *Sumy, partial bool, err error) {
+	sp := c.StartSpan("core.Aggregate")
+	sp.SetInput("enum %s: %d libraries x %d tags", e.Name, e.Size(), e.NumTags())
+	defer c.EndSpan(sp, &partial, &err)
 	if e.Size() == 0 {
 		return nil, false, fmt.Errorf("core: aggregate %s: enum %s has no libraries", name, e.Name)
 	}
@@ -131,7 +134,10 @@ func SelectSumyCtx(ctx context.Context, name string, s *Sumy, pred SumyPredicate
 // row tested. The predicate must be a pure function of its row: the
 // scan evaluates through the shard substrate, which may call it from
 // several goroutines.
-func SelectSumyWith(c *exec.Ctl, name string, s *Sumy, pred SumyPredicate) (*Sumy, bool, error) {
+func SelectSumyWith(c *exec.Ctl, name string, s *Sumy, pred SumyPredicate) (_ *Sumy, partial bool, err error) {
+	sp := c.StartSpan("core.SelectSumy")
+	sp.SetInput("sumy %s: %d rows", s.Name, len(s.Rows))
+	defer c.EndSpan(sp, &partial, &err)
 	keep := make([]bool, len(s.Rows))
 	prefix, partial, err := shard.For(c, len(s.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
 		for i := lo; i < hi; i++ {
@@ -194,7 +200,10 @@ func ProjectSumyCtx(ctx context.Context, name string, s *Sumy, keep []string, li
 
 // ProjectSumyWith is the metered implementation; one work unit is one
 // row projected.
-func ProjectSumyWith(c *exec.Ctl, name string, s *Sumy, keep []string) (*Sumy, bool, error) {
+func ProjectSumyWith(c *exec.Ctl, name string, s *Sumy, keep []string) (_ *Sumy, partial bool, err error) {
+	sp := c.StartSpan("core.ProjectSumy")
+	sp.SetInput("sumy %s: %d rows, keep %d cols", s.Name, len(s.Rows), len(keep))
+	defer c.EndSpan(sp, &partial, &err)
 	keepSet := make(map[string]bool, len(keep))
 	//lint:gea ctlcharge -- O(|keep|) setup over the caller's column list; the per-row projection is metered below
 	for _, k := range keep {
@@ -260,7 +269,10 @@ func MinusSumyCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits)
 
 // MinusSumyWith is the metered implementation; one work unit is one tag
 // of a probed against b.
-func MinusSumyWith(c *exec.Ctl, name string, a, b *Sumy) (*Sumy, bool, error) {
+func MinusSumyWith(c *exec.Ctl, name string, a, b *Sumy) (_ *Sumy, partial bool, err error) {
+	sp := c.StartSpan("core.MinusSumy")
+	sp.SetInput("%s (%d rows) minus %s (%d rows)", a.Name, len(a.Rows), b.Name, len(b.Rows))
+	defer c.EndSpan(sp, &partial, &err)
 	return sumySetScan(c, name, a, func(r SumyRow) bool {
 		_, ok := b.Row(r.Tag)
 		return !ok
@@ -294,7 +306,10 @@ func IntersectSumyCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Lim
 
 // IntersectSumyWith is the metered implementation; one work unit is one
 // tag of a probed against b.
-func IntersectSumyWith(c *exec.Ctl, name string, a, b *Sumy) (*Sumy, bool, error) {
+func IntersectSumyWith(c *exec.Ctl, name string, a, b *Sumy) (_ *Sumy, partial bool, err error) {
+	sp := c.StartSpan("core.IntersectSumy")
+	sp.SetInput("%s (%d rows) intersect %s (%d rows)", a.Name, len(a.Rows), b.Name, len(b.Rows))
+	defer c.EndSpan(sp, &partial, &err)
 	return sumySetScan(c, name, a, func(r SumyRow) bool {
 		_, ok := b.Row(r.Tag)
 		return ok
@@ -327,7 +342,10 @@ func UnionSumyCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits)
 
 // UnionSumyWith is the metered implementation; one work unit is one tag
 // of a copied or one tag of b probed against a.
-func UnionSumyWith(c *exec.Ctl, name string, a, b *Sumy) (*Sumy, bool, error) {
+func UnionSumyWith(c *exec.Ctl, name string, a, b *Sumy) (_ *Sumy, partial bool, err error) {
+	sp := c.StartSpan("core.UnionSumy")
+	sp.SetInput("%s (%d rows) union %s (%d rows)", a.Name, len(a.Rows), b.Name, len(b.Rows))
+	defer c.EndSpan(sp, &partial, &err)
 	na := len(a.Rows)
 	out := make([]SumyRow, na+len(b.Rows))
 	keep := make([]bool, na+len(b.Rows))

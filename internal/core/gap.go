@@ -45,7 +45,10 @@ func DiffCtx(ctx context.Context, name string, a, b *Sumy, lim exec.Limits) (*Ga
 // the first SUMY table examined. The per-tag joins evaluate through
 // the shard substrate, so the result is bit-identical at any worker
 // count.
-func DiffWith(c *exec.Ctl, name string, a, b *Sumy) (*Gap, bool, error) {
+func DiffWith(c *exec.Ctl, name string, a, b *Sumy) (_ *Gap, partial bool, err error) {
+	sp := c.StartSpan("core.Diff")
+	sp.SetInput("%s (%d rows) vs %s (%d rows)", a.Name, len(a.Rows), b.Name, len(b.Rows))
+	defer c.EndSpan(sp, &partial, &err)
 	out := make([]GapRow, len(a.Rows))
 	has := make([]bool, len(a.Rows))
 	prefix, partial, err := shard.For(c, len(a.Rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {

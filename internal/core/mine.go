@@ -70,10 +70,11 @@ func MineCtx(ctx context.Context, prefix string, d *sage.Dataset, p fascicle.Par
 
 // MineWith is the metered implementation, sharing c across the miner
 // and each fascicle's SUMY/ENUM conversion.
-func MineWith(c *exec.Ctl, prefix string, d *sage.Dataset, p fascicle.Params, alg Algorithm) ([]MineResult, bool, error) {
+func MineWith(c *exec.Ctl, prefix string, d *sage.Dataset, p fascicle.Params, alg Algorithm) (_ []MineResult, partial bool, err error) {
+	sp := c.StartSpan("core.Mine")
+	sp.SetInput("dataset: %d libraries x %d tags, alg=%v", d.NumLibraries(), d.NumTags(), alg)
+	defer c.EndSpan(sp, &partial, &err)
 	var fs []*fascicle.Fascicle
-	var partial bool
-	var err error
 	switch alg {
 	case GreedyAlgorithm:
 		fs, partial, err = fascicle.GreedyWith(c, d, p)

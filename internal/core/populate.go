@@ -140,8 +140,10 @@ func PopulateCtx(ctx context.Context, name string, s *Sumy, d *sage.Dataset, idx
 // PopulateWith is the metered implementation, exported so composite
 // operators share one Ctl. One work unit is one index range scan, one
 // candidate set intersected, or one candidate row verified.
-func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, opts PopulateOptions) (*Enum, PopulateStats, bool, error) {
-	var st PopulateStats
+func PopulateWith(c *exec.Ctl, name string, s *Sumy, d *sage.Dataset, idx *TagIndexes, opts PopulateOptions) (_ *Enum, st PopulateStats, partial bool, err error) {
+	sp := c.StartSpan("core.Populate")
+	sp.SetInput("sumy %s: %d conditions over %d libraries, indexed=%v", s.Name, s.Len(), d.NumLibraries(), idx != nil)
+	defer c.EndSpan(sp, &partial, &err)
 	if s.Len() == 0 {
 		return nil, st, false, fmt.Errorf("core: populate %s: SUMY %s is empty", name, s.Name)
 	}

@@ -101,7 +101,10 @@ func RangeSearchCtx(ctx context.Context, sumys []*Sumy, firstTag, lastTag sage.T
 // per-row hits and checking fills per-tag rows, each worker touching
 // only its own slots, so the report is bit-identical at any worker
 // count. The condition must be a pure function of its interval.
-func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeCondition) ([]RangeSearchRow, bool, error) {
+func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, cond RangeCondition) (_ []RangeSearchRow, partial bool, err error) {
+	sp := c.StartSpan("core.RangeSearch")
+	sp.SetInput("%d sumy tables, tag range %v-%v", len(sumys), firstTag, lastTag)
+	defer c.EndSpan(sp, &partial, &err)
 	if len(sumys) == 0 {
 		return nil, false, fmt.Errorf("core: range search needs at least one SUMY table")
 	}

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+
+	"gea/internal/obs"
 )
 
 // ErrBudget is the sentinel returned by Ctl.Point once the work budget
@@ -110,6 +112,13 @@ type Ctl struct {
 	// same counter, so hooks observe one global 1-based stream exactly
 	// as they would against the unsharded sequential loop.
 	seq *atomic.Int64
+
+	// scope is this invocation's span stack, forked per New so
+	// concurrent operators sharing a context never interleave their
+	// span trees; nil — the common case — disables spans entirely.
+	// Shard children deliberately do not inherit it: kernels meter
+	// units, operators own spans.
+	scope *obs.Scope
 }
 
 // New builds a Ctl from a context and limits. A nil ctx behaves like
@@ -125,6 +134,7 @@ func New(ctx context.Context, lim Limits) *Ctl {
 	if ctx != nil {
 		c.done = ctx.Done()
 		c.hook = hookFrom(ctx)
+		c.scope = obs.NewScope(ctx)
 	}
 	return c
 }
@@ -403,3 +413,91 @@ func IsCancellation(err error) bool {
 
 // IsBudget reports whether err is the budget-exhausted sentinel.
 func IsBudget(err error) bool { return errors.Is(err, ErrBudget) }
+
+// StartSpan opens an observability span for one operator run on this
+// Ctl's scope, baselined at the current unit/checkpoint totals so the
+// span charges the inclusive delta. With no collector installed it
+// returns nil, and every obs method on a nil span is a no-op — the
+// disabled path costs one nil check per operator invocation, not per
+// unit.
+func (c *Ctl) StartSpan(op string) *obs.Span {
+	if c == nil || c.scope == nil {
+		return nil
+	}
+	sp := c.scope.Start(op)
+	sp.Baseline(c.units, c.checkpoints)
+	return sp
+}
+
+// EndSpan completes a span opened by StartSpan. Defer it DIRECTLY from
+// the metered implementation, over pointers to the named results:
+//
+//	func XWith(c *exec.Ctl, ...) (res R, partial bool, err error) {
+//		sp := c.StartSpan("pkg.X")
+//		defer c.EndSpan(sp, &partial, &err)
+//		...
+//
+// Being the deferred function itself gives it recover authority: a
+// panic unwinding through the operator is caught just long enough to
+// close the span (and any open children) as OutcomePanic, then
+// re-raised for Guard to structure. On normal returns it classifies
+// the outcome from the final partial/err values.
+func (c *Ctl) EndSpan(sp *obs.Span, partial *bool, err *error) {
+	if rec := recover(); rec != nil {
+		sp.End(obs.OutcomePanic, fmt.Sprint(rec), c.Units(), c.Checkpoints(), c.Workers())
+		//lint:gea nopanic -- re-raising the value recovered only to close the span; Guard structures it
+		panic(rec)
+	}
+	if sp == nil {
+		return
+	}
+	var p bool
+	if partial != nil {
+		p = *partial
+	}
+	var e error
+	if err != nil {
+		e = *err
+	}
+	outcome := obs.OutcomeOK
+	msg := ""
+	switch {
+	case e == nil && p:
+		outcome = obs.OutcomePartial
+	case e != nil:
+		msg = e.Error()
+		var ee *ExecError
+		switch {
+		case IsCancellation(e):
+			outcome = obs.OutcomeCanceled
+		case IsBudget(e):
+			outcome = obs.OutcomeBudget
+		case errors.As(e, &ee) && ee.PanicValue != nil:
+			// A nested operator panicked and Guard already structured
+			// it; the enclosing span reports the run for what it was.
+			outcome = obs.OutcomePanic
+		default:
+			outcome = obs.OutcomeError
+		}
+	}
+	sp.End(outcome, msg, c.Units(), c.Checkpoints(), c.Workers())
+}
+
+// Checkpoints returns how many cancellation polls have run.
+func (c *Ctl) Checkpoints() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.checkpoints
+}
+
+// RunRecord returns this invocation's completed root span record, or
+// nil (no collector, or the root span has not ended yet). Because the
+// scope is private to the invocation, the record is safe to link into
+// lineage once the operator has returned.
+func (c *Ctl) RunRecord() *obs.Record {
+	if c == nil {
+		return nil
+	}
+	return c.scope.Root()
+}

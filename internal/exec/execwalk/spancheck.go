@@ -1,0 +1,76 @@
+package execwalk
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gea/internal/exec"
+	"gea/internal/obs"
+)
+
+// SpanVerified wraps a Target.Run so that every invocation — the baseline
+// run and every cancel, budget, panic and coarse-cadence probe of a walk —
+// also pins the observability invariants of the exec substrate:
+//
+//   - a governed invocation emits exactly one completed root span, named
+//     after the operator;
+//   - the root span's unit total equals the Ctl's charged total (the
+//     returned Trace), at any worker count;
+//   - the span outcome classifies the run the way the caller saw it:
+//     ok, partial on a flagged budget stop, canceled on cancellation,
+//     budget on an ErrBudget error, panic on a recovered panic, error
+//     otherwise;
+//   - no span anywhere in the tree is left without an outcome.
+//
+// Each invocation gets a fresh collector, so the assertions are local to
+// that probe. The wrapped Run is also convenient to call directly with
+// explicit worker limits to sweep the unit-total invariant across worker
+// counts.
+func SpanVerified(t *testing.T, op string, run func(ctx context.Context, lim exec.Limits) (exec.Trace, error)) func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+	return func(ctx context.Context, lim exec.Limits) (exec.Trace, error) {
+		t.Helper()
+		col := obs.NewCollector()
+		tr, err := run(obs.WithCollector(ctx, col), lim)
+
+		roots := col.Roots()
+		if len(roots) != 1 {
+			t.Errorf("%s: %d completed root spans, want exactly 1", op, len(roots))
+			return tr, err
+		}
+		root := roots[0]
+		if root.Op != op {
+			t.Errorf("root span op = %q, want %q", root.Op, op)
+		}
+		if root.Units != tr.Units {
+			t.Errorf("%s (workers %d): root span recorded %d units, Ctl charged %d",
+				op, lim.Workers, root.Units, tr.Units)
+		}
+
+		want := obs.OutcomeOK
+		switch {
+		case exec.IsCancellation(err):
+			want = obs.OutcomeCanceled
+		case exec.IsBudget(err):
+			want = obs.OutcomeBudget
+		case err != nil:
+			want = obs.OutcomeError
+			var ee *exec.ExecError
+			if errors.As(err, &ee) && ee.PanicValue != nil {
+				want = obs.OutcomePanic
+			}
+		case tr.Partial:
+			want = obs.OutcomePartial
+		}
+		if root.Outcome != want {
+			t.Errorf("%s: root span outcome %q, want %q (err=%v, partial=%v)",
+				op, root.Outcome, want, err, tr.Partial)
+		}
+		root.Walk(func(r *obs.Record) {
+			if r.Outcome == "" {
+				t.Errorf("%s: span %q completed without an outcome", op, r.Op)
+			}
+		})
+		return tr, err
+	}
+}

@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"gea/internal/obs"
+)
+
+// BenchmarkSpanPair isolates the per-operator instrumentation cost: one
+// StartSpan/EndSpan pair, with and without a collector behind the Ctl.
+// The no-collector case is the guarantee the layer sells — a nil check
+// and nothing else — so it must stay allocation-free.
+func BenchmarkSpanPair(b *testing.B) {
+	pair := func(c *Ctl) {
+		sp := c.StartSpan("bench.op")
+		var partial bool
+		var err error
+		defer c.EndSpan(sp, &partial, &err)
+	}
+	b.Run("no-collector", func(b *testing.B) {
+		c := New(context.Background(), Limits{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pair(c)
+		}
+	})
+	b.Run("collector", func(b *testing.B) {
+		col := obs.NewCollector()
+		c := New(obs.WithCollector(context.Background(), col), Limits{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pair(c)
+		}
+	})
+}

@@ -203,7 +203,10 @@ func LatticeCtx(ctx context.Context, d *sage.Dataset, p Params, lim exec.Limits)
 // join attempt, or one subsumption scan. On budget exhaustion it
 // returns the fascicles confirmed so far plus the current level's
 // unsubsumed candidates, with partial = true.
-func LatticeWith(c *exec.Ctl, d *sage.Dataset, p Params) ([]*Fascicle, bool, error) {
+func LatticeWith(c *exec.Ctl, d *sage.Dataset, p Params) (_ []*Fascicle, partial bool, err error) {
+	sp := c.StartSpan("fascicle.Lattice")
+	sp.SetInput("dataset: %d libraries x %d tags, k=%d", d.NumLibraries(), d.NumTags(), p.K)
+	defer c.EndSpan(sp, &partial, &err)
 	if err := p.Validate(d); err != nil {
 		return nil, false, err
 	}
@@ -424,7 +427,10 @@ func GreedyCtx(ctx context.Context, d *sage.Dataset, p Params, lim exec.Limits) 
 // GreedyWith is the metered implementation; one work unit is one
 // library folded into the running clustering. A budget stop returns the
 // clusters built from the libraries folded so far, flagged partial.
-func GreedyWith(c *exec.Ctl, d *sage.Dataset, p Params) ([]*Fascicle, bool, error) {
+func GreedyWith(c *exec.Ctl, d *sage.Dataset, p Params) (_ []*Fascicle, partial bool, err error) {
+	sp := c.StartSpan("fascicle.Greedy")
+	sp.SetInput("dataset: %d libraries x %d tags, k=%d", d.NumLibraries(), d.NumTags(), p.K)
+	defer c.EndSpan(sp, &partial, &err)
 	if err := p.Validate(d); err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(2)
+	c.Add(3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("a") != c {
+		t.Fatal("counter handle must be stable")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	if r.Gauge("g") != g {
+		t.Fatal("gauge handle must be stable")
+	}
+
+	// Nil handles and a nil registry are inert, never a crash.
+	var nc *Counter
+	nc.Add(1)
+	var ng *Gauge
+	ng.Add(1)
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 || nh.Sum() != 0 {
+		t.Fatal("nil metric handles must read zero")
+	}
+	var nr *Registry
+	if nr.Counter("x") != nil || nr.Gauge("x") != nil || nr.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	if got := nr.Snapshot(); len(got.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	if r.Histogram("lat", []float64{999}) != h {
+		t.Fatal("histogram handle must be stable; first bounds win")
+	}
+	for _, v := range []float64{0.5, 1, 2, 10.1, 1e6} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-(0.5+1+2+10.1+1e6)) > 1e-9 {
+		t.Fatalf("sum = %v", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot lost the histogram: %+v", snap)
+	}
+	p := snap.Histograms[0]
+	if len(p.Counts) != len(p.Bounds)+1 {
+		t.Fatalf("bucket shape wrong: %d counts for %d bounds", len(p.Counts), len(p.Bounds))
+	}
+	// le=1 gets 0.5 and the exact boundary 1; le=10 gets 2; le=100
+	// gets 10.1; overflow gets 1e6.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if p.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, p.Counts[i], w, p.Counts)
+		}
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(1)
+	r.Counter("alpha").Add(2)
+	r.Gauge("mid").Set(3)
+	r.Histogram("h2", LatencyBounds).Observe(0.5)
+	r.Histogram("h1", RateBounds).Observe(5e4)
+	a, _ := json.Marshal(r.Snapshot())
+	b, _ := json.Marshal(r.Snapshot())
+	if string(a) != string(b) {
+		t.Fatal("snapshot JSON must be byte-stable")
+	}
+	s := r.Snapshot()
+	if s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zeta" {
+		t.Fatalf("counters unsorted: %+v", s.Counters)
+	}
+	if s.Histograms[0].Name != "h1" || s.Histograms[1].Name != "h2" {
+		t.Fatalf("histograms unsorted: %+v", s.Histograms)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Snapshot().String(); !strings.Contains(got, "no metrics") {
+		t.Fatalf("empty snapshot rendered %q", got)
+	}
+	r.Counter("ops.core.Diff.count").Add(2)
+	r.Gauge("spans.active").Set(1)
+	r.Histogram("ops.core.Diff.latency_s", LatencyBounds).Observe(0.25)
+	got := r.Snapshot().String()
+	for _, want := range []string{"counters:", "ops.core.Diff.count", "gauges:", "histograms:", "n=1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stats rendering missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared").Add(1)
+				r.Gauge("g").Add(1)
+				r.Histogram("h", LatencyBounds).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Fatalf("lost counter increments: %d", got)
+	}
+	if got := r.Histogram("h", LatencyBounds).Count(); got != 1600 {
+		t.Fatalf("lost observations: %d", got)
+	}
+	if got := r.Histogram("h", LatencyBounds).Sum(); math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("CAS sum drifted: %v", got)
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pub.count").Add(7)
+	const name = "gea_obs_test_metrics"
+	r.Publish(name)
+	r.Publish(name) // second publish must not panic
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	if !strings.Contains(v.String(), "pub.count") {
+		t.Fatalf("published var missing metric: %s", v.String())
+	}
+}
+
+func TestCheckpointHook(t *testing.T) {
+	r := NewRegistry()
+	h := r.CheckpointHook()
+	h(1)
+	h(2)
+	if got := r.Counter("exec.checkpoints").Value(); got != 2 {
+		t.Fatalf("hook counted %d", got)
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestFromContextAndScope(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("nil context should carry no collector")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("bare context should carry no collector")
+	}
+	if NewScope(context.Background()) != nil {
+		t.Fatal("scope without a collector must be nil — the disabled path")
+	}
+	col := NewCollector()
+	ctx := WithCollector(context.Background(), col)
+	if FromContext(ctx) != col {
+		t.Fatal("collector did not round-trip through the context")
+	}
+	if NewScope(ctx) == nil {
+		t.Fatal("scope should exist once a collector is installed")
+	}
+	if WithCollector(ctx, nil) != ctx {
+		t.Fatal("installing a nil collector should return ctx unchanged")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// The disabled path hands out nil scopes and spans; every method
+	// must be a no-op, not a crash.
+	var s *Scope
+	if s.Start("x") != nil {
+		t.Fatal("nil scope must start nil spans")
+	}
+	if s.Root() != nil {
+		t.Fatal("nil scope has no root")
+	}
+	var sp *Span
+	sp.Baseline(1, 1)
+	sp.SetInput("unused %d", 1)
+	sp.End(OutcomeOK, "", 0, 0, 1)
+	if sp.Rec() != nil {
+		t.Fatal("nil span has no record")
+	}
+	var r *Record
+	r.Walk(func(*Record) { t.Fatal("nil record must not be visited") })
+	var c *Collector
+	if c.LastRoot() != nil || c.Roots() != nil {
+		t.Fatal("nil collector must report nothing")
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	col := NewCollector()
+	sc := NewScope(WithCollector(context.Background(), col))
+
+	root := sc.Start("system.Calculate")
+	root.Baseline(0, 0)
+	root.SetInput("%d fascicles", 3)
+	child := sc.Start("core.Mine")
+	child.Baseline(2, 1)
+	grand := sc.Start("core.Aggregate")
+	grand.Baseline(5, 2)
+	grand.End(OutcomeOK, "", 9, 4, 1)
+	child.End(OutcomePartial, "", 10, 5, 2)
+	if sc.Root() != nil {
+		t.Fatal("root record must not appear before the root span ends")
+	}
+	root.End(OutcomeOK, "", 12, 6, 4)
+
+	r := sc.Root()
+	if r == nil {
+		t.Fatal("no root record delivered")
+	}
+	if r.Op != "system.Calculate" || r.Units != 12 || r.Checkpoints != 6 || r.Workers != 4 {
+		t.Fatalf("root mis-recorded: %+v", r)
+	}
+	if r.Input != "3 fascicles" {
+		t.Fatalf("input shape lost: %q", r.Input)
+	}
+	if len(r.Children) != 1 || r.Children[0].Op != "core.Mine" {
+		t.Fatalf("child tree wrong: %+v", r.Children)
+	}
+	mine := r.Children[0]
+	if mine.Units != 8 || mine.Checkpoints != 4 || mine.Outcome != OutcomePartial {
+		t.Fatalf("inclusive delta accounting broken: %+v", mine)
+	}
+	if got := r.Find("core.Aggregate"); got == nil || got.Units != 4 {
+		t.Fatalf("Find missed the grandchild: %+v", got)
+	}
+	if r.Find("no.Such") != nil {
+		t.Fatal("Find invented a span")
+	}
+	var visited []string
+	r.Walk(func(n *Record) { visited = append(visited, n.Op) })
+	want := "system.Calculate,core.Mine,core.Aggregate"
+	if strings.Join(visited, ",") != want {
+		t.Fatalf("walk order %v, want %s", visited, want)
+	}
+	if col.LastRoot() != r {
+		t.Fatal("collector did not retain the root")
+	}
+}
+
+func TestSpanOutcomeAndMetrics(t *testing.T) {
+	col := NewCollector()
+	sc := NewScope(WithCollector(context.Background(), col))
+	sp := sc.Start("core.Diff")
+	sp.End(OutcomeCanceled, "context canceled", 7, 3, 1)
+
+	m := col.Metrics
+	if got := m.Counter("ops.core.Diff.count").Value(); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := m.Counter("ops.core.Diff.units").Value(); got != 7 {
+		t.Fatalf("units = %d", got)
+	}
+	if got := m.Counter("ops.core.Diff.canceled").Value(); got != 1 {
+		t.Fatalf("canceled = %d", got)
+	}
+	if got := m.Gauge("spans.active").Value(); got != 0 {
+		t.Fatalf("active gauge leaked: %d", got)
+	}
+	if got := m.Counter("spans.roots").Value(); got != 1 {
+		t.Fatalf("roots = %d", got)
+	}
+	if got := m.Histogram("ops.core.Diff.latency_s", LatencyBounds).Count(); got != 1 {
+		t.Fatalf("latency samples = %d", got)
+	}
+	r := col.LastRoot()
+	if r.Outcome != OutcomeCanceled || r.Err != "context canceled" {
+		t.Fatalf("outcome mis-recorded: %+v", r)
+	}
+}
+
+func TestSpanDoubleEndAndAbandon(t *testing.T) {
+	col := NewCollector()
+	sc := NewScope(WithCollector(context.Background(), col))
+	root := sc.Start("outer")
+	inner := sc.Start("inner")
+	// The outer span ends while the inner is still open: the inner is
+	// force-closed as abandoned so the tree stays complete.
+	root.End(OutcomeError, "boom", 4, 2, 1)
+	r := sc.Root()
+	if len(r.Children) != 1 || r.Children[0].Outcome != OutcomeAbandoned {
+		t.Fatalf("open child not abandoned: %+v", r.Children)
+	}
+	// Both further Ends are no-ops.
+	inner.End(OutcomeOK, "", 9, 9, 9)
+	root.End(OutcomeOK, "", 9, 9, 9)
+	if r.Outcome != OutcomeError || r.Units != 4 {
+		t.Fatalf("double End mutated the record: %+v", r)
+	}
+	if got := col.Metrics.Gauge("spans.active").Value(); got != 0 {
+		t.Fatalf("active gauge = %d after abandon", got)
+	}
+	if got := col.Metrics.Counter("spans.completed").Value(); got != 2 {
+		t.Fatalf("completed = %d, want 2", got)
+	}
+}
+
+func TestNegativeDeltasClamp(t *testing.T) {
+	col := NewCollector()
+	sc := NewScope(WithCollector(context.Background(), col))
+	sp := sc.Start("odd")
+	sp.Baseline(10, 10)
+	sp.End(OutcomeOK, "", 3, 3, 1) // totals below baseline: clamp, don't go negative
+	r := col.LastRoot()
+	if r.Units != 0 || r.Checkpoints != 0 {
+		t.Fatalf("deltas must clamp at zero: %+v", r)
+	}
+}
+
+func TestCollectorRing(t *testing.T) {
+	col := NewCollector()
+	col.SetKeep(2)
+	ctx := WithCollector(context.Background(), col)
+	for i := 0; i < 4; i++ {
+		sc := NewScope(ctx)
+		sp := sc.Start("op")
+		sp.End(OutcomeOK, "", int64(i), 0, 1)
+	}
+	roots := col.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("ring kept %d roots, want 2", len(roots))
+	}
+	if roots[0].Units != 2 || roots[1].Units != 3 {
+		t.Fatalf("ring kept wrong roots: %+v", roots)
+	}
+	if col.LastRoot() != roots[1] {
+		t.Fatal("LastRoot disagrees with Roots")
+	}
+	col.SetKeep(0) // clamps to 1 and trims
+	if got := len(col.Roots()); got != 1 {
+		t.Fatalf("SetKeep(0) kept %d", got)
+	}
+}
+
+func TestRecordTreeRendering(t *testing.T) {
+	r := &Record{
+		Op: "core.Mine", Outcome: OutcomeOK, Units: 10, Checkpoints: 5,
+		Workers: 4, WallNS: 1500, Input: "40 libs",
+		Children: []*Record{
+			{Op: "core.Aggregate", Outcome: OutcomeError, Err: "boom", Units: 4, WallNS: 500},
+		},
+	}
+	got := r.Tree()
+	for _, want := range []string{
+		"core.Mine ok units=10", "workers=4", "(40 libs)",
+		"\n  core.Aggregate error", `err="boom"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("tree rendering missing %q:\n%s", want, got)
+		}
+	}
+	var empty *Record
+	if empty.Tree() != "" {
+		t.Fatal("nil record should render empty")
+	}
+}
+
+func TestExecHookCountsCheckpoints(t *testing.T) {
+	col := NewCollector()
+	h := col.ExecHook()
+	for i := 0; i < 5; i++ {
+		h(int64(i + 1))
+	}
+	if got := col.Metrics.Counter("exec.checkpoints").Value(); got != 5 {
+		t.Fatalf("hook counted %d checkpoints", got)
+	}
+}

@@ -105,7 +105,26 @@ func (s *System) CalculateFasciclesCtx(ctx context.Context, datasetName string, 
 	if err != nil {
 		names = nil
 	}
+	s.attachRuns(c, names...)
 	return names, c.Snapshot(partial), err
+}
+
+// attachRuns links the invocation's completed run record (if a collector
+// was installed on the context) to the lineage nodes it produced, so
+// provenance and performance live on one tree. Best-effort: a node that
+// vanished in a concurrent delete just drops the record.
+func (s *System) attachRuns(c *exec.Ctl, names ...string) {
+	rec := c.RunRecord()
+	if rec == nil {
+		return
+	}
+	//lint:gea ctlcharge -- O(results) lineage bookkeeping after the metered run has already ended; the Ctl is only read for its record
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		_ = s.Lineage.AttachRun(n, rec)
+	}
 }
 
 // FindPureFascicleCtx is FindPureFascicle under execution governance with
@@ -130,6 +149,7 @@ func (s *System) FindPureFascicleWithCtx(ctx context.Context, datasetName string
 	if err != nil {
 		name = ""
 	}
+	s.attachRuns(c, name)
 	return name, c.Snapshot(partial), err
 }
 
@@ -148,5 +168,6 @@ func (s *System) CreateGapCtx(ctx context.Context, name, sumy1, sumy2 string, li
 	if err != nil {
 		g = nil
 	}
+	s.attachRuns(c, name)
 	return g, c.Snapshot(partial), err
 }

@@ -357,7 +357,10 @@ func (s *System) CalculateFascicles(datasetName string, opts FascicleOptions) ([
 // method and CalculateFasciclesCtx. The registry lock is held only around
 // lookup and registration; the mining itself — the expensive part — runs
 // unlocked, panic-isolated and metered by the caller's Ctl.
-func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts FascicleOptions) ([]string, bool, error) {
+func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts FascicleOptions) (_ []string, partial bool, err error) {
+	sp := c.StartSpan("system.CalculateFascicles")
+	sp.SetInput("dataset %s, k=%d", datasetName, opts.K)
+	defer c.EndSpan(sp, &partial, &err)
 	s.mu.Lock()
 	d, err := s.datasetLocked(datasetName)
 	if err != nil {
@@ -386,7 +389,6 @@ func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts Fascic
 		K: opts.K, Tolerance: tol, MinSize: opts.MinSize, BatchSize: opts.BatchSize,
 	}
 	var results []core.MineResult
-	var partial bool
 	err = exec.Guard("system.CalculateFascicles", prefix, func() error {
 		var err error
 		results, partial, err = core.MineWith(c, prefix, d, params, opts.Algorithm)
@@ -604,7 +606,10 @@ func (s *System) CreateGap(name, sumy1, sumy2 string) (*core.Gap, error) {
 
 // createGap computes the diff unlocked and metered, holding the registry
 // lock only for lookup and registration.
-func (s *System) createGap(c *exec.Ctl, name, sumy1, sumy2 string) (*core.Gap, bool, error) {
+func (s *System) createGap(c *exec.Ctl, name, sumy1, sumy2 string) (_ *core.Gap, partial bool, err error) {
+	sp := c.StartSpan("system.CreateGap")
+	sp.SetInput("%s = diff(%s, %s)", name, sumy1, sumy2)
+	defer c.EndSpan(sp, &partial, &err)
 	s.mu.Lock()
 	if err := s.checkFresh(name); err != nil {
 		s.mu.Unlock()
@@ -623,7 +628,6 @@ func (s *System) createGap(c *exec.Ctl, name, sumy1, sumy2 string) (*core.Gap, b
 	s.mu.Unlock()
 
 	var g *core.Gap
-	var partial bool
 	err = exec.Guard("system.CreateGap", name, func() error {
 		var err error
 		g, partial, err = core.DiffWith(c, name, a, b)
@@ -787,7 +791,10 @@ func (s *System) FindPureFascicleWith(datasetName string, prop sage.Property, mi
 // findPureFascicle is the metered search shared by the legacy methods and
 // FindPureFascicleWithCtx; one Ctl spans the whole strict-to-loose scan, so
 // a budget covers the search as a whole, not each mining run separately.
-func (s *System) findPureFascicle(c *exec.Ctl, datasetName string, prop sage.Property, minSize int, alg core.Algorithm) (string, bool, error) {
+func (s *System) findPureFascicle(c *exec.Ctl, datasetName string, prop sage.Property, minSize int, alg core.Algorithm) (_ string, partial bool, err error) {
+	sp := c.StartSpan("system.FindPureFascicle")
+	sp.SetInput("dataset %s, prop=%v, minSize=%d", datasetName, prop, minSize)
+	defer c.EndSpan(sp, &partial, &err)
 	cacheKey := fmt.Sprintf("%s|%v|%d|%v", datasetName, prop, minSize, alg)
 	s.mu.Lock()
 	if name, ok := s.foundPure[cacheKey]; ok {

@@ -139,10 +139,13 @@ func poolNode(a, b *Pool) string {
 // CompareWith is the metered implementation; one work unit is one tag
 // tested. Tags are visited in sorted order so a partial result is a
 // deterministic prefix of the tag universe.
-func CompareWith(c *exec.Ctl, a, b *Pool, opts Options) ([]Result, bool, error) {
+func CompareWith(c *exec.Ctl, a, b *Pool, opts Options) (_ []Result, partial bool, err error) {
 	if a == nil || b == nil {
 		return nil, false, fmt.Errorf("xprofiler: nil pool")
 	}
+	sp := c.StartSpan("xprofiler.Compare")
+	sp.SetInput("%s (%d tags) vs %s (%d tags)", a.Name, len(a.Counts), b.Name, len(b.Counts))
+	defer c.EndSpan(sp, &partial, &err)
 	if opts.Alpha == 0 {
 		opts.Alpha = 0.01
 	}
