@@ -18,7 +18,10 @@
 //	gea session -run|-show -dir D              persistent sessions
 //	gea repl   [-in DIR] [-session DIR]        interactive session shell
 //	gea serve  -in DIR [-addr A] [-debug]      HTTP front end; -debug exposes
-//	                                           /debug/vars, spans and metrics
+//	           [-max-concurrent N] [-max-queue N]  /debug/vars, spans, metrics;
+//	           [-admit-timeout D] [-request-timeout D]  admission queue with
+//	           [-degraded-budget N] [-drain D]    429/503 backpressure and
+//	                                              SIGTERM graceful drain
 package main
 
 import (
@@ -92,7 +95,9 @@ commands:
   annotate   resolve tags through the auxiliary gene databases
   session    run-and-save or inspect a persistent GEA session
   repl       interactive session shell (crash-isolated command loop)
-  serve      HTTP front end (-debug adds span and metrics endpoints)
+  serve      HTTP front end: bounded admission queue, 429/503 backpressure
+             with Retry-After, graceful SIGTERM drain (-debug adds span and
+             metrics endpoints)
 
 run "gea <command> -h" for command flags`)
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -8,40 +10,91 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"gea"
 )
 
-// This file implements "gea serve": a small HTTP front end over a session,
-// built so the observability layer has a live surface. Every /mine request
-// runs a governed pure-fascicle search; with -debug the server also exposes
-// the collected spans and metrics (/debug/spans, /debug/metrics) and the
+// This file implements "gea serve": the HTTP front door over a session,
+// built to stay up under overload. Every /mine request passes through the
+// session's bounded admission queue: a queue-timeout surfaces as 429 with
+// Retry-After, a full queue as an immediate 503 with Retry-After, and
+// while the queue is degraded request budgets are shrunk so callers get
+// flagged partials instead of timeouts. /healthz reports the load state,
+// SIGTERM drains gracefully, and with -debug the server also exposes the
+// collected spans and metrics (/debug/spans, /debug/metrics) and the
 // standard expvar dump (/debug/vars) the registry publishes into.
 
-// debugServer bundles the session, its execution limits and the trace
-// collector every request records into.
-type debugServer struct {
-	sys    *gea.System
-	trace  *gea.ObsCollector
+// serveOptions is the per-server request policy.
+type serveOptions struct {
+	// limits is the base per-request execution limits; the admission
+	// queue's load state may shrink the budget per request.
 	limits gea.ExecLimits
+	// debug exposes the introspection endpoints.
+	debug bool
+	// requestTimeout bounds each /mine request's governed work; an
+	// expired request returns 503 with Retry-After. Zero disables.
+	requestTimeout time.Duration
+}
+
+// gateway bundles the session, the trace collector every request records
+// into, the request policy, and the fault-injection schedule the serve
+// tests drive.
+type gateway struct {
+	sys   *gea.System
+	trace *gea.ObsCollector
+	opts  serveOptions
+	// draining flips when graceful shutdown begins: new /mine work is
+	// refused with 503 before it touches the session.
+	draining atomic.Bool
+	// reqSeq numbers /mine requests in arrival order, the coordinate
+	// system the fault schedule uses.
+	reqSeq atomic.Int64
+	faults *serveFaults
 }
 
 // newServeMux wires the HTTP routes. The debug endpoints are opt-in so a
 // plain "gea serve" exposes analysis only, no introspection surface.
-func newServeMux(sys *gea.System, limits gea.ExecLimits, debug bool) (*debugServer, *http.ServeMux) {
-	s := &debugServer{sys: sys, trace: gea.NewObsCollector(), limits: limits}
+func newServeMux(sys *gea.System, trace *gea.ObsCollector, opts serveOptions) (*gateway, *http.ServeMux) {
+	gw := &gateway{sys: sys, trace: trace, opts: opts, faults: newServeFaults()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/mine", s.handleMine)
-	if debug {
-		s.trace.Metrics.Publish("gea.metrics")
+	mux.HandleFunc("/healthz", protect(gw.handleHealthz))
+	mux.HandleFunc("/mine", protect(gw.handleMine))
+	if opts.debug {
+		trace.Metrics.Publish("gea.metrics")
 		mux.Handle("/debug/vars", expvar.Handler())
-		mux.HandleFunc("/debug/spans", s.handleSpans)
-		mux.HandleFunc("/debug/metrics", s.handleMetrics)
+		mux.HandleFunc("/debug/spans", protect(gw.handleSpans))
+		mux.HandleFunc("/debug/metrics", protect(gw.handleMetrics))
 	}
-	return s, mux
+	return gw, mux
+}
+
+// protect isolates a panicking handler to its own request: the fault is
+// answered with a 500 instead of tearing down the connection (and, under
+// http.Server, the whole serving goroutine's connection state).
+func protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// shutdown begins the graceful drain: new /mine requests are refused,
+// queued admission waiters are kicked, and the call blocks until every
+// in-flight operator has released its slot or ctx dies.
+func (gw *gateway) shutdown(ctx context.Context) error {
+	gw.draining.Store(true)
+	return gw.sys.Shutdown(ctx)
 }
 
 // mineResponse is the JSON body of a /mine reply.
@@ -50,89 +103,360 @@ type mineResponse struct {
 	Fascicle string `json:"fascicle,omitempty"`
 	Units    int64  `json:"units"`
 	Partial  bool   `json:"partial"`
+	// State is the admission load state the request ran under; Degraded
+	// mirrors it as a boolean for quick client checks.
+	State    string `json:"state,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
 	Note     string `json:"note,omitempty"`
 }
 
 // handleMine runs the tissue pipeline (dataset, metadata, governed
 // pure-fascicle search) with the request's context, recording spans and
-// metrics into the server's collector.
-func (s *debugServer) handleMine(w http.ResponseWriter, r *http.Request) {
+// metrics into the server's collector. Status mapping: 400 only for
+// caller errors (missing or unknown tissue), 429 for an admission-queue
+// timeout, 503 for overload/shedding/draining/timeout (all with
+// Retry-After), 500 otherwise. Budget stops are 200s with the partial
+// flagged — that is the degraded mode working as designed.
+func (gw *gateway) handleMine(w http.ResponseWriter, r *http.Request) {
+	n := gw.reqSeq.Add(1)
+	gw.faults.maybePanic(n)
+	if gw.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
 	tissue := r.URL.Query().Get("tissue")
 	if tissue == "" {
 		http.Error(w, "missing ?tissue= parameter", http.StatusBadRequest)
 		return
 	}
-	// Re-mining a tissue reuses the dataset already in the session.
-	if _, err := s.sys.CreateTissueDataset(tissue); err != nil {
+	if _, ok := gw.sys.TissueTypes()[tissue]; !ok {
+		http.Error(w, fmt.Sprintf("unknown tissue %q", tissue), http.StatusBadRequest)
+		return
+	}
+	// Saturated sheds non-essential work before it ever queues.
+	state := gw.sys.AdmissionState()
+	if state == gea.AdmissionSaturated && r.URL.Query().Get("priority") == "low" {
+		w.Header().Set("Retry-After", retryAfterSeconds(gw.sys.AdmissionStats().AvgHold))
+		http.Error(w, "saturated: low-priority request shed", http.StatusServiceUnavailable)
+		return
+	}
+	// Re-mining a tissue reuses the dataset already in the session; any
+	// other creation failure is the server's fault, not the caller's.
+	if _, err := gw.sys.CreateTissueDataset(tissue); err != nil {
 		var exists gea.ErrExists
 		if !errors.As(err, &exists) {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
-	if err := s.sys.GenerateMetadata(tissue, 10); err != nil {
+	if err := gw.sys.GenerateMetadata(tissue, 10); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	ctx := gea.WithObsCollector(r.Context(), s.trace)
-	ctx = gea.WithExecHook(ctx, s.trace.ExecHook())
-	pure, tr, err := s.sys.FindPureFascicleCtx(ctx, tissue, gea.PropCancer, 3, s.limits)
-	resp := mineResponse{Tissue: tissue, Fascicle: pure, Units: tr.Units, Partial: tr.Partial}
+
+	ctx := r.Context()
+	if gw.opts.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, gw.opts.requestTimeout)
+		defer cancel()
+	}
+	ctx = gea.WithObsCollector(ctx, gw.trace)
+	ctx = gea.WithExecHook(ctx, gw.faults.wrap(n, gw.trace.ExecHook()))
+
+	// Budgets are shaped from the load state observed at entry so one
+	// request sees one consistent policy.
+	lim, state := gw.sys.ShapeLimits(gw.opts.limits)
+	pure, tr, err := gw.sys.FindPureFascicleCtx(ctx, tissue, gea.PropCancer, 3, lim)
+	resp := mineResponse{
+		Tissue: tissue, Fascicle: pure, Units: tr.Units, Partial: tr.Partial,
+		State: state.String(), Degraded: state != gea.AdmissionHealthy,
+	}
+	var busy *gea.ErrBusy
+	var overload *gea.ErrOverload
 	switch {
 	case err == nil:
-	case gea.IsCancellation(err):
-		resp.Note = "cancelled"
 	case gea.IsBudget(err):
+		// The work budget (possibly shrunk by degraded mode) ran out:
+		// a flagged partial, not a failure.
+		resp.Partial = true
 		resp.Note = "stopped by the work budget"
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", retryAfterSeconds(busy.RetryAfter))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", retryAfterSeconds(overload.RetryAfter))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, gea.ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case gea.IsCancellation(err):
+		// The request deadline (or the client) cancelled mid-work.
+		resp.Note = "cancelled"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the JSON body of /healthz: overall status, the
+// admission load state, and the full queue snapshot.
+type healthResponse struct {
+	Status    string             `json:"status"`
+	State     string             `json:"state"`
+	Draining  bool               `json:"draining"`
+	Admission gea.AdmissionStats `json:"admission"`
+}
+
+// handleHealthz reports load state: 200 while serving (healthy or
+// degraded — degraded is still serving), 503 once draining.
+func (gw *gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := gw.sys.AdmissionStats()
+	resp := healthResponse{
+		Status:    "ok",
+		State:     st.State.String(),
+		Draining:  gw.draining.Load() || st.ShuttingDown,
+		Admission: st,
+	}
+	code := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleSpans dumps the collector's retained root span records, oldest
 // first — the run-record analogue of a goroutine dump.
-func (s *debugServer) handleSpans(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.trace.Roots())
+func (gw *gateway) handleSpans(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, gw.trace.Roots())
 }
 
 // handleMetrics serves the deterministic metrics snapshot.
-func (s *debugServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.trace.Metrics.Snapshot())
+func (gw *gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, gw.trace.Metrics.Snapshot())
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+// writeJSON encodes to a buffer first so a mid-encode failure can still
+// become a clean 500 instead of trailing garbage on a started 200.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// retryAfterSeconds renders a duration as a Retry-After header value:
+// whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// serveFaults injects deterministic faults into the request path, in the
+// spirit of internal/iofault's op-numbered scripts: /mine requests are
+// numbered in arrival order, and the schedule decides which of them
+// stall at their first exec checkpoint (holding their admission slot)
+// or panic inside the handler. The zero schedule injects nothing, so
+// production requests pay one mutex hit and a map lookup.
+type serveFaults struct {
+	mu      sync.Mutex
+	stalls  map[int64]stallSpec
+	panics  map[int64]bool
+	stalled chan int64
+}
+
+// stallSpec is one scheduled stall: block on release when set,
+// otherwise sleep for dur.
+type stallSpec struct {
+	release <-chan struct{}
+	dur     time.Duration
+}
+
+func newServeFaults() *serveFaults {
+	return &serveFaults{
+		stalls:  map[int64]stallSpec{},
+		panics:  map[int64]bool{},
+		stalled: make(chan int64, 16),
+	}
+}
+
+// StallAt schedules request n (1-based /mine arrival order) to block at
+// its first exec checkpoint until release is closed.
+func (f *serveFaults) StallAt(n int64, release <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stalls[n] = stallSpec{release: release}
+}
+
+// StallFor schedules a duration-bounded stall — the right shape for
+// deadline tests, which must not deadlock if the request dies first.
+func (f *serveFaults) StallFor(n int64, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stalls[n] = stallSpec{dur: d}
+}
+
+// PanicAt schedules request n to panic inside the handler.
+func (f *serveFaults) PanicAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.panics[n] = true
+}
+
+// Stalled emits each request number as its stall begins, so tests can
+// sequence arrivals against a held admission slot.
+func (f *serveFaults) Stalled() <-chan int64 { return f.stalled }
+
+func (f *serveFaults) maybePanic(n int64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	injected := f.panics[n]
+	f.mu.Unlock()
+	if injected {
+		panic(fmt.Sprintf("serveFaults: injected handler crash on request %d", n))
+	}
+}
+
+// wrap composes the trace hook with request n's scheduled stall; the
+// stall fires once, at the request's first checkpoint, even when shard
+// workers poll checkpoints concurrently.
+func (f *serveFaults) wrap(n int64, inner gea.ExecHook) gea.ExecHook {
+	if f == nil {
+		return inner
+	}
+	f.mu.Lock()
+	spec, ok := f.stalls[n]
+	f.mu.Unlock()
+	if !ok {
+		return inner
+	}
+	var once sync.Once
+	return func(nth int64) {
+		inner(nth)
+		once.Do(func() {
+			select {
+			case f.stalled <- n:
+			default:
+			}
+			if spec.release != nil {
+				<-spec.release
+			} else {
+				time.Sleep(spec.dur)
+			}
+		})
 	}
 }
 
 func cmdServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	in := fs.String("in", "SageLibrary", "corpus directory")
 	addr := fs.String("addr", "127.0.0.1:7333", "listen address")
 	workers := fs.Int("workers", 1, "worker count for sharded evaluation (results are identical at any setting)")
 	budget := fs.Int64("budget", 0, "work-unit budget per request (0 = unlimited; exceeded requests return partial results)")
 	debug := fs.Bool("debug", false, "expose /debug/vars, /debug/spans and /debug/metrics")
-	fs.Parse(args)
+	maxConcurrent := fs.Int("max-concurrent", gea.DefaultMaxConcurrent, "concurrent mining operations")
+	maxQueue := fs.Int("max-queue", gea.DefaultMaxQueue, "admission queue depth; a full queue answers 503 immediately")
+	admitTimeout := fs.Duration("admit-timeout", 2*time.Second, "longest a request waits for an admission slot before 429")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request work deadline; expired requests answer 503")
+	degradedBudget := fs.Int64("degraded-budget", 0, "budget cap applied to unlimited requests while degraded (0 = none)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown window before in-flight work is cancelled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	corpus, err := gea.LoadCorpus(*in)
 	if err != nil {
 		return err
 	}
-	sys, err := gea.NewSystem(corpus, gea.SystemOptions{User: "serve", Workers: *workers})
+	trace := gea.NewObsCollector()
+	sys, err := gea.NewSystem(corpus, gea.SystemOptions{
+		User:             "serve",
+		Workers:          *workers,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		AdmitTimeout:     *admitTimeout,
+		DegradedBudget:   *degradedBudget,
+		AdmissionMetrics: trace.Metrics,
+	})
 	if err != nil {
 		return err
 	}
-	_, mux := newServeMux(sys, gea.ExecLimits{Budget: *budget, Workers: *workers}, *debug)
+	gw, mux := newServeMux(sys, trace, serveOptions{
+		limits:         gea.ExecLimits{Budget: *budget, Workers: *workers},
+		debug:          *debug,
+		requestTimeout: *requestTimeout,
+	})
+
+	// baseCtx parents every request context; cancelling it is the hard
+	// stop that unwinds in-flight operators at their next checkpoint.
+	baseCtx, cancelOps := context.WithCancel(context.Background())
+	defer cancelOps()
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      *requestTimeout + 5*time.Second,
+		IdleTimeout:       60 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("gea serve listening on http://%s (debug endpoints: %v)\n", ln.Addr(), *debug)
-	return http.Serve(ln, mux)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-sigCtx.Done():
+	}
+
+	// Graceful drain: stop accepting /mine work, kick queued waiters,
+	// let in-flight operators finish inside the drain window; past it,
+	// cancel them through the base context and wait for the unwind.
+	fmt.Fprintf(os.Stderr, "gea serve: signal received, draining (window %v)\n", *drain)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	if err := gw.shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "gea serve: drain window expired, cancelling in-flight operators")
+		cancelOps()
+		hardCtx, cancelHard := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelHard()
+		if err := gw.sys.Shutdown(hardCtx); err != nil {
+			return fmt.Errorf("in-flight operators did not unwind after cancellation: %w", err)
+		}
+	}
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelClose()
+	if err := srv.Shutdown(closeCtx); err != nil {
+		srv.Close()
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "gea serve: drained, exiting")
+	return nil
 }

@@ -37,7 +37,7 @@ func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorde
 // the metrics endpoint its counters, and /debug/vars the published
 // registry.
 func TestServeMineRecordsSpans(t *testing.T) {
-	_, mux := newServeMux(serveSystem(t), gea.ExecLimits{}, true)
+	_, mux := newServeMux(serveSystem(t), gea.NewObsCollector(), serveOptions{debug: true})
 
 	if rr := get(t, mux, "/healthz"); rr.Code != http.StatusOK {
 		t.Fatalf("/healthz = %d", rr.Code)
@@ -95,7 +95,7 @@ func TestServeMineRecordsSpans(t *testing.T) {
 // TestServeWithoutDebugHidesIntrospection checks a plain serve mux exposes
 // analysis only.
 func TestServeWithoutDebugHidesIntrospection(t *testing.T) {
-	_, mux := newServeMux(serveSystem(t), gea.ExecLimits{}, false)
+	_, mux := newServeMux(serveSystem(t), gea.NewObsCollector(), serveOptions{})
 	for _, url := range []string{"/debug/spans", "/debug/metrics", "/debug/vars"} {
 		if rr := get(t, mux, url); rr.Code != http.StatusNotFound {
 			t.Errorf("%s = %d, want 404 with -debug off", url, rr.Code)
@@ -109,7 +109,8 @@ func TestServeWithoutDebugHidesIntrospection(t *testing.T) {
 // TestServeBudgetStop checks an impossible per-request budget surfaces as a
 // friendly note, not a 500, and the span records the budget outcome.
 func TestServeBudgetStop(t *testing.T) {
-	srv, mux := newServeMux(serveSystem(t), gea.ExecLimits{Budget: 3}, true)
+	srv, mux := newServeMux(serveSystem(t), gea.NewObsCollector(),
+		serveOptions{limits: gea.ExecLimits{Budget: 3}, debug: true})
 	rr := get(t, mux, "/mine?tissue=brain")
 	if rr.Code != http.StatusOK {
 		t.Fatalf("budget-stopped mine = %d: %s", rr.Code, rr.Body.String())

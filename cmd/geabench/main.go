@@ -19,6 +19,9 @@
 //	                                  (with span trees + metrics snapshot)
 //	geabench -json-out PATH           same, but to an explicit path
 //	geabench -full                    use the 100-library full-scale corpus
+//	geabench -serve URL               load-test a running "gea serve" server
+//	                                  (-clients N x -requests M /mine calls,
+//	                                  retrying 429/503 per Retry-After)
 package main
 
 import (
@@ -97,9 +100,30 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write the perf experiment's records to BENCH_<n>.json")
 	jsonPath := flag.String("json-out", "", "write the perf experiment's records to this exact path (implies -json; empty = scan the CWD for the first unused BENCH_<n>.json)")
 	benchNum := flag.Int("benchnum", 0, "pin the BENCH_<n>.json slot written by -json (0 = first unused)")
+	serveURL := flag.String("serve", "", "load-test a running gea serve instance at this base URL instead of running experiments")
+	clients := flag.Int("clients", 4, "concurrent clients for -serve")
+	requests := flag.Int("requests", 10, "requests per client for -serve")
 	flag.Parse()
 	if *jsonPath != "" {
 		*jsonOut = true
+	}
+
+	if *serveURL != "" {
+		// Server-side load generation needs no local corpus: the server
+		// under test holds the data.
+		e := &env{full: *full, seed: *seed, jsonOut: *jsonOut, jsonPath: *jsonPath,
+			benchNum: *benchNum}
+		if err := runServeLoad(e, strings.TrimRight(*serveURL, "/"), *clients, *requests); err != nil {
+			fmt.Fprintln(os.Stderr, "geabench -serve:", err)
+			os.Exit(1)
+		}
+		if *jsonOut && len(e.bench) > 0 {
+			if err := writeBenchJSON(e); err != nil {
+				fmt.Fprintln(os.Stderr, "geabench: writing benchmark records:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	exps := []experiment{

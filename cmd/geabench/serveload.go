@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file is the server-side load generator behind "geabench -serve":
+// the first BENCH series measured across the HTTP boundary rather than
+// in-process. N concurrent clients hammer a running "gea serve" front
+// door with /mine requests (about a quarter marked priority=low so a
+// saturated server has something to shed) and retry 429/503 answers
+// with backoff that honors the server's Retry-After advice — the
+// well-behaved client the overload design assumes.
+
+// serveLoadAttempts bounds retries per logical request; past it the
+// request counts as given up, not failed transport.
+const serveLoadAttempts = 6
+
+// serveMineReply is the subset of the server's /mine body the load
+// generator reads.
+type serveMineReply struct {
+	Fascicle string `json:"fascicle"`
+	Units    int64  `json:"units"`
+	Partial  bool   `json:"partial"`
+	Degraded bool   `json:"degraded"`
+	State    string `json:"state"`
+}
+
+// serveHealthz is the subset of /healthz the load generator reads.
+type serveHealthz struct {
+	Status string `json:"status"`
+	State  string `json:"state"`
+}
+
+// serveLoadStats tallies outcomes across all clients.
+type serveLoadStats struct {
+	mu       sync.Mutex
+	ok       int64 // 200 full results
+	partial  int64 // 200 flagged partials (degraded mode working)
+	degraded int64 // 200s that ran under a non-healthy state
+	retries  int64 // 429/503 answers that were retried
+	gaveUp   int64 // retry budget exhausted
+	failures int64 // transport errors and unexpected statuses
+	units    int64
+	statuses map[int]int64
+}
+
+func (st *serveLoadStats) note(code int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.statuses[code]++
+}
+
+// runServeLoad drives the load and prints the series. It fails only
+// when the server is unreachable or not a single request completed —
+// 429/503 under pressure are expected outcomes, not errors.
+func runServeLoad(e *env, baseURL string, clients, requests int) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	health, err := fetchHealthz(client, baseURL)
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+	fmt.Printf("server at %s: status %q, state %q\n", baseURL, health.Status, health.State)
+	fmt.Printf("driving %d clients x %d requests\n", clients, requests)
+
+	st := &serveLoadStats{statuses: map[int]int64{}}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				low := (c*requests+r)%4 == 0
+				st.request(client, baseURL, low)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	completed := st.ok + st.partial
+	total := int64(clients * requests)
+	fmt.Printf("completed %d/%d requests in %v (%.1f req/s)\n",
+		completed, total, wall.Round(time.Millisecond),
+		float64(completed)/wall.Seconds())
+	fmt.Printf("  full results    %d\n", st.ok)
+	fmt.Printf("  partials        %d (budget-shrunk under load)\n", st.partial)
+	fmt.Printf("  degraded runs   %d\n", st.degraded)
+	fmt.Printf("  retries         %d (after 429/503 with Retry-After)\n", st.retries)
+	fmt.Printf("  gave up         %d (retry budget of %d exhausted)\n", st.gaveUp, serveLoadAttempts)
+	fmt.Printf("  failures        %d\n", st.failures)
+	codes := make([]int, 0, len(st.statuses))
+	for c := range st.statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  status %d      x%d\n", c, st.statuses[c])
+	}
+	if after, err := fetchHealthz(client, baseURL); err == nil {
+		fmt.Printf("server state after load: %q\n", after.State)
+	}
+
+	e.bench = append(e.bench, benchRecord{
+		Op: "serve.mine", Workers: clients, WallNS: wall.Nanoseconds(),
+		Wall: wall.Round(time.Microsecond).String(), Units: st.units, Reps: int(completed),
+	})
+	if completed == 0 {
+		return fmt.Errorf("no request completed: %d retries exhausted, %d failures", st.gaveUp, st.failures)
+	}
+	return nil
+}
+
+// request issues one logical /mine request, retrying overload answers
+// with Retry-After-honoring backoff.
+func (st *serveLoadStats) request(client *http.Client, baseURL string, low bool) {
+	url := baseURL + "/mine?tissue=brain"
+	if low {
+		url += "&priority=low"
+	}
+	backoff := 50 * time.Millisecond
+	for attempt := 1; attempt <= serveLoadAttempts; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			st.mu.Lock()
+			st.failures++
+			st.mu.Unlock()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		st.note(resp.StatusCode)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var mr serveMineReply
+			_ = json.Unmarshal(body, &mr)
+			st.mu.Lock()
+			st.units += mr.Units
+			if mr.Partial {
+				st.partial++
+			} else {
+				st.ok++
+			}
+			if mr.Degraded {
+				st.degraded++
+			}
+			st.mu.Unlock()
+			return
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			st.mu.Lock()
+			st.retries++
+			st.mu.Unlock()
+			d := backoff
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					d = time.Duration(secs) * time.Second
+				}
+			}
+			// The advice is capped so a short soak can't stall on one
+			// pessimistic estimate.
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			time.Sleep(d)
+			backoff *= 2
+		default:
+			st.mu.Lock()
+			st.failures++
+			st.mu.Unlock()
+			return
+		}
+	}
+	st.mu.Lock()
+	st.gaveUp++
+	st.mu.Unlock()
+}
+
+// fetchHealthz reads the server's health document; any status code is
+// fine (a draining server answers 503 with a body).
+func fetchHealthz(client *http.Client, baseURL string) (serveHealthz, error) {
+	var h serveHealthz
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return h, fmt.Errorf("parsing /healthz: %w", err)
+	}
+	return h, nil
+}

@@ -1,6 +1,7 @@
 package gea
 
 import (
+	"gea/internal/admission"
 	"gea/internal/cluster"
 	"gea/internal/core"
 	"gea/internal/exec"
@@ -39,6 +40,16 @@ type (
 	// ErrBusy reports that a System operation gave up waiting for an
 	// admission slot.
 	ErrBusy = system.ErrBusy
+	// ErrOverload reports that a System operation was rejected
+	// immediately because the admission queue was full; it carries
+	// retry-after advice.
+	ErrOverload = admission.ErrOverload
+	// AdmissionState is the session's load-shedding state (healthy,
+	// degraded, saturated); see System.AdmissionState and ShapeLimits.
+	AdmissionState = admission.State
+	// AdmissionStats is the point-in-time admission queue snapshot
+	// System.AdmissionStats returns, JSON-ready for health endpoints.
+	AdmissionStats = admission.Stats
 )
 
 var (
@@ -54,6 +65,9 @@ var (
 	// WithExecHook returns a context whose governed operators call the
 	// hook at every checkpoint.
 	WithExecHook = exec.WithHook
+	// ErrShuttingDown is returned by governed System operations — and
+	// handed to kicked admission waiters — once System.Shutdown begins.
+	ErrShuttingDown = admission.ErrShutdown
 )
 
 // Governed operator variants. Each takes a context and ExecLimits and
@@ -83,5 +97,14 @@ var (
 // Admission-control defaults of a System session.
 const (
 	DefaultMaxConcurrent = system.DefaultMaxConcurrent
+	DefaultMaxQueue      = system.DefaultMaxQueue
 	DefaultAdmitTimeout  = system.DefaultAdmitTimeout
+)
+
+// Admission load states, re-exported for matching against
+// System.AdmissionState and the state ShapeLimits reports.
+const (
+	AdmissionHealthy   = admission.Healthy
+	AdmissionDegraded  = admission.Degraded
+	AdmissionSaturated = admission.Saturated
 )

@@ -1,0 +1,213 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosOutcome tallies how the chaos workers' attempts resolved, so
+// the final accounting can prove no slot was dropped on any path.
+type chaosOutcome struct {
+	admitted  atomic.Int64
+	canceled  atomic.Int64
+	timedOut  atomic.Int64
+	rejected  atomic.Int64
+	kicked    atomic.Int64
+	preDead   atomic.Int64
+	postShut  atomic.Int64
+	lateAdmit atomic.Int64
+}
+
+// TestAdmissionChaos runs randomized arrival/cancel/crash schedules
+// against one queue per seed, shuts it down mid-storm, and checks the
+// invariants the tentpole promises: no admission-slot leak, no
+// admission after the drain completes, every waiter resolves, and the
+// drained queue is fully idle. The -race runs in CI make this the
+// memory-safety proof as well.
+func TestAdmissionChaos(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			chaosRound(t, seed)
+		})
+	}
+}
+
+func chaosRound(t *testing.T, seed int64) {
+	q := New(Options{
+		MaxActive:    3,
+		MaxQueue:     5,
+		AdmitTimeout: 40 * time.Millisecond,
+	})
+	var (
+		out     chaosOutcome
+		drained atomic.Bool
+		wg      sync.WaitGroup
+	)
+	const workers = 12
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+			for i := 0; i < 10; i++ {
+				chaosAttempt(q, rng, &out, &drained)
+				time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+			}
+		}(w)
+	}
+
+	// Let the storm build, then shut down in the middle of it.
+	time.Sleep(15 * time.Millisecond)
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	drained.Store(true)
+	wg.Wait()
+
+	if out.lateAdmit.Load() != 0 {
+		t.Fatalf("%d admissions after shutdown drained", out.lateAdmit.Load())
+	}
+	st := q.Stats()
+	if st.Active != 0 || st.QueueDepth != 0 {
+		t.Fatalf("slot leak: %+v", st)
+	}
+	if !st.ShuttingDown {
+		t.Fatal("queue not marked shutting down")
+	}
+	if _, err := q.Enqueue(context.Background()); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post-drain enqueue: got %v, want ErrShutdown", err)
+	}
+	// Every attempt resolved exactly one way; the queue's own counters
+	// agree with the workers' view of admissions and kicks. A waiter
+	// whose cancellation lost the race to admission is an admission to
+	// the queue but a context error to its worker, and its slot was
+	// returned inside Wait — so the two views differ by exactly the
+	// cancellations the queue did NOT see as abandoned waiters.
+	lostRace := out.canceled.Load() - st.Canceled
+	if lostRace < 0 || st.Admitted != out.admitted.Load()+lostRace {
+		t.Fatalf("admission accounting: queue %+v, workers admitted %d canceled %d",
+			st, out.admitted.Load(), out.canceled.Load())
+	}
+	if st.Kicked != out.kicked.Load() {
+		t.Fatalf("queue kicked %d, workers saw %d", st.Kicked, out.kicked.Load())
+	}
+	if out.admitted.Load() == 0 {
+		t.Fatal("chaos round admitted nothing; schedule too hostile to prove anything")
+	}
+	t.Logf("seed %d: %+v", seed, st)
+}
+
+// chaosAttempt is one randomized request: maybe pre-cancelled, maybe
+// cancelled mid-wait, maybe "crashing" (panicking) while holding the
+// slot with only a deferred release to clean up — the same shape
+// exec.Guard produces in a real operator.
+func chaosAttempt(q *Queue, rng *rand.Rand, out *chaosOutcome, drained *atomic.Bool) {
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	switch rng.Intn(10) {
+	case 0: // pre-cancelled arrival
+		ctx, cancel = context.WithCancel(ctx)
+		cancel()
+	case 1, 2, 3: // cancels somewhere around the admission wait
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(2000))*time.Microsecond)
+	}
+	defer cancel()
+
+	tk, err := q.Enqueue(ctx)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrShutdown):
+		out.postShut.Add(1)
+		return
+	case errors.As(err, new(*ErrOverload)):
+		out.rejected.Add(1)
+		return
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		out.preDead.Add(1)
+		return
+	default:
+		out.postShut.Add(1) // unreachable; counted so the test can't hang
+		return
+	}
+
+	release, err := tk.Wait(ctx)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrShutdown):
+		out.kicked.Add(1)
+		return
+	case errors.As(err, new(*ErrTimeout)):
+		out.timedOut.Add(1)
+		return
+	default:
+		out.canceled.Add(1)
+		return
+	}
+
+	out.admitted.Add(1)
+	if drained.Load() {
+		// Shutdown only returns once active==0 and no waiter can be
+		// admitted afterwards, so this must never fire.
+		out.lateAdmit.Add(1)
+	}
+	crashed := func() (crashed bool) {
+		defer release()
+		defer func() {
+			if recover() != nil {
+				crashed = true
+			}
+		}()
+		time.Sleep(time.Duration(rng.Intn(1500)) * time.Microsecond)
+		if rng.Intn(5) == 0 {
+			panic("chaos: operator crash while holding a slot")
+		}
+		return false
+	}()
+	_ = crashed
+}
+
+// TestAdmissionChaosCancelStorm aims every waiter's context at the
+// window where admission hand-off races cancellation: the slot must
+// always be returned (admit-then-cancel path) or the waiter must leave
+// the queue, never both and never neither.
+func TestAdmissionChaosCancelStorm(t *testing.T) {
+	q := New(Options{MaxActive: 1, MaxQueue: 32})
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 40; round++ {
+		release, err := q.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("round %d holder: %v", round, err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(),
+				time.Duration(rng.Intn(800))*time.Microsecond)
+			tk, err := q.Enqueue(ctx)
+			if err != nil {
+				cancel()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer cancel()
+				rel, err := tk.Wait(ctx)
+				if err == nil {
+					rel()
+				}
+			}()
+		}
+		// Release at a random point inside the cancellation window.
+		time.Sleep(time.Duration(rng.Intn(600)) * time.Microsecond)
+		release()
+		wg.Wait()
+		if st := q.Stats(); st.Active != 0 || st.QueueDepth != 0 {
+			t.Fatalf("round %d leaked: %+v", round, st)
+		}
+	}
+}

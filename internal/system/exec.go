@@ -2,74 +2,131 @@ package system
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"gea/internal/admission"
 	"gea/internal/core"
 	"gea/internal/exec"
 	"gea/internal/sage"
 )
 
-// Admission-control defaults; see Options.MaxConcurrent and
-// Options.AdmitTimeout.
+// Admission-control defaults; see Options.MaxConcurrent,
+// Options.MaxQueue and Options.AdmitTimeout.
 const (
-	DefaultMaxConcurrent = 4
+	DefaultMaxConcurrent = admission.DefaultMaxActive
+	DefaultMaxQueue      = admission.DefaultMaxQueue
 	DefaultAdmitTimeout  = 10 * time.Second
 )
 
 // ErrBusy is returned when a heavy operation could not get an admission
 // slot within the session's AdmitTimeout: MaxConcurrent other operations
-// were still computing when the caller gave up.
+// were still computing when the caller gave up. Distinct from
+// *admission.ErrOverload, which rejects immediately because even the
+// wait queue is full.
 type ErrBusy struct {
 	// Waited is how long the caller queued before giving up.
 	Waited time.Duration
+	// Position is the 1-based queue position the caller held.
+	Position int
+	// RetryAfter estimates when a retry might be admitted promptly.
+	RetryAfter time.Duration
 }
 
 func (e *ErrBusy) Error() string {
 	return fmt.Sprintf("system: busy: no admission slot after %v", e.Waited)
 }
 
-// initAdmission sets up the admission semaphore; zero arguments select the
-// defaults. Called from New and LoadSessionFS (a loaded session gets the
-// defaults — admission settings are runtime policy, not session state).
-func (s *System) initAdmission(maxConcurrent int, admitTimeout time.Duration) {
-	if maxConcurrent <= 0 {
-		maxConcurrent = DefaultMaxConcurrent
+// initAdmission builds the admission queue from the session options;
+// zero fields select the defaults. Called from New and LoadSessionFS (a
+// loaded session gets the defaults — admission settings are runtime
+// policy, not session state).
+func (s *System) initAdmission(opts Options) {
+	maxActive := opts.MaxConcurrent
+	if maxActive <= 0 {
+		maxActive = DefaultMaxConcurrent
 	}
+	maxQueue := opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	admitTimeout := opts.AdmitTimeout
 	if admitTimeout <= 0 {
 		admitTimeout = DefaultAdmitTimeout
 	}
-	s.admit = make(chan struct{}, maxConcurrent)
-	s.admitTimeout = admitTimeout
+	s.queue = admission.New(admission.Options{
+		MaxActive:       maxActive,
+		MaxQueue:        maxQueue,
+		AdmitTimeout:    admitTimeout,
+		DegradeAtDepth:  opts.DegradeAtDepth,
+		SaturateAtDepth: opts.SaturateAtDepth,
+		DegradeFactor:   opts.DegradeFactor,
+		DegradedBudget:  opts.DegradedBudget,
+		Metrics:         opts.AdmissionMetrics,
+	})
 }
 
-// acquire takes an admission slot, queueing until one frees, the context
-// is done, or the admission timeout elapses. It returns the release
+// acquire takes an admission slot through the bounded FIFO queue,
+// waiting until one frees, the context dies, the admission timeout
+// elapses (*ErrBusy), the queue is full (*admission.ErrOverload,
+// immediate) or shutdown kicks the waiter. It returns the release
 // function on success.
 func (s *System) acquire(ctx context.Context) (func(), error) {
-	if s.admit == nil {
+	if s.queue == nil {
 		// Zero-value or hand-built System: admission control disabled.
 		return func() {}, nil
 	}
-	if ctx == nil {
-		ctx = context.Background()
+	release, err := s.queue.Acquire(ctx)
+	if err != nil {
+		var to *admission.ErrTimeout
+		if errors.As(err, &to) {
+			return nil, &ErrBusy{Waited: to.Waited, Position: to.Position, RetryAfter: to.RetryAfter}
+		}
+		return nil, err
 	}
-	select {
-	case s.admit <- struct{}{}:
-		return func() { <-s.admit }, nil
-	default:
+	return release, nil
+}
+
+// Shutdown drains the session for a graceful stop: queued admission
+// waiters are kicked with admission.ErrShutdown, new governed calls are
+// refused, and the call blocks until every in-flight operation releases
+// its slot or ctx dies. In-flight operations are not cancelled here —
+// cancel their contexts to hurry them. Idempotent.
+func (s *System) Shutdown(ctx context.Context) error {
+	if s.queue == nil {
+		return nil
 	}
-	start := time.Now()
-	timer := time.NewTimer(s.admitTimeout)
-	defer timer.Stop()
-	select {
-	case s.admit <- struct{}{}:
-		return func() { <-s.admit }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-timer.C:
-		return nil, &ErrBusy{Waited: time.Since(start)}
+	return s.queue.Shutdown(ctx)
+}
+
+// AdmissionState reports the queue's load-shedding state.
+func (s *System) AdmissionState() admission.State {
+	if s.queue == nil {
+		return admission.Healthy
 	}
+	return s.queue.State()
+}
+
+// AdmissionStats snapshots the admission queue for health surfaces.
+func (s *System) AdmissionStats() admission.Stats {
+	if s.queue == nil {
+		return admission.Stats{}
+	}
+	return s.queue.Stats()
+}
+
+// ShapeLimits applies the session's worker default and the admission
+// queue's load-shedding policy to a request's limits, reporting the
+// state that applied: under Degraded or Saturated the budget shrinks so
+// the request returns a flagged partial instead of holding a slot until
+// it times out.
+func (s *System) ShapeLimits(lim exec.Limits) (exec.Limits, admission.State) {
+	lim = s.limits(lim)
+	if s.queue == nil {
+		return lim, admission.Healthy
+	}
+	return s.queue.Shape(lim)
 }
 
 // limits applies the session's worker default to a caller's Limits: an

@@ -409,7 +409,7 @@ func LoadSessionFS(fsys atomicio.FS, dir string, catalog *sagegen.Catalog, geneD
 	if sys.foundPure == nil {
 		sys.foundPure = map[string]string{}
 	}
-	sys.initAdmission(0, 0)
+	sys.initAdmission(Options{})
 	if m.CleanReport != nil {
 		sys.CleanReport = &clean.Report{
 			UniqueTagsBefore: m.CleanReport.UniqueTagsBefore,

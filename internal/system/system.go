@@ -8,12 +8,14 @@ import (
 	"sync"
 	"time"
 
+	"gea/internal/admission"
 	"gea/internal/clean"
 	"gea/internal/core"
 	"gea/internal/exec"
 	"gea/internal/fascicle"
 	"gea/internal/genedb"
 	"gea/internal/lineage"
+	"gea/internal/obs"
 	"gea/internal/relational"
 	"gea/internal/sage"
 	"gea/internal/sagegen"
@@ -37,9 +39,28 @@ type Options struct {
 	// run at once; further callers queue for an admission slot. Zero means
 	// the default of 4.
 	MaxConcurrent int
+	// MaxQueue bounds how many callers may wait for an admission slot;
+	// one more is rejected immediately with *admission.ErrOverload. Zero
+	// means the default of 16.
+	MaxQueue int
 	// AdmitTimeout bounds how long a caller queues for an admission slot
 	// before failing with *ErrBusy. Zero means the default of 10s.
 	AdmitTimeout time.Duration
+	// DegradeAtDepth and SaturateAtDepth are the queue depths at which
+	// the admission state machine tips into Degraded and Saturated; zero
+	// selects the admission package defaults (half and nine-tenths of
+	// MaxQueue).
+	DegradeAtDepth  int
+	SaturateAtDepth int
+	// DegradeFactor scales explicit request budgets while the queue is
+	// Degraded or Saturated (ShapeLimits); zero means 0.25.
+	DegradeFactor float64
+	// DegradedBudget caps otherwise-unlimited request budgets while
+	// Degraded or Saturated; zero leaves them unlimited.
+	DegradedBudget int64
+	// AdmissionMetrics optionally records admission queue gauges,
+	// counters and wait times; nil disables instrumentation.
+	AdmissionMetrics *obs.Registry
 	// Workers is the default intra-operation worker count for sharded
 	// evaluation; <= 0 means 1 (sequential). It composes with
 	// MaxConcurrent without deadlock risk: workers are plain goroutines
@@ -52,11 +73,13 @@ type Options struct {
 
 // System is one GEA session over a cleaned corpus. Registry access is
 // serialized by an internal mutex, so a System is safe for concurrent use;
-// heavy operations (mining, diffs) additionally pass through an admission
-// semaphore so at most MaxConcurrent compute at once — further callers
-// queue, and give up with *ErrBusy after AdmitTimeout. The exported Store,
-// Lineage and Data fields are not themselves synchronized: direct access
-// to them concurrently with session operations needs external care.
+// heavy operations (mining, diffs) additionally pass through a bounded
+// FIFO admission queue so at most MaxConcurrent compute at once — up to
+// MaxQueue further callers wait (giving up with *ErrBusy after
+// AdmitTimeout), and past that callers are rejected immediately with
+// *admission.ErrOverload. The exported Store, Lineage and Data fields
+// are not themselves synchronized: direct access to them concurrently
+// with session operations needs external care.
 type System struct {
 	User        string
 	Store       *relational.Store
@@ -82,10 +105,9 @@ type System struct {
 
 	// mu serializes access to the registries, catalog and lineage.
 	mu sync.Mutex
-	// admit is the admission semaphore for heavy operations; a send
-	// acquires a slot, a receive releases it.
-	admit        chan struct{}
-	admitTimeout time.Duration
+	// queue is the bounded FIFO admission queue for heavy operations;
+	// see internal/admission.
+	queue *admission.Queue
 	// workers is the session default for exec.Limits.Workers; see
 	// Options.Workers.
 	workers int
@@ -134,7 +156,7 @@ func New(corpus *sage.Corpus, opts Options) (*System, error) {
 		foundPure:   map[string]string{},
 		workers:     opts.Workers,
 	}
-	sys.initAdmission(opts.MaxConcurrent, opts.AdmitTimeout)
+	sys.initAdmission(opts)
 	if err := initCatalog(sys.Store); err != nil {
 		return nil, err
 	}
