@@ -15,6 +15,9 @@
 //	gea case   -n 1..5                         run a case study end to end
 //	gea xprofiler -in DIR -tissue T            pooled differential test
 //	gea annotate -tags T1,T2                   gene-database lookups
+//	gea ingest -dir D [-batches N]             stream a corpus into an
+//	                                           append store, one crash-safe
+//	                                           generation per batch
 //	gea session -run|-show -dir D              persistent sessions
 //	gea repl   [-in DIR] [-session DIR]        interactive session shell
 //	gea serve  -in DIR [-addr A] [-debug]      HTTP front end; -debug exposes
@@ -60,6 +63,8 @@ func main() {
 		err = cmdXProfiler(args)
 	case "annotate":
 		err = cmdAnnotate(args)
+	case "ingest":
+		err = cmdIngest(args)
 	case "session":
 		err = cmdSession(args)
 	case "repl":
@@ -93,11 +98,13 @@ commands:
   case       run one of the five thesis case studies (synthetic data)
   xprofiler  pooled Audic-Claverie comparison (the NCBI tool)
   annotate   resolve tags through the auxiliary gene databases
+  ingest     stream a synthetic corpus into an append store batch by
+             batch: generation commits, transient-fault retry, quarantine
   session    run-and-save or inspect a persistent GEA session
   repl       interactive session shell (crash-isolated command loop)
   serve      HTTP front end: bounded admission queue, 429/503 backpressure
              with Retry-After, graceful SIGTERM drain (-debug adds span and
-             metrics endpoints)
+             metrics endpoints; -ingest adds POST /ingest streaming appends)
 
 run "gea <command> -h" for command flags`)
 }

@@ -41,6 +41,9 @@ type serveOptions struct {
 	// requestTimeout bounds each /mine request's governed work; an
 	// expired request returns 503 with Retry-After. Zero disables.
 	requestTimeout time.Duration
+	// ingest exposes POST /ingest; the session must have been built with
+	// SystemOptions.Ingest.
+	ingest bool
 }
 
 // gateway bundles the session, the trace collector every request records
@@ -66,6 +69,9 @@ func newServeMux(sys *gea.System, trace *gea.ObsCollector, opts serveOptions) (*
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", protect(gw.handleHealthz))
 	mux.HandleFunc("/mine", protect(gw.handleMine))
+	if opts.ingest {
+		mux.HandleFunc("/ingest", protect(gw.handleIngest))
+	}
 	if opts.debug {
 		trace.Metrics.Publish("gea.metrics")
 		mux.Handle("/debug/vars", expvar.Handler())
@@ -206,13 +212,96 @@ func (gw *gateway) handleMine(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ingestResponse is the JSON body of a /ingest reply: the append report
+// plus the corpus generation the session serves after the commit.
+type ingestResponse struct {
+	*gea.IngestReport
+	// Generation is the session's corpus-generation token after this
+	// append (readers of /mine see exactly this corpus or a later one).
+	Generation uint64 `json:"generation"`
+	State      string `json:"state,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+}
+
+// handleIngest accepts one append batch (POST, JSON wire form). Status
+// mapping mirrors /mine: 400 for a caller problem (bad method aside —
+// that is 405 — a payload that does not decode), 429 for an
+// admission-queue timeout, 503 for overload/draining/cancellation with
+// Retry-After, 500 otherwise. Schema violations inside a well-formed
+// batch are NOT errors: those libraries are quarantined and reported in
+// the 200 body while the valid remainder commits.
+func (gw *gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if gw.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JSON batch", http.StatusMethodNotAllowed)
+		return
+	}
+	batch, err := gea.DecodeIngestBatch(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	if gw.opts.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, gw.opts.requestTimeout)
+		defer cancel()
+	}
+	ctx = gea.WithObsCollector(ctx, gw.trace)
+
+	lim, state := gw.sys.ShapeLimits(gw.opts.limits)
+	rep, _, err := gw.sys.IngestAppendCtx(ctx, batch, lim)
+	var busy *gea.ErrBusy
+	var overload *gea.ErrOverload
+	switch {
+	case err == nil:
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", retryAfterSeconds(busy.RetryAfter))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", retryAfterSeconds(overload.RetryAfter))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, gea.ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case gea.IsCancellation(err), gea.IsBudget(err):
+		// The request deadline died mid-append, or degraded-mode budget
+		// shaping stopped the apply. Nothing was committed (the view swap
+		// is all-or-nothing), so the client can simply retry.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		IngestReport: rep,
+		Generation:   gw.sys.Generation(),
+		State:        state.String(),
+		Degraded:     state != gea.AdmissionHealthy,
+	})
+}
+
 // healthResponse is the JSON body of /healthz: overall status, the
 // admission load state, and the full queue snapshot.
 type healthResponse struct {
-	Status    string             `json:"status"`
-	State     string             `json:"state"`
-	Draining  bool               `json:"draining"`
-	Admission gea.AdmissionStats `json:"admission"`
+	Status   string `json:"status"`
+	State    string `json:"state"`
+	Draining bool   `json:"draining"`
+	// Generation is the corpus generation the session serves; 0 when the
+	// session was built without streaming ingestion.
+	Generation uint64             `json:"generation,omitempty"`
+	Admission  gea.AdmissionStats `json:"admission"`
 }
 
 // handleHealthz reports load state: 200 while serving (healthy or
@@ -220,10 +309,11 @@ type healthResponse struct {
 func (gw *gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := gw.sys.AdmissionStats()
 	resp := healthResponse{
-		Status:    "ok",
-		State:     st.State.String(),
-		Draining:  gw.draining.Load() || st.ShuttingDown,
-		Admission: st,
+		Status:     "ok",
+		State:      st.State.String(),
+		Draining:   gw.draining.Load() || st.ShuttingDown,
+		Generation: gw.sys.Generation(),
+		Admission:  st,
 	}
 	code := http.StatusOK
 	if resp.Draining {
@@ -379,16 +469,13 @@ func cmdServe(args []string) error {
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request work deadline; expired requests answer 503")
 	degradedBudget := fs.Int64("degraded-budget", 0, "budget cap applied to unlimited requests while degraded (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown window before in-flight work is cancelled")
+	ingest := fs.Bool("ingest", false, "expose POST /ingest: accept append batches, committing each as a crash-safe corpus generation in -in")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	corpus, err := gea.LoadCorpus(*in)
-	if err != nil {
-		return err
-	}
 	trace := gea.NewObsCollector()
-	sys, err := gea.NewSystem(corpus, gea.SystemOptions{
+	sysOpts := gea.SystemOptions{
 		User:             "serve",
 		Workers:          *workers,
 		MaxConcurrent:    *maxConcurrent,
@@ -396,7 +483,29 @@ func cmdServe(args []string) error {
 		AdmitTimeout:     *admitTimeout,
 		DegradedBudget:   *degradedBudget,
 		AdmissionMetrics: trace.Metrics,
-	})
+	}
+	var corpus *gea.Corpus
+	if *ingest {
+		// The corpus directory doubles as the append store; a directory
+		// written by "gea gen" upgrades for free, and a missing CURRENT
+		// opens as an empty store that the first append initializes.
+		st, loaded, problems, err := gea.OpenIngestStore(gea.OSFS, *in, gea.DefaultIngestRetry())
+		if err != nil {
+			return err
+		}
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "gea serve: salvage: skipped %v\n", p)
+		}
+		corpus = loaded
+		sysOpts.Ingest = &gea.SystemIngestOptions{Store: st, Metrics: trace.Metrics}
+	} else {
+		var err error
+		corpus, err = gea.LoadCorpus(*in)
+		if err != nil {
+			return err
+		}
+	}
+	sys, err := gea.NewSystem(corpus, sysOpts)
 	if err != nil {
 		return err
 	}
@@ -404,6 +513,7 @@ func cmdServe(args []string) error {
 		limits:         gea.ExecLimits{Budget: *budget, Workers: *workers},
 		debug:          *debug,
 		requestTimeout: *requestTimeout,
+		ingest:         *ingest,
 	})
 
 	// baseCtx parents every request context; cancelling it is the hard

@@ -22,6 +22,11 @@
 //	geabench -serve URL               load-test a running "gea serve" server
 //	                                  (-clients N x -requests M /mine calls,
 //	                                  retrying 429/503 per Retry-After)
+//	geabench -ingest URL              stream a generated corpus into a
+//	                                  running "gea serve -ingest" server as
+//	                                  -batches POST /ingest appends
+//	geabench -exp ingest              incremental view maintenance vs
+//	                                  from-scratch rebuild walls
 package main
 
 import (
@@ -103,9 +108,35 @@ func main() {
 	serveURL := flag.String("serve", "", "load-test a running gea serve instance at this base URL instead of running experiments")
 	clients := flag.Int("clients", 4, "concurrent clients for -serve")
 	requests := flag.Int("requests", 10, "requests per client for -serve")
+	ingestURL := flag.String("ingest", "", "stream a generated corpus into a running gea serve -ingest instance at this base URL instead of running experiments")
+	ingestBatches := flag.Int("batches", 4, "append batches for -ingest")
+	ingestPrefix := flag.String("prefix", "ing", "library-name prefix for -ingest, keeping repeated soaks collision-free")
 	flag.Parse()
 	if *jsonPath != "" {
 		*jsonOut = true
+	}
+
+	if *ingestURL != "" {
+		// Remote ingestion soak: generate batches locally, stream them to
+		// the server under test.
+		cfg := gea.SmallConfig()
+		if *full {
+			cfg = gea.DefaultConfig()
+		}
+		cfg.Seed = *seed
+		e := &env{cfg: cfg, full: *full, seed: *seed, jsonOut: *jsonOut, jsonPath: *jsonPath,
+			benchNum: *benchNum}
+		if err := runIngestLoad(e, strings.TrimRight(*ingestURL, "/"), *ingestBatches, *ingestPrefix); err != nil {
+			fmt.Fprintln(os.Stderr, "geabench -ingest:", err)
+			os.Exit(1)
+		}
+		if *jsonOut && len(e.bench) > 0 {
+			if err := writeBenchJSON(e); err != nil {
+				fmt.Fprintln(os.Stderr, "geabench: writing benchmark records:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *serveURL != "" {
@@ -144,6 +175,7 @@ func main() {
 		{"scaling", "operator complexity (Section 3.3.1)", expScaling},
 		{"seeds", "robustness: pipeline outcome across generator seeds", expSeeds},
 		{"perf", "sharded evaluation: sequential vs -workers N", expPerf},
+		{"ingest", "incremental view maintenance vs from-scratch rebuild", expIngest},
 	}
 
 	if *expName == "list" {

@@ -34,6 +34,11 @@ type benchRecord struct {
 	Units int64 `json:"units"`
 	// Reps is how many timed repetitions the best was taken over.
 	Reps int `json:"reps"`
+	// BatchSize and LibsPerSec are the ingestion series' extra cells
+	// (libraries per append batch, commit throughput); omitted from the
+	// perf records so the BENCH schema stays stable.
+	BatchSize  int     `json:"batch_size,omitempty"`
+	LibsPerSec float64 `json:"libs_per_sec,omitempty"`
 }
 
 // benchFile is the BENCH_<n>.json document. NumCPU and GoMaxProcs pin the

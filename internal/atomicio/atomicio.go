@@ -229,6 +229,16 @@ func CurrentGen(fsys FS, root string) (string, error) {
 // plus any stale staging files. Failures are ignored: orphan generations
 // are invisible to loaders and the next save retries the cleanup.
 func CleanupGens(fsys FS, root, keep string) {
+	CleanupGensExcept(fsys, root, map[string]bool{keep: true})
+}
+
+// CleanupGensExcept removes every generation directory under root whose
+// name is not in keep, plus any stale staging files. Multi-generation
+// stores (an append log whose index references library files across
+// several committed generations) pass the full referenced set; a plain
+// save passes just the live one via CleanupGens. Failures are ignored for
+// the same reason as CleanupGens.
+func CleanupGensExcept(fsys FS, root string, keep map[string]bool) {
 	entries, err := fsys.ReadDir(root)
 	if err != nil {
 		return
@@ -239,7 +249,7 @@ func CleanupGens(fsys FS, root, keep string) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		stale := (strings.HasPrefix(name, genPrefix) && name != keep) || IsTempName(name)
+		stale := (strings.HasPrefix(name, genPrefix) && !keep[name]) || IsTempName(name)
 		if stale {
 			fsys.RemoveAll(filepath.Join(root, name))
 		}

@@ -1,0 +1,337 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+
+	"gea/internal/atomicio"
+	"gea/internal/sage"
+)
+
+// Store is the durable half of the append path: a corpus directory grown
+// generation by generation.
+//
+//	dir/CURRENT                    commit pointer (atomicio framed)
+//	dir/gen-NNNNNN/sageName.txt    index of the WHOLE corpus as of that gen
+//	dir/gen-NNNNNN/<name>.sage     only the libraries appended by that gen
+//	dir/quarantine/q-NNNNNN/       rejected submissions + salvage report
+//
+// An append writes the new libraries and a full index into a fresh
+// generation dir; index lines for pre-existing libraries carry a seventh
+// field naming the generation that committed them (WriteIndexWithGens),
+// so no library file is ever rewritten — append I/O is O(batch), not
+// O(corpus). Flipping CURRENT is the single commit point: a crash at any
+// earlier write leaves the previous generation fully live, and the
+// orphaned partial generation is swept by the next successful append.
+// Directories written by plain sage.SaveCorpus open as single-generation
+// stores, so an existing corpus upgrades to an append store for free.
+//
+// A Store is not safe for concurrent use; the System serializes appends.
+type Store struct {
+	fsys  atomicio.FS
+	dir   string
+	retry RetryPolicy
+
+	gen     string             // live generation ("" for an empty store)
+	metas   []sage.LibraryMeta // index order
+	libGens map[string]string  // library name -> generation that holds it
+	names   map[string]bool
+
+	// Retries counts transient-fault retries the policy absorbed over
+	// the store's lifetime.
+	Retries int
+}
+
+// quarantineDir is the subdirectory rejected submissions land in. Its
+// name does not match the gen- pattern, so generation sweeps ignore it.
+const quarantineDir = "quarantine"
+
+// Open opens (or initializes) an append store at dir. A directory with no
+// CURRENT pointer opens as an empty store; a directory written by
+// sage.SaveCorpus or a previous Store opens with its live generation. The
+// salvaged corpus and any per-library damage reports are returned
+// alongside — damaged libraries stay in the index (their names remain
+// reserved) but are absent from the corpus.
+func Open(fsys atomicio.FS, dir string, retry RetryPolicy) (*Store, *sage.Corpus, []sage.Problem, error) {
+	st := &Store{fsys: fsys, dir: dir, retry: retry,
+		libGens: map[string]string{}, names: map[string]bool{}}
+	var (
+		corpus   *sage.Corpus
+		problems []sage.Problem
+	)
+	err := st.do("open", func() error {
+		gen, err := atomicio.CurrentGen(fsys, dir)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				gen = ""
+				corpus = &sage.Corpus{}
+				return nil
+			}
+			return err
+		}
+		idxData, err := atomicio.ReadFile(fsys, filepath.Join(dir, gen, indexFileName))
+		if err != nil {
+			return err
+		}
+		metas, gens, err := readIndexBytes(idxData)
+		if err != nil {
+			return err
+		}
+		corpus, problems, err = sage.LoadCorpusSalvage(fsys, dir)
+		if err != nil {
+			return err
+		}
+		st.gen = gen
+		st.metas = metas
+		for i, m := range metas {
+			g := gens[i]
+			if g == "" {
+				g = gen
+			}
+			st.libGens[m.Name] = g
+			st.names[m.Name] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return st, corpus, problems, nil
+}
+
+// indexFileName mirrors sage's corpus index name ("sageName.txt").
+const indexFileName = "sageName.txt"
+
+func readIndexBytes(data []byte) ([]sage.LibraryMeta, []string, error) {
+	return sage.ReadIndexWithGens(bytes.NewReader(data))
+}
+
+// Gen returns the live generation name ("" for an empty store).
+func (st *Store) Gen() string { return st.gen }
+
+// Names returns the reserved library-name set (live + damaged-but-indexed).
+func (st *Store) Names() map[string]bool { return st.names }
+
+// Metas returns the index rows of the live generation, in order.
+func (st *Store) Metas() []sage.LibraryMeta { return st.metas }
+
+// do runs one store step under the retry policy, accumulating the
+// store-wide retry count.
+func (st *Store) do(step string, fn func() error) error {
+	p := st.retry
+	inner := p.OnRetry
+	p.OnRetry = func(step string, attempt int, err error) {
+		st.Retries++
+		if inner != nil {
+			inner(step, attempt, err)
+		}
+	}
+	return p.Do(step, fn)
+}
+
+// Append durably commits libs (already screened: valid, unique, not yet
+// present) as one new generation and returns its name. On error nothing
+// is applied: the previous CURRENT still names the old corpus, and the
+// in-memory store state is unchanged, so the same append can be retried
+// wholesale. Each fallible step runs under the retry policy.
+func (st *Store) Append(libs []*sage.Library) (string, error) {
+	if len(libs) == 0 {
+		return "", fmt.Errorf("ingest: empty append")
+	}
+	var gen string
+	if err := st.do("nextgen", func() error {
+		var err error
+		gen, err = atomicio.NextGen(st.fsys, st.dir)
+		return err
+	}); err != nil {
+		return "", err
+	}
+	gd := filepath.Join(st.dir, gen)
+	if err := st.do("mkgen", func() error {
+		return st.fsys.MkdirAll(gd, 0o755)
+	}); err != nil {
+		return "", err
+	}
+	for _, l := range libs {
+		l := l
+		path := filepath.Join(gd, l.Meta.Name+".sage")
+		if err := st.do("write "+l.Meta.Name, func() error {
+			return atomicio.WriteFileFunc(st.fsys, path,
+				func(w io.Writer) error { return sage.WriteLibrary(w, l) })
+		}); err != nil {
+			return "", err
+		}
+	}
+
+	// Full index: old libraries point at the generations holding them,
+	// new ones resolve beside the index (six-field lines).
+	full := &sage.Corpus{Libraries: make([]*sage.Library, 0, len(st.metas)+len(libs))}
+	for _, m := range st.metas {
+		full.Libraries = append(full.Libraries, sage.NewLibrary(m))
+	}
+	for _, l := range libs {
+		full.Libraries = append(full.Libraries, l)
+	}
+	gens := make(map[string]string, len(st.libGens))
+	for name, g := range st.libGens {
+		gens[name] = g
+	}
+	if err := st.do("index", func() error {
+		return atomicio.WriteFileFunc(st.fsys, filepath.Join(gd, indexFileName),
+			func(w io.Writer) error { return sage.WriteIndexWithGens(w, full, gens) })
+	}); err != nil {
+		return "", err
+	}
+
+	// The commit point. atomicio.Commit stages CURRENT and renames it
+	// into place, so a crash mid-commit leaves the old pointer; a
+	// transient failure before the rename is safely retried, and a
+	// failure after it (the directory sync) re-commits idempotently.
+	if err := st.do("commit", func() error {
+		return atomicio.Commit(st.fsys, st.dir, gen)
+	}); err != nil {
+		return "", err
+	}
+
+	// Success: adopt the new state, then sweep generations nothing
+	// references anymore (failed attempts, fully superseded gens).
+	// Cleanup is best-effort by design — orphans are invisible.
+	for _, l := range libs {
+		st.metas = append(st.metas, l.Meta)
+		st.libGens[l.Meta.Name] = gen
+		st.names[l.Meta.Name] = true
+	}
+	st.gen = gen
+	keep := map[string]bool{gen: true}
+	for _, g := range st.libGens {
+		keep[g] = true
+	}
+	atomicio.CleanupGensExcept(st.fsys, st.dir, keep)
+	return gen, nil
+}
+
+// Report summarizes one Ingest call for callers, logs and the HTTP
+// endpoint.
+type Report struct {
+	// Gen is the committed generation; "" when no valid library remained
+	// to append.
+	Gen string `json:"gen,omitempty"`
+	// Appended lists the committed library names in submission order.
+	Appended []string `json:"appended,omitempty"`
+	// Rejected lists quarantined submissions and why.
+	Rejected []RejectionReport `json:"rejected,omitempty"`
+	// QuarantineDir is where the rejected submissions and the salvage
+	// report were written; "" when the batch was fully valid.
+	QuarantineDir string `json:"quarantine_dir,omitempty"`
+	// Retries counts transient-fault retries absorbed during this call.
+	Retries int `json:"retries,omitempty"`
+}
+
+// RejectionReport is the wire form of one Rejection.
+type RejectionReport struct {
+	Name  string `json:"name"`
+	Error string `json:"error"`
+}
+
+// Ingest screens a batch, quarantines invalid submissions, appends the
+// valid remainder and returns the combined report. The quarantine is
+// written before the commit: if the process dies mid-append, the
+// rejects are already on disk and the retried append simply quarantines
+// them again under a fresh number.
+func (st *Store) Ingest(b Batch) (*Report, error) {
+	before := st.Retries
+	valid, rejected := Screen(b, st.names)
+	rep := &Report{}
+	for _, r := range rejected {
+		rep.Rejected = append(rep.Rejected, RejectionReport{Name: r.Name, Error: r.Err.Error()})
+	}
+	if len(rejected) > 0 {
+		qdir, err := st.Quarantine(b, rejected)
+		if err != nil {
+			return nil, err
+		}
+		rep.QuarantineDir = qdir
+	}
+	if len(valid) > 0 {
+		gen, err := st.Append(valid)
+		if err != nil {
+			return nil, err
+		}
+		rep.Gen = gen
+		for _, l := range valid {
+			rep.Appended = append(rep.Appended, l.Meta.Name)
+		}
+	}
+	rep.Retries = st.Retries - before
+	return rep, nil
+}
+
+// Quarantine lands the rejected submissions in a fresh numbered
+// quarantine dir: report.txt (one "name<TAB>error" line per rejection,
+// plus the offending generation context) and the submitted payload of
+// each reject as numbered JSON files, so an operator can inspect, fix
+// and resubmit. Every write is framed and retried like the append path.
+func (st *Store) Quarantine(b Batch, rejected []Rejection) (string, error) {
+	root := filepath.Join(st.dir, quarantineDir)
+	var qdir string
+	if err := st.do("quarantine scan", func() error {
+		if err := st.fsys.MkdirAll(root, 0o755); err != nil {
+			return err
+		}
+		entries, err := st.fsys.ReadDir(root)
+		if err != nil {
+			return err
+		}
+		max := 0
+		for _, e := range entries {
+			var n int
+			if _, err := fmt.Sscanf(e.Name(), "q-%06d", &n); err == nil && n > max {
+				max = n
+			}
+		}
+		qdir = filepath.Join(root, fmt.Sprintf("q-%06d", max+1))
+		return st.fsys.MkdirAll(qdir, 0o755)
+	}); err != nil {
+		return "", err
+	}
+
+	// Index rejects by name to recover each one's submitted payload.
+	byName := make(map[string][]BatchLibrary)
+	for _, bl := range b.Libraries {
+		byName[bl.Name] = append(byName[bl.Name], bl)
+	}
+	for i, r := range rejected {
+		payloads := byName[r.Name]
+		if len(payloads) == 0 {
+			continue
+		}
+		bl := payloads[0]
+		byName[r.Name] = payloads[1:]
+		path := filepath.Join(qdir, fmt.Sprintf("lib-%03d.json", i+1))
+		if err := st.do("quarantine payload", func() error {
+			return atomicio.WriteFileFunc(st.fsys, path,
+				func(w io.Writer) error { return EncodeBatch(w, Batch{Libraries: []BatchLibrary{bl}}) })
+		}); err != nil {
+			return "", err
+		}
+	}
+	if err := st.do("quarantine report", func() error {
+		return atomicio.WriteFileFunc(st.fsys, filepath.Join(qdir, "report.txt"),
+			func(w io.Writer) error {
+				fmt.Fprintf(w, "# rejected at corpus generation %q\n", st.gen)
+				for i, r := range rejected {
+					if _, err := fmt.Fprintf(w, "lib-%03d\t%s\t%v\n", i+1, r.Name, r.Err); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	}); err != nil {
+		return "", err
+	}
+	return qdir, nil
+}

@@ -100,12 +100,63 @@ func WriteIndex(w io.Writer, c *Corpus) error {
 	return bw.Flush()
 }
 
+// WriteIndexWithGens writes sageName.txt for a multi-generation append
+// store. Libraries whose name maps to a generation dir in gens get a
+// seventh tab field naming it, so the loader can resolve their ".sage"
+// file inside an older committed generation; libraries absent from gens
+// (or mapped to "") are written in the plain six-field form and resolve
+// inside the generation holding the index itself.
+func WriteIndexWithGens(w io.Writer, c *Corpus, gens map[string]string) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range c.Libraries {
+		m := l.Meta
+		state := 0
+		if m.State == Cancer {
+			state = 1
+		}
+		src := 0
+		if m.Source == CellLine {
+			src = 1
+		}
+		if g := gens[m.Name]; g != "" {
+			if !strings.HasPrefix(g, "gen-") || strings.ContainsAny(g, "/\\") {
+				return fmt.Errorf("sage: library %q maps to invalid generation %q", m.Name, g)
+			}
+			if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%d\t%g\t%d\t%s\n",
+				m.Name, m.Tissue, state, src, m.TotalTags, m.UniqueTags, g); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%d\t%g\t%d\n",
+			m.Name, m.Tissue, state, src, m.TotalTags, m.UniqueTags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // ReadIndex parses sageName.txt and returns library metadata in file order.
 // IDs are assigned 1..n by position, as in the thesis's Libraries relation.
 // Duplicate or empty library names and non-finite totals are rejected — a
 // duplicate name would shadow another library's data file.
 func ReadIndex(r io.Reader) ([]LibraryMeta, error) {
+	metas, _, err := readIndex(r, false)
+	return metas, err
+}
+
+// ReadIndexWithGens parses sageName.txt accepting both the plain
+// six-field form and the seven-field append-store form written by
+// WriteIndexWithGens. The second result is parallel to the metas: the
+// generation dir recorded for each library, "" when the line had no
+// seventh field (the library lives beside the index).
+func ReadIndexWithGens(r io.Reader) ([]LibraryMeta, []string, error) {
+	return readIndex(r, true)
+}
+
+func readIndex(r io.Reader, allowGens bool) ([]LibraryMeta, []string, error) {
 	var metas []LibraryMeta
+	var gens []string
 	seen := make(map[string]bool)
 	sc := bufio.NewScanner(r)
 	lineNo := 0
@@ -116,33 +167,41 @@ func ReadIndex(r io.Reader) ([]LibraryMeta, error) {
 			continue
 		}
 		f := strings.Split(line, "\t")
-		if len(f) != 6 {
-			return nil, fmt.Errorf("sage: index line %d: want 6 fields, got %d", lineNo, len(f))
+		gen := ""
+		switch {
+		case len(f) == 6:
+		case len(f) == 7 && allowGens:
+			gen = f[6]
+			if !strings.HasPrefix(gen, "gen-") || strings.ContainsAny(gen, "/\\") {
+				return nil, nil, fmt.Errorf("sage: index line %d: bad generation %q", lineNo, gen)
+			}
+		default:
+			return nil, nil, fmt.Errorf("sage: index line %d: want 6 fields, got %d", lineNo, len(f))
 		}
 		state, err := strconv.Atoi(f[2])
 		if err != nil || (state != 0 && state != 1) {
-			return nil, fmt.Errorf("sage: index line %d: bad state %q", lineNo, f[2])
+			return nil, nil, fmt.Errorf("sage: index line %d: bad state %q", lineNo, f[2])
 		}
 		src, err := strconv.Atoi(f[3])
 		if err != nil || (src != 0 && src != 1) {
-			return nil, fmt.Errorf("sage: index line %d: bad source %q", lineNo, f[3])
+			return nil, nil, fmt.Errorf("sage: index line %d: bad source %q", lineNo, f[3])
 		}
 		total, err := strconv.ParseFloat(f[4], 64)
 		if err != nil || total < 0 || math.IsNaN(total) || math.IsInf(total, 0) {
-			return nil, fmt.Errorf("sage: index line %d: bad total %q", lineNo, f[4])
+			return nil, nil, fmt.Errorf("sage: index line %d: bad total %q", lineNo, f[4])
 		}
 		unique, err := strconv.Atoi(f[5])
 		if err != nil || unique < 0 {
-			return nil, fmt.Errorf("sage: index line %d: bad unique %q", lineNo, f[5])
+			return nil, nil, fmt.Errorf("sage: index line %d: bad unique %q", lineNo, f[5])
 		}
 		if f[0] == "" {
-			return nil, fmt.Errorf("sage: index line %d: empty library name", lineNo)
+			return nil, nil, fmt.Errorf("sage: index line %d: empty library name", lineNo)
 		}
 		if strings.ContainsAny(f[0], "/\\") {
-			return nil, fmt.Errorf("sage: index line %d: library name %q contains a path separator", lineNo, f[0])
+			return nil, nil, fmt.Errorf("sage: index line %d: library name %q contains a path separator", lineNo, f[0])
 		}
 		if seen[f[0]] {
-			return nil, fmt.Errorf("sage: index line %d: duplicate library name %q", lineNo, f[0])
+			return nil, nil, fmt.Errorf("sage: index line %d: duplicate library name %q", lineNo, f[0])
 		}
 		seen[f[0]] = true
 		m := LibraryMeta{
@@ -156,11 +215,12 @@ func ReadIndex(r io.Reader) ([]LibraryMeta, error) {
 			m.Source = CellLine
 		}
 		metas = append(metas, m)
+		gens = append(gens, gen)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return metas, nil
+	return metas, gens, nil
 }
 
 // Binary ".b" format: the dense tissue file the fascicle miner consumes.

@@ -33,12 +33,21 @@ const indexFile = "sageName.txt"
 type Problem struct {
 	// Path is the offending file.
 	Path string
+	// Gen is the generation directory the artifact was committed under, so
+	// quarantine diagnostics can point at the exact failed commit in a
+	// multi-generation append store.
+	Gen string
 	// Err classifies the damage (atomicio.ErrChecksum, atomicio.ErrTruncated,
 	// a parse error, or a missing-file error).
 	Err error
 }
 
-func (p Problem) String() string { return fmt.Sprintf("%s: %v", p.Path, p.Err) }
+func (p Problem) String() string {
+	if p.Gen != "" {
+		return fmt.Sprintf("%s (committed in %s): %v", p.Path, p.Gen, p.Err)
+	}
+	return fmt.Sprintf("%s: %v", p.Path, p.Err)
+}
 
 // SaveCorpus writes the corpus to dir with the crash-safe generation
 // protocol. The directory is created if needed.
@@ -111,7 +120,10 @@ func LoadCorpusFS(fsys atomicio.FS, dir string) (*Corpus, error) {
 // LoadCorpusSalvage loads as much of a corpus as verifies. The commit
 // pointer and the index are load-bearing — damage there is a hard error —
 // but a damaged or missing library file only lands in the returned problem
-// list, and that library is skipped.
+// list, and that library is skipped. Each Problem carries the generation
+// directory the broken artifact was committed under: in a multi-generation
+// append store (see internal/ingest) that names the exact append whose
+// files went bad, which is what the quarantine report points operators at.
 func LoadCorpusSalvage(fsys atomicio.FS, dir string) (*Corpus, []Problem, error) {
 	gen, err := atomicio.CurrentGen(fsys, dir)
 	if err != nil {
@@ -123,22 +135,26 @@ func LoadCorpusSalvage(fsys atomicio.FS, dir string) (*Corpus, []Problem, error)
 	if err != nil {
 		return nil, nil, err
 	}
-	metas, err := ReadIndex(bytes.NewReader(idxData))
+	metas, gens, err := ReadIndexWithGens(bytes.NewReader(idxData))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", idxPath, err)
 	}
 	c := &Corpus{}
 	var problems []Problem
-	for _, m := range metas {
-		path := filepath.Join(gd, m.Name+".sage")
+	for i, m := range metas {
+		libGen := gen
+		if gens[i] != "" {
+			libGen = gens[i]
+		}
+		path := filepath.Join(dir, libGen, m.Name+".sage")
 		data, err := atomicio.ReadFile(fsys, path)
 		if err != nil {
-			problems = append(problems, Problem{Path: path, Err: err})
+			problems = append(problems, Problem{Path: path, Gen: libGen, Err: err})
 			continue
 		}
 		l, err := ReadLibrary(bytes.NewReader(data), m)
 		if err != nil {
-			problems = append(problems, Problem{Path: path, Err: err})
+			problems = append(problems, Problem{Path: path, Gen: libGen, Err: err})
 			continue
 		}
 		c.Libraries = append(c.Libraries, l)

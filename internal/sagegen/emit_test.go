@@ -1,0 +1,46 @@
+package sagegen
+
+import "testing"
+
+// TestEmitBatchesConcatenation pins the streaming contract: the batches
+// concatenate, in order, to exactly the corpus Generate yields — same
+// libraries, same positions — so ingesting them reproduces the one-shot
+// corpus bit for bit.
+func TestEmitBatchesConcatenation(t *testing.T) {
+	cfg := SmallConfig()
+	whole, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 4, 1000} {
+		batches, res, err := EmitBatches(cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= len(whole.Corpus.Libraries) && len(batches) != n {
+			t.Fatalf("split %d yielded %d batches", n, len(batches))
+		}
+		i := 0
+		for _, b := range batches {
+			if len(b) == 0 {
+				t.Fatalf("split %d produced an empty batch", n)
+			}
+			for _, l := range b {
+				want := whole.Corpus.Libraries[i]
+				if l.Meta.Name != want.Meta.Name || l.Total() != want.Total() || l.Unique() != want.Unique() {
+					t.Fatalf("split %d: library %d is %q, want %q", n, i, l.Meta.Name, want.Meta.Name)
+				}
+				if res.Corpus.Libraries[i] != l {
+					t.Fatalf("split %d: batch library %d is not the result corpus's library", n, i)
+				}
+				i++
+			}
+		}
+		if i != len(whole.Corpus.Libraries) {
+			t.Fatalf("split %d covered %d of %d libraries", n, i, len(whole.Corpus.Libraries))
+		}
+	}
+	if _, _, err := EmitBatches(cfg, 0); err == nil {
+		t.Error("batch count 0 accepted")
+	}
+}

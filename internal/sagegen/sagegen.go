@@ -599,3 +599,37 @@ func upper(s string) string {
 	}
 	return string(b)
 }
+
+// EmitBatches is the streaming emission mode: it generates the exact
+// corpus Generate(cfg) would produce and slices its libraries into n
+// contiguous append batches, in order, so concatenating the batches
+// reproduces the full corpus library for library. Ingestion tests and
+// geabench -ingest use this as a deterministic feed — the same seed
+// yields the same batches, and replaying them through the append path
+// must converge on the same corpus a one-shot generation would load.
+// The generator's single random stream threads through every library in
+// sequence, so batches cannot be produced independently; the full result
+// is returned alongside as the ground truth.
+func EmitBatches(cfg Config, n int) ([][]*sage.Library, *Result, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("sagegen: batch count %d < 1", n)
+	}
+	res, err := Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	libs := res.Corpus.Libraries
+	if n > len(libs) {
+		n = len(libs)
+	}
+	batches := make([][]*sage.Library, 0, n)
+	for k := 0; k < n; k++ {
+		lo := k * len(libs) / n
+		hi := (k + 1) * len(libs) / n
+		if lo == hi {
+			continue
+		}
+		batches = append(batches, libs[lo:hi:hi])
+	}
+	return batches, res, nil
+}

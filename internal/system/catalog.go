@@ -208,3 +208,17 @@ func loadLibrariesRelation(s *relational.Store, d *sage.Dataset) error {
 		relational.I(int64(d.NumTags())), relational.I(int64(d.NumLibraries())),
 	})
 }
+
+// reloadLibrariesRelation replaces the dataset-derived relations
+// (Libraries, TypeInfo, SageInfo) with fresh tables over d — the catalog
+// refresh an ingestion commit performs after the dataset grows.
+func reloadLibrariesRelation(s *relational.Store, d *sage.Dataset) error {
+	for _, name := range []string{TblLibraries, TblTypeInfo, TblSageInfo} {
+		t, err := s.Get(name)
+		if err != nil {
+			return err
+		}
+		s.Replace(relational.NewTable(name, t.Schema))
+	}
+	return loadLibrariesRelation(s, d)
+}

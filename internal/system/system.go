@@ -14,6 +14,7 @@ import (
 	"gea/internal/exec"
 	"gea/internal/fascicle"
 	"gea/internal/genedb"
+	"gea/internal/ingest"
 	"gea/internal/lineage"
 	"gea/internal/obs"
 	"gea/internal/relational"
@@ -61,6 +62,15 @@ type Options struct {
 	// AdmissionMetrics optionally records admission queue gauges,
 	// counters and wait times; nil disables instrumentation.
 	AdmissionMetrics *obs.Registry
+	// Ingest enables the streaming append path: the session is built on
+	// an incrementally maintained ingest.View instead of the one-shot
+	// clean.Clean + sage.Build pipeline, and IngestAppendCtx accepts
+	// batches of new libraries at runtime, committing them through the
+	// configured append store and swapping the maintained view in one
+	// generation step. Nil (the default) keeps the classic frozen-corpus
+	// behavior. When set, SkipCleaning is ignored (the view owns
+	// cleaning) and Clean is read from Ingest.View.Clean.
+	Ingest *IngestOptions
 	// Workers is the default intra-operation worker count for sharded
 	// evaluation; <= 0 means 1 (sequential). It composes with
 	// MaxConcurrent without deadlock risk: workers are plain goroutines
@@ -103,6 +113,21 @@ type System struct {
 	// foundPure caches FindPureFascicle results per dataset+property.
 	foundPure map[string]string
 
+	// view is the maintained ingest view when Options.Ingest was set;
+	// generation counts committed corpus generations (starting at 1).
+	// Readers snapshot both under mu and then work lock-free on the
+	// immutable view: an in-flight operator keeps its generation even
+	// while an append commits the next one.
+	view       *ingest.View
+	generation uint64
+	// ingestStore is the durable append store; ingestMetrics feeds the
+	// ingest.* series. Both nil unless ingestion is enabled.
+	ingestStore   *ingest.Store
+	ingestMetrics *obs.Registry
+	// ingestMu serializes appends end to end (screen, apply, commit)
+	// without blocking readers, who only need mu for the swap window.
+	ingestMu sync.Mutex
+
 	// mu serializes access to the registries, catalog and lineage.
 	mu sync.Mutex
 	// queue is the bounded FIFO admission queue for heavy operations;
@@ -125,11 +150,19 @@ func New(corpus *sage.Corpus, opts Options) (*System, error) {
 	var (
 		cleaned *sage.Corpus
 		report  *clean.Report
+		view    *ingest.View
 		err     error
 	)
-	if opts.SkipCleaning {
+	switch {
+	case opts.Ingest != nil:
+		view, err = ingest.Rebuild(corpus, opts.Ingest.View)
+		if err != nil {
+			return nil, err
+		}
+		report = view.Report
+	case opts.SkipCleaning:
 		cleaned = corpus
-	} else {
+	default:
 		cleanOpts := opts.Clean
 		if cleanOpts.MinTolerance == 0 && cleanOpts.ScaleTo == 0 {
 			cleanOpts = clean.DefaultOptions()
@@ -139,7 +172,12 @@ func New(corpus *sage.Corpus, opts Options) (*System, error) {
 			return nil, err
 		}
 	}
-	d := sage.Build(cleaned)
+	var d *sage.Dataset
+	if view != nil {
+		d = view.Data
+	} else {
+		d = sage.Build(cleaned)
+	}
 	sys := &System{
 		User:        opts.User,
 		Store:       relational.NewStore(),
@@ -155,6 +193,15 @@ func New(corpus *sage.Corpus, opts Options) (*System, error) {
 		runCount:    map[string]int{},
 		foundPure:   map[string]string{},
 		workers:     opts.Workers,
+	}
+	if view != nil {
+		sys.view = view
+		sys.generation = 1
+		sys.ingestStore = opts.Ingest.Store
+		sys.ingestMetrics = opts.Ingest.Metrics
+		if sys.ingestMetrics != nil {
+			sys.ingestMetrics.Gauge("ingest.generation").Set(1)
+		}
 	}
 	sys.initAdmission(opts)
 	if err := initCatalog(sys.Store); err != nil {
