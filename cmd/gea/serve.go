@@ -119,10 +119,11 @@ type mineResponse struct {
 // handleMine runs the tissue pipeline (dataset, metadata, governed
 // pure-fascicle search) with the request's context, recording spans and
 // metrics into the server's collector. Status mapping: 400 only for
-// caller errors (missing or unknown tissue), 429 for an admission-queue
-// timeout, 503 for overload/shedding/draining/timeout (all with
-// Retry-After), 500 otherwise. Budget stops are 200s with the partial
-// flagged — that is the degraded mode working as designed.
+// caller errors (missing or unknown tissue, or a typed ParamError from
+// the mining pipeline), 429 for an admission-queue timeout, 503 for
+// overload/shedding/draining/timeout (all with Retry-After), 500
+// otherwise. Budget stops are 200s with the partial flagged — that is
+// the degraded mode working as designed.
 func (gw *gateway) handleMine(w http.ResponseWriter, r *http.Request) {
 	n := gw.reqSeq.Add(1)
 	gw.faults.maybePanic(n)
@@ -180,6 +181,7 @@ func (gw *gateway) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	var busy *gea.ErrBusy
 	var overload *gea.ErrOverload
+	var param *gea.FascicleParamError
 	switch {
 	case err == nil:
 	case gea.IsBudget(err):
@@ -198,6 +200,12 @@ func (gw *gateway) handleMine(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, gea.ErrShuttingDown):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.As(err, &param):
+		// A typed mining-parameter rejection is the caller's fault:
+		// surfacing it as 500 would poison the server error rate and
+		// invite pointless retries of a request that can never succeed.
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	case gea.IsCancellation(err):
 		// The request deadline (or the client) cancelled mid-work.
@@ -225,7 +233,8 @@ type ingestResponse struct {
 
 // handleIngest accepts one append batch (POST, JSON wire form). Status
 // mapping mirrors /mine: 400 for a caller problem (bad method aside —
-// that is 405 — a payload that does not decode), 429 for an
+// that is 405 — a payload that does not decode, or a typed SchemaError
+// the append surfaces for the batch as a whole), 429 for an
 // admission-queue timeout, 503 for overload/draining/cancellation with
 // Retry-After, 500 otherwise. Schema violations inside a well-formed
 // batch are NOT errors: those libraries are quarantined and reported in
@@ -259,6 +268,7 @@ func (gw *gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	rep, _, err := gw.sys.IngestAppendCtx(ctx, batch, lim)
 	var busy *gea.ErrBusy
 	var overload *gea.ErrOverload
+	var schema *gea.IngestSchemaError
 	switch {
 	case err == nil:
 	case errors.As(err, &busy):
@@ -272,6 +282,12 @@ func (gw *gateway) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, gea.ErrShuttingDown):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.As(err, &schema):
+		// A schema rejection of the batch as a whole (per-library
+		// violations quarantine instead) is the caller's fault: a 400,
+		// never a 500 that would poison the server error rate.
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	case gea.IsCancellation(err), gea.IsBudget(err):
 		// The request deadline died mid-append, or degraded-mode budget

@@ -127,3 +127,41 @@ func TestServeIngestStatusMapping(t *testing.T) {
 		t.Errorf("/ingest without -ingest = %d, want 404", rr.Code)
 	}
 }
+
+// TestServeMineParamError400 pins the statusmap fix on /mine: a tissue
+// whose dataset is too small for the scan's K sweep makes the miner
+// return a typed *FascicleParamError, and the handler must classify it
+// as the caller's 400, not a 500 that poisons the server error rate.
+func TestServeMineParamError400(t *testing.T) {
+	_, mux := newServeMux(ingestSystem(t), gea.NewObsCollector(), serveOptions{ingest: true})
+
+	// One library with a single distinct tag: K = NumTags*75/100 = 0, so
+	// parameter validation rejects the mining run before any work.
+	body := `{"libraries":[{"name":"tiny01","tissue":"tiny","counts":{"AAAAAAAAAC":5}}]}`
+	if rr := post(t, mux, "/ingest", body); rr.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", rr.Code, rr.Body.String())
+	}
+
+	rr := get(t, mux, "/mine?tissue=tiny")
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("/mine on a 1-tag tissue = %d, want 400; body: %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), "fascicle: invalid") {
+		t.Errorf("400 body %q does not carry the typed parameter error", rr.Body.String())
+	}
+}
+
+// TestServeIngestSchemaError400 pins the statusmap fix on /ingest: a
+// payload the batch decoder rejects surfaces its typed SchemaError in a
+// 400 body, so the client sees the schema diagnosis instead of a bare
+// server error.
+func TestServeIngestSchemaError400(t *testing.T) {
+	_, mux := newServeMux(ingestSystem(t), gea.NewObsCollector(), serveOptions{ingest: true})
+	rr := post(t, mux, "/ingest", `{"libraries": "not an array"}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("undecodable batch = %d, want 400; body: %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), "ingest: schema") {
+		t.Errorf("400 body %q does not carry the typed schema error", rr.Body.String())
+	}
+}

@@ -87,6 +87,15 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 	}
 }
 
+// Reporter is the slice of testing.T the harness needs, split out so
+// the harness can itself be tested: a fake reporter captures what a
+// corpus mismatch reports instead of failing the real test.
+type Reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
 // want is one line's expectations.
 type want struct {
 	res []*regexp.Regexp
@@ -99,8 +108,16 @@ type lineKey struct {
 }
 
 // check compares findings against the want comments of the corpus files.
-func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+// Every finding must land inside a corpus file — an analyzer that
+// reports into a stub, another package, or token.NoPos has escaped the
+// corpus and is rejected outright, because a position like that can
+// never be asserted by a want comment.
+func check(t Reporter, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
 	t.Helper()
+	corpus := make(map[string]bool, len(files))
+	for _, f := range files {
+		corpus[fset.Position(f.Pos()).Filename] = true
+	}
 	wants := make(map[lineKey]*want)
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -123,6 +140,10 @@ func check(t *testing.T, fset *token.FileSet, files []*ast.File, findings []anal
 	}
 
 	for _, f := range findings {
+		if !corpus[f.Position.Filename] {
+			t.Errorf("analyzer reported outside the corpus package: %s: %s", f.Position, f.Message)
+			continue
+		}
 		k := lineKey{f.Position.Filename, f.Position.Line}
 		w := wants[k]
 		matched := false

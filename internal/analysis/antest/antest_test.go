@@ -1,0 +1,208 @@
+// White-box tests for the harness itself: a golden-file harness that
+// silently mis-reads its goldens poisons every corpus built on it, so
+// its failure modes get pinned here with a fake reporter.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gea/internal/analysis"
+)
+
+// fakeReporter captures harness verdicts instead of failing the test.
+type fakeReporter struct {
+	errors []string
+	fatals []string
+}
+
+func (r *fakeReporter) Helper() {}
+
+func (r *fakeReporter) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+// Fatalf panics to emulate testing.T's abort-the-test semantics; tests
+// recover it via expectFatal.
+func (r *fakeReporter) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+	panic(r)
+}
+
+// loadCorpus writes src as a one-file corpus package under a temp
+// GOPATH-style tree and loads it through the real loader.
+func loadCorpus(t *testing.T, src string) (*token.FileSet, []*ast.File, *loadedPkg) {
+	t.Helper()
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "src", "corpus")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "corpus.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ld := newLoader(filepath.Join(dir, "src"))
+	pkg, err := ld.load("corpus")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	return ld.fset, pkg.files, pkg
+}
+
+// reportEveryFunc flags each function declaration with the given
+// message — a deterministic diagnostic source for harness tests.
+func reportEveryFunc(msgs ...string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "selftest",
+		Doc:  "reports on every function declaration",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fn, ok := d.(*ast.FuncDecl); ok {
+						for _, m := range msgs {
+							pass.Reportf(fn.Pos(), "%s", m)
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, pkg *loadedPkg) []analysis.Finding {
+	t.Helper()
+	diags, err := analysis.Run(a, fset, pkg.files, pkg.types, pkg.info)
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	findings := make([]analysis.Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, analysis.Finding{
+			Analyzer: a.Name,
+			Position: fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	return findings
+}
+
+func hasError(r *fakeReporter, substr string) bool {
+	for _, e := range r.errors {
+		if strings.Contains(e, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWrongWantFailsLoudly pins the core harness guarantee: a want
+// regexp that does not match the diagnostic fails twice over — the
+// diagnostic is unexpected AND the expectation is unmet — so a typo'd
+// golden can never pass silently.
+func TestWrongWantFailsLoudly(t *testing.T) {
+	fset, files, pkg := loadCorpus(t, `package corpus
+
+func F() {} // want "completely different message"
+`)
+	findings := runAnalyzer(t, reportEveryFunc("func seen"), fset, pkg)
+	r := &fakeReporter{}
+	check(r, fset, files, findings)
+	if !hasError(r, "unexpected diagnostic") {
+		t.Errorf("mismatched want did not report the unexpected diagnostic; got %q", r.errors)
+	}
+	if !hasError(r, "expected diagnostic matching") {
+		t.Errorf("mismatched want did not report the unmet expectation; got %q", r.errors)
+	}
+}
+
+// TestMissingDiagnosticFails pins the other direction: a want with no
+// diagnostic at all must fail.
+func TestMissingDiagnosticFails(t *testing.T) {
+	fset, files, _ := loadCorpus(t, `package corpus
+
+var x = 1 // want "never produced"
+`)
+	r := &fakeReporter{}
+	check(r, fset, files, nil)
+	if len(r.errors) != 1 || !hasError(r, "expected diagnostic matching") {
+		t.Errorf("unmet want not reported exactly once; got %q", r.errors)
+	}
+}
+
+// TestOverlappingDiagnosticsAllMatch pins multi-diagnostic lines: every
+// regexp in the want list must be consumed by a distinct diagnostic,
+// and all diagnostics must be consumed by a distinct regexp.
+func TestOverlappingDiagnosticsAllMatch(t *testing.T) {
+	src := `package corpus
+
+func F() {} // want "first issue" "second issue"
+`
+	fset, files, pkg := loadCorpus(t, src)
+	findings := runAnalyzer(t, reportEveryFunc("first issue", "second issue"), fset, pkg)
+	if len(findings) != 2 {
+		t.Fatalf("expected 2 findings, got %d", len(findings))
+	}
+
+	r := &fakeReporter{}
+	check(r, fset, files, findings)
+	if len(r.errors) != 0 {
+		t.Errorf("fully-matched overlapping diagnostics still failed: %q", r.errors)
+	}
+
+	// Dropping one regexp must surface the now-unmatched diagnostic.
+	fset2, files2, pkg2 := loadCorpus(t, strings.Replace(src, ` "second issue"`, "", 1))
+	findings2 := runAnalyzer(t, reportEveryFunc("first issue", "second issue"), fset2, pkg2)
+	r2 := &fakeReporter{}
+	check(r2, fset2, files2, findings2)
+	if !hasError(r2, "unexpected diagnostic") {
+		t.Errorf("extra overlapping diagnostic not reported; got %q", r2.errors)
+	}
+}
+
+// TestOutsideCorpusRejected pins the escape hatch shut: an analyzer
+// reporting at token.NoPos (or into any non-corpus file) is rejected
+// even though no want comment could ever assert that position.
+func TestOutsideCorpusRejected(t *testing.T) {
+	fset, files, pkg := loadCorpus(t, `package corpus
+
+func F() {}
+`)
+	escapee := &analysis.Analyzer{
+		Name: "selftest",
+		Doc:  "reports outside the corpus",
+		Run: func(pass *analysis.Pass) error {
+			pass.Reportf(token.NoPos, "finding from nowhere")
+			return nil
+		},
+	}
+	findings := runAnalyzer(t, escapee, fset, pkg)
+	r := &fakeReporter{}
+	check(r, fset, files, findings)
+	if !hasError(r, "outside the corpus package") {
+		t.Errorf("out-of-corpus report not rejected; got %q", r.errors)
+	}
+}
+
+// TestBadWantCommentAborts pins the golden-parse guardrail: an
+// unparsable want comment is a corpus bug and must abort the run, not
+// degrade into "no expectations on this line".
+func TestBadWantCommentAborts(t *testing.T) {
+	fset, files, _ := loadCorpus(t, `package corpus
+
+func F() {} // want unquoted-regexp
+`)
+	r := &fakeReporter{}
+	func() {
+		defer func() { recover() }()
+		check(r, fset, files, nil)
+	}()
+	if len(r.fatals) != 1 || !strings.Contains(r.fatals[0], "bad want comment") {
+		t.Errorf("malformed want comment did not abort; fatals=%q errors=%q", r.fatals, r.errors)
+	}
+}

@@ -1,0 +1,148 @@
+// Package commitlast enforces the generation-commit protocol of
+// internal/atomicio: a generation directory is written COMPLETELY,
+// fsynced, and only then does atomicio.Commit flip the CURRENT pointer
+// — the single atomic commit point. Any fallible filesystem mutation
+// sequenced after the flip breaks crash-safety both ways: it can fail
+// after readers were already told the new generation is live, and if it
+// targets the committed generation dir it mutates state a concurrent
+// reader may be walking. Only best-effort cleanup of OLD generations
+// (CleanupGens, CleanupGensExcept, RemoveAll) is legitimate after the
+// flip, and the protocol docs already demand its errors be ignored.
+//
+// The analyzer looks at every function that calls atomicio.Commit and
+// flags, textually after the first commit point:
+//
+//   - further atomicio.WriteFile / WriteFileFunc / NextGen calls;
+//   - a second atomicio.Commit (one commit point per sequence — a
+//     retry of the same call site is fine, a second flip is not);
+//   - FS mutations (Create, Rename, MkdirAll) on an atomicio.FS.
+//
+// "After" is positional within the function, which matches how commit
+// sequences are written here (straight-line build → commit → adopt);
+// a closure defined after the flip but invoked before it would be
+// misflagged, and deserves the rewrite anyway.
+//
+// The atomicio package itself is exempt: Commit's own implementation
+// is made of the primitives this analyzer polices.
+package commitlast
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags fallible filesystem work sequenced after a CURRENT flip.
+var Analyzer = &analysis.Analyzer{
+	Name: "commitlast",
+	Doc:  "the atomicio.Commit CURRENT flip must be the final fallible operation of a commit sequence",
+	Run:  run,
+}
+
+// mutators are the atomicio package-level functions that build
+// generation state and must precede the flip.
+var mutators = map[string]bool{
+	"WriteFile":     true,
+	"WriteFileFunc": true,
+	"NextGen":       true,
+	"Commit":        true,
+}
+
+// fsMutators are the methods of atomicio.FS that mutate the tree.
+var fsMutators = map[string]bool{
+	"Create":   true,
+	"Rename":   true,
+	"MkdirAll": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/atomicio") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// atomicioFunc returns the name of the atomicio package-level function
+// call resolves to, or "".
+func atomicioFunc(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/atomicio") {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isFSMutation reports whether call is a mutating method on an
+// atomicio.FS value.
+func isFSMutation(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !fsMutators[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "FS" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/atomicio")
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Find the first CURRENT flip in the function, if any.
+	var commitEnd token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if commitEnd.IsValid() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && atomicioFunc(pass, call) == "Commit" {
+			commitEnd = call.End()
+			return false
+		}
+		return true
+	})
+	if !commitEnd.IsValid() {
+		return
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= commitEnd {
+			return true
+		}
+		if name := atomicioFunc(pass, call); mutators[name] {
+			if name == "Commit" {
+				pass.Reportf(call.Pos(), "second atomicio.Commit after the CURRENT flip: a commit sequence has exactly one commit point")
+			} else {
+				pass.Reportf(call.Pos(), "atomicio.%s after the CURRENT flip: the commit must be the final fallible operation; only generation cleanup may follow", name)
+			}
+			return true
+		}
+		if isFSMutation(pass, call) {
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			pass.Reportf(call.Pos(), "FS.%s after the CURRENT flip: a committed generation is immutable and readers may already be walking it", sel.Sel.Name)
+		}
+		return true
+	})
+}

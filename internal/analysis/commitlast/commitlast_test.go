@@ -1,0 +1,12 @@
+package commitlast_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/commitlast"
+)
+
+func TestCommitlast(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), commitlast.Analyzer, "commitlastbad", "commitlastgood")
+}

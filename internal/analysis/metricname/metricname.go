@@ -1,0 +1,153 @@
+// Package metricname enforces the metric-naming contract of the obs
+// Registry: every name handed to Counter/Gauge/Histogram follows the
+// dotted lower_snake `subsystem.metric` scheme and appears in the
+// checked-in Manifest, whose entries a companion test pins against the
+// OBSERVABILITY.md catalogue. Together the two directions mean an
+// operator reading the docs sees exactly the names /metrics serves,
+// and a grep for a documented name always lands on a registration
+// site.
+//
+// Dynamically-built families (the per-operator "ops." + op + suffix
+// names) are admitted through wildcard manifest entries: the
+// concatenation must start with a constant prefix some "family.*"
+// entry covers, so even dynamic names cannot leave the documented
+// namespace.
+//
+// Violations flagged:
+//
+//   - a constant name that is not dotted lower_snake
+//     (subsystem.metric);
+//   - a constant name missing from the manifest;
+//   - a dynamic name whose leading constant prefix no wildcard entry
+//     covers (or with no constant prefix at all).
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags Registry names outside the documented namespace.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "obs Registry metric names must be dotted subsystem.metric and listed in the metricname manifest",
+	Run:  run,
+}
+
+// namePat is the house scheme: lower_snake atoms joined by dots, at
+// least two atoms deep.
+var namePat = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+// registrars are the Registry methods that intern a name.
+var registrars = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) error {
+	exact, wildcards := manifestSets()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegistryCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			checkName(pass, call.Args[0], exact, wildcards)
+			return true
+		})
+	}
+	return nil
+}
+
+func manifestSets() (exact map[string]bool, wildcards []string) {
+	exact = make(map[string]bool, len(Manifest))
+	for _, m := range Manifest {
+		if fam, ok := strings.CutSuffix(m, ".*"); ok {
+			wildcards = append(wildcards, fam+".")
+			continue
+		}
+		exact[m] = true
+	}
+	return exact, wildcards
+}
+
+// isRegistryCall reports whether call is Counter/Gauge/Histogram on the
+// obs Registry.
+func isRegistryCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !registrars[sel.Sel.Name] {
+		return false
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+func checkName(pass *analysis.Pass, arg ast.Expr, exact map[string]bool, wildcards []string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !namePat.MatchString(name) {
+			pass.Reportf(arg.Pos(), "metric name %q is not dotted lower_snake subsystem.metric", name)
+			return
+		}
+		if !covered(name, exact, wildcards) {
+			pass.Reportf(arg.Pos(), "metric name %q is not in the metricname manifest: add it there and to the OBSERVABILITY.md catalogue", name)
+		}
+		return
+	}
+	// Dynamic name: the leftmost constant prefix must land in a
+	// documented wildcard family.
+	prefix := constPrefix(pass, arg)
+	for _, w := range wildcards {
+		if strings.HasPrefix(prefix, w) {
+			return
+		}
+	}
+	if prefix == "" {
+		pass.Reportf(arg.Pos(), "dynamically built metric name has no constant prefix: start it with a documented \"family.\" literal covered by a manifest wildcard")
+		return
+	}
+	pass.Reportf(arg.Pos(), "dynamic metric name prefix %q is not covered by any manifest wildcard: document the family in the manifest and OBSERVABILITY.md", prefix)
+}
+
+// constPrefix extracts the leftmost constant string of a + concat.
+func constPrefix(pass *analysis.Pass, e ast.Expr) string {
+	for {
+		bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			break
+		}
+		e = bin.X
+	}
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value)
+	}
+	return ""
+}
+
+func covered(name string, exact map[string]bool, wildcards []string) bool {
+	if exact[name] {
+		return true
+	}
+	for _, w := range wildcards {
+		if strings.HasPrefix(name, w) {
+			return true
+		}
+	}
+	return false
+}

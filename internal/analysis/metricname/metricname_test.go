@@ -1,0 +1,56 @@
+package metricname_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), metricname.Analyzer, "metricnamebad", "metricnamegood")
+}
+
+// TestManifestMatchesDocs pins the other half of the no-drift contract:
+// the analyzer guarantees code ⊆ manifest, this test guarantees
+// manifest ⊆ OBSERVABILITY.md, so every registrable name is documented.
+func TestManifestMatchesDocs(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "..", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("reading OBSERVABILITY.md: %v", err)
+	}
+	docs := string(raw)
+	for _, name := range metricname.Manifest {
+		needle := name
+		if fam, ok := strings.CutSuffix(name, ".*"); ok {
+			// A wildcard family is documented by its "family." prefix
+			// appearing somewhere in the catalogue tables.
+			needle = fam + "."
+		}
+		if !strings.Contains(docs, needle) {
+			t.Errorf("manifest entry %q does not appear in OBSERVABILITY.md: document it in the metric catalogue", name)
+		}
+	}
+}
+
+// TestManifestShape keeps the manifest itself inside the naming scheme
+// it exists to enforce.
+func TestManifestShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range metricname.Manifest {
+		if seen[name] {
+			t.Errorf("duplicate manifest entry %q", name)
+		}
+		seen[name] = true
+		base, _ := strings.CutSuffix(name, ".*")
+		for _, atom := range strings.Split(base, ".") {
+			if atom == "" || strings.ToLower(atom) != atom {
+				t.Errorf("manifest entry %q is not dotted lower_snake", name)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package shardpure enforces the purity contract of shard.Kernel: the
+// bit-identical-at-any-worker-count guarantee documented in
+// internal/exec/shard. A kernel owns exactly its [lo, hi) output slots;
+// any other write to captured state is either a data race or an
+// ordering dependence on which worker ran which shard, and any value
+// derived from the worker/shard index changes when the worker count
+// does. ShardEquiv walks pin this dynamically for the inputs CI happens
+// to run; this analyzer pins the shape for every kernel in the tree.
+//
+// A kernel is recognised by its signature — func(*exec.Ctl, int, int,
+// int) (int, error) — whether it is a literal passed to shard.For/ForN,
+// assigned to a shard.Kernel variable, or a named declaration of the
+// same shape.
+//
+// Violations flagged:
+//
+//   - a write (assign, ++/--, range-assign) to a captured plain
+//     variable: shards race on it, and even under a lock the result
+//     depends on shard completion order;
+//   - a write to a field of a captured variable, or through a captured
+//     pointer — the same race one level down;
+//   - a write into a captured map: concurrent map writes fault, and
+//     insertion order leaks into iteration;
+//   - a write into a captured slice at a constant index, at an index
+//     that mentions only captured state, or at the shard index: slots
+//     outside [lo, hi) are another shard's property;
+//   - the shard/worker index read inside a returned value or stored
+//     into captured state: results become a function of the worker
+//     count.
+//
+// Kernel-local state (declared inside the literal) is exempt — scratch
+// buffers are the idiomatic way to keep kernels pure.
+package shardpure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags shard kernels whose writes escape their own shard.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardpure",
+	Doc:  "a shard.Kernel must write only its own [lo,hi) slots and never read the worker index into results",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncLit:
+				if sig := kernelSig(pass, fn); sig != nil {
+					checkKernel(pass, sig, fn.Type, fn.Body, fn.Pos(), fn.End())
+				}
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				if sig := kernelSigOf(analysis.FuncType(pass.TypesInfo, fn)); sig != nil {
+					checkKernel(pass, sig, fn.Type, fn.Body, fn.Pos(), fn.End())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// kernelSig returns the signature if lit has the shard.Kernel shape.
+func kernelSig(pass *analysis.Pass, lit *ast.FuncLit) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return kernelSigOf(sig)
+}
+
+// kernelSigOf filters for func(*exec.Ctl, int, int, int) (int, error).
+func kernelSigOf(sig *types.Signature) *types.Signature {
+	if sig == nil || sig.Params().Len() != 4 || sig.Results().Len() != 2 {
+		return nil
+	}
+	if !analysis.IsExecCtl(sig.Params().At(0).Type()) {
+		return nil
+	}
+	for i := 1; i < 4; i++ {
+		if !isInt(sig.Params().At(i).Type()) {
+			return nil
+		}
+	}
+	if !isInt(sig.Results().At(0).Type()) || !analysis.IsErrorType(sig.Results().At(1).Type()) {
+		return nil
+	}
+	return sig
+}
+
+func isInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// kernel carries the per-kernel context the write classifier needs.
+type kernel struct {
+	pass     *analysis.Pass
+	pos, end token.Pos  // the full literal/decl extent; captured = declared outside
+	shardVar *types.Var // the shard/worker index param, nil when blank
+	loVar    *types.Var // the lo bound param, nil when blank
+}
+
+func checkKernel(pass *analysis.Pass, sig *types.Signature, ft *ast.FuncType, body *ast.BlockStmt, pos, end token.Pos) {
+	k := &kernel{pass: pass, pos: pos, end: end}
+	if v := sig.Params().At(1); v.Name() != "" && v.Name() != "_" {
+		k.shardVar = v
+	}
+	if v := sig.Params().At(2); v.Name() != "" && v.Name() != "_" {
+		k.loVar = v
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if s.Tok == token.DEFINE {
+					// := defines new locals unless the ident was already
+					// in scope; skip pure definitions.
+					if id, ok := lhs.(*ast.Ident); ok {
+						if _, defined := pass.TypesInfo.Defs[id]; defined || id.Name == "_" {
+							continue
+						}
+					}
+				}
+				k.checkWrite(lhs, rhsFor(s, i))
+			}
+		case *ast.IncDecStmt:
+			k.checkWrite(s.X, nil)
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				if s.Key != nil {
+					k.checkWrite(s.Key, nil)
+				}
+				if s.Value != nil {
+					k.checkWrite(s.Value, nil)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if id := k.mentions(res, k.shardVar); id != nil {
+					pass.Reportf(id.Pos(), "kernel returns a value derived from the shard index %s: results become a function of the worker count", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rhsFor returns the RHS expression feeding LHS i, when it exists.
+func rhsFor(s *ast.AssignStmt, i int) ast.Expr {
+	if len(s.Rhs) == len(s.Lhs) {
+		return s.Rhs[i]
+	}
+	if len(s.Rhs) == 1 {
+		return s.Rhs[0]
+	}
+	return nil
+}
+
+// checkWrite classifies one write target. Ownership of a chained
+// target like out[i].Field or s.buf[j] is decided by the index step
+// nearest the root: a write into an own [lo,hi) slot may touch that
+// slot's fields freely, while everything reached without such an
+// anchored index escapes the shard.
+func (k *kernel) checkWrite(lhs, rhs ast.Expr) {
+	pass := k.pass
+	target := ast.Unparen(lhs)
+	if id, ok := target.(*ast.Ident); ok {
+		if v := k.capturedVar(id); v != nil {
+			pass.Reportf(id.Pos(), "kernel writes captured variable %s: shards race on it and the result depends on shard completion order", v.Name())
+		}
+	} else if root, rootIdx := k.chainRoot(target); root != nil {
+		switch {
+		case rootIdx == nil:
+			pass.Reportf(target.Pos(), "kernel writes through captured %s without an own-slot index: the write escapes the kernel's shard", root.Name())
+		default:
+			if tv, ok := pass.TypesInfo.Types[rootIdx.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(rootIdx.Pos(), "kernel writes into captured map %s: concurrent map writes fault and insertion order leaks into iteration", root.Name())
+					return
+				}
+			}
+			k.checkSliceIndex(rootIdx, root)
+		}
+	}
+	if rhs != nil {
+		if id := k.mentions(rhs, k.shardVar); id != nil && k.writesCaptured(lhs) {
+			pass.Reportf(id.Pos(), "kernel stores the shard index %s into captured state: results become a function of the worker count", id.Name)
+		}
+	}
+}
+
+// chainRoot walks a selector/index/deref chain to its base identifier.
+// It returns the captured root variable (nil if the root is local) and
+// the IndexExpr step nearest the root, if the chain has one.
+func (k *kernel) chainRoot(e ast.Expr) (*types.Var, *ast.IndexExpr) {
+	var nearest *ast.IndexExpr
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return k.capturedVar(x), nearest
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			nearest = x
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// checkSliceIndex allows only indexes anchored to the kernel's own
+// range: an index mentioning a kernel-local variable or the lo bound is
+// the idiomatic [lo, hi) loop; everything else addresses another
+// shard's slots.
+func (k *kernel) checkSliceIndex(e *ast.IndexExpr, root *types.Var) {
+	pass := k.pass
+	if id := k.mentions(e.Index, k.shardVar); id != nil {
+		pass.Reportf(e.Index.Pos(), "kernel indexes captured %s by the shard index %s: slot ownership must follow [lo,hi), not worker identity", root.Name(), id.Name)
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[e.Index]; ok && tv.Value != nil {
+		pass.Reportf(e.Index.Pos(), "kernel writes captured %s at a constant index: that slot is shared with every other shard", root.Name())
+		return
+	}
+	// Anchored if the index mentions any kernel-local variable or lo.
+	anchored := false
+	ast.Inspect(e.Index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if v == k.loVar || (v.Pos() >= k.pos && v.Pos() < k.end) {
+				anchored = true
+			}
+		}
+		return true
+	})
+	if !anchored {
+		pass.Reportf(e.Index.Pos(), "kernel writes captured %s at an index not derived from its own [lo,hi) range", root.Name())
+	}
+}
+
+// writesCaptured reports whether lhs targets captured state (any shape).
+func (k *kernel) writesCaptured(lhs ast.Expr) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return k.capturedVar(e) != nil
+	case *ast.SelectorExpr:
+		return k.capturedRoot(e.X) != nil
+	case *ast.StarExpr:
+		return k.capturedRoot(e.X) != nil
+	case *ast.IndexExpr:
+		return k.capturedRoot(e.X) != nil
+	}
+	return false
+}
+
+// capturedVar resolves id to a variable declared outside the kernel.
+func (k *kernel) capturedVar(id *ast.Ident) *types.Var {
+	v, ok := k.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pos() >= k.pos && v.Pos() < k.end {
+		return nil // kernel-local (params included: they sit in the literal's type)
+	}
+	return v
+}
+
+// capturedRoot walks to the base identifier of a selector/index/deref
+// chain and resolves it if captured.
+func (k *kernel) capturedRoot(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return k.capturedVar(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentions returns the first identifier in e resolving to v (nil-safe).
+func (k *kernel) mentions(e ast.Expr, v *types.Var) *ast.Ident {
+	if v == nil {
+		return nil
+	}
+	var found *ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && k.pass.TypesInfo.Uses[id] == v {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}

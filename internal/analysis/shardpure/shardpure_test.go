@@ -1,0 +1,12 @@
+package shardpure_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/shardpure"
+)
+
+func TestShardpure(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), shardpure.Analyzer, "shardpurebad", "shardpuregood")
+}

@@ -1,0 +1,294 @@
+// Package spanpair enforces the span-closure protocol of the
+// observability layer: every span opened with Ctl.StartSpan must be
+// closed by a Ctl.EndSpan that is deferred in the same block,
+// immediately enough that no return can slip between them — that is the
+// only shape reaching EndSpan on every return AND panic path, and the
+// only one that gives EndSpan the recover authority it needs to close
+// the span as OutcomePanic while a panic unwinds.
+//
+// The contract (see internal/exec.EndSpan's doc comment):
+//
+//	func XWith(c *exec.Ctl, ...) (_ R, partial bool, err error) {
+//		sp := c.StartSpan("pkg.X")
+//		sp.SetInput(...)                    // optional
+//		defer c.EndSpan(sp, &partial, &err)
+//		...
+//
+// Violations flagged:
+//
+//   - a StartSpan whose result is discarded (the span can never end);
+//   - a StartSpan with no matching `defer c.EndSpan(sp, ...)` in the
+//     same statement list — a defer inside a nested block is
+//     conditional, so some paths leak the span;
+//   - a return statement between StartSpan and the deferred EndSpan
+//     (the span leaks on that path);
+//   - EndSpan called outside a defer, or wrapped in a deferred function
+//     literal (recover only works in the deferred function itself, so a
+//     wrapper silently downgrades panic closure);
+//   - a second StartSpan in one function scope (one operator, one span;
+//     helpers open their own);
+//   - an EndSpan whose outcome arguments bypass the function's results:
+//     when the enclosing function has a named bool (partial) or error
+//     result, EndSpan must receive pointers to exactly those results,
+//     otherwise the recorded outcome diverges from what the caller
+//     observes.
+package spanpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags spans that can leak, close late, or misreport outcome.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc:  "every Ctl.StartSpan needs a same-block deferred Ctl.EndSpan over the named results, on all return and panic paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkScope(pass, analysis.FuncType(pass.TypesInfo, fn), fn.Body)
+		}
+	}
+	return nil
+}
+
+// isSpanCall reports whether call is <ctl>.<name>(...) on a *exec.Ctl.
+func isSpanCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsExecCtl(tv.Type)
+}
+
+// checkScope enforces the protocol over one function scope. Nested
+// function literals are their own scopes: each gets its own recursive
+// check with its own signature, and its statements never count toward
+// the enclosing scope.
+func checkScope(pass *analysis.Pass, sig *types.Signature, body *ast.BlockStmt) {
+	opened := 0
+	checkList(pass, sig, body.List, &opened)
+	// Recurse into nested literal scopes wherever they appear.
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		var litSig *types.Signature
+		if tv, ok := pass.TypesInfo.Types[lit]; ok {
+			litSig, _ = tv.Type.(*types.Signature)
+		}
+		litOpened := 0
+		checkList(pass, litSig, lit.Body.List, &litOpened)
+		return true
+	})
+}
+
+// checkList walks one statement list, pairing StartSpans with their
+// deferred EndSpans and recursing into nested (non-literal) blocks.
+// opened counts StartSpans seen so far in the scope.
+func checkList(pass *analysis.Pass, sig *types.Signature, list []ast.Stmt, opened *int) {
+	handledStart := map[*ast.CallExpr]bool{}
+	handledEnd := map[*ast.CallExpr]bool{}
+
+	for i, stmt := range list {
+		if as, ok := stmt.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isSpanCall(pass, call, "StartSpan") {
+				handledStart[call] = true
+				*opened++
+				if *opened > 1 {
+					pass.Reportf(call.Pos(), "second StartSpan in one scope: one operator opens one span; let helpers open their own")
+				}
+				spanVar := assignTarget(pass, as)
+				if spanVar == nil {
+					pass.Reportf(call.Pos(), "StartSpan result is discarded: capture it and close it with a deferred EndSpan")
+					continue
+				}
+				matchDeferredEnd(pass, sig, list[i+1:], call, spanVar, handledEnd)
+			}
+		}
+	}
+
+	// Everything not consumed above is a protocol violation of its own
+	// shape: discarded StartSpans, non-deferred EndSpans, wrapped defers.
+	for _, stmt := range list {
+		stmt := stmt
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+						return false
+					}
+					if call, ok := n.(*ast.CallExpr); ok && isSpanCall(pass, call, "EndSpan") {
+						handledEnd[call] = true
+						pass.Reportf(call.Pos(), "EndSpan wrapped in a deferred function literal: defer c.EndSpan(...) directly so it keeps recover authority over panics")
+					}
+					return true
+				})
+			}
+			if isSpanCall(pass, s.Call, "EndSpan") && !handledEnd[s.Call] {
+				handledEnd[s.Call] = true
+				pass.Reportf(s.Call.Pos(), "deferred EndSpan closes a span this block never opened: defer it in the block that called StartSpan")
+			}
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // separate scope, checked by checkScope
+			}
+			if blk, ok := nestedList(n, stmt); ok {
+				checkList(pass, sig, blk, opened)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isSpanCall(pass, call, "StartSpan") && !handledStart[call]:
+				handledStart[call] = true
+				*opened++
+				pass.Reportf(call.Pos(), "StartSpan result is discarded: capture it as `sp := c.StartSpan(...)` in its own statement and close it with a deferred EndSpan")
+			case isSpanCall(pass, call, "EndSpan") && !handledEnd[call]:
+				handledEnd[call] = true
+				pass.Reportf(call.Pos(), "EndSpan outside a defer: only `defer c.EndSpan(...)` reaches every return and panic path")
+			}
+			return true
+		})
+	}
+}
+
+// nestedList returns the statement list of a nested block construct
+// rooted at n (but not stmt itself when it IS the construct's body —
+// the caller already iterates the outer list).
+func nestedList(n ast.Node, parent ast.Stmt) ([]ast.Stmt, bool) {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List, true
+	case *ast.CaseClause:
+		return b.Body, true
+	case *ast.CommClause:
+		return b.Body, true
+	}
+	return nil, false
+}
+
+// assignTarget returns the variable the span was assigned to, or nil
+// for blank/multi assignments.
+func assignTarget(pass *analysis.Pass, as *ast.AssignStmt) *types.Var {
+	if len(as.Lhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// matchDeferredEnd scans the statements after a StartSpan for the
+// matching `defer c.EndSpan(spanVar, ...)` in the same list, flags any
+// return reachable before it, and validates the outcome arguments.
+func matchDeferredEnd(pass *analysis.Pass, sig *types.Signature, rest []ast.Stmt, start *ast.CallExpr, spanVar *types.Var, handledEnd map[*ast.CallExpr]bool) {
+	for j, stmt := range rest {
+		def, ok := stmt.(*ast.DeferStmt)
+		if !ok || !isSpanCall(pass, def.Call, "EndSpan") {
+			continue
+		}
+		if len(def.Call.Args) == 0 || !identIs(pass, def.Call.Args[0], spanVar) {
+			continue
+		}
+		handledEnd[def.Call] = true
+		for _, between := range rest[:j] {
+			if ret := firstReturn(between); ret != nil {
+				pass.Reportf(ret.Pos(), "return between StartSpan and its deferred EndSpan: the span leaks on this path — defer EndSpan immediately after StartSpan")
+			}
+		}
+		checkOutcomeArgs(pass, sig, def.Call)
+		return
+	}
+	pass.Reportf(start.Pos(), "StartSpan without a same-block `defer c.EndSpan(sp, ...)`: a defer in a nested block is conditional, so some return or panic path leaks the span")
+}
+
+// firstReturn finds a return statement nested anywhere in stmt, not
+// counting function literals (their returns do not leave this scope).
+func firstReturn(stmt ast.Stmt) (ret *ast.ReturnStmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if ret != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+			return false
+		}
+		return true
+	})
+	return ret
+}
+
+// identIs reports whether e is an identifier resolving to v.
+func identIs(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.Uses[id] == v || pass.TypesInfo.Defs[id] == v
+}
+
+// checkOutcomeArgs pins EndSpan's partial/err pointers to the enclosing
+// function's named results, so the span outcome cannot diverge from
+// what the caller observes.
+func checkOutcomeArgs(pass *analysis.Pass, sig *types.Signature, call *ast.CallExpr) {
+	if sig == nil || len(call.Args) != 3 {
+		return
+	}
+	if pv := resultVar(sig, func(t types.Type) bool { b, ok := t.Underlying().(*types.Basic); return ok && b.Kind() == types.Bool }); pv != nil {
+		checkAddrOf(pass, call.Args[1], pv, "partial")
+	}
+	if ev := resultVar(sig, analysis.IsErrorType); ev != nil {
+		checkAddrOf(pass, call.Args[2], ev, "error")
+	}
+}
+
+// resultVar returns the last result of sig matching pred, or nil.
+func resultVar(sig *types.Signature, pred func(types.Type) bool) *types.Var {
+	var found *types.Var
+	for i := 0; i < sig.Results().Len(); i++ {
+		if r := sig.Results().At(i); pred(r.Type()) {
+			found = r
+		}
+	}
+	return found
+}
+
+// checkAddrOf requires arg to be &result for the given named result.
+// An unnamed result cannot be observed by the defer at all, which is
+// its own diagnostic.
+func checkAddrOf(pass *analysis.Pass, arg ast.Expr, result *types.Var, what string) {
+	if result.Name() == "" || result.Name() == "_" {
+		pass.Reportf(arg.Pos(), "enclosing function's %s result is unnamed: name it so the deferred EndSpan can observe the final value", what)
+		return
+	}
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if ok && un.Op.String() == "&" && identIs(pass, un.X, result) {
+		return
+	}
+	pass.Reportf(arg.Pos(), "EndSpan bypasses the %s result: pass &%s so the span outcome matches what the caller observes", what, result.Name())
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), spanpair.Analyzer, "spanpairbad", "spanpairgood")
+}

@@ -1,0 +1,364 @@
+// Package statusmap enforces the typed-error→HTTP-status contract of
+// the serve layer: a handler that can see the substrate's typed errors
+// must classify them — via errors.Is / errors.As, never by direct
+// comparison or type assertion — before anything falls through to a
+// blanket 500, and every retryable status must carry Retry-After.
+//
+// The contract, as cmd/gea/serve.go writes it:
+//
+//	var busy *gea.ErrBusy
+//	var overload *gea.ErrOverload
+//	switch {
+//	case err == nil:
+//	case errors.As(err, &busy):        // 429 + Retry-After
+//	case errors.As(err, &overload):    // 503 + Retry-After
+//	case errors.Is(err, gea.ErrShuttingDown): // 503 + Retry-After
+//	case errors.As(err, &schema):      // 400: caller fault, not ours
+//	default:                            // only now a 500
+//	}
+//
+// Violations flagged, in any function shaped like an http.Handler:
+//
+//   - a 429 or 503 written without a Retry-After header set earlier in
+//     the same block: the client is told to go away but not when to
+//     come back, which turns backpressure into a retry storm;
+//   - an error compared to a sentinel with == or != (wrapping breaks
+//     it; use errors.Is);
+//   - a type assertion or type switch on an error value (wrapping
+//     breaks it; use errors.As);
+//   - a classification switch that falls through to 500 without
+//     testing ErrBusy, ErrOverload and ErrShuttingDown, or without
+//     classifying at least one caller-fault type (SchemaError /
+//     ParamError) as a 4xx — an unclassified caller fault poisons the
+//     5xx error rate and gets retried forever.
+//
+// Matching is by type/sentinel name, because the serve layer sees these
+// types through the public gea facade's aliases.
+package statusmap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"gea/internal/analysis"
+)
+
+// Analyzer flags serve handlers that misclassify typed substrate errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "statusmap",
+	Doc:  "serve handlers must classify typed errors via errors.Is/As before 500 and set Retry-After on retryable statuses",
+	Run:  run,
+}
+
+// required is what a 500-defaulting classification switch must test,
+// keyed by name with the matching errors helper.
+var required = []struct {
+	names  []string // any one of these names satisfies the slot
+	how    string   // "As" or "Is"
+	status string   // what the branch should map to, for the message
+}{
+	{[]string{"ErrBusy"}, "As", "429"},
+	{[]string{"ErrOverload"}, "As", "503"},
+	{[]string{"ErrShuttingDown", "ErrShutdown"}, "Is", "503"},
+	{[]string{"SchemaError", "ParamError"}, "As", "400"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !isHandlerShaped(analysis.FuncType(pass.TypesInfo, fn)) {
+				continue
+			}
+			checkHandler(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// isHandlerShaped reports whether sig takes (http.ResponseWriter,
+// *http.Request) somewhere in its parameters.
+func isHandlerShaped(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	var hasW, hasR bool
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isNetHTTP(t, "ResponseWriter") {
+			hasW = true
+		}
+		if p, ok := t.(*types.Pointer); ok && isNetHTTP(p.Elem(), "Request") {
+			hasR = true
+		}
+	}
+	return hasW && hasR
+}
+
+func isNetHTTP(t types.Type, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == name && named.Obj().Pkg().Path() == "net/http"
+}
+
+func checkHandler(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			checkRetryAfter(pass, s.List)
+		case *ast.CaseClause:
+			checkRetryAfter(pass, s.Body)
+		case *ast.BinaryExpr:
+			if s.Op == token.EQL || s.Op == token.NEQ {
+				if name := sentinelSide(pass, s.X, s.Y); name != "" {
+					pass.Reportf(s.Pos(), "error compared to sentinel %s with %s: wrapped errors slip past — use errors.Is", name, s.Op)
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if s.Type != nil && exprIsError(pass, s.X) {
+				pass.Reportf(s.Pos(), "type assertion on an error value: wrapped errors slip past — use errors.As")
+			}
+		case *ast.TypeSwitchStmt:
+			if x := typeSwitchSubject(s); x != nil && exprIsError(pass, x) {
+				pass.Reportf(s.Pos(), "type switch on an error value: wrapped errors slip past — use errors.As")
+			}
+		case *ast.SwitchStmt:
+			checkClassification(pass, s)
+		}
+		return true
+	})
+}
+
+// checkRetryAfter flags 429/503 writes in one statement list that no
+// earlier statement of the list prepared with a Retry-After header.
+func checkRetryAfter(pass *analysis.Pass, list []ast.Stmt) {
+	prepared := false
+	for _, stmt := range list {
+		if setsRetryAfter(stmt) {
+			prepared = true
+			continue
+		}
+		if _, ok := stmt.(*ast.BlockStmt); ok {
+			continue // a bare block gets its own pass
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch n.(type) {
+			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+				return false // nested list gets its own pass
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if code, ok := constantStatus(pass, arg); ok && (code == 429 || code == 503) && !prepared {
+					pass.Reportf(arg.Pos(), "%d written without Retry-After: set the header first or backpressure becomes a retry storm", code)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// setsRetryAfter recognises `<w>.Header().Set("Retry-After", ...)`.
+func setsRetryAfter(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Set" && sel.Sel.Name != "Add") {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	return ok && lit.Value == `"Retry-After"`
+}
+
+// constantStatus extracts a constant int HTTP status from an argument.
+func constantStatus(pass *analysis.Pass, arg ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	code, ok := constant.Int64Val(tv.Value)
+	if !ok || code < 100 || code > 599 {
+		return 0, false
+	}
+	return code, true
+}
+
+// sentinelSide returns the name of a package-level error variable on
+// either side of a comparison, ignoring the nil-check idiom.
+func sentinelSide(pass *analysis.Pass, x, y ast.Expr) string {
+	for _, side := range []ast.Expr{x, y} {
+		var id *ast.Ident
+		switch e := ast.Unparen(side).(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			continue
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !analysis.IsErrorType(v.Type()) {
+			continue
+		}
+		// Package-level: declared in package scope.
+		if v.Pkg() != nil && v.Pkg().Scope() == v.Parent() {
+			return v.Name()
+		}
+	}
+	return ""
+}
+
+func exprIsError(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && analysis.IsErrorType(tv.Type)
+}
+
+func typeSwitchSubject(s *ast.TypeSwitchStmt) ast.Expr {
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	}
+	return nil
+}
+
+// checkClassification audits a tagless error-classification switch: one
+// that tests errors.Is/As in its cases and whose default writes a 500.
+func checkClassification(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag != nil {
+		return
+	}
+	classified := map[string]string{} // name -> "Is" or "As"
+	sawErrorsCall := false
+	defaultWrites500 := false
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil { // default:
+			for _, b := range cc.Body {
+				ast.Inspect(b, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						for _, arg := range call.Args {
+							if code, ok := constantStatus(pass, arg); ok && code == 500 {
+								defaultWrites500 = true
+							}
+						}
+					}
+					return true
+				})
+			}
+			continue
+		}
+		for _, cond := range cc.List {
+			ast.Inspect(cond, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				how, name := errorsCall(pass, call)
+				if how != "" {
+					sawErrorsCall = true
+					if name != "" {
+						classified[name] = how
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !sawErrorsCall || !defaultWrites500 {
+		return
+	}
+	for _, req := range required {
+		satisfied := false
+		for _, name := range req.names {
+			if how, ok := classified[name]; ok && how == req.how {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			pass.Reportf(s.Pos(), "error switch falls through to 500 without classifying %s via errors.%s (should map to %s)", orList(req.names), req.how, req.status)
+		}
+	}
+}
+
+// errorsCall decodes errors.Is(err, X) / errors.As(err, &x) into the
+// helper used and the name of the sentinel or target type.
+func errorsCall(pass *analysis.Pass, call *ast.CallExpr) (how, name string) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "errors" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Is":
+		if len(call.Args) == 2 {
+			switch e := ast.Unparen(call.Args[1]).(type) {
+			case *ast.SelectorExpr:
+				return "Is", e.Sel.Name
+			case *ast.Ident:
+				return "Is", e.Name
+			}
+		}
+		return "Is", ""
+	case "As":
+		if len(call.Args) == 2 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok {
+				return "As", targetTypeName(tv.Type)
+			}
+		}
+		return "As", ""
+	}
+	return "", ""
+}
+
+// targetTypeName digs the named type out of an errors.As target
+// (**T, *T or *I).
+func targetTypeName(t types.Type) string {
+	for {
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func orList(names []string) string {
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " or " + n
+	}
+	return out
+}

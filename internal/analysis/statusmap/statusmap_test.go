@@ -1,0 +1,12 @@
+package statusmap_test
+
+import (
+	"testing"
+
+	"gea/internal/analysis/antest"
+	"gea/internal/analysis/statusmap"
+)
+
+func TestStatusmap(t *testing.T) {
+	antest.Run(t, antest.SharedTestData(t), statusmap.Analyzer, "statusmapbad", "statusmapgood")
+}

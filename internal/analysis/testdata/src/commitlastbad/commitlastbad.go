@@ -1,0 +1,52 @@
+// Bad corpus for commitlast: commit sequences that keep mutating the
+// filesystem after the CURRENT pointer has flipped.
+package commitlastbad
+
+import "gea/internal/atomicio"
+
+// WriteAfterFlip finishes writing the generation it just published:
+// readers may already be walking it, and a failure here strands a
+// half-written committed generation.
+func WriteAfterFlip(fsys atomicio.FS, root string) error {
+	gen, err := atomicio.NextGen(fsys, root)
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(fsys, root+"/"+gen+"/data.json", nil); err != nil {
+		return err
+	}
+	if err := atomicio.Commit(fsys, root, gen); err != nil {
+		return err
+	}
+	return atomicio.WriteFile(fsys, root+"/"+gen+"/index.json", nil) // want `atomicio.WriteFile after the CURRENT flip`
+}
+
+// DoubleCommit flips CURRENT twice in one sequence: between the flips
+// readers observe a generation the function is about to abandon.
+func DoubleCommit(fsys atomicio.FS, root, gen, gen2 string) error {
+	if err := atomicio.Commit(fsys, root, gen); err != nil {
+		return err
+	}
+	return atomicio.Commit(fsys, root, gen2) // want `second atomicio.Commit`
+}
+
+// RenameAfterFlip rearranges the committed tree under readers' feet.
+func RenameAfterFlip(fsys atomicio.FS, root, gen string) error {
+	if err := atomicio.Commit(fsys, root, gen); err != nil {
+		return err
+	}
+	return fsys.Rename(root+"/"+gen+"/tmp", root+"/"+gen+"/final") // want `FS.Rename after the CURRENT flip`
+}
+
+// BuildAfterFlip starts the NEXT generation inside the same sequence,
+// fusing two commit cycles into one fallible tail.
+func BuildAfterFlip(fsys atomicio.FS, root, gen string) error {
+	if err := atomicio.Commit(fsys, root, gen); err != nil {
+		return err
+	}
+	next, err := atomicio.NextGen(fsys, root) // want `atomicio.NextGen after the CURRENT flip`
+	if err != nil {
+		return err
+	}
+	return fsys.MkdirAll(root+"/"+next, 0o755) // want `FS.MkdirAll after the CURRENT flip`
+}

@@ -1,0 +1,55 @@
+// Good corpus for commitlast: conformant commit sequences. No line
+// here may produce a diagnostic.
+package commitlastgood
+
+import "gea/internal/atomicio"
+
+// BuildThenCommit is the canonical sequence: write the full generation,
+// flip CURRENT as the final fallible operation, then best-effort
+// cleanup of the old generations only.
+func BuildThenCommit(fsys atomicio.FS, root string, payload []byte) error {
+	gen, err := atomicio.NextGen(fsys, root)
+	if err != nil {
+		return err
+	}
+	if err := fsys.MkdirAll(root+"/"+gen, 0o755); err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(fsys, root+"/"+gen+"/data.json", payload); err != nil {
+		return err
+	}
+	if err := atomicio.Commit(fsys, root, gen); err != nil {
+		return err
+	}
+	atomicio.CleanupGens(fsys, root, gen)
+	return nil
+}
+
+// CommitWithRetry retries the same flip call site: still one commit
+// point, exercised until it sticks.
+func CommitWithRetry(fsys atomicio.FS, root, gen string) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = atomicio.Commit(fsys, root, gen); err == nil {
+			break
+		}
+	}
+	atomicio.CleanupGensExcept(fsys, root, map[string]bool{gen: true})
+	return err
+}
+
+// ReadBackAfterCommit may verify what it published — reads are not
+// mutations — and may remove superseded state.
+func ReadBackAfterCommit(fsys atomicio.FS, root, gen, old string) ([]byte, error) {
+	if err := atomicio.Commit(fsys, root, gen); err != nil {
+		return nil, err
+	}
+	cur, err := atomicio.CurrentGen(fsys, root)
+	if err != nil {
+		return nil, err
+	}
+	if err := fsys.RemoveAll(root + "/" + old); err != nil {
+		return nil, err
+	}
+	return atomicio.ReadFile(fsys, root+"/"+cur+"/data.json")
+}

@@ -1,0 +1,42 @@
+// Package atomicio is the testdata stub of GEA's durability layer: just
+// enough surface (FS, the framed writers and the generation-commit
+// protocol) for the commitlast corpora to typecheck. As with the exec
+// stub, the analyzers match by import-path suffix, so this stub is
+// indistinguishable from the real package to them.
+package atomicio
+
+import "io"
+
+type FileInfoLike interface{ Name() string }
+
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+type FS interface {
+	Create(path string) (File, error)
+	Open(path string) (io.ReadCloser, error)
+	Rename(oldpath, newpath string) error
+	MkdirAll(path string, perm uint32) error
+	RemoveAll(path string) error
+	ReadDir(path string) ([]FileInfoLike, error)
+	SyncDir(path string) error
+}
+
+func WriteFile(fsys FS, path string, payload []byte) error { return nil }
+
+func WriteFileFunc(fsys FS, path string, write func(io.Writer) error) error { return nil }
+
+func ReadFile(fsys FS, path string) ([]byte, error) { return nil, nil }
+
+func NextGen(fsys FS, root string) (string, error) { return "gen-000001", nil }
+
+func Commit(fsys FS, root, gen string) error { return nil }
+
+func CurrentGen(fsys FS, root string) (string, error) { return "gen-000001", nil }
+
+func CleanupGens(fsys FS, root, keep string) {}
+
+func CleanupGensExcept(fsys FS, root string, keep map[string]bool) {}

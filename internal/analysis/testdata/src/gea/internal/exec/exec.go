@@ -9,6 +9,8 @@ package exec
 import (
 	"context"
 	"errors"
+
+	"gea/internal/obs"
 )
 
 var ErrBudget = errors.New("exec: work budget exhausted")
@@ -54,3 +56,7 @@ func (c *Ctl) Split(n int) []*Ctl { return make([]*Ctl, n) }
 func (c *Ctl) SplitWork(counts []int64) []*Ctl { return make([]*Ctl, len(counts)) }
 
 func (c *Ctl) Merge(kids ...*Ctl) {}
+
+func (c *Ctl) StartSpan(op string) *obs.Span { return nil }
+
+func (c *Ctl) EndSpan(sp *obs.Span, partial *bool, err *error) {}

@@ -1,0 +1,38 @@
+// Package obs is the testdata stub of GEA's observability layer: just
+// enough surface (Span, Registry and its metric constructors) for the
+// spanpair and metricname corpora to typecheck. As with the exec stub,
+// the analyzers match by import-path suffix, so this stub is
+// indistinguishable from the real package to them.
+package obs
+
+type Span struct{}
+
+func (sp *Span) SetInput(format string, args ...any) {}
+
+func (sp *Span) End(outcome string, errMsg string, units, checkpoints int64, workers int) {}
+
+type Counter struct{}
+
+func (c *Counter) Add(n int64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Add(n int64) {}
+
+func (g *Gauge) Set(n int64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+var LatencyBounds = []float64{1e-4, 1e-3}
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }

@@ -1,0 +1,14 @@
+// Bad corpus for metricname: names outside the dotted scheme or the
+// checked-in manifest.
+package metricnamebad
+
+import "gea/internal/obs"
+
+func Register(r *obs.Registry, op string) {
+	r.Counter("bogusNoDot")                        // want `not dotted lower_snake`
+	r.Gauge("Caps.Bad")                            // want `not dotted lower_snake`
+	r.Counter("unknown.metric")                    // want `not in the metricname manifest`
+	r.Histogram("also.unknown", obs.LatencyBounds) // want `not in the metricname manifest`
+	r.Counter(op + ".count")                       // want `no constant prefix`
+	r.Counter("nope." + op)                        // want `not covered by any manifest wildcard`
+}

@@ -1,0 +1,13 @@
+// Good corpus for metricname: catalogued names and documented dynamic
+// families. No line here may produce a diagnostic.
+package metricnamegood
+
+import "gea/internal/obs"
+
+func Register(r *obs.Registry, op string) {
+	r.Counter("ingest.appends")
+	r.Gauge("spans.active")
+	r.Histogram("admission.wait_s", obs.LatencyBounds)
+	r.Counter("ops." + op + ".count")
+	r.Histogram("ops."+op+".latency_s", obs.LatencyBounds)
+}

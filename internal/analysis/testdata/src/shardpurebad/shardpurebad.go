@@ -1,0 +1,104 @@
+// Bad corpus for shardpure: kernels whose writes escape their own
+// [lo, hi) slots or whose results depend on worker identity.
+package shardpurebad
+
+import (
+	"gea/internal/exec"
+	"gea/internal/exec/shard"
+)
+
+type acc struct{ total int }
+
+// CapturedScalar accumulates into a captured variable: shards race on
+// it and the sum depends on completion order.
+func CapturedScalar(c *exec.Ctl, rows []float64) float64 {
+	sum := 0.0
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			sum += rows[i] // want `writes captured variable sum`
+		}
+		return hi - lo, nil
+	})
+	return sum
+}
+
+// CapturedMap inserts into a shared map: concurrent writes fault.
+func CapturedMap(c *exec.Ctl, rows []int) map[int]int {
+	counts := map[int]int{}
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			counts[rows[i]]++ // want `captured map`
+		}
+		return hi - lo, nil
+	})
+	return counts
+}
+
+// FixedSlot writes a constant index shared with every other shard.
+func FixedSlot(c *exec.Ctl, rows []int) int {
+	out := make([]int, 1)
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		out[0] = hi // want `constant index`
+		return hi - lo, nil
+	})
+	return out[0]
+}
+
+// WorkerSlot partitions output by worker identity instead of [lo, hi):
+// the layout changes with the worker count.
+func WorkerSlot(c *exec.Ctl, rows []int) []int {
+	out := make([]int, len(rows))
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, w, lo, hi int) (int, error) {
+		out[w] = hi - lo // want `by the shard index`
+		return hi - lo, nil
+	})
+	return out
+}
+
+// WorkerValue stores the worker index into captured state.
+func WorkerValue(c *exec.Ctl, rows []int) []int {
+	owner := make([]int, len(rows))
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, w, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			owner[i] = w // want `stores the shard index`
+		}
+		return hi - lo, nil
+	})
+	return owner
+}
+
+// WorkerReturn folds the worker index into the kernel's result.
+func WorkerReturn(c *exec.Ctl, rows []int) {
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, w, lo, hi int) (int, error) {
+		return hi - lo + w, nil // want `derived from the shard index`
+	})
+}
+
+// CapturedField mutates shared struct state from inside the kernel.
+func CapturedField(c *exec.Ctl, rows []int) int {
+	var a acc
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		a.total += hi - lo // want `without an own-slot index`
+		return hi - lo, nil
+	})
+	return a.total
+}
+
+// CapturedPointer is the same escape one indirection away.
+func CapturedPointer(c *exec.Ctl, rows []int, p *int) {
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		*p = hi // want `without an own-slot index`
+		return hi - lo, nil
+	})
+}
+
+// DriftingIndex writes through an index with no anchor in the kernel's
+// own range: whatever it means, it is not this shard's slot.
+func DriftingIndex(c *exec.Ctl, rows []int, k int) []int {
+	out := make([]int, len(rows))
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		out[k] = hi // want `not derived from its own`
+		return hi - lo, nil
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+// Good corpus for shardpure: the canonical pure-kernel idioms. No line
+// here may produce a diagnostic.
+package shardpuregood
+
+import (
+	"gea/internal/exec"
+	"gea/internal/exec/shard"
+)
+
+type row struct {
+	Val  float64
+	Done bool
+}
+
+// OwnSlots is the house pattern: per-item results land in the kernel's
+// own [lo, hi) slots, scratch state stays kernel-local.
+func OwnSlots(c *exec.Ctl, rows []float64) ([]float64, bool, error) {
+	out := make([]float64, len(rows))
+	prefix, partial, err := shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		scratch := 0.0
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			scratch += rows[i]
+			out[i] = rows[i] + scratch
+		}
+		return hi - lo, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	_ = partial
+	return out[:prefix], partial, nil
+}
+
+// SlotFields may freely mutate the interior of an own slot.
+func SlotFields(c *exec.Ctl, rows []row) ([]row, error) {
+	out := make([]row, len(rows))
+	_, _, err := shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			out[i].Val = rows[i].Val * 2
+			out[i].Done = true
+		}
+		return hi - lo, nil
+	})
+	return out, err
+}
+
+// OffsetSlots shows an index derived from the range bounds themselves.
+func OffsetSlots(c *exec.Ctl, rows []float64) []float64 {
+	out := make([]float64, 2*len(rows))
+	shard.For(c, len(rows), 0, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		for i := lo; i < hi; i++ {
+			if err := c.Point(1); err != nil {
+				return i - lo, err
+			}
+			out[lo+(i-lo)*2] = rows[i]
+		}
+		return hi - lo, nil
+	})
+	return out
+}
+
+// NamedKernel is a declaration-shaped kernel: same contract, no
+// captures beyond its own parameters.
+func NamedKernel(c *exec.Ctl, _, lo, hi int) (int, error) {
+	local := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		if err := c.Point(1); err != nil {
+			return i - lo, err
+		}
+		local = append(local, i)
+	}
+	return hi - lo, nil
+}

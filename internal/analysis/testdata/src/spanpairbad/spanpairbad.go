@@ -1,0 +1,99 @@
+// Bad corpus for spanpair: spans that leak, close conditionally, close
+// without recover authority, or misreport their outcome.
+package spanpairbad
+
+import (
+	"gea/internal/exec"
+	"gea/internal/obs"
+)
+
+// Discarded drops the span handle on the floor: nothing can ever end it.
+func Discarded(c *exec.Ctl) {
+	c.StartSpan("bad.Discarded") // want `result is discarded`
+}
+
+// Blanked is the same leak spelled with a blank assignment.
+func Blanked(c *exec.Ctl) {
+	_ = c.StartSpan("bad.Blanked") // want `result is discarded`
+}
+
+// NeverEnded captures the span but has no deferred EndSpan anywhere.
+func NeverEnded(c *exec.Ctl, rows []int) (partial bool, err error) {
+	sp := c.StartSpan("bad.NeverEnded") // want `without a same-block`
+	sp.SetInput("rows=%d", len(rows))
+	return false, nil
+}
+
+// ConditionalClose defers the EndSpan inside a nested block, so the
+// quiet path leaks the span. The nested defer is flagged from both
+// sides: the StartSpan has no same-block closure, and the defer closes
+// a span its own block never opened.
+func ConditionalClose(c *exec.Ctl, verbose bool) (partial bool, err error) {
+	sp := c.StartSpan("bad.ConditionalClose") // want `without a same-block`
+	if verbose {
+		defer c.EndSpan(sp, &partial, &err) // want `never opened`
+	}
+	return false, nil
+}
+
+// EarlyReturn lets an outcome-bearing return bypass the closure: the
+// span is still open when the function exits through it.
+func EarlyReturn(c *exec.Ctl, n int) (partial bool, err error) {
+	sp := c.StartSpan("bad.EarlyReturn")
+	if n < 0 {
+		return false, nil // want `return between StartSpan`
+	}
+	defer c.EndSpan(sp, &partial, &err)
+	return false, nil
+}
+
+// SyncClose calls EndSpan inline: an early return or panic above it
+// leaves the span open.
+func SyncClose(c *exec.Ctl) (partial bool, err error) {
+	sp := c.StartSpan("bad.SyncClose") // want `without a same-block`
+	c.EndSpan(sp, &partial, &err)      // want `outside a defer`
+	return false, nil
+}
+
+// WrappedClose hides EndSpan inside a deferred literal, which strips
+// its recover authority: a panic unwinds through the wrapper without
+// the span recording OutcomePanic. The wrapped call is flagged both as
+// a wrapper and as a non-deferred EndSpan in its literal's own scope.
+func WrappedClose(c *exec.Ctl) (partial bool, err error) {
+	sp := c.StartSpan("bad.WrappedClose")            // want `without a same-block`
+	defer func() { c.EndSpan(sp, &partial, &err) }() // want `wrapped in a deferred function literal` `outside a defer`
+	return false, nil
+}
+
+// DoubleOpen opens two spans in one scope: one operator, one span.
+func DoubleOpen(c *exec.Ctl) (partial bool, err error) {
+	sp := c.StartSpan("bad.DoubleOpen")
+	defer c.EndSpan(sp, &partial, &err)
+	sp2 := c.StartSpan("bad.DoubleOpen2") // want `second StartSpan in one scope`
+	defer c.EndSpan(sp2, &partial, &err)
+	return false, nil
+}
+
+// BypassedOutcome closes over locals instead of the named results, so
+// the recorded outcome diverges from what the caller observes.
+func BypassedOutcome(c *exec.Ctl) (partial bool, err error) {
+	var p2 bool
+	var e2 error
+	sp := c.StartSpan("bad.BypassedOutcome")
+	defer c.EndSpan(sp, &p2, &e2) // want `bypasses the partial result` `bypasses the error result`
+	_ = p2
+	_ = e2
+	return partial, err
+}
+
+// UnnamedResults cannot wire the defer to the outcome at all.
+func UnnamedResults(c *exec.Ctl) (bool, error) {
+	sp := c.StartSpan("bad.UnnamedResults")
+	defer c.EndSpan(sp, nil, nil) // want `partial result is unnamed` `error result is unnamed`
+	return false, nil
+}
+
+// Orphan closes a span handed in from elsewhere: pairing is per scope.
+func Orphan(c *exec.Ctl, sp *obs.Span) {
+	defer c.EndSpan(sp, nil, nil) // want `never opened`
+}

@@ -1,0 +1,68 @@
+// Good corpus for spanpair: the canonical span idiom in its legitimate
+// variations. No line here may produce a diagnostic.
+package spanpairgood
+
+import (
+	"errors"
+
+	"gea/internal/exec"
+)
+
+// Canonical is the house shape: capture, optional SetInput, deferred
+// EndSpan over the named results, immediately after StartSpan.
+func Canonical(c *exec.Ctl, rows []int) (_ int, partial bool, err error) {
+	sp := c.StartSpan("good.Canonical")
+	sp.SetInput("rows=%d", len(rows))
+	defer c.EndSpan(sp, &partial, &err)
+	for range rows {
+		if err = c.Point(1); err != nil {
+			return 0, partial, err
+		}
+	}
+	return len(rows), partial, err
+}
+
+// NoBoolResult mirrors the ingest facade: a function with no partial
+// result may close over a local flag, but the error pointer must still
+// be the named result.
+func NoBoolResult(c *exec.Ctl) (err error) {
+	var partial bool
+	sp := c.StartSpan("good.NoBoolResult")
+	defer c.EndSpan(sp, &partial, &err)
+	if c.Exhausted() {
+		partial = true
+	}
+	return err
+}
+
+// NoResults is a fire-and-forget operator: nothing to wire up.
+func NoResults(c *exec.Ctl) {
+	sp := c.StartSpan("good.NoResults")
+	defer c.EndSpan(sp, nil, nil)
+}
+
+// HelperSpans shows nested scopes each owning one span: the literal is
+// its own scope with its own pairing, not a second open in the parent.
+func HelperSpans(c *exec.Ctl) (partial bool, err error) {
+	sp := c.StartSpan("good.HelperSpans")
+	defer c.EndSpan(sp, &partial, &err)
+	run := func(c *exec.Ctl) (partial bool, err error) {
+		sp := c.StartSpan("good.HelperSpans.inner")
+		defer c.EndSpan(sp, &partial, &err)
+		return false, nil
+	}
+	return run(c)
+}
+
+// ErrorsAfterwards may do anything it likes once the pair is in place.
+func ErrorsAfterwards(c *exec.Ctl, fail bool) (partial bool, err error) {
+	sp := c.StartSpan("good.ErrorsAfterwards")
+	defer c.EndSpan(sp, &partial, &err)
+	if fail {
+		return false, errors.New("operator failure")
+	}
+	if c.Exhausted() {
+		return true, nil
+	}
+	return false, nil
+}

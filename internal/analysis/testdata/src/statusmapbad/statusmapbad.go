@@ -1,0 +1,82 @@
+// Bad corpus for statusmap: handlers that misclassify typed errors or
+// push back without telling the client when to return.
+package statusmapbad
+
+import (
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Local twins of the substrate's typed errors: the analyzer matches by
+// name, exactly as it does through the gea facade's aliases.
+
+type ErrBusy struct{ RetryAfter time.Duration }
+
+func (e *ErrBusy) Error() string { return "busy" }
+
+type ErrOverload struct{ RetryAfter time.Duration }
+
+func (e *ErrOverload) Error() string { return "overload" }
+
+var ErrShuttingDown = errors.New("shutting down")
+
+type SchemaError struct{ Field string }
+
+func (e *SchemaError) Error() string { return "schema: " + e.Field }
+
+func work() error { return nil }
+
+// NoRetryAfter sheds load without a Retry-After: clients hammer right
+// back and the backpressure becomes a retry storm.
+func NoRetryAfter(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "shedding", http.StatusServiceUnavailable) // want `503 written without Retry-After`
+}
+
+// NoRetryAfter429 is the same defect on the busy path.
+func NoRetryAfter429(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "busy", http.StatusTooManyRequests) // want `429 written without Retry-After`
+}
+
+// SentinelCompare breaks on the first wrapped error.
+func SentinelCompare(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	if err == ErrShuttingDown { // want `use errors.Is`
+		http.Error(w, err.Error(), http.StatusGone)
+	}
+}
+
+// AssertedType breaks the same way one level up.
+func AssertedType(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	if se, ok := err.(*SchemaError); ok { // want `use errors.As`
+		http.Error(w, se.Error(), http.StatusBadRequest)
+	}
+}
+
+// SwitchedType is the type-switch spelling of the same defect.
+func SwitchedType(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	switch err.(type) { // want `type switch on an error value`
+	case *SchemaError:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Incomplete classifies only the busy path before the 500 fallthrough:
+// overload and shutdown surface as server faults without Retry-After,
+// and caller faults poison the 5xx error rate.
+func Incomplete(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	var busy *ErrBusy
+	switch { // want `classifying ErrOverload` `classifying ErrShuttingDown or ErrShutdown` `classifying SchemaError or ParamError`
+	case err == nil:
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

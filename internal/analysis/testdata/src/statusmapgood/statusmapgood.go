@@ -1,0 +1,70 @@
+// Good corpus for statusmap: the full classification contract as
+// cmd/gea/serve.go writes it. No line here may produce a diagnostic.
+package statusmapgood
+
+import (
+	"errors"
+	"net/http"
+	"time"
+)
+
+type ErrBusy struct{ RetryAfter time.Duration }
+
+func (e *ErrBusy) Error() string { return "busy" }
+
+type ErrOverload struct{ RetryAfter time.Duration }
+
+func (e *ErrOverload) Error() string { return "overload" }
+
+var ErrShuttingDown = errors.New("shutting down")
+
+type SchemaError struct{ Field string }
+
+func (e *SchemaError) Error() string { return "schema: " + e.Field }
+
+func work() error { return nil }
+
+// Classified is the canonical shape: every typed error is tested with
+// errors.Is/As, every retryable status carries Retry-After, and only
+// the truly unknown remainder becomes a 500.
+func Classified(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	var busy *ErrBusy
+	var overload *ErrOverload
+	var schema *SchemaError
+	switch {
+	case err == nil:
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.As(err, &schema):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// EarlyShed pushes back before doing any work — with the header set
+// first in the same block.
+func EarlyShed(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "draining", http.StatusServiceUnavailable)
+}
+
+// NotAHandler compares sentinels outside the serve surface: that is
+// errwrap's jurisdiction, not this analyzer's.
+func NotAHandler(err error) bool {
+	return err == ErrShuttingDown
+}

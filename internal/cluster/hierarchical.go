@@ -228,7 +228,6 @@ func HierarchicalWith(c *exec.Ctl, rows [][]float64, dist DistanceFunc, linkage 
 			return dg, true, nil
 		}
 		bi, bj, best := 0, 1, math.Inf(1)
-		//lint:gea ctlcharge -- sequential argmin over the already-metered distances; kept serial so tie-breaking is bit-identical at any worker count
 		for p := range qi {
 			if dall[p] < best {
 				best = dall[p]

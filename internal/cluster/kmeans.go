@@ -121,7 +121,6 @@ func KMeansWith(c *exec.Ctl, rows [][]float64, k int, rng *rand.Rand, maxIters i
 			return nil, false, err
 		}
 		changed := false
-		//lint:gea ctlcharge -- applies the already-metered assignment prefix; every row was charged inside the kernel above
 		for i := 0; i < prefix; i++ {
 			if labels[i] != next[i] {
 				labels[i] = next[i]
@@ -211,7 +210,6 @@ func kmeansPlusPlusInit(ctl *exec.Ctl, rows [][]float64, k int, rng *rand.Rand) 
 			return centroids, ctl.Err()
 		}
 		var sum float64
-		//lint:gea ctlcharge -- sequential reduction over the already-metered distances; kept serial so seeding is bit-identical at any worker count
 		for _, d := range d2 {
 			sum += d
 		}

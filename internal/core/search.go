@@ -133,7 +133,6 @@ func RangeSearchWith(c *exec.Ctl, sumys []*Sumy, firstTag, lastTag sage.TagID, c
 		if partial {
 			return nil, true, nil
 		}
-		//lint:gea ctlcharge -- set accumulation over already-metered hits; every row was charged inside the kernel above
 		for i, r := range s.Rows {
 			if hit[i] {
 				tagSet[r.Tag] = true

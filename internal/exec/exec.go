@@ -445,7 +445,6 @@ func (c *Ctl) StartSpan(op string) *obs.Span {
 func (c *Ctl) EndSpan(sp *obs.Span, partial *bool, err *error) {
 	if rec := recover(); rec != nil {
 		sp.End(obs.OutcomePanic, fmt.Sprint(rec), c.Units(), c.Checkpoints(), c.Workers())
-		//lint:gea nopanic -- re-raising the value recovered only to close the span; Guard structures it
 		panic(rec)
 	}
 	if sp == nil {

@@ -296,12 +296,10 @@ func (tg ShardedTarget) slack() int64 {
 
 func sameRows(a, b []string) error {
 	if len(a) != len(b) {
-		//lint:gea errwrap -- harness diagnostic; no governance sentinel applies
 		return fmt.Errorf("%d rows vs %d rows", len(a), len(b))
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			//lint:gea errwrap -- harness diagnostic; no governance sentinel applies
 			return fmt.Errorf("row %d differs:\n  %q\n  %q", i, a[i], b[i])
 		}
 	}

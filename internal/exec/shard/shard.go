@@ -175,7 +175,6 @@ func runParallel(kids []*exec.Ctl, outs []outcome, grain, work, workers int, ker
 // in shard order — on the caller's goroutine for Guard to structure.
 func runShard(kid *exec.Ctl, out *outcome, shard, lo, hi int, kernel Kernel) {
 	defer func() {
-		//lint:gea nopanic -- worker-pool isolation: the recovered value is re-panicked on the caller goroutine by settle, where exec.Guard structures it
 		if rec := recover(); rec != nil {
 			out.panicv = rec
 		}

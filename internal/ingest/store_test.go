@@ -1,11 +1,13 @@
 package ingest
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -409,6 +411,9 @@ func TestStoreMultiGenSalvage(t *testing.T) {
 	if !strings.Contains(problems[0].Path, "old02") {
 		t.Errorf("Problem.Path = %q does not name the damaged library", problems[0].Path)
 	}
+	if problems[0].Phase != sage.PhaseRead {
+		t.Errorf("Problem.Phase = %q, want %q (framing damage is read-phase)", problems[0].Phase, sage.PhaseRead)
+	}
 	want := []string{"old01", "old03", "mid01", "mid02", "new01", "new02"}
 	got := namesOf(corpus)
 	if len(got) != len(want) {
@@ -470,5 +475,111 @@ func TestRetryPolicyTaxonomy(t *testing.T) {
 		return nil
 	}); err != nil {
 		t.Fatalf("recoverable fault not absorbed: %v", err)
+	}
+}
+
+// TestSalvageDecodePhase damages a library *inside* the atomicio frame —
+// valid checksum, unparsable payload — and asserts the problem reports
+// the decode phase: the writer produced the damage before the commit
+// boundary, it did not rot on disk.
+func TestSalvageDecodePhase(t *testing.T) {
+	dir, _ := seedStore(t)
+	victim := filepath.Join(dir, "gen-000001", "old02.sage")
+	err := atomicio.WriteFileFunc(atomicio.OS{}, victim, func(w io.Writer) error {
+		_, err := io.WriteString(w, "framed correctly, but not a library\n")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, corpus, problems, err := Open(atomicio.OS{}, dir, noRetry())
+	if err != nil {
+		t.Fatalf("salvage open failed: %v", err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("problems = %v, want exactly the damaged library", problems)
+	}
+	p := problems[0]
+	if p.Phase != sage.PhaseDecode {
+		t.Errorf("Problem.Phase = %q, want %q (checksum verified, payload did not parse)", p.Phase, sage.PhaseDecode)
+	}
+	if p.Gen != "gen-000001" || !strings.Contains(p.Path, "old02") {
+		t.Errorf("Problem = %v, want old02 blamed on gen-000001", p)
+	}
+	for _, part := range []string{"old02", "gen-000001", "decode phase"} {
+		if !strings.Contains(p.String(), part) {
+			t.Errorf("Problem.String() = %q, missing %q (operators triage from this line)", p.String(), part)
+		}
+	}
+	if sameNames(corpus, []string{"old01", "old02", "old03"}) {
+		t.Error("damaged library leaked into the salvaged corpus")
+	}
+}
+
+// TestQuarantinePayloadResubmission pins the operator loop the quarantine
+// exists for: a rejected submission's payload must round-trip through
+// DecodeBatch byte-faithfully, so fixing the recorded violation and
+// resubmitting the decoded batch lands the library in the corpus.
+func TestQuarantinePayloadResubmission(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, _, _, err := Open(atomicio.OS{}, dir, noRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := BatchLibrary{Name: "qlib", Counts: map[string]float64{"AAAAAAAAAC": 7, "ACGTACGTAC": 3}}
+	b := testBatch("good", 1, 0)
+	b.Libraries = append(b.Libraries, broken)
+
+	rep, err := st.Ingest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Appended) != 1 || rep.Appended[0] != "good01" {
+		t.Fatalf("appended %v, want the valid remainder [good01]", rep.Appended)
+	}
+	if len(rep.Rejected) != 1 || rep.QuarantineDir == "" {
+		t.Fatalf("report %+v, want one quarantined rejection", rep)
+	}
+
+	// The quarantined payload is itself an atomicio-framed batch document.
+	raw, err := atomicio.ReadFile(atomicio.OS{}, filepath.Join(rep.QuarantineDir, "lib-001.json"))
+	if err != nil {
+		t.Fatalf("reading quarantined payload: %v", err)
+	}
+	resub, err := DecodeBatch(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("quarantined payload does not decode as a batch: %v", err)
+	}
+	if len(resub.Libraries) != 1 || !reflect.DeepEqual(resub.Libraries[0], broken) {
+		t.Fatalf("round-tripped payload %+v, want the submission %+v", resub.Libraries, broken)
+	}
+
+	// Operator fix: supply the missing tissue, resubmit the decoded batch.
+	resub.Libraries[0].Tissue = "liver"
+	rep2, err := st.Ingest(resub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Appended) != 1 || rep2.Appended[0] != "qlib" || len(rep2.Rejected) != 0 {
+		t.Fatalf("resubmission report %+v, want qlib appended cleanly", rep2)
+	}
+
+	// Reopen from disk: both libraries live, original counts intact.
+	_, corpus, problems, err := Open(atomicio.OS{}, dir, noRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 || !sameNames(corpus, []string{"good01", "qlib"}) {
+		t.Fatalf("reopened corpus %v (problems %v), want [good01 qlib]", namesOf(corpus), problems)
+	}
+	for _, l := range corpus.Libraries {
+		if l.Meta.Name != "qlib" {
+			continue
+		}
+		tag, _ := sage.ParseTag("AAAAAAAAAC")
+		if l.Counts[tag] != 7 {
+			t.Errorf("resubmitted count = %g, want 7 (payload fidelity)", l.Counts[tag])
+		}
 	}
 }

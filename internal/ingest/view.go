@@ -329,7 +329,6 @@ func (nv *View) deriveColumns(c *exec.Ctl, prev *View, oldN int, fresh map[sage.
 		if err := c.Point(1); err != nil {
 			return err
 		}
-		//lint:gea ctlcharge -- one column of scan work is the charged unit; the row loop is its body
 		for i := range d.Expr {
 			col[i] = d.Expr[i][j]
 		}

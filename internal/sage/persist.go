@@ -28,6 +28,20 @@ import (
 // in the thesis's layout).
 const indexFile = "sageName.txt"
 
+// Load phases a Problem can surface in, named after the commit
+// protocol's boundary: everything inside a generation directory was
+// written before the CURRENT flip (the commitlast analyzer pins that
+// ordering), so the phase tells an operator whether the artifact never
+// verified off disk or verified and then failed to decode.
+const (
+	// PhaseRead: the framed file failed atomicio verification — missing,
+	// truncated, or checksum mismatch.
+	PhaseRead = "read"
+	// PhaseDecode: the bytes verified but the library payload did not
+	// parse — damage predates the commit, i.e. the writer produced it.
+	PhaseDecode = "decode"
+)
+
 // Problem records one damaged or unreadable artifact a salvaging load
 // skipped.
 type Problem struct {
@@ -37,16 +51,25 @@ type Problem struct {
 	// quarantine diagnostics can point at the exact failed commit in a
 	// multi-generation append store.
 	Gen string
+	// Phase is the load phase that rejected the artifact: PhaseRead or
+	// PhaseDecode.
+	Phase string
 	// Err classifies the damage (atomicio.ErrChecksum, atomicio.ErrTruncated,
 	// a parse error, or a missing-file error).
 	Err error
 }
 
 func (p Problem) String() string {
-	if p.Gen != "" {
-		return fmt.Sprintf("%s (committed in %s): %v", p.Path, p.Gen, p.Err)
+	ctx := ""
+	switch {
+	case p.Gen != "" && p.Phase != "":
+		ctx = fmt.Sprintf(" (committed in %s, failed in the %s phase)", p.Gen, p.Phase)
+	case p.Gen != "":
+		ctx = fmt.Sprintf(" (committed in %s)", p.Gen)
+	case p.Phase != "":
+		ctx = fmt.Sprintf(" (failed in the %s phase)", p.Phase)
 	}
-	return fmt.Sprintf("%s: %v", p.Path, p.Err)
+	return fmt.Sprintf("%s%s: %v", p.Path, ctx, p.Err)
 }
 
 // SaveCorpus writes the corpus to dir with the crash-safe generation
@@ -149,12 +172,12 @@ func LoadCorpusSalvage(fsys atomicio.FS, dir string) (*Corpus, []Problem, error)
 		path := filepath.Join(dir, libGen, m.Name+".sage")
 		data, err := atomicio.ReadFile(fsys, path)
 		if err != nil {
-			problems = append(problems, Problem{Path: path, Gen: libGen, Err: err})
+			problems = append(problems, Problem{Path: path, Gen: libGen, Phase: PhaseRead, Err: err})
 			continue
 		}
 		l, err := ReadLibrary(bytes.NewReader(data), m)
 		if err != nil {
-			problems = append(problems, Problem{Path: path, Gen: libGen, Err: err})
+			problems = append(problems, Problem{Path: path, Gen: libGen, Phase: PhaseDecode, Err: err})
 			continue
 		}
 		c.Libraries = append(c.Libraries, l)
