@@ -1,0 +1,56 @@
+package gea
+
+import (
+	"gea/internal/columnar"
+	"gea/internal/core"
+)
+
+// Columnar block engine (internal/columnar). The algebra's operators run
+// on either of two engines over the same Dataset: the row engine scans
+// Expr directly, the columnar engine scans block-partitioned compressed
+// columns behind per-block zone maps that let selective operators skip
+// whole blocks. The two are bit-identical — same results, same unit
+// charges, same partial prefixes — so the engine choice is purely a
+// performance knob; see DESIGN.md's "Columnar storage engine" section.
+type (
+	// Engine selects the execution engine for an operator call.
+	Engine = core.Engine
+	// RangeSpec is a zone-prunable range selection over a SUMY table's
+	// statistic column, the engine-dispatched form of SelectSumy.
+	RangeSpec = core.RangeSpec
+)
+
+// Engine settings: EngineAuto uses the columnar view when the dataset
+// already has one memoised (never building as a side effect), EngineRow
+// forces the row scans, EngineColumnar builds the view on first use.
+const (
+	EngineAuto     = core.EngineAuto
+	EngineRow      = core.EngineRow
+	EngineColumnar = core.EngineColumnar
+)
+
+var (
+	// ParseEngine parses "auto", "row" or "columnar".
+	ParseEngine = core.ParseEngine
+	// DiffEngineCtx is the governed engine-dispatched Diff.
+	DiffEngineCtx = core.DiffEngineCtx
+	// SelectSumyRangeCtx is the governed engine-dispatched range
+	// selection over a SUMY table.
+	SelectSumyRangeCtx = core.SelectSumyRangeCtx
+)
+
+// EnableColumnar builds and memoises the dataset's columnar view so
+// subsequent EngineAuto calls pick it up. Building is idempotent: the
+// view is constructed once and shared until the dataset is released.
+func EnableColumnar(d *Dataset) {
+	columnar.Of(d)
+}
+
+// PublishColumnarMetrics records the compression profile of the
+// dataset's memoised columnar view — block count, encoded and raw
+// bytes, the per-block encode-ratio histogram — into the registry
+// under the "columnar." family. A dataset without a built view (or a
+// nil registry) publishes nothing.
+func PublishColumnarMetrics(reg *ObsRegistry, d *Dataset) {
+	columnar.PublishMetrics(reg, columnar.Peek(d))
+}

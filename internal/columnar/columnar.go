@@ -1,0 +1,354 @@
+// Package columnar is the block-partitioned column store under GEA's
+// operator algebra — the physical-design counterpart of the rotated
+// TAGS relation (thesis §4.6.1) for the in-memory engine. A Store
+// slices a sage.Dataset's library axis into fixed-size blocks; inside
+// each block every tag's counts are one compressed column (run-length,
+// sparse or raw, whichever is smallest), and a zone map summarises the
+// block (per-column min/max, presence and NaN bitmaps, global count
+// bounds) so selective scans skip blocks wholesale.
+//
+// The tag "dictionary" is the store's Tags slice: columns are
+// addressed by ordinal, and ordinal↔TagID is exactly the dataset's
+// sorted tag universe, so a tag column costs one int per reference
+// rather than a repeated string.
+//
+// Everything here sits behind an equivalence wall: decode restores the
+// exact bit patterns encode saw (NaNs and signed zeros included), zone
+// pruning is conservative (a pruned block provably contains no
+// qualifying row, see PruneBlock), and block edges are a pure function
+// of the row count — never of construction history — so the
+// incremental ingestion path (Advance) and a from-scratch Build over
+// the same data produce reflect.DeepEqual-identical stores.
+package columnar
+
+import (
+	"math"
+
+	"gea/internal/sage"
+)
+
+// DefaultBlockRows is the default block height, in libraries. SAGE
+// corpora are short and wide (tens to hundreds of libraries over tens
+// of thousands of tags), so blocks partition the library axis finely
+// enough that tissue-grouped corpora put each tissue in its own few
+// blocks — the shape zone maps prune best.
+const DefaultBlockRows = 8
+
+// Config parameterises Build.
+type Config struct {
+	// BlockRows is the block height; <= 0 selects DefaultBlockRows.
+	BlockRows int
+}
+
+func (cfg Config) blockRows() int {
+	if cfg.BlockRows <= 0 {
+		return DefaultBlockRows
+	}
+	return cfg.BlockRows
+}
+
+// ZoneMap summarises one block for pruning. All float bounds exclude
+// NaNs (a column whose values are all NaN keeps the +Inf/-Inf
+// sentinels); the HasNaN bitmap records where NaNs hide so PruneBlock
+// never prunes past them.
+type ZoneMap struct {
+	// MinCount/MaxCount bound every non-NaN value in the block, the
+	// fold of ColMin/ColMax.
+	MinCount float64
+	MaxCount float64
+	// ColMin/ColMax bound each column's non-NaN values.
+	ColMin []float64
+	ColMax []float64
+	// Present is a column bitset: bit j set iff column j holds any
+	// value whose bits are not +0 (the tag "presence bitmap").
+	Present []uint64
+	// HasNaN is a column bitset: bit j set iff column j holds a NaN.
+	HasNaN []uint64
+}
+
+// Block is one sealed horizontal slice of the store: rows [Lo, Hi) of
+// the dataset, one encoded column per tag.
+type Block struct {
+	Lo, Hi int
+	Cols   []Column
+	Zone   ZoneMap
+}
+
+// NumRows returns the block height.
+func (b *Block) NumRows() int { return b.Hi - b.Lo }
+
+// Store is the columnar view of one dataset.
+type Store struct {
+	// BlockRows is the block height the store was built with.
+	BlockRows int
+	// NumRows/NumCols mirror the source dataset's dimensions.
+	NumRows int
+	NumCols int
+	// Tags is the column dictionary: Tags[j] is the tag of column j,
+	// identical to the source dataset's sorted tag universe.
+	Tags []sage.TagID
+	// Blocks partition rows [0, NumRows): block k covers
+	// [k*BlockRows, min((k+1)*BlockRows, NumRows)).
+	Blocks []Block
+}
+
+// NumBlocks returns the block count.
+func (st *Store) NumBlocks() int { return len(st.Blocks) }
+
+// Edges returns the block boundary positions — len(Blocks)+1 ascending
+// values from 0 to NumRows — the shape shard.ForBlocks consumes.
+func (st *Store) Edges() []int {
+	edges := make([]int, len(st.Blocks)+1)
+	for i := range st.Blocks {
+		edges[i] = st.Blocks[i].Lo
+	}
+	edges[len(st.Blocks)] = st.NumRows
+	return edges
+}
+
+// bitset helpers: one uint64 word per 64 columns.
+
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+func bitSet(bs []uint64, i int) { bs[i/64] |= 1 << (uint(i) % 64) }
+
+// BitGet reports whether bit i of the bitset is set.
+func BitGet(bs []uint64, i int) bool { return bs[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Build constructs the columnar view of d. The result depends only on
+// d's contents and cfg, never on how d was assembled.
+func Build(d *sage.Dataset, cfg Config) *Store {
+	br := cfg.blockRows()
+	n := d.NumLibraries()
+	st := &Store{
+		BlockRows: br,
+		NumRows:   n,
+		NumCols:   d.NumTags(),
+		Tags:      d.Tags,
+	}
+	nblocks := (n + br - 1) / br
+	st.Blocks = make([]Block, 0, nblocks)
+	scratch := make([]float64, br)
+	for lo := 0; lo < n; lo += br {
+		hi := lo + br
+		if hi > n {
+			hi = n
+		}
+		st.Blocks = append(st.Blocks, buildBlock(d, lo, hi, scratch))
+	}
+	return st
+}
+
+// buildBlock encodes rows [lo, hi) of d. scratch must hold hi-lo
+// values and is reused across columns.
+func buildBlock(d *sage.Dataset, lo, hi int, scratch []float64) Block {
+	ncols := d.NumTags()
+	b := Block{
+		Lo:   lo,
+		Hi:   hi,
+		Cols: make([]Column, ncols),
+		Zone: newZone(ncols),
+	}
+	vals := scratch[:hi-lo]
+	for j := 0; j < ncols; j++ {
+		for i := lo; i < hi; i++ {
+			vals[i-lo] = d.Expr[i][j]
+		}
+		b.Cols[j] = Encode(vals)
+		zoneColumn(&b.Zone, j, vals)
+	}
+	b.Zone.fold()
+	return b
+}
+
+func newZone(ncols int) ZoneMap {
+	z := ZoneMap{
+		ColMin:  make([]float64, ncols),
+		ColMax:  make([]float64, ncols),
+		Present: make([]uint64, bitsetWords(ncols)),
+		HasNaN:  make([]uint64, bitsetWords(ncols)),
+	}
+	for j := range z.ColMin {
+		z.ColMin[j] = math.Inf(1)
+		z.ColMax[j] = math.Inf(-1)
+	}
+	return z
+}
+
+// zoneColumn folds one column's values into the zone map.
+func zoneColumn(z *ZoneMap, j int, vals []float64) {
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			bitSet(z.HasNaN, j)
+			bitSet(z.Present, j)
+			continue
+		}
+		if math.Float64bits(v) != 0 {
+			bitSet(z.Present, j)
+		}
+		if v < z.ColMin[j] {
+			z.ColMin[j] = v
+		}
+		if v > z.ColMax[j] {
+			z.ColMax[j] = v
+		}
+	}
+}
+
+// fold derives the block-global count bounds from the per-column ones.
+func (z *ZoneMap) fold() {
+	z.MinCount = math.Inf(1)
+	z.MaxCount = math.Inf(-1)
+	for j := range z.ColMin {
+		if z.ColMin[j] < z.MinCount {
+			z.MinCount = z.ColMin[j]
+		}
+		if z.ColMax[j] > z.MaxCount {
+			z.MaxCount = z.ColMax[j]
+		}
+	}
+}
+
+// Advance derives the columnar view of next from the view of its
+// predecessor: blocks of next that are provably identical to a sealed
+// prev block — fully below prev's row count, not clipped by prev's
+// tail, and free of rewritten rows — are reused column-by-column
+// (remapped through the tag dictionaries) instead of re-encoded; the
+// rest are rebuilt from next. affected reports rows of next whose
+// contents may differ from the same row of prev; rows at or past
+// prev's row count are implicitly new.
+//
+// Reuse is sound for tags absent from prev only because of ingestion's
+// invariant: a library untouched by an append has raw count zero for
+// every tag newly admitted to the universe, so those columns are
+// all-zero in reused blocks and are synthesised by encoding zeros —
+// exactly what Build would produce. The result is DeepEqual-identical
+// to Build(next, cfg).
+func Advance(prev *Store, next *sage.Dataset, affected func(row int) bool, cfg Config) *Store {
+	br := cfg.blockRows()
+	if prev == nil || prev.BlockRows != br {
+		return Build(next, cfg)
+	}
+	n := next.NumLibraries()
+	st := &Store{
+		BlockRows: br,
+		NumRows:   n,
+		NumCols:   next.NumTags(),
+		Tags:      next.Tags,
+	}
+	oldCol := make(map[sage.TagID]int, len(prev.Tags))
+	for j, t := range prev.Tags {
+		oldCol[t] = j
+	}
+	scratch := make([]float64, br)
+	var zeroCol *Column // shared all-zero column for full-height blocks
+	for k, lo := 0, 0; lo < n; k, lo = k+1, lo+br {
+		hi := lo + br
+		if hi > n {
+			hi = n
+		}
+		if ok := k < len(prev.Blocks) && prev.Blocks[k].Hi == hi; ok {
+			dirty := false
+			for i := lo; i < hi; i++ {
+				if affected(i) {
+					dirty = true
+					break
+				}
+			}
+			if !dirty {
+				st.Blocks = append(st.Blocks, remapBlock(&prev.Blocks[k], next, oldCol, &zeroCol))
+				continue
+			}
+		}
+		st.Blocks = append(st.Blocks, buildBlock(next, lo, hi, scratch))
+	}
+	return st
+}
+
+// remapBlock rebuilds a sealed block's columns in next's tag order,
+// copying columns of tags prev knew and synthesising all-zero columns
+// for tags it did not.
+func remapBlock(pb *Block, next *sage.Dataset, oldCol map[sage.TagID]int, zeroCol **Column) Block {
+	ncols := next.NumTags()
+	b := Block{
+		Lo:   pb.Lo,
+		Hi:   pb.Hi,
+		Cols: make([]Column, ncols),
+		Zone: newZone(ncols),
+	}
+	for j, t := range next.Tags {
+		if oj, ok := oldCol[t]; ok {
+			b.Cols[j] = pb.Cols[oj]
+			b.Zone.ColMin[j] = pb.Zone.ColMin[oj]
+			b.Zone.ColMax[j] = pb.Zone.ColMax[oj]
+			if BitGet(pb.Zone.Present, oj) {
+				bitSet(b.Zone.Present, j)
+			}
+			if BitGet(pb.Zone.HasNaN, oj) {
+				bitSet(b.Zone.HasNaN, j)
+			}
+			continue
+		}
+		if *zeroCol == nil {
+			z := Encode(make([]float64, pb.Hi-pb.Lo))
+			*zeroCol = &z
+		}
+		b.Cols[j] = **zeroCol
+		b.Zone.ColMin[j] = 0
+		b.Zone.ColMax[j] = 0
+	}
+	b.Zone.fold()
+	return b
+}
+
+// Of returns the columnar view of d, building and memoising it on
+// first use — the single row→columnar conversion point. Operators
+// that want opportunistic columnar execution use Peek instead, so a
+// dataset only pays the build cost once someone opts in.
+func Of(d *sage.Dataset) *Store {
+	if st := Peek(d); st != nil {
+		return st
+	}
+	st := Build(d, Config{})
+	sage.AttachView(d, st)
+	return st
+}
+
+// Peek returns d's memoised columnar view, or nil if none was built.
+func Peek(d *sage.Dataset) *Store {
+	st, _ := sage.ViewOf(d).(*Store)
+	return st
+}
+
+// Adopt memoises an externally built store (e.g. ingestion's
+// incrementally advanced one) as d's columnar view.
+func Adopt(d *sage.Dataset, st *Store) {
+	if d != nil && st != nil {
+		sage.AttachView(d, st)
+	}
+}
+
+// Info summarises a store for observability.
+type Info struct {
+	Blocks       int
+	EncodedBytes int64
+	RawBytes     int64
+	// ColsByEnc counts columns per encoding, indexed by Encoding.
+	ColsByEnc [3]int64
+}
+
+// Stat computes the store's compression summary.
+func Stat(st *Store) Info {
+	var inf Info
+	inf.Blocks = len(st.Blocks)
+	for i := range st.Blocks {
+		b := &st.Blocks[i]
+		for j := range b.Cols {
+			c := &b.Cols[j]
+			inf.EncodedBytes += c.EncodedBytes()
+			inf.RawBytes += c.RawBytes()
+			inf.ColsByEnc[c.Enc]++
+		}
+	}
+	return inf
+}

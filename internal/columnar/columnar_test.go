@@ -1,0 +1,390 @@
+package columnar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gea/internal/interval"
+	"gea/internal/obs"
+	"gea/internal/sage"
+)
+
+// testTags is a pool of valid tag IDs for fixture datasets.
+var testTags = []sage.TagID{
+	sage.MustParseTag("AAAAAAAAAA"),
+	sage.MustParseTag("CCCCCCCCCC"),
+	sage.MustParseTag("GGGGGGGGGG"),
+	sage.MustParseTag("TTTTTTTTTT"),
+	sage.MustParseTag("ACGTACGTAC"),
+}
+
+// fixtureDataset builds an nlibs x ntags dataset whose counts come from
+// fill(row, col); ntags must be <= len(testTags).
+func fixtureDataset(nlibs, ntags int, fill func(i, j int) float64) *sage.Dataset {
+	c := &sage.Corpus{}
+	for i := 0; i < nlibs; i++ {
+		l := sage.NewLibrary(sage.LibraryMeta{
+			ID: i + 1, Name: fmt.Sprintf("L%03d", i), Tissue: "brain",
+			State: sage.Cancer, Source: sage.BulkTissue,
+		})
+		for j := 0; j < ntags; j++ {
+			if v := fill(i, j); v != 0 {
+				l.Add(testTags[j], v)
+			}
+		}
+		c.Libraries = append(c.Libraries, l)
+	}
+	return sage.BuildWithTags(c, testTags[:ntags])
+}
+
+func TestBuildShape(t *testing.T) {
+	d := fixtureDataset(19, 3, func(i, j int) float64 { return float64(i*10 + j) })
+	st := Build(d, Config{})
+	if st.BlockRows != DefaultBlockRows || st.NumRows != 19 || st.NumCols != 3 {
+		t.Fatalf("store shape: %+v", st)
+	}
+	if st.NumBlocks() != 3 {
+		t.Fatalf("19 rows in 8-row blocks: %d blocks, want 3", st.NumBlocks())
+	}
+	wantEdges := []int{0, 8, 16, 19}
+	if got := st.Edges(); !reflect.DeepEqual(got, wantEdges) {
+		t.Fatalf("edges %v, want %v", got, wantEdges)
+	}
+	// Every block decodes back to the dataset slice, column by column.
+	dst := make([]float64, DefaultBlockRows)
+	for k := range st.Blocks {
+		b := &st.Blocks[k]
+		for j := 0; j < st.NumCols; j++ {
+			b.Decode(j, dst)
+			for i := b.Lo; i < b.Hi; i++ {
+				if dst[i-b.Lo] != d.Expr[i][j] {
+					t.Fatalf("block %d col %d row %d: decoded %v, want %v",
+						k, j, i, dst[i-b.Lo], d.Expr[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestZonePruneSoundness is the central safety property: whenever
+// PruneBlock says a block cannot match, brute force over the block's
+// actual values must find no row that passes every conjunct — under
+// hostile values (NaN, -0, infinities) and hostile bounds (inverted,
+// NaN) alike.
+func TestZonePruneSoundness(t *testing.T) {
+	hostile := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1), 1, 5, 100, -3}
+	pruned, scanned := 0, 0
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nrows, ncols := 1+rng.Intn(12), 1+rng.Intn(4)
+		vals := make([][]float64, ncols) // column-major
+		z := newZone(ncols)
+		for j := 0; j < ncols; j++ {
+			col := make([]float64, nrows)
+			for i := range col {
+				col[i] = hostile[rng.Intn(len(hostile))]
+			}
+			vals[j] = col
+			zoneColumn(&z, j, col)
+		}
+		z.fold()
+
+		conds := make([]RangeCond, 1+rng.Intn(3))
+		for ci := range conds {
+			lo, hi := hostile[rng.Intn(len(hostile))], hostile[rng.Intn(len(hostile))]
+			conds[ci] = RangeCond{Col: rng.Intn(ncols+1) - 1, Lo: lo, Hi: hi}
+		}
+		if !PruneBlock(&z, conds) {
+			scanned++
+			continue
+		}
+		pruned++
+		for i := 0; i < nrows; i++ {
+			ok := true
+			for _, cd := range conds {
+				v := 0.0
+				if cd.Col >= 0 {
+					v = vals[cd.Col][i]
+				}
+				if !cd.Matches(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				t.Fatalf("seed %d: block pruned but row %d qualifies (conds %+v, zone %+v)",
+					seed, i, conds, z)
+			}
+		}
+	}
+	if pruned == 0 || scanned == 0 {
+		t.Fatalf("degenerate walk: %d pruned, %d scanned — property never exercised both arms", pruned, scanned)
+	}
+}
+
+// TestIntervalZoneSoundness is the same property for the intensional
+// zone maps: a pruned zone must contain no row whose range satisfies
+// the relation, for all thirteen Allen relations and the broad overlap,
+// including NaN-endpoint rows and queries.
+func TestIntervalZoneSoundness(t *testing.T) {
+	endpoints := []float64{-10, -1, 0, 1, 2, 5, 10, 100, math.NaN(), math.Inf(1), math.Inf(-1)}
+	pruned, scanned := 0, 0
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ivs := make([]interval.Interval, 1+rng.Intn(40))
+		for i := range ivs {
+			a, b := endpoints[rng.Intn(len(endpoints))], endpoints[rng.Intn(len(endpoints))]
+			if a > b {
+				a, b = b, a
+			}
+			ivs[i] = interval.Interval{Min: a, Max: b}
+		}
+		zones := IntervalZones(ivs, 16)
+		q := interval.Interval{Min: endpoints[rng.Intn(len(endpoints))], Max: endpoints[rng.Intn(len(endpoints))]}
+		if q.Min > q.Max {
+			q.Min, q.Max = q.Max, q.Min
+		}
+		for zi := range zones {
+			z := &zones[zi]
+			for _, rel := range interval.Relations {
+				if !z.CanPrune(rel, false, q) {
+					scanned++
+					continue
+				}
+				pruned++
+				for i := z.Lo; i < z.Hi; i++ {
+					if interval.Holds(rel, ivs[i], q) {
+						t.Fatalf("seed %d zone %d: pruned %v but row %d (%v vs %v) holds",
+							seed, zi, rel, i, ivs[i], q)
+					}
+				}
+			}
+			if z.CanPrune(0, true, q) {
+				pruned++
+				for i := z.Lo; i < z.Hi; i++ {
+					if interval.AnyOverlap(ivs[i], q) {
+						t.Fatalf("seed %d zone %d: broad-pruned but row %d (%v vs %v) overlaps",
+							seed, zi, i, ivs[i], q)
+					}
+				}
+			} else {
+				scanned++
+			}
+		}
+	}
+	if pruned == 0 || scanned == 0 {
+		t.Fatalf("degenerate walk: %d pruned, %d scanned", pruned, scanned)
+	}
+}
+
+// TestAdvanceMatchesBuild pins the incremental ingestion contract:
+// advancing a store over an append (new rows, new tags, a rewritten old
+// row) is DeepEqual-identical to building from scratch.
+func TestAdvanceMatchesBuild(t *testing.T) {
+	baseFill := func(i, j int) float64 {
+		if j == 0 {
+			return float64(100 + i)
+		}
+		return float64((i * j) % 4)
+	}
+	base := fixtureDataset(11, 3, baseFill)
+	prev := Build(base, Config{})
+
+	// Pure append: 8 new libraries carrying two new tags; old rows
+	// untouched (new tags are zero there, ingestion's invariant).
+	next := fixtureDataset(19, 5, func(i, j int) float64 {
+		if i < 11 {
+			if j < 3 {
+				return baseFill(i, j)
+			}
+			return 0
+		}
+		return float64(i + j*7)
+	})
+	got := Advance(prev, next, func(row int) bool { return row >= 11 }, Config{})
+	want := Build(next, Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("append: Advance differs from Build:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	// Block 0 must have been reused, not rebuilt: its columns share
+	// backing arrays with prev's, whatever the encoding.
+	shared := false
+	pc, gc := &prev.Blocks[0].Cols[0], &got.Blocks[0].Cols[0]
+	switch {
+	case len(pc.Raw) > 0:
+		shared = len(gc.Raw) > 0 && &gc.Raw[0] == &pc.Raw[0]
+	case len(pc.Vals) > 0:
+		shared = len(gc.Vals) > 0 && &gc.Vals[0] == &pc.Vals[0]
+	default:
+		t.Fatalf("fixture column 0 encoded to nothing: %+v", pc)
+	}
+	if !shared {
+		t.Fatal("append: clean sealed block was re-encoded instead of reused")
+	}
+
+	// A rewritten old row dirties exactly its block.
+	dirty := fixtureDataset(19, 5, func(i, j int) float64 {
+		if i == 2 && j == 1 {
+			return 999
+		}
+		if i < 11 {
+			if j < 3 {
+				return baseFill(i, j)
+			}
+			return 0
+		}
+		return float64(i + j*7)
+	})
+	got = Advance(prev, dirty, func(row int) bool { return row == 2 || row >= 11 }, Config{})
+	want = Build(dirty, Config{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("dirty row: Advance differs from Build")
+	}
+
+	// A block-height change forces a full rebuild.
+	got = Advance(prev, next, func(int) bool { return false }, Config{BlockRows: 4})
+	want = Build(next, Config{BlockRows: 4})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("blockrows change: Advance differs from Build")
+	}
+	// And a nil predecessor.
+	if !reflect.DeepEqual(Advance(nil, next, nil, Config{}), Build(next, Config{})) {
+		t.Fatal("nil prev: Advance differs from Build")
+	}
+}
+
+// TestScanBlocksAndFilterAggregate drives the batch kernels over a
+// bimodal layout and checks both the skip accounting and the fused
+// aggregate against a brute-force fold.
+func TestScanBlocksAndFilterAggregate(t *testing.T) {
+	d := fixtureDataset(32, 3, func(i, j int) float64 {
+		switch j {
+		case 0:
+			if i < 16 {
+				return float64(100 + i)
+			}
+			return float64(i % 3)
+		default:
+			return float64(10 + i%5)
+		}
+	})
+	st := Build(d, Config{})
+	conds := []RangeCond{{Col: 0, Lo: 90, Hi: 130}}
+
+	visited := 0
+	stats, err := ScanBlocks(st, 0, st.NumBlocks(), conds, func(b *Block) error {
+		visited++
+		if b.Lo >= 16 {
+			t.Fatalf("visited block [%d,%d): its zone provably fails the condition", b.Lo, b.Hi)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 2 || stats.BlocksScanned != 2 || stats.BlocksSkipped != 2 {
+		t.Fatalf("scan: visited %d, stats %+v; want 2 scanned, 2 skipped", visited, stats)
+	}
+
+	agg, fstats := FilterAggregate(st, conds, 1)
+	var want FilterAgg
+	first := true
+	for i := 0; i < 32; i++ {
+		if !conds[0].Matches(d.Expr[i][0]) {
+			continue
+		}
+		v := d.Expr[i][1]
+		want.Count++
+		want.Sum += v
+		if first || v < want.Min {
+			want.Min = v
+		}
+		if first || v > want.Max {
+			want.Max = v
+		}
+		first = false
+	}
+	if agg != want {
+		t.Fatalf("fused aggregate %+v, brute force %+v", agg, want)
+	}
+	if fstats.BlocksSkipped != 2 || fstats.BytesDecoded <= 0 {
+		t.Fatalf("fused stats %+v", fstats)
+	}
+
+	// An error from visit aborts the scan.
+	bad := fmt.Errorf("boom")
+	if _, err := ScanBlocks(st, 0, st.NumBlocks(), nil, func(*Block) error { return bad }); err != bad {
+		t.Fatalf("visit error not propagated: %v", err)
+	}
+}
+
+func TestViewMemoisation(t *testing.T) {
+	d := fixtureDataset(10, 2, func(i, j int) float64 { return float64(i + j) })
+	if Peek(d) != nil {
+		t.Fatal("fresh dataset has a view")
+	}
+	st := Of(d)
+	if st == nil || Peek(d) != st || Of(d) != st {
+		t.Fatal("Of did not memoise the store")
+	}
+	st2 := Build(d, Config{BlockRows: 4})
+	Adopt(d, st2)
+	if Peek(d) != st2 {
+		t.Fatal("Adopt did not replace the view")
+	}
+	sage.DropView(d)
+	if Peek(d) != nil {
+		t.Fatal("DropView left the view behind")
+	}
+}
+
+func TestStatAndPublishMetrics(t *testing.T) {
+	d := fixtureDataset(20, 3, func(i, j int) float64 {
+		if j == 2 {
+			return 0 // all-zero column: sparse
+		}
+		return float64(j) // constant columns: rle
+	})
+	st := Build(d, Config{})
+	inf := Stat(st)
+	if inf.Blocks != 3 {
+		t.Fatalf("Stat blocks = %d", inf.Blocks)
+	}
+	if total := inf.ColsByEnc[EncRLE] + inf.ColsByEnc[EncSparse] + inf.ColsByEnc[EncRaw]; total != int64(3*st.NumCols) {
+		t.Fatalf("ColsByEnc %v does not cover %d columns", inf.ColsByEnc, 3*st.NumCols)
+	}
+	if inf.EncodedBytes >= inf.RawBytes {
+		t.Fatalf("constant columns did not compress: %d encoded vs %d raw", inf.EncodedBytes, inf.RawBytes)
+	}
+
+	reg := obs.NewRegistry()
+	PublishMetrics(reg, st)
+	snap := reg.Snapshot()
+	gauges := map[string]int64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["columnar.blocks"] != int64(inf.Blocks) ||
+		gauges["columnar.encoded_bytes"] != inf.EncodedBytes ||
+		gauges["columnar.raw_bytes"] != inf.RawBytes {
+		t.Fatalf("published gauges %v, want Stat values %+v", gauges, inf)
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "columnar.encode_ratio" {
+			found = true
+			if h.Count != int64(inf.Blocks) {
+				t.Fatalf("encode_ratio observed %d blocks, want %d", h.Count, inf.Blocks)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("encode_ratio histogram missing")
+	}
+	// Nil registry and store are no-ops, not panics.
+	PublishMetrics(nil, st)
+	PublishMetrics(reg, nil)
+}

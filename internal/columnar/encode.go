@@ -1,0 +1,172 @@
+package columnar
+
+import "math"
+
+// Encoding identifies the physical layout of one block column. The
+// encoder picks whichever of the three is smallest for the column's
+// actual values; every choice is a deterministic pure function of the
+// value sequence, so two stores built over bit-identical data — e.g.
+// the incremental and from-scratch ingestion paths — are themselves
+// bit-identical (reflect.DeepEqual).
+type Encoding uint8
+
+// The three physical layouts.
+const (
+	// EncRLE is run-length encoding: (value, run) pairs. Run equality
+	// is decided on the value's bit pattern (math.Float64bits), so NaN
+	// runs coalesce and -0 never merges with +0 — decode restores the
+	// exact input bits.
+	EncRLE Encoding = iota
+	// EncSparse is the delta-encoded sparse layout: row gaps between
+	// non-zero entries plus their values; everything else decodes to +0.
+	// Only values whose bit pattern is exactly +0 count as zero, so a
+	// stored -0 (or NaN) survives the round trip bit-for-bit.
+	EncSparse
+	// EncRaw stores the values verbatim — the fallback when neither
+	// compressed form wins.
+	EncRaw
+)
+
+// String names the encoding for stats output.
+func (e Encoding) String() string {
+	switch e {
+	case EncRLE:
+		return "rle"
+	case EncSparse:
+		return "sparse"
+	default:
+		return "raw"
+	}
+}
+
+// Column is one encoded count column of a block. Exactly the fields of
+// the active encoding are populated; N is always the decoded length.
+type Column struct {
+	Enc Encoding
+	N   int
+	// Raw holds the verbatim values (EncRaw).
+	Raw []float64
+	// Vals holds the run values (EncRLE) or the non-zero values
+	// (EncSparse).
+	Vals []float64
+	// Runs holds the run lengths, parallel to Vals (EncRLE).
+	Runs []uint32
+	// Gaps holds the delta-encoded row positions of Vals (EncSparse):
+	// Gaps[0] is the first non-zero row, Gaps[k] the distance from the
+	// previous non-zero row.
+	Gaps []uint32
+}
+
+// rleEntryBytes and sparseEntryBytes cost one (float64, uint32) pair.
+const (
+	rleEntryBytes    = 12
+	sparseEntryBytes = 12
+	rawEntryBytes    = 8
+)
+
+// Encode compresses one column of values, choosing the smallest of the
+// three layouts (ties prefer RLE, then sparse — the compressed forms
+// decode sequentially and deserve the benefit of a draw).
+func Encode(values []float64) Column {
+	n := len(values)
+	runs := 0
+	nonzero := 0
+	var prev uint64
+	for i, v := range values {
+		bits := math.Float64bits(v)
+		if i == 0 || bits != prev {
+			runs++
+		}
+		prev = bits
+		if bits != 0 {
+			nonzero++
+		}
+	}
+	rleSize := runs * rleEntryBytes
+	sparseSize := nonzero * sparseEntryBytes
+	rawSize := n * rawEntryBytes
+	switch {
+	case rleSize <= sparseSize && rleSize <= rawSize:
+		return encodeRLE(values, runs)
+	case sparseSize <= rawSize:
+		return encodeSparse(values, nonzero)
+	default:
+		return Column{Enc: EncRaw, N: n, Raw: append([]float64(nil), values...)}
+	}
+}
+
+func encodeRLE(values []float64, runs int) Column {
+	c := Column{Enc: EncRLE, N: len(values),
+		Vals: make([]float64, 0, runs), Runs: make([]uint32, 0, runs)}
+	for i := 0; i < len(values); {
+		j := i + 1
+		bits := math.Float64bits(values[i])
+		for j < len(values) && math.Float64bits(values[j]) == bits {
+			j++
+		}
+		c.Vals = append(c.Vals, values[i])
+		c.Runs = append(c.Runs, uint32(j-i))
+		i = j
+	}
+	return c
+}
+
+func encodeSparse(values []float64, nonzero int) Column {
+	c := Column{Enc: EncSparse, N: len(values),
+		Vals: make([]float64, 0, nonzero), Gaps: make([]uint32, 0, nonzero)}
+	last := -1
+	for i, v := range values {
+		if math.Float64bits(v) == 0 {
+			continue
+		}
+		c.Vals = append(c.Vals, v)
+		c.Gaps = append(c.Gaps, uint32(i-last))
+		last = i
+	}
+	return c
+}
+
+// AppendTo decodes the column into dst, which must hold at least N
+// values; exactly dst[:N] is overwritten. Decoding restores the exact
+// bit pattern Encode saw, including NaNs and signed zeros.
+func (c *Column) AppendTo(dst []float64) {
+	switch c.Enc {
+	case EncRaw:
+		copy(dst, c.Raw)
+	case EncRLE:
+		pos := 0
+		for k, v := range c.Vals {
+			run := int(c.Runs[k])
+			for i := 0; i < run; i++ {
+				dst[pos+i] = v
+			}
+			pos += run
+		}
+	default: // EncSparse
+		for i := 0; i < c.N; i++ {
+			dst[i] = 0
+		}
+		pos := -1
+		for k, v := range c.Vals {
+			pos += int(c.Gaps[k])
+			dst[pos] = v
+		}
+	}
+}
+
+// EncodedBytes is the column's compressed footprint, the quantity the
+// columnar.* byte counters and the encode-ratio histogram are built
+// from.
+func (c *Column) EncodedBytes() int64 {
+	switch c.Enc {
+	case EncRaw:
+		return int64(len(c.Raw)) * rawEntryBytes
+	case EncRLE:
+		return int64(len(c.Vals)) * rleEntryBytes
+	default:
+		return int64(len(c.Vals)) * sparseEntryBytes
+	}
+}
+
+// RawBytes is the column's uncompressed footprint (8 bytes per value).
+func (c *Column) RawBytes() int64 { return int64(c.N) * rawEntryBytes }

@@ -1,0 +1,158 @@
+package columnar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// hostileValues are the encoder's adversarial alphabet: every value
+// whose bit pattern a sloppy codec would normalise away — NaNs with
+// distinct payloads, both signed zeros, infinities and denormals —
+// plus ordinary counts. Property runs draw from this set so round-trip
+// fidelity is tested where it actually breaks.
+var hostileValues = []float64{
+	0, math.Copysign(0, -1),
+	math.NaN(), math.Float64frombits(0x7ff8_0000_0000_0001),
+	math.Inf(1), math.Inf(-1),
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.MaxFloat64, -math.MaxFloat64,
+	1, -1, 42.5, 1e-300, 3,
+}
+
+// bitsEqual compares slices on bit patterns, the only equality that
+// distinguishes -0 from +0 and survives NaN.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func roundTrip(t *testing.T, label string, values []float64) Column {
+	t.Helper()
+	c := Encode(values)
+	if c.N != len(values) {
+		t.Fatalf("%s: N = %d, want %d", label, c.N, len(values))
+	}
+	dst := make([]float64, len(values))
+	c.AppendTo(dst)
+	if !bitsEqual(values, dst) {
+		t.Fatalf("%s (%v): decode is not bit-identical:\n in: %v\nout: %v", label, c.Enc, values, dst)
+	}
+	return c
+}
+
+// TestEncodeRoundTripHostile pins decode fidelity on handpicked worst
+// cases and checks the encoder picks the layout its own cost model says
+// is smallest.
+func TestEncodeRoundTripHostile(t *testing.T) {
+	cases := map[string]struct {
+		values []float64
+		want   Encoding
+	}{
+		"empty":          {nil, EncRLE}, // all layouts cost 0; ties prefer RLE
+		"all-zero":       {make([]float64, 64), EncSparse},
+		"one-long-run":   {[]float64{7, 7, 7, 7, 7, 7, 7, 7}, EncRLE},
+		"alternating":    {[]float64{1, 2, 1, 2, 1, 2, 1, 2}, EncRaw},
+		"single-spike":   {[]float64{0, 0, 0, 0, 0, 9, 0, 0}, EncSparse},
+		"nan-run":        {[]float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}, EncRLE},
+		"negzero-run":    {[]float64{math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1), math.Copysign(0, -1)}, EncRLE},
+		"negzero-sparse": {[]float64{0, 0, 0, 0, 0, math.Copysign(0, -1), 0, 0}, EncSparse},
+		"inf-pair":       {[]float64{math.Inf(1), math.Inf(-1)}, EncRaw},
+		"denormals":      {[]float64{math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, 0, 0, 0, 0, 0, 0}, EncSparse},
+	}
+	for label, tc := range cases {
+		c := roundTrip(t, label, tc.values)
+		if c.Enc != tc.want {
+			t.Errorf("%s: encoded as %v, want %v", label, c.Enc, tc.want)
+		}
+	}
+
+	// -0 runs must not merge with +0 runs: bit-pattern equality keeps
+	// them separate, so this column has exactly three runs.
+	neg := math.Copysign(0, -1)
+	c := roundTrip(t, "mixed-zeros", []float64{0, 0, 0, neg, neg, neg, 1, 1, 1})
+	if c.Enc != EncRLE || len(c.Vals) != 3 {
+		t.Errorf("mixed-zeros: got %v with %d runs, want rle with 3 runs", c.Enc, len(c.Vals))
+	}
+}
+
+// TestEncodeRoundTripProperty fuzzes the codec over seeded random
+// columns drawn from the hostile alphabet with run-heavy, sparse-heavy
+// and uniform mixes, asserting bit-exact round trips and that the
+// chosen layout is never larger than the alternatives.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		values := make([]float64, n)
+		mode := seed % 3
+		for i := 0; i < n; {
+			v := hostileValues[rng.Intn(len(hostileValues))]
+			run := 1
+			switch mode {
+			case 0: // run-heavy
+				run = 1 + rng.Intn(20)
+			case 1: // sparse-heavy: mostly +0
+				if rng.Float64() < 0.85 {
+					v = 0
+				}
+			}
+			for k := 0; k < run && i < n; k++ {
+				values[i] = v
+				i++
+			}
+		}
+		c := roundTrip(t, "property", values)
+
+		// The cost model must have picked the minimum.
+		runs, nonzero := 0, 0
+		var prev uint64
+		for i, v := range values {
+			bits := math.Float64bits(v)
+			if i == 0 || bits != prev {
+				runs++
+			}
+			prev = bits
+			if bits != 0 {
+				nonzero++
+			}
+		}
+		min := int64(runs) * rleEntryBytes
+		if s := int64(nonzero) * sparseEntryBytes; s < min {
+			min = s
+		}
+		if r := int64(n) * rawEntryBytes; r < min {
+			min = r
+		}
+		if got := c.EncodedBytes(); got != min {
+			t.Fatalf("seed %d: encoded %d bytes, the minimum layout costs %d", seed, got, min)
+		}
+		if c.RawBytes() != int64(n)*rawEntryBytes {
+			t.Fatalf("seed %d: RawBytes = %d", seed, c.RawBytes())
+		}
+	}
+}
+
+// TestEncodeDeterministic pins that encoding is a pure function of the
+// value bit patterns — the property store equality (DeepEqual between
+// incremental and rebuilt stores) leans on.
+func TestEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = hostileValues[rng.Intn(len(hostileValues))]
+	}
+	a, b := Encode(values), Encode(append([]float64(nil), values...))
+	if a.Enc != b.Enc || a.N != b.N ||
+		!bitsEqual(a.Raw, b.Raw) || !bitsEqual(a.Vals, b.Vals) ||
+		len(a.Runs) != len(b.Runs) || len(a.Gaps) != len(b.Gaps) {
+		t.Fatalf("same values encoded differently: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,117 @@
+package columnar
+
+import (
+	"math"
+
+	"gea/internal/interval"
+)
+
+// Interval zone maps: the zone-map idea applied to the intensional
+// world. A SUMY table is a sorted run of per-tag ranges; an Allen
+// relation selection ("every tag whose range is before [10, 700]")
+// scans all of them. IntervalZones summarises consecutive row groups
+// by the extrema of their endpoints so the selection can skip whole
+// groups when the zone proves the relation cannot hold inside.
+//
+// All folds use strict < / > comparisons, so rows with NaN endpoints
+// drop out of the zone bounds. That is sound for every relation this
+// file prunes: each prune rule below is justified by a necessary
+// endpoint comparison that held TRUE for a matching row (Classify
+// reaches a relation only through true comparisons, which NaN never
+// satisfies), so any matching row's endpoints are non-NaN and inside
+// the folded bounds. Relations a NaN-endpoint row CAN classify as
+// (interval.Classify's default arm is OverlappedBy) are never pruned.
+
+// DefaultZoneRows is how many consecutive SUMY rows one interval zone
+// summarises.
+const DefaultZoneRows = 64
+
+// IntervalZone bounds the endpoints of rows [Lo, Hi) of the scanned
+// run: MinMin/MaxMin bound the ranges' Min endpoints, MinMax/MaxMax
+// the Max endpoints, NaNs excluded (+Inf/-Inf when every endpoint in
+// the group is NaN).
+type IntervalZone struct {
+	Lo, Hi int
+	MinMin float64
+	MaxMin float64
+	MinMax float64
+	MaxMax float64
+}
+
+// IntervalZones builds the zone run over ivs in groups of zoneRows
+// (<= 0 selects DefaultZoneRows).
+func IntervalZones(ivs []interval.Interval, zoneRows int) []IntervalZone {
+	if zoneRows <= 0 {
+		zoneRows = DefaultZoneRows
+	}
+	var zones []IntervalZone
+	for lo := 0; lo < len(ivs); lo += zoneRows {
+		hi := lo + zoneRows
+		if hi > len(ivs) {
+			hi = len(ivs)
+		}
+		z := IntervalZone{Lo: lo, Hi: hi,
+			MinMin: math.Inf(1), MaxMin: math.Inf(-1),
+			MinMax: math.Inf(1), MaxMax: math.Inf(-1)}
+		for _, iv := range ivs[lo:hi] {
+			if iv.Min < z.MinMin {
+				z.MinMin = iv.Min
+			}
+			if iv.Min > z.MaxMin {
+				z.MaxMin = iv.Min
+			}
+			if iv.Max < z.MinMax {
+				z.MinMax = iv.Max
+			}
+			if iv.Max > z.MaxMax {
+				z.MaxMax = iv.Max
+			}
+		}
+		zones = append(zones, z)
+	}
+	return zones
+}
+
+// CanPrune reports whether the zone proves no row range r in the group
+// satisfies relation rel against query q (broad selects the inclusive
+// AnyOverlap predicate instead of the strict relation). Each rule
+// negates a condition the relation makes necessary:
+//
+//	before       r.Max < q.Min        needs MinMax < q.Min
+//	after        q.Max < r.Min        needs MaxMin > q.Max
+//	meets        r.Max == q.Min       needs MinMax <= q.Min <= MaxMax
+//	met-by       r.Min == q.Max       needs MinMin <= q.Max <= MaxMin
+//	during       q.Min<r.Min, r.Max<q.Max  needs MaxMin > q.Min and MinMax < q.Max
+//	includes     r.Min<q.Min, q.Max<r.Max  needs MinMin < q.Min and MaxMax > q.Max
+//	equals       endpoints coincide   needs q.Min in [MinMin, MaxMin], q.Max in [MinMax, MaxMax]
+//	broad        AnyOverlap           needs MinMin <= q.Max and MaxMax >= q.Min
+//
+// The remaining relations (overlaps, overlapped-by, starts, started-by,
+// finishes, finished-by) are never pruned; notably overlapped-by is
+// what Classify assigns to NaN-endpoint rows, so skipping it keeps NaN
+// handling exact. A NaN-endpoint query makes every comparison below
+// false — nothing prunes, the scan runs, and no row matches anyway.
+func (z *IntervalZone) CanPrune(rel interval.Relation, broad bool, q interval.Interval) bool {
+	if broad {
+		return z.MinMin > q.Max || z.MaxMax < q.Min
+	}
+	switch rel {
+	case interval.Before:
+		return z.MinMax >= q.Min
+	case interval.After:
+		return z.MaxMin <= q.Max
+	case interval.Meets:
+		return q.Min < z.MinMax || q.Min > z.MaxMax
+	case interval.MetBy:
+		return q.Max < z.MinMin || q.Max > z.MaxMin
+	case interval.During:
+		return z.MaxMin <= q.Min || z.MinMax >= q.Max
+	case interval.Includes:
+		return z.MinMin >= q.Min || z.MaxMax <= q.Max
+	case interval.Equals:
+		return q.Min < z.MinMin || q.Min > z.MaxMin ||
+			q.Max < z.MinMax || q.Max > z.MaxMax
+	default:
+		return false
+	}
+}

@@ -1,0 +1,214 @@
+package columnar
+
+import "gea/internal/obs"
+
+// RangeCond is one conjunct of a populate()-style range filter over
+// the store's columns: qualifying rows have Lo <= value <= Hi in
+// column Col. Col == -1 stands for a tag outside the dataset's
+// universe, whose value is 0 everywhere by the normalization rule.
+type RangeCond struct {
+	Col    int
+	Lo, Hi float64
+}
+
+// Matches reports whether v passes the conjunct exactly the way the
+// row engine's verification loop checks it — `v < Lo || v > Hi` fails
+// — so a NaN value passes (both comparisons are false). Zone pruning
+// must stay consistent with this, which is why PruneBlock refuses to
+// prune on NaN-bearing columns.
+func (rc RangeCond) Matches(v float64) bool {
+	return !(v < rc.Lo || v > rc.Hi)
+}
+
+// PruneBlock reports whether the zone map proves no row of the block
+// satisfies the conjunction. The rules, each conservative:
+//
+//   - Col == -1: every row's value is 0, so prune iff 0 fails the range.
+//   - the column's HasNaN bit is set: never prune on this conjunct —
+//     NaN rows pass any range check (see RangeCond.Matches), and the
+//     min/max bounds exclude NaNs.
+//   - otherwise prune iff ColMax < Lo or ColMin > Hi: every value lies
+//     in [ColMin, ColMax], so the range cannot intersect it. An
+//     all-zero column has ColMin = ColMax = 0 (presence bit clear) and
+//     falls out of the same comparison.
+//
+// One excluding conjunct suffices: the filter is a conjunction.
+func PruneBlock(z *ZoneMap, conds []RangeCond) bool {
+	for _, cd := range conds {
+		if cd.Col < 0 {
+			if 0 < cd.Lo || 0 > cd.Hi {
+				return true
+			}
+			continue
+		}
+		if BitGet(z.HasNaN, cd.Col) {
+			continue
+		}
+		if z.ColMax[cd.Col] < cd.Lo || z.ColMin[cd.Col] > cd.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanStats counts what a block scan touched versus skipped.
+// BytesDecoded is the encoded footprint of the columns actually
+// materialised — the bytes a disk-resident layout would have read.
+type ScanStats struct {
+	BlocksScanned int64
+	BlocksSkipped int64
+	BytesDecoded  int64
+}
+
+// Add accumulates other into s.
+func (s *ScanStats) Add(other ScanStats) {
+	s.BlocksScanned += other.BlocksScanned
+	s.BlocksSkipped += other.BlocksSkipped
+	s.BytesDecoded += other.BytesDecoded
+}
+
+// Decode materialises column j of the block into dst, which must hold
+// at least NumRows values.
+func (b *Block) Decode(j int, dst []float64) {
+	b.Cols[j].AppendTo(dst[:b.Hi-b.Lo])
+}
+
+// DecodedBytes is the encoded footprint of the given columns — what a
+// scan that decodes exactly those columns reads.
+func (b *Block) DecodedBytes(cols []int) int64 {
+	var n int64
+	for _, j := range cols {
+		if j >= 0 {
+			n += b.Cols[j].EncodedBytes()
+		}
+	}
+	return n
+}
+
+// ScanBlocks drives visit over the store's blocks with indices in
+// [blo, bhi), consulting each zone map first: blocks the conjunction
+// provably cannot match are skipped without decoding anything. This is
+// the sequential batch-scan shape; the sharded operators run the same
+// prune-then-visit body per shard through shard.ForBlocks.
+func ScanBlocks(st *Store, blo, bhi int, conds []RangeCond, visit func(b *Block) error) (ScanStats, error) {
+	var stats ScanStats
+	for k := blo; k < bhi && k < len(st.Blocks); k++ {
+		b := &st.Blocks[k]
+		if PruneBlock(&b.Zone, conds) {
+			stats.BlocksSkipped++
+			continue
+		}
+		stats.BlocksScanned++
+		if err := visit(b); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// FilterAgg is the fold of a fused filter-then-aggregate pass.
+type FilterAgg struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+}
+
+// FilterAggregate is the fused filter-then-aggregate kernel: one pass
+// over the store that zone-prunes blocks, decodes only the columns the
+// conjunction and the aggregate need, and folds column aggCol over the
+// qualifying rows. Min/Max are meaningful only when Count > 0.
+func FilterAggregate(st *Store, conds []RangeCond, aggCol int) (FilterAgg, ScanStats) {
+	agg := FilterAgg{}
+	first := true
+	need := make([]int, 0, len(conds)+1)
+	for _, cd := range conds {
+		if cd.Col >= 0 {
+			need = append(need, cd.Col)
+		}
+	}
+	need = append(need, aggCol)
+	dec := make([][]float64, len(need))
+	for i := range dec {
+		dec[i] = make([]float64, st.BlockRows)
+	}
+	stats, _ := ScanBlocks(st, 0, len(st.Blocks), conds, func(b *Block) error {
+		for i, j := range need {
+			b.Decode(j, dec[i])
+		}
+		for r := 0; r < b.NumRows(); r++ {
+			ok := true
+			di := 0
+			for _, cd := range conds {
+				v := 0.0
+				if cd.Col >= 0 {
+					v = dec[di][r]
+					di++
+				}
+				if !cd.Matches(v) {
+					ok = false
+					break
+				}
+			}
+			di = len(need) - 1
+			if !ok {
+				continue
+			}
+			v := dec[di][r]
+			agg.Count++
+			agg.Sum += v
+			if first || v < agg.Min {
+				agg.Min = v
+			}
+			if first || v > agg.Max {
+				agg.Max = v
+			}
+			first = false
+		}
+		return nil
+	})
+	for k := range st.Blocks {
+		b := &st.Blocks[k]
+		if !PruneBlock(&b.Zone, conds) {
+			stats.BytesDecoded += b.DecodedBytes(need)
+		}
+	}
+	return agg, stats
+}
+
+// MetricPrefix is the metric family every columnar series lives under;
+// the metricname manifest covers it with the "columnar.*" wildcard.
+const MetricPrefix = "columnar."
+
+// Span-level block statistic keys. Operators report per-span counts
+// under these keys (obs.Span.AddBlocks); the obs collector folds them
+// into "columnar.<key>" counters.
+const (
+	StatBlocksScanned = "blocks_scanned"
+	StatBlocksSkipped = "blocks_skipped"
+	StatBytesDecoded  = "bytes_decoded"
+)
+
+// PublishMetrics records a store's static compression profile into the
+// registry: block/byte gauges plus the per-block encode-ratio
+// histogram (encoded bytes over raw bytes, so smaller is tighter).
+func PublishMetrics(reg *obs.Registry, st *Store) {
+	if reg == nil || st == nil {
+		return
+	}
+	inf := Stat(st)
+	reg.Gauge(MetricPrefix + "blocks").Set(int64(inf.Blocks))
+	reg.Gauge(MetricPrefix + "encoded_bytes").Set(inf.EncodedBytes)
+	reg.Gauge(MetricPrefix + "raw_bytes").Set(inf.RawBytes)
+	h := reg.Histogram(MetricPrefix+"encode_ratio", obs.RatioBounds)
+	for k := range st.Blocks {
+		b := &st.Blocks[k]
+		var enc, raw int64
+		for j := range b.Cols {
+			enc += b.Cols[j].EncodedBytes()
+			raw += b.Cols[j].RawBytes()
+		}
+		if raw > 0 {
+			h.Observe(float64(enc) / float64(raw))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package execwalk
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gea/internal/exec"
+)
+
+// EngineTarget adapts one operator that can evaluate on multiple
+// engines (row-at-a-time vs columnar block kernels) to WalkEngines.
+// Where ShardedTarget asserts worker-count equivalence within one
+// engine, EngineTarget asserts the equivalence wall between engines:
+// every engine must produce bit-identical full results and charge
+// identical work units, and every budget-truncated run must be a
+// flagged prefix of that shared full result.
+type EngineTarget struct {
+	// Name labels subtests.
+	Name string
+	// Engines are the engine labels probed; the first is the baseline
+	// (conventionally "row"). Empty means {"row", "columnar"}.
+	Engines []string
+	// Workers are the worker counts probed per engine. Empty means
+	// {1, 4}.
+	Workers []int
+	// Run invokes the operator on the given engine at the given worker
+	// count and returns a canonical row-per-item rendering of its
+	// result (so "bit-identical" is a string comparison), plus the
+	// trace and error. The closure must rebuild any mutable inputs on
+	// every call.
+	Run func(ctx context.Context, engine string, workers int, lim exec.Limits) (rows []string, tr exec.Trace, err error)
+	// MaxProbes caps the budget positions probed. 0 means 8.
+	MaxProbes int
+}
+
+func (tg EngineTarget) engines() []string {
+	if len(tg.Engines) == 0 {
+		return []string{"row", "columnar"}
+	}
+	return tg.Engines
+}
+
+func (tg EngineTarget) workers() []int {
+	if len(tg.Workers) == 0 {
+		return []int{1, 4}
+	}
+	return tg.Workers
+}
+
+func (tg EngineTarget) probes() int {
+	if tg.MaxProbes <= 0 {
+		return 8
+	}
+	return tg.MaxProbes
+}
+
+// WalkEngines drives the cross-engine equivalence suite against one
+// operator:
+//
+//   - full-run equivalence: every (engine, workers) combination yields
+//     rows bit-identical to the baseline engine at one worker, with an
+//     identical unit total — the engines must agree on what one unit of
+//     work is, not just on the answer;
+//   - budget walk: under every probed budget, every combination stays
+//     within the budget, flags the truncation, and returns a strict
+//     prefix of the shared full result. Prefix LENGTHS may differ
+//     between engines — block-aligned shard boundaries split the budget
+//     differently than uniform grains — but the rows themselves must
+//     come from the same total order.
+func WalkEngines(t *testing.T, tg EngineTarget) {
+	t.Helper()
+
+	engines := tg.engines()
+	workers := tg.workers()
+	base, baseTr, err := tg.Run(context.Background(), engines[0], 1, exec.Limits{})
+	if err != nil {
+		t.Fatalf("%s: baseline run (%s) failed: %v", tg.Name, engines[0], err)
+	}
+	if baseTr.Partial {
+		t.Fatalf("%s: baseline run flagged partial without any budget", tg.Name)
+	}
+	if baseTr.Units <= 0 {
+		t.Fatalf("%s: operator charged no work units", tg.Name)
+	}
+
+	t.Run(tg.Name+"/equivalence", func(t *testing.T) {
+		for _, eng := range engines {
+			for _, w := range workers {
+				rows, tr, err := tg.Run(context.Background(), eng, w, exec.Limits{})
+				if err != nil {
+					t.Fatalf("%s workers %d: %v", eng, w, err)
+				}
+				if tr.Partial {
+					t.Fatalf("%s workers %d: unbudgeted run flagged partial", eng, w)
+				}
+				if err := sameRows(base, rows); err != nil {
+					t.Fatalf("%s workers %d: result differs from %s workers 1: %v",
+						eng, w, engines[0], err)
+				}
+				if tr.Units != baseTr.Units {
+					t.Fatalf("%s workers %d: charged %d units, baseline charged %d",
+						eng, w, tr.Units, baseTr.Units)
+				}
+			}
+		}
+	})
+
+	t.Run(tg.Name+"/budget-walk", func(t *testing.T) {
+		if baseTr.Units < 2 {
+			t.Skipf("only %d work units; nothing to truncate", baseTr.Units)
+		}
+		for _, b := range sample(baseTr.Units-1, tg.probes()) {
+			for _, eng := range engines {
+				for _, w := range workers {
+					rows, tr, err := tg.Run(context.Background(), eng, w, exec.Limits{Budget: b})
+					if err != nil {
+						t.Fatalf("budget %d %s workers %d: %v", b, eng, w, err)
+					}
+					if !tr.Partial {
+						t.Fatalf("budget %d %s workers %d: truncated run not flagged partial", b, eng, w)
+					}
+					if tr.Units > b {
+						t.Fatalf("budget %d %s workers %d: charged %d units", b, eng, w, tr.Units)
+					}
+					if len(rows) >= len(base) {
+						t.Fatalf("budget %d %s workers %d: partial result has %d rows, full run %d",
+							b, eng, w, len(rows), len(base))
+					}
+					if err := sameRows(base[:len(rows)], rows); err != nil {
+						t.Fatalf("budget %d %s workers %d: partial result is not a prefix of the full result: %v",
+							b, eng, w, err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// RenderFloats is a helper for Run closures: a canonical, bit-faithful
+// rendering of a float64 row ("%x" round-trips every value including
+// NaN payloads and signed zero, which "%v" does not distinguish).
+func RenderFloats(prefix string, vals ...float64) string {
+	s := prefix
+	for _, v := range vals {
+		s += fmt.Sprintf(" %x", v)
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+
+	"gea/internal/exec"
+)
+
+// irregularEdges builds an ascending edge list over work items with
+// deterministic, uneven block sizes — the shape a columnar store's
+// ragged tail produces.
+func irregularEdges(work int) []int {
+	edges := []int{0}
+	sizes := []int{3, 8, 1, 5, 13, 2, 8, 8, 4}
+	for i := 0; edges[len(edges)-1] < work; i++ {
+		next := edges[len(edges)-1] + sizes[i%len(sizes)]
+		if next > work {
+			next = work
+		}
+		edges = append(edges, next)
+	}
+	return edges
+}
+
+func TestShardEquivForBlocks(t *testing.T) {
+	const work = 500
+	edges := irregularEdges(work)
+	edgeSet := map[int]bool{}
+	for _, e := range edges {
+		edgeSet[e] = true
+	}
+
+	// Full runs: complete at any worker count, every kernel range is
+	// block-aligned (both endpoints are edges), and results match the
+	// sequential fill.
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		c := exec.New(context.Background(), exec.Limits{Workers: workers})
+		out := make([]int, work)
+		var mu sync.Mutex
+		var calls [][2]int
+		prefix, partial, err := ForBlocks(c, 0, edges, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+			mu.Lock()
+			calls = append(calls, [2]int{lo, hi})
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				if err := c.Point(1); err != nil {
+					return i - lo, err
+				}
+				out[i] = i * i
+			}
+			return hi - lo, nil
+		})
+		if err != nil || partial || prefix != work {
+			t.Fatalf("workers %d: (%d, %v, %v), want (%d, false, nil)", workers, prefix, partial, err, work)
+		}
+		for _, call := range calls {
+			if !edgeSet[call[0]] || !edgeSet[call[1]] {
+				t.Fatalf("workers %d: kernel range [%d,%d) is not block-aligned to %v", workers, call[0], call[1], edges)
+			}
+		}
+		sort.Slice(calls, func(i, j int) bool { return calls[i][0] < calls[j][0] })
+		covered := 0
+		for _, call := range calls {
+			if call[0] != covered {
+				t.Fatalf("workers %d: shard ranges %v leave a gap at %d", workers, calls, covered)
+			}
+			covered = call[1]
+		}
+		if covered != work {
+			t.Fatalf("workers %d: shards cover %d of %d items", workers, covered, work)
+		}
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers %d: out[%d] = %d", workers, i, out[i])
+			}
+		}
+		if c.Units() != work {
+			t.Fatalf("workers %d: charged %d units", workers, c.Units())
+		}
+	}
+
+	// Budget walk: the flagged prefix is identical at every worker
+	// count — boundaries are a pure function of the edge list.
+	for _, budget := range []int64{1, 7, 50, 211, 499} {
+		wantPrefix := -1
+		for _, workers := range []int{1, 2, 8} {
+			c := exec.New(context.Background(), exec.Limits{Budget: budget, Workers: workers})
+			out := make([]int, work)
+			prefix, partial, err := ForBlocks(c, 0, edges, squareKernel(out))
+			if err != nil || !partial {
+				t.Fatalf("budget %d workers %d: (%v, %v)", budget, workers, partial, err)
+			}
+			if wantPrefix == -1 {
+				wantPrefix = prefix
+			} else if prefix != wantPrefix {
+				t.Fatalf("budget %d: prefix %d at %d workers, %d at 1", budget, prefix, workers, wantPrefix)
+			}
+			for i := 0; i < prefix; i++ {
+				if out[i] != i*i {
+					t.Fatalf("budget %d workers %d: prefix row %d not computed", budget, workers, i)
+				}
+			}
+			if c.Units() > budget {
+				t.Fatalf("budget %d workers %d: charged %d units", budget, workers, c.Units())
+			}
+		}
+	}
+}
+
+func TestForBlocksExplicitWorkersOverride(t *testing.T) {
+	// The Ctl says one worker; the call says 8. Count concurrent
+	// kernels to prove the override took.
+	edges := irregularEdges(400)
+	c := exec.New(context.Background(), exec.Limits{Workers: 1})
+	var mu sync.Mutex
+	active, peak := 0, 0
+	out := make([]int, 400)
+	_, _, err := ForBlocks(c, 8, edges, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		n, err := squareKernel(out)(c, 0, lo, hi)
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return n, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Skipf("no observed concurrency (peak %d); scheduler timing", peak)
+	}
+}
+
+func TestForBlocksDegenerateEdges(t *testing.T) {
+	c := exec.New(context.Background(), exec.Limits{})
+	for _, edges := range [][]int{nil, {}, {0}, {0, 0}} {
+		prefix, partial, err := ForBlocks(c, 0, edges, func(*exec.Ctl, int, int, int) (int, error) {
+			t.Fatal("kernel ran on degenerate edges")
+			return 0, nil
+		})
+		if prefix != 0 || partial || err != nil {
+			t.Fatalf("edges %v: (%d, %v, %v)", edges, prefix, partial, err)
+		}
+	}
+}
+
+func TestForBlocksSingleGiantBlock(t *testing.T) {
+	// One block larger than the shard target is one shard: no split may
+	// ever fall inside a block.
+	c := exec.New(context.Background(), exec.Limits{Workers: 8})
+	out := make([]int, 300)
+	calls := 0
+	prefix, partial, err := ForBlocks(c, 0, []int{0, 300}, func(c *exec.Ctl, _, lo, hi int) (int, error) {
+		calls++
+		if lo != 0 || hi != 300 {
+			t.Fatalf("giant block split into [%d,%d)", lo, hi)
+		}
+		return squareKernel(out)(c, 0, lo, hi)
+	})
+	if err != nil || partial || prefix != 300 || calls != 1 {
+		t.Fatalf("(%d, %v, %v) in %d calls", prefix, partial, err, calls)
+	}
+}

@@ -5,8 +5,8 @@
 // over a contiguous index range and driven by For, which:
 //
 //   - splits the work into deterministic contiguous shards whose
-//     boundaries depend only on (work, grain), never on the worker
-//     count;
+//     boundaries depend only on (work, grain) — or, for ForBlocks, on
+//     the block edge list — never on the worker count;
 //   - hands each shard a child Ctl carrying a proportional slice of
 //     the remaining budget (exec.Ctl.SplitWork), so the
 //     charge-then-check discipline holds per shard;
@@ -61,6 +61,49 @@ func ForN(c *exec.Ctl, workers, work, grain int, kernel Kernel) (int, bool, erro
 	if work <= 0 {
 		return 0, false, nil
 	}
+	if grain <= 0 {
+		grain = (work + defaultShards - 1) / defaultShards
+	}
+	nshards := (work + grain - 1) / grain
+	bounds := make([]int, nshards+1)
+	//lint:gea ctlcharge -- O(shards) dispatch bookkeeping of the substrate itself; the kernels meter the actual work
+	for i := 1; i <= nshards; i++ {
+		hi := i * grain
+		if hi > work {
+			hi = work
+		}
+		bounds[i] = hi
+	}
+	return forBounds(c, workers, bounds, kernel)
+}
+
+// ForBlocks is For with shard boundaries drawn from a block edge list
+// instead of a uniform grain: edges must be strictly ascending with
+// edges[0] == 0 and edges[len-1] == the total work, and every shard
+// boundary falls on an edge, so a kernel always sees whole blocks.
+// Shards group consecutive blocks toward the same per-shard item
+// count For would pick — boundaries are a pure function of the edge
+// list, never of the worker count, preserving the bit-identical
+// prefix contract.
+func ForBlocks(c *exec.Ctl, workers int, edges []int, kernel Kernel) (int, bool, error) {
+	if len(edges) < 2 || edges[len(edges)-1] <= 0 {
+		return 0, false, nil
+	}
+	work := edges[len(edges)-1]
+	target := (work + defaultShards - 1) / defaultShards
+	bounds := make([]int, 1, len(edges))
+	//lint:gea ctlcharge -- O(blocks) dispatch bookkeeping of the substrate itself; the kernels meter the actual work
+	for _, e := range edges[1:] {
+		if e-bounds[len(bounds)-1] >= target || e == work {
+			bounds = append(bounds, e)
+		}
+	}
+	return forBounds(c, workers, bounds, kernel)
+}
+
+// forBounds runs kernel over the contiguous shards [bounds[i],
+// bounds[i+1]), the shared engine of For/ForN/ForBlocks.
+func forBounds(c *exec.Ctl, workers int, bounds []int, kernel Kernel) (int, bool, error) {
 	// Pre-flight: a Ctl already stopped by an earlier stage must not
 	// start new work. Budget exhaustion yields an empty flagged
 	// prefix; a cancellation propagates as the error it is.
@@ -70,13 +113,10 @@ func ForN(c *exec.Ctl, workers, work, grain int, kernel Kernel) (int, bool, erro
 		}
 		return 0, false, err
 	}
+	nshards := len(bounds) - 1
 	if workers <= 0 {
 		workers = c.Workers()
 	}
-	if grain <= 0 {
-		grain = (work + defaultShards - 1) / defaultShards
-	}
-	nshards := (work + grain - 1) / grain
 	if workers > nshards {
 		workers = nshards
 	}
@@ -84,18 +124,18 @@ func ForN(c *exec.Ctl, workers, work, grain int, kernel Kernel) (int, bool, erro
 	counts := make([]int64, nshards)
 	//lint:gea ctlcharge -- O(shards) dispatch bookkeeping of the substrate itself; the kernels meter the actual work
 	for i := range counts {
-		counts[i] = int64(shardHi(i, grain, work) - i*grain)
+		counts[i] = int64(bounds[i+1] - bounds[i])
 	}
 	kids := c.SplitWork(counts)
 
 	outs := make([]outcome, nshards)
 	if workers <= 1 {
-		runSequential(kids, outs, grain, work, kernel)
+		runSequential(kids, outs, bounds, kernel)
 	} else {
-		runParallel(kids, outs, grain, work, workers, kernel)
+		runParallel(kids, outs, bounds, workers, kernel)
 	}
 	c.Merge(kids...)
-	return settle(kids, outs, grain, work)
+	return settle(kids, outs, bounds)
 }
 
 // outcome records how one shard ended.
@@ -106,21 +146,13 @@ type outcome struct {
 	panicv  any   // recovered panic value, re-raised by settle
 }
 
-func shardHi(i, grain, work int) int {
-	hi := (i + 1) * grain
-	if hi > work {
-		hi = work
-	}
-	return hi
-}
-
 // stoppedEarly reports whether shard i ended before computing its full
 // range — by budget, cancellation, operator error or panic.
 func (o *outcome) stoppedEarly() bool {
 	return o.err != nil || o.panicv != nil || o.skipped
 }
 
-func runSequential(kids []*exec.Ctl, outs []outcome, grain, work int, kernel Kernel) {
+func runSequential(kids []*exec.Ctl, outs []outcome, bounds []int, kernel Kernel) {
 	for i := range kids {
 		if i > 0 && outs[i-1].stoppedEarly() {
 			// Sequential semantics: nothing past the first stop runs.
@@ -132,11 +164,11 @@ func runSequential(kids []*exec.Ctl, outs []outcome, grain, work int, kernel Ker
 		// No recover here: at one worker a kernel panic unwinds
 		// straight to the operator's Guard, exactly like the old
 		// sequential loops.
-		outs[i].done, outs[i].err = kernel(kids[i], i, i*grain, shardHi(i, grain, work))
+		outs[i].done, outs[i].err = kernel(kids[i], i, bounds[i], bounds[i+1])
 	}
 }
 
-func runParallel(kids []*exec.Ctl, outs []outcome, grain, work, workers int, kernel Kernel) {
+func runParallel(kids []*exec.Ctl, outs []outcome, bounds []int, workers int, kernel Kernel) {
 	var next atomic.Int64
 	var stopIdx atomic.Int64 // lowest shard index known to have stopped
 	stopIdx.Store(int64(len(kids)))
@@ -154,7 +186,7 @@ func runParallel(kids []*exec.Ctl, outs []outcome, grain, work, workers int, ker
 					outs[i].skipped = true
 					continue
 				}
-				runShard(kids[i], &outs[i], i, i*grain, shardHi(i, grain, work), kernel)
+				runShard(kids[i], &outs[i], i, bounds[i], bounds[i+1], kernel)
 				if outs[i].stoppedEarly() {
 					for {
 						cur := stopIdx.Load()
@@ -186,7 +218,7 @@ func runShard(kid *exec.Ctl, out *outcome, shard, lo, hi int, kernel Kernel) {
 // ended early. All lower shards completed their full ranges — a shard
 // stops only on its own deterministic budget slice, a cancellation, a
 // kernel error or a panic — so the prefix is exact.
-func settle(kids []*exec.Ctl, outs []outcome, grain, work int) (int, bool, error) {
+func settle(kids []*exec.Ctl, outs []outcome, bounds []int) (int, bool, error) {
 	for i := range outs {
 		o := &outs[i]
 		if !o.stoppedEarly() {
@@ -202,12 +234,12 @@ func settle(kids []*exec.Ctl, outs []outcome, grain, work int) (int, bool, error
 			if err := kids[i].Err(); err != nil && !exec.IsBudget(err) {
 				return 0, false, err
 			}
-			return i * grain, true, nil
+			return bounds[i], true, nil
 		case exec.IsBudget(o.err):
-			return i*grain + o.done, true, nil
+			return bounds[i] + o.done, true, nil
 		default:
 			return 0, false, o.err
 		}
 	}
-	return work, false, nil
+	return bounds[len(bounds)-1], false, nil
 }

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSpanAddBlocks pins the block-statistics plumbing end to end:
+// AddBlocks accumulates per-key on the span, the collector folds each
+// key into a "columnar.<key>" counter on completion, and the tree
+// renderer prints the keys sorted after the workers field.
+func TestSpanAddBlocks(t *testing.T) {
+	col := NewCollector()
+	sc := NewScope(WithCollector(context.Background(), col))
+
+	sp := sc.Start("core.Populate")
+	sp.AddBlocks("blocks_scanned", 3)
+	sp.AddBlocks("blocks_skipped", 5)
+	sp.AddBlocks("blocks_scanned", 2) // accumulates, not replaces
+	sp.AddBlocks("bytes_decoded", 4096)
+	sp.AddBlocks("bytes_decoded", 0) // zero delta is harmless
+	sp.End(OutcomeOK, "", 10, 4, 2)
+
+	r := col.LastRoot()
+	if r == nil {
+		t.Fatal("no root record delivered")
+	}
+	if got := r.Blocks["blocks_scanned"]; got != 5 {
+		t.Fatalf("blocks_scanned = %d, want 5", got)
+	}
+	if got := r.Blocks["blocks_skipped"]; got != 5 {
+		t.Fatalf("blocks_skipped = %d, want 5", got)
+	}
+	if got := r.Blocks["bytes_decoded"]; got != 4096 {
+		t.Fatalf("bytes_decoded = %d, want 4096", got)
+	}
+
+	m := col.Metrics
+	if got := m.Counter("columnar.blocks_scanned").Value(); got != 5 {
+		t.Fatalf("columnar.blocks_scanned counter = %d, want 5", got)
+	}
+	if got := m.Counter("columnar.blocks_skipped").Value(); got != 5 {
+		t.Fatalf("columnar.blocks_skipped counter = %d, want 5", got)
+	}
+	if got := m.Counter("columnar.bytes_decoded").Value(); got != 4096 {
+		t.Fatalf("columnar.bytes_decoded counter = %d, want 4096", got)
+	}
+
+	// The tree line renders keys sorted, after workers, before input.
+	line := strings.SplitN(r.Tree(), "\n", 2)[0]
+	iw := strings.Index(line, "workers=2")
+	i1 := strings.Index(line, "blocks_scanned=5")
+	i2 := strings.Index(line, "blocks_skipped=5")
+	i3 := strings.Index(line, "bytes_decoded=4096")
+	if iw < 0 || i1 < 0 || i2 < 0 || i3 < 0 {
+		t.Fatalf("tree line missing block stats: %q", line)
+	}
+	if !(iw < i1 && i1 < i2 && i2 < i3) {
+		t.Fatalf("block stats not sorted after workers: %q", line)
+	}
+}
+
+// TestAddBlocksNilAndChildFold pins nil-span safety and that a child
+// span's block stats are folded into the counters independently of the
+// root's — each completed span contributes its own Blocks map.
+func TestAddBlocksNilAndChildFold(t *testing.T) {
+	var sp *Span
+	sp.AddBlocks("blocks_scanned", 9) // disabled path: must not panic
+
+	col := NewCollector()
+	sc := NewScope(WithCollector(context.Background(), col))
+	root := sc.Start("system.Calculate")
+	child := sc.Start("core.Aggregate")
+	child.AddBlocks("blocks_scanned", 7)
+	child.End(OutcomeOK, "", 4, 2, 1)
+	root.End(OutcomeOK, "", 4, 2, 1)
+
+	r := col.LastRoot()
+	if len(r.Blocks) != 0 {
+		t.Fatalf("root without AddBlocks grew stats: %v", r.Blocks)
+	}
+	if got := r.Children[0].Blocks["blocks_scanned"]; got != 7 {
+		t.Fatalf("child blocks_scanned = %d, want 7", got)
+	}
+	if got := col.Metrics.Counter("columnar.blocks_scanned").Value(); got != 7 {
+		t.Fatalf("columnar.blocks_scanned counter = %d, want 7", got)
+	}
+	// A span with no block stats must not render the fields at all.
+	if strings.Contains(strings.SplitN(r.Tree(), "\n", 2)[0], "blocks_") {
+		t.Fatalf("root line renders absent block stats: %q", r.Tree())
+	}
+}

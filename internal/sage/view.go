@@ -1,0 +1,68 @@
+package sage
+
+import "sync"
+
+// Derived-view cache
+//
+// Physical-layer packages (internal/columnar today) build expensive
+// derived representations of a Dataset — encoded blocks, zone maps —
+// that operators want to look up by the Dataset they were built from.
+// Storing them inside Dataset would change its shape and break the
+// many reflect.DeepEqual comparisons the test suite makes over
+// Datasets and the structs embedding them, so the cache lives beside
+// the type instead: a process-wide map keyed by Dataset identity
+// (pointer), bounded FIFO so long-running sessions that churn through
+// subsets cannot grow it without limit.
+
+const maxViews = 64
+
+var viewMu sync.Mutex
+var views = map[*Dataset]any{}
+var viewOrder []*Dataset // insertion order, for FIFO eviction
+
+// AttachView associates a derived view with d, replacing any previous
+// one. When the cache is full the oldest attachment is evicted.
+func AttachView(d *Dataset, view any) {
+	if d == nil {
+		return
+	}
+	viewMu.Lock()
+	defer viewMu.Unlock()
+	if _, ok := views[d]; !ok {
+		if len(viewOrder) >= maxViews {
+			evict := viewOrder[0]
+			viewOrder = viewOrder[1:]
+			delete(views, evict)
+		}
+		viewOrder = append(viewOrder, d)
+	}
+	views[d] = view
+}
+
+// ViewOf returns the derived view attached to d, or nil.
+func ViewOf(d *Dataset) any {
+	if d == nil {
+		return nil
+	}
+	viewMu.Lock()
+	defer viewMu.Unlock()
+	return views[d]
+}
+
+// DropView removes any derived view attached to d.
+func DropView(d *Dataset) {
+	if d == nil {
+		return
+	}
+	viewMu.Lock()
+	defer viewMu.Unlock()
+	if _, ok := views[d]; ok {
+		delete(views, d)
+		for i, p := range viewOrder {
+			if p == d {
+				viewOrder = append(viewOrder[:i], viewOrder[i+1:]...)
+				break
+			}
+		}
+	}
+}

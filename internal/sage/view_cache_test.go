@@ -1,0 +1,87 @@
+package sage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestViewCacheBasics pins the attach/lookup/drop contract and nil
+// safety of the derived-view cache.
+func TestViewCacheBasics(t *testing.T) {
+	d := &Dataset{}
+	if ViewOf(d) != nil {
+		t.Fatal("fresh dataset has a view")
+	}
+	AttachView(d, "v1")
+	if got := ViewOf(d); got != "v1" {
+		t.Fatalf("ViewOf = %v", got)
+	}
+	AttachView(d, "v2") // replace in place
+	if got := ViewOf(d); got != "v2" {
+		t.Fatalf("after replace, ViewOf = %v", got)
+	}
+	DropView(d)
+	if ViewOf(d) != nil {
+		t.Fatal("view survived DropView")
+	}
+	DropView(d) // idempotent
+
+	// nil datasets are inert on every entry point.
+	AttachView(nil, "x")
+	if ViewOf(nil) != nil {
+		t.Fatal("nil dataset acquired a view")
+	}
+	DropView(nil)
+}
+
+// TestViewCacheEviction pins the FIFO bound: the cache holds maxViews
+// attachments, the oldest is evicted first, and replacing an existing
+// attachment does not refresh its age or evict anyone.
+func TestViewCacheEviction(t *testing.T) {
+	// Over-fill by a whole generation first so the cache holds exactly
+	// our own newest maxViews entries regardless of what earlier tests
+	// left behind.
+	n := maxViews
+	ds := make([]*Dataset, 2*n+2)
+	for i := range ds {
+		ds[i] = &Dataset{}
+	}
+	defer func() {
+		for _, d := range ds {
+			DropView(d)
+		}
+	}()
+	for i := 0; i < 2*n; i++ {
+		AttachView(ds[i], fmt.Sprintf("v%d", i))
+	}
+	if ViewOf(ds[n-1]) != nil {
+		t.Fatal("over-filling did not evict the first generation")
+	}
+	if ViewOf(ds[n]) != fmt.Sprintf("v%d", n) {
+		t.Fatal("newest generation missing from the cache")
+	}
+
+	// Replacing a full cache's entry must neither evict nor refresh
+	// the entry's age.
+	AttachView(ds[n], "replaced")
+	if ViewOf(ds[n]) != "replaced" || ViewOf(ds[n+1]) != fmt.Sprintf("v%d", n+1) {
+		t.Fatal("in-place replacement disturbed the cache")
+	}
+	// One past the bound evicts exactly the oldest — the replaced entry,
+	// since replacement kept its original position.
+	AttachView(ds[2*n], "new")
+	if ViewOf(ds[n]) != nil {
+		t.Fatal("oldest attachment not evicted at the bound")
+	}
+	if ViewOf(ds[n+1]) == nil || ViewOf(ds[2*n]) != "new" {
+		t.Fatal("eviction removed the wrong entry")
+	}
+	// And the next eviction takes the next-oldest.
+	AttachView(ds[2*n+1], "newer")
+	if ViewOf(ds[n+1]) != nil {
+		t.Fatal("second eviction did not take the next-oldest")
+	}
+	if ViewOf(ds[n+2]) == nil || ViewOf(ds[2*n+1]) != "newer" {
+		t.Fatal("second eviction removed the wrong entry")
+	}
+}
