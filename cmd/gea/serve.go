@@ -44,6 +44,10 @@ type serveOptions struct {
 	// ingest exposes POST /ingest; the session must have been built with
 	// SystemOptions.Ingest.
 	ingest bool
+	// sessionExpiry and maxSessions configure the /session table; zero
+	// selects the session-package defaults.
+	sessionExpiry time.Duration
+	maxSessions   int
 }
 
 // gateway bundles the session, the trace collector every request records
@@ -60,15 +64,27 @@ type gateway struct {
 	// system the fault schedule uses.
 	reqSeq atomic.Int64
 	faults *serveFaults
+	// sessions owns the /session lifecycle and operator dispatch.
+	sessions *gea.SessionManager
 }
 
 // newServeMux wires the HTTP routes. The debug endpoints are opt-in so a
 // plain "gea serve" exposes analysis only, no introspection surface.
 func newServeMux(sys *gea.System, trace *gea.ObsCollector, opts serveOptions) (*gateway, *http.ServeMux) {
 	gw := &gateway{sys: sys, trace: trace, opts: opts, faults: newServeFaults()}
+	gw.sessions = gea.NewSessionManager(sys, gea.SessionOptions{
+		Expiry:      opts.sessionExpiry,
+		MaxSessions: opts.maxSessions,
+		Metrics:     trace.Metrics,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", protect(gw.handleHealthz))
 	mux.HandleFunc("/mine", protect(gw.handleMine))
+	mux.HandleFunc("POST /session", protect(gw.handleSessionCreate))
+	mux.HandleFunc("GET /session/{id}", protect(gw.handleSessionGet))
+	mux.HandleFunc("DELETE /session/{id}", protect(gw.handleSessionDelete))
+	mux.HandleFunc("POST /session/{id}/run", protect(gw.handleSessionRun))
+	mux.HandleFunc("GET /session/{id}/lineage", protect(gw.handleSessionLineage))
 	if opts.ingest {
 		mux.HandleFunc("/ingest", protect(gw.handleIngest))
 	}
@@ -113,7 +129,10 @@ type mineResponse struct {
 	// mirrors it as a boolean for quick client checks.
 	State    string `json:"state,omitempty"`
 	Degraded bool   `json:"degraded,omitempty"`
-	Note     string `json:"note,omitempty"`
+	// Throttled reports that the tenant's own work-budget envelope (not
+	// fleet-wide load) shaped this request's budget down.
+	Throttled bool   `json:"throttled,omitempty"`
+	Note      string `json:"note,omitempty"`
 }
 
 // handleMine runs the tissue pipeline (dataset, metadata, governed
@@ -172,12 +191,17 @@ func (gw *gateway) handleMine(w http.ResponseWriter, r *http.Request) {
 	ctx = gea.WithExecHook(ctx, gw.faults.wrap(n, gw.trace.ExecHook()))
 
 	// Budgets are shaped from the load state observed at entry so one
-	// request sees one consistent policy.
-	lim, state := gw.sys.ShapeLimits(gw.opts.limits)
+	// request sees one consistent policy: the fleet-wide queue state
+	// first, then the tenant's own envelope — a heavy tenant degrades
+	// itself before the fleet degrades everyone.
+	tenant := tenantOf(r)
+	lim, state, throttled := gw.sys.ShapeLimitsFor(tenant, gw.opts.limits)
 	pure, tr, err := gw.sys.FindPureFascicleCtx(ctx, tissue, gea.PropCancer, 3, lim)
+	gw.sys.ChargeTenant(tenant, tr.Units)
 	resp := mineResponse{
 		Tissue: tissue, Fascicle: pure, Units: tr.Units, Partial: tr.Partial,
 		State: state.String(), Degraded: state != gea.AdmissionHealthy,
+		Throttled: throttled,
 	}
 	var busy *gea.ErrBusy
 	var overload *gea.ErrOverload
@@ -318,6 +342,11 @@ type healthResponse struct {
 	// session was built without streaming ingestion.
 	Generation uint64             `json:"generation,omitempty"`
 	Admission  gea.AdmissionStats `json:"admission"`
+	// Sessions is the live /session count; Cache and Tenants snapshot
+	// the result cache and the tenant envelopes (zero when disabled).
+	Sessions int                  `json:"sessions"`
+	Cache    gea.ResultCacheStats `json:"cache,omitempty"`
+	Tenants  gea.TenantsStats     `json:"tenants,omitempty"`
 }
 
 // handleHealthz reports load state: 200 while serving (healthy or
@@ -330,6 +359,9 @@ func (gw *gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Draining:   gw.draining.Load() || st.ShuttingDown,
 		Generation: gw.sys.Generation(),
 		Admission:  st,
+		Sessions:   gw.sessions.Active(),
+		Cache:      gw.sys.ResultCacheStats(),
+		Tenants:    gw.sys.TenantStats(),
 	}
 	code := http.StatusOK
 	if resp.Draining {
@@ -486,6 +518,12 @@ func cmdServe(args []string) error {
 	degradedBudget := fs.Int64("degraded-budget", 0, "budget cap applied to unlimited requests while degraded (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown window before in-flight work is cancelled")
 	ingest := fs.Bool("ingest", false, "expose POST /ingest: accept append batches, committing each as a crash-safe corpus generation in -in")
+	sessionExpiry := fs.Duration("session-expiry", gea.DefaultSessionExpiry, "idle lifetime of a /session before it expires")
+	maxSessions := fs.Int("max-sessions", gea.DefaultMaxSessions, "live /session bound; creation past it answers 503 with Retry-After")
+	cacheEntries := fs.Int("cache-entries", gea.DefaultCacheMaxEntries, "result-cache entry bound (0 disables the cache)")
+	cacheBytes := fs.Int64("cache-bytes", gea.DefaultCacheMaxBytes, "result-cache approximate byte bound")
+	tenantEnvelope := fs.Int64("tenant-envelope", 0, "per-tenant work-unit envelope per window; a tenant past it has its budgets shaped down (0 disables tenant shaping)")
+	tenantWindow := fs.Duration("tenant-window", gea.DefaultTenantWindow, "decay window for the tenant envelope")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -499,6 +537,20 @@ func cmdServe(args []string) error {
 		AdmitTimeout:     *admitTimeout,
 		DegradedBudget:   *degradedBudget,
 		AdmissionMetrics: trace.Metrics,
+	}
+	if *cacheEntries > 0 {
+		sysOpts.ResultCache = &gea.ResultCacheOptions{
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+			Metrics:    trace.Metrics,
+		}
+	}
+	if *tenantEnvelope > 0 {
+		sysOpts.TenantPolicy = &gea.TenantPolicy{
+			Envelope: *tenantEnvelope,
+			Window:   *tenantWindow,
+			Metrics:  trace.Metrics,
+		}
 	}
 	var corpus *gea.Corpus
 	if *ingest {
@@ -530,6 +582,8 @@ func cmdServe(args []string) error {
 		debug:          *debug,
 		requestTimeout: *requestTimeout,
 		ingest:         *ingest,
+		sessionExpiry:  *sessionExpiry,
+		maxSessions:    *maxSessions,
 	})
 
 	// baseCtx parents every request context; cancelling it is the hard

@@ -1,0 +1,170 @@
+package main
+
+// Session routes for "gea serve": create a named session scoped to a
+// tenant, run read-only algebra operators by name through the
+// generation-keyed result cache, fetch the lineage the runs recorded,
+// and close it. One classifier, writeSessionError, owns the whole
+// error contract so every session handler maps faults identically:
+// 400 for caller errors, 404 unknown vs 410 expired, 409 double
+// create, 429 admission timeout and 503 overload/draining (both with
+// Retry-After), 500 otherwise.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gea"
+)
+
+// tenantOf extracts the request's tenant: the X-Tenant header wins,
+// then ?tenant=; empty means the anonymous tenant, which is never
+// shaped or tracked.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return r.URL.Query().Get("tenant")
+}
+
+// writeSessionError classifies a session-layer failure onto the wire.
+// Central by design: the conformance suite pins each mapping once and
+// every handler inherits it.
+func writeSessionError(w http.ResponseWriter, r *http.Request, err error) {
+	var busy *gea.ErrBusy
+	var overload *gea.ErrOverload
+	var param *gea.SessionParamError
+	var exists *gea.ErrSessionExists
+	switch {
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", retryAfterSeconds(busy.RetryAfter))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", retryAfterSeconds(overload.RetryAfter))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, gea.ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &param):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, gea.ErrSessionUnknown):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, gea.ErrSessionExpired):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.As(err, &exists):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case gea.IsCancellation(err):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// createSessionBody is the optional JSON body of POST /session.
+type createSessionBody struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+}
+
+// handleSessionCreate registers a session (POST /session). The ID may
+// come from the JSON body or be generated; the tenant from the body,
+// the X-Tenant header, or ?tenant=.
+func (gw *gateway) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if gw.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	var body createSessionBody
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, fmt.Sprintf("bad session body: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	tenant := body.Tenant
+	if tenant == "" {
+		tenant = tenantOf(r)
+	}
+	info, err := gw.sessions.Create(body.ID, tenant)
+	if err != nil {
+		writeSessionError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleSessionGet reports a session's snapshot (GET /session/{id}),
+// touching its idle timer.
+func (gw *gateway) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	info, err := gw.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		writeSessionError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleSessionDelete closes a session (DELETE /session/{id}),
+// cascading its lineage subtree.
+func (gw *gateway) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := gw.sessions.Close(r.PathValue("id")); err != nil {
+		writeSessionError(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSessionRun executes one operator (POST /session/{id}/run). A
+// budget-stopped run is a 200 with the partial flagged — degraded mode
+// working as designed, mirroring /mine.
+func (gw *gateway) handleSessionRun(w http.ResponseWriter, r *http.Request) {
+	if gw.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	id := r.PathValue("id")
+	var req gea.SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad run body: %v", err), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if gw.opts.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, gw.opts.requestTimeout)
+		defer cancel()
+	}
+	ctx = gea.WithObsCollector(ctx, gw.trace)
+
+	resp, err := gw.sessions.Run(ctx, id, req)
+	if err != nil {
+		if gea.IsBudget(err) {
+			// The shaped work budget ran out before the operator could
+			// return even a flagged partial: still the caller's 200, with
+			// nothing cached (partials never are).
+			writeJSON(w, http.StatusOK, gea.SessionResponse{
+				Session: id, Op: req.Op, Partial: true, Source: "computed",
+			})
+			return
+		}
+		writeSessionError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionLineage lists the session's recorded runs
+// (GET /session/{id}/lineage).
+func (gw *gateway) handleSessionLineage(w http.ResponseWriter, r *http.Request) {
+	nodes, err := gw.sessions.Lineage(r.PathValue("id"))
+	if err != nil {
+		writeSessionError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, nodes)
+}

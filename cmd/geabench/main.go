@@ -25,6 +25,11 @@
 //	geabench -serve URL               load-test a running "gea serve" server
 //	                                  (-clients N x -requests M /mine calls,
 //	                                  retrying 429/503 per Retry-After)
+//	geabench -serve URL -tenants 4    multi-tenant session load instead:
+//	                                  N tenant sessions drive shared and
+//	                                  tenant-distinct operator runs through
+//	                                  /session, recording the cold-vs-cached
+//	                                  serve.mine/serve.aggregate BENCH cells
 //	geabench -ingest URL              stream a generated corpus into a
 //	                                  running "gea serve -ingest" server as
 //	                                  -batches POST /ingest appends
@@ -121,6 +126,7 @@ func main() {
 	serveURL := flag.String("serve", "", "load-test a running gea serve instance at this base URL instead of running experiments")
 	clients := flag.Int("clients", 4, "concurrent clients for -serve")
 	requests := flag.Int("requests", 10, "requests per client for -serve")
+	tenants := flag.Int("tenants", 0, "with -serve: drive N tenant sessions through /session instead of raw /mine, recording the cold-vs-cached cache cells (0 = plain /mine load)")
 	ingestURL := flag.String("ingest", "", "stream a generated corpus into a running gea serve -ingest instance at this base URL instead of running experiments")
 	ingestBatches := flag.Int("batches", 4, "append batches for -ingest")
 	ingestPrefix := flag.String("prefix", "ing", "library-name prefix for -ingest, keeping repeated soaks collision-free")
@@ -157,7 +163,11 @@ func main() {
 		// under test holds the data.
 		e := &env{full: *full, seed: *seed, jsonOut: *jsonOut, jsonPath: *jsonPath,
 			benchNum: *benchNum}
-		if err := runServeLoad(e, strings.TrimRight(*serveURL, "/"), *clients, *requests); err != nil {
+		load := func() error { return runServeLoad(e, strings.TrimRight(*serveURL, "/"), *clients, *requests) }
+		if *tenants > 0 {
+			load = func() error { return runTenantLoad(e, strings.TrimRight(*serveURL, "/"), *tenants, *requests) }
+		}
+		if err := load(); err != nil {
 			fmt.Fprintln(os.Stderr, "geabench -serve:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the multi-tenant session load generator behind
+// "geabench -serve URL -tenants N": the BENCH series for the
+// generation-keyed result cache measured across the HTTP boundary. It
+// first measures the cold-vs-cached contrast on one fresh session (the
+// serve.mine/serve.aggregate .cold/.cached cells), then drives N tenant
+// sessions concurrently with a mix of shared and tenant-distinct
+// requests — shared keys exercise cross-tenant cache hits and
+// single-flight, distinct keys keep the cache honest — retrying 429/503
+// answers per Retry-After exactly like the plain -serve loader.
+
+// cachedReps is how many identical runs the cached cells take their
+// best-of wall from; the first run of each pair is the cold cell.
+const cachedReps = 3
+
+// sessionRunReply is the subset of the server's /session/<id>/run body
+// the load generator reads.
+type sessionRunReply struct {
+	Session    string `json:"session"`
+	Op         string `json:"op"`
+	Generation uint64 `json:"generation"`
+	Units      int64  `json:"units"`
+	Partial    bool   `json:"partial"`
+	Source     string `json:"source"`
+	Cached     bool   `json:"cached"`
+	Throttled  bool   `json:"throttled"`
+	WallNS     int64  `json:"wall_ns"`
+}
+
+// sessionCreateReply is the subset of the 201 body the loader reads.
+type sessionCreateReply struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+}
+
+// tenantLoadStats tallies outcomes across all tenant clients.
+type tenantLoadStats struct {
+	mu        sync.Mutex
+	computed  int64
+	hits      int64
+	shared    int64
+	partials  int64
+	throttled int64
+	retries   int64
+	gaveUp    int64
+	failures  int64
+	units     int64
+}
+
+// runTenantLoad drives the session workload and records the cache BENCH
+// cells. Like the plain loader it fails only when the server is
+// unreachable or no request completed.
+func runTenantLoad(e *env, baseURL string, tenants, requests int) error {
+	client := &http.Client{Timeout: 120 * time.Second}
+	health, err := fetchHealthz(client, baseURL)
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+	fmt.Printf("server at %s: status %q, state %q\n", baseURL, health.Status, health.State)
+
+	// Phase 1: cold-vs-cached cells on one fresh session. Server-generated
+	// IDs keep repeated soaks against one server collision-free.
+	coldID, err := createSession(client, baseURL, "bench-cold")
+	if err != nil {
+		return fmt.Errorf("creating measurement session: %w", err)
+	}
+	// The timed cells use the server-reported dispatch wall (wall_ns):
+	// response encoding and transfer cost the same on both paths, so
+	// folding them in would only blur the compute-vs-lookup contrast the
+	// cells exist to show. The client-observed walls are printed too.
+	for _, probe := range []struct{ op, body string }{
+		{"mine", `{"op":"mine","params":{"tissue":"brain"}}`},
+		{"aggregate", `{"op":"aggregate","params":{"tissue":"brain","median":"true"}}`},
+	} {
+		coldClient, coldReply, err := timedRun(client, baseURL, coldID, probe.body)
+		if err != nil {
+			return fmt.Errorf("cold %s: %w", probe.op, err)
+		}
+		if coldReply.Source != "computed" {
+			// A warm server (repeated soak) already holds the key; the
+			// "cold" wall is then a hit wall and the contrast collapses.
+			fmt.Printf("  note: cold %s answered from %s — server cache already warm\n",
+				probe.op, coldReply.Source)
+		}
+		coldWall := serverWall(coldReply, coldClient)
+		bestCached := time.Duration(0)
+		bestClient := time.Duration(0)
+		var cachedReply sessionRunReply
+		for r := 0; r < cachedReps; r++ {
+			clientWall, reply, err := timedRun(client, baseURL, coldID, probe.body)
+			if err != nil {
+				return fmt.Errorf("cached %s: %w", probe.op, err)
+			}
+			if wall := serverWall(reply, clientWall); bestCached == 0 || wall < bestCached {
+				bestCached, bestClient, cachedReply = wall, clientWall, reply
+			}
+		}
+		speedup := float64(coldWall) / float64(bestCached)
+		fmt.Printf("  serve.%s: cold %v (%s) vs cached %v (%s) — %.1fx (client walls %v / %v)\n",
+			probe.op, coldWall.Round(time.Microsecond), coldReply.Source,
+			bestCached.Round(time.Microsecond), cachedReply.Source, speedup,
+			coldClient.Round(time.Microsecond), bestClient.Round(time.Microsecond))
+		e.bench = append(e.bench,
+			benchRecord{
+				Op: "serve." + probe.op + ".cold", Workers: 1,
+				WallNS: coldWall.Nanoseconds(), Wall: coldWall.Round(time.Microsecond).String(),
+				Units: coldReply.Units, Reps: 1,
+			},
+			benchRecord{
+				Op: "serve." + probe.op + ".cached", Workers: 1,
+				WallNS: bestCached.Nanoseconds(), Wall: bestCached.Round(time.Microsecond).String(),
+				Units: cachedReply.Units, Reps: cachedReps,
+			})
+	}
+
+	// Phase 2: N tenants in parallel, mixing one shared key (cross-tenant
+	// hits and single-flight) with one tenant-distinct key (cache
+	// honesty: distinct params must never share an entry).
+	fmt.Printf("driving %d tenants x %d session runs\n", tenants, requests)
+	ids := make([]string, tenants)
+	for t := 0; t < tenants; t++ {
+		id, err := createSession(client, baseURL, fmt.Sprintf("t%d", t))
+		if err != nil {
+			return fmt.Errorf("creating tenant session %d: %w", t, err)
+		}
+		ids[t] = id
+	}
+	st := &tenantLoadStats{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			shared := `{"op":"aggregate","params":{"tissue":"brain"}}`
+			distinct := fmt.Sprintf(`{"op":"select","params":{"tissue":"brain","minmean":"%d"}}`, 2+t)
+			for r := 0; r < requests; r++ {
+				body := shared
+				if r%2 == 1 {
+					body = distinct
+				}
+				st.request(client, baseURL, ids[t], body)
+			}
+		}(t)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	st.mu.Lock()
+	completed := st.computed + st.hits + st.shared
+	total := int64(tenants * requests)
+	fmt.Printf("completed %d/%d runs in %v (%.1f req/s)\n",
+		completed, total, wall.Round(time.Millisecond),
+		float64(completed)/wall.Seconds())
+	fmt.Printf("  computed        %d\n", st.computed)
+	fmt.Printf("  cache hits      %d\n", st.hits)
+	fmt.Printf("  single-flight   %d (joined an in-flight compute)\n", st.shared)
+	fmt.Printf("  partials        %d (budget-shrunk, never cached)\n", st.partials)
+	fmt.Printf("  throttled       %d (tenant envelope shaping)\n", st.throttled)
+	fmt.Printf("  retries         %d (after 429/503 with Retry-After)\n", st.retries)
+	fmt.Printf("  gave up         %d\n", st.gaveUp)
+	fmt.Printf("  failures        %d\n", st.failures)
+	st.mu.Unlock()
+
+	e.bench = append(e.bench, benchRecord{
+		Op: "serve.session", Workers: tenants, WallNS: wall.Nanoseconds(),
+		Wall: wall.Round(time.Microsecond).String(), Units: st.units, Reps: int(completed),
+	})
+
+	// Drain: close every session (the cold one too) so a soak leaves the
+	// server's table empty for the next round.
+	for _, id := range append(ids, coldID) {
+		req, _ := http.NewRequest(http.MethodDelete, baseURL+"/session/"+id, nil)
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	if after, err := fetchHealthz(client, baseURL); err == nil {
+		fmt.Printf("server state after load: %q\n", after.State)
+	}
+	if completed == 0 {
+		return fmt.Errorf("no session run completed: %d gave up, %d failures", st.gaveUp, st.failures)
+	}
+	return nil
+}
+
+// createSession POSTs /session with a tenant name and a server-chosen
+// ID, retrying overload answers (a full table advertises Retry-After).
+func createSession(client *http.Client, baseURL string, tenant string) (string, error) {
+	body := fmt.Sprintf(`{"tenant":%q}`, tenant)
+	backoff := 50 * time.Millisecond
+	for attempt := 1; attempt <= serveLoadAttempts; attempt++ {
+		resp, err := client.Post(baseURL+"/session", "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		replyBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			var reply sessionCreateReply
+			if err := json.Unmarshal(replyBody, &reply); err != nil {
+				return "", fmt.Errorf("parsing /session reply: %w", err)
+			}
+			return reply.ID, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			time.Sleep(retryDelay(resp, backoff))
+			backoff *= 2
+		default:
+			return "", fmt.Errorf("/session: status %d: %s", resp.StatusCode, replyBody)
+		}
+	}
+	return "", fmt.Errorf("retry budget of %d exhausted creating a session", serveLoadAttempts)
+}
+
+// serverWall prefers the server-reported dispatch wall, falling back to
+// the client-observed one against servers that predate the field.
+func serverWall(reply sessionRunReply, clientWall time.Duration) time.Duration {
+	if reply.WallNS > 0 {
+		return time.Duration(reply.WallNS)
+	}
+	return clientWall
+}
+
+// timedRun issues one session run and reports its client-observed wall.
+func timedRun(client *http.Client, baseURL string, id, body string) (time.Duration, sessionRunReply, error) {
+	start := time.Now()
+	reply, code, err := postSessionRun(client, baseURL, id, body)
+	wall := time.Since(start)
+	if err != nil {
+		return 0, reply.sessionRunReply, err
+	}
+	if code != http.StatusOK {
+		return 0, reply.sessionRunReply, fmt.Errorf("status %d", code)
+	}
+	return wall, reply.sessionRunReply, nil
+}
+
+// request issues one logical session run for the concurrent phase,
+// folding the outcome into the tally.
+func (st *tenantLoadStats) request(client *http.Client, baseURL string, id, body string) {
+	reply, code, err := postSessionRun(client, baseURL, id, body)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.retries += int64(reply.retriesTaken)
+	switch {
+	case err != nil && reply.retriesTaken >= serveLoadAttempts:
+		st.gaveUp++
+	case err != nil || code != http.StatusOK:
+		st.failures++
+	default:
+		st.units += reply.Units
+		switch reply.Source {
+		case "hit":
+			st.hits++
+		case "shared":
+			st.shared++
+		default:
+			st.computed++
+		}
+		if reply.Partial {
+			st.partials++
+		}
+		if reply.Throttled {
+			st.throttled++
+		}
+	}
+}
+
+// runReply wraps the wire reply with the retry count the POST consumed.
+type runReply struct {
+	sessionRunReply
+	retriesTaken int
+}
+
+// postSessionRun POSTs one run, honoring Retry-After on 429/503 with the
+// same capped backoff as the other loaders.
+func postSessionRun(client *http.Client, baseURL string, id, body string) (runReply, int, error) {
+	var out runReply
+	backoff := 50 * time.Millisecond
+	for attempt := 1; attempt <= serveLoadAttempts; attempt++ {
+		resp, err := client.Post(baseURL+"/session/"+id+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			return out, 0, err
+		}
+		replyBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if err := json.Unmarshal(replyBody, &out.sessionRunReply); err != nil {
+				return out, resp.StatusCode, fmt.Errorf("parsing run reply: %w", err)
+			}
+			return out, resp.StatusCode, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			out.retriesTaken++
+			time.Sleep(retryDelay(resp, backoff))
+			backoff *= 2
+		default:
+			return out, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, replyBody)
+		}
+	}
+	return out, 0, fmt.Errorf("retry budget of %d exhausted", serveLoadAttempts)
+}
+
+// retryDelay reads the server's Retry-After advice, capped so a short
+// soak cannot stall on one pessimistic estimate.
+func retryDelay(resp *http.Response, backoff time.Duration) time.Duration {
+	d := backoff
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}

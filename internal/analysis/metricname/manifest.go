@@ -49,4 +49,26 @@ var Manifest = []string{
 	"ingest.retries",
 	"ingest.apply_s",
 	"ingest.commit_s",
+
+	// generation-keyed result cache (internal/rescache/cache.go)
+	"cache.hits",
+	"cache.misses",
+	"cache.singleflight_shared",
+	"cache.evicted",
+	"cache.swept",
+	"cache.uncacheable_partial",
+	"cache.entries",
+	"cache.bytes",
+
+	// per-tenant admission governor (internal/admission/tenant.go)
+	"tenant.charged_units",
+	"tenant.throttled",
+	"tenant.known",
+
+	// session manager (internal/session/session.go)
+	"session.created",
+	"session.expired",
+	"session.closed",
+	"session.runs",
+	"session.active",
 }

@@ -30,7 +30,13 @@
 //     testing ErrBusy, ErrOverload and ErrShuttingDown, or without
 //     classifying at least one caller-fault type (SchemaError /
 //     ParamError) as a 4xx — an unclassified caller fault poisons the
-//     5xx error rate and gets retried forever.
+//     5xx error rate and gets retried forever;
+//   - a classification switch that tests any of the session-family
+//     errors (ErrSessionUnknown, ErrSessionExpired, ErrSessionExists)
+//     without testing all three with the right helper: a session
+//     handler that answers 404 for an expired ID (or vice versa) sends
+//     clients into recreate loops. Handlers that never touch the
+//     session family are exempt — /mine and /ingest stay as they are.
 //
 // Matching is by type/sentinel name, because the serve layer sees these
 // types through the public gea facade's aliases.
@@ -63,6 +69,20 @@ var required = []struct {
 	{[]string{"ErrOverload"}, "As", "503"},
 	{[]string{"ErrShuttingDown", "ErrShutdown"}, "Is", "503"},
 	{[]string{"SchemaError", "ParamError"}, "As", "400"},
+}
+
+// sessionRequired is the session handlers' extension of the contract,
+// enforced only on switches that already classify some session-family
+// name — touching one of the three means the handler serves /session
+// routes and must distinguish all of them.
+var sessionRequired = []struct {
+	names  []string
+	how    string
+	status string
+}{
+	{[]string{"ErrSessionUnknown"}, "Is", "404"},
+	{[]string{"ErrSessionExpired"}, "Is", "410"},
+	{[]string{"ErrSessionExists"}, "As", "409"},
 }
 
 func run(pass *analysis.Pass) error {
@@ -296,7 +316,27 @@ func checkClassification(pass *analysis.Pass, s *ast.SwitchStmt) {
 	if !sawErrorsCall || !defaultWrites500 {
 		return
 	}
-	for _, req := range required {
+	enforce(pass, s, required, classified)
+	// The session slots are conditional: only a switch already in the
+	// session family must cover the whole family.
+	for _, req := range sessionRequired {
+		for _, name := range req.names {
+			if _, ok := classified[name]; ok {
+				enforce(pass, s, sessionRequired, classified)
+				return
+			}
+		}
+	}
+}
+
+// enforce reports every slot of a required table the switch leaves
+// unclassified (or classified with the wrong errors helper).
+func enforce(pass *analysis.Pass, s *ast.SwitchStmt, table []struct {
+	names  []string
+	how    string
+	status string
+}, classified map[string]string) {
+	for _, req := range table {
 		satisfied := false
 		for _, name := range req.names {
 			if how, ok := classified[name]; ok && how == req.how {

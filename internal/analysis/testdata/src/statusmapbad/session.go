@@ -1,0 +1,81 @@
+// Session-handler corpus for statusmap: switches that enter the
+// session family without covering it.
+package statusmapbad
+
+import (
+	"errors"
+	"net/http"
+)
+
+var ErrSessionUnknown = errors.New("unknown session")
+
+var ErrSessionExpired = errors.New("session expired")
+
+type ErrSessionExists struct{ ID string }
+
+func (e *ErrSessionExists) Error() string { return "session exists: " + e.ID }
+
+type ParamError struct{ Param string }
+
+func (e *ParamError) Error() string { return "bad parameter: " + e.Param }
+
+// SessionHalfCovered tests unknown but not expired or double-create:
+// an expired ID surfaces as a 500 and a recreate loop begins.
+func SessionHalfCovered(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	var busy *ErrBusy
+	var overload *ErrOverload
+	var param *ParamError
+	switch { // want `classifying ErrSessionExpired` `classifying ErrSessionExists`
+	case err == nil:
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &param):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, ErrSessionUnknown):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// SessionWrongHelper tests the exists conflict with errors.Is: the
+// typed pointer never matches a wrapped instance, so every double
+// create falls through to 500.
+func SessionWrongHelper(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	var busy *ErrBusy
+	var overload *ErrOverload
+	var param *ParamError
+	switch { // want `classifying ErrSessionExists via errors.As`
+	case err == nil:
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &param):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, ErrSessionUnknown):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrSessionExpired):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, errSessionExistsSentinel):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var errSessionExistsSentinel = errors.New("session exists")

@@ -1,0 +1,55 @@
+// Session-handler corpus: the extended contract as
+// cmd/gea/serve_session.go writes it. Touching any session-family
+// error obliges the switch to distinguish all three; handlers outside
+// the family (Classified in statusmapgood.go) owe nothing extra.
+package statusmapgood
+
+import (
+	"errors"
+	"net/http"
+)
+
+var ErrSessionUnknown = errors.New("unknown session")
+
+var ErrSessionExpired = errors.New("session expired")
+
+type ErrSessionExists struct{ ID string }
+
+func (e *ErrSessionExists) Error() string { return "session exists: " + e.ID }
+
+type ParamError struct{ Param string }
+
+func (e *ParamError) Error() string { return "bad parameter: " + e.Param }
+
+// SessionClassified is the canonical session error classifier: the
+// base slots plus the full session family, unknown and expired kept
+// distinct so clients never recreate a live session or retry a dead ID.
+func SessionClassified(w http.ResponseWriter, r *http.Request) {
+	err := work()
+	var busy *ErrBusy
+	var overload *ErrOverload
+	var param *ParamError
+	var exists *ErrSessionExists
+	switch {
+	case err == nil:
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &param):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, ErrSessionUnknown):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrSessionExpired):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.As(err, &exists):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,184 @@
+// Package rescache is the generation-keyed result cache behind the
+// serving layer: key = canonicalized (corpus generation, operator,
+// params), value = the immutable result plus the span record of the run
+// that computed it. An ingestion commit that bumps the generation token
+// makes every prior entry unreachable (the generation is part of the
+// key), the cache is LRU-bounded by entry count and approximate bytes,
+// and identical concurrent requests are single-flighted so N callers
+// cost one compute.
+//
+// Two invariants the rest of the system leans on:
+//
+//   - A cached value is the very object the compute returned, so a hit
+//     is reflect.DeepEqual-identical to a fresh computation at the same
+//     generation (results are immutable by the algebra's contract).
+//   - A budget-stopped partial result is returned to its caller (and to
+//     the callers sharing its flight) but is never stored: the next
+//     request with headroom computes the full result.
+package rescache
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Key is a canonicalized (generation, operator, params) cache key. Keys
+// are plain strings so they work as map keys and read well in logs and
+// test failures.
+type Key string
+
+// maxDepth bounds the canonicalization walk so a cyclic params value
+// errors instead of recursing forever.
+const maxDepth = 64
+
+// workersField is the parameter name excluded from canonicalization:
+// the shard substrate guarantees results are bit-identical at any
+// worker count, so a worker setting must not split the key space.
+const workersField = "workers"
+
+// Canonical builds the cache key for one operator invocation. The
+// encoding is deterministic and injective over the supported kinds:
+// map entries are sorted by encoded key, struct fields by name, strings
+// are length-prefixed, floats are encoded by their exact bit pattern.
+// Struct fields and map keys named "Workers" (any case) are excluded —
+// worker count never changes a result. Funcs, channels and other
+// non-data kinds return an error, which callers treat as "uncacheable".
+func Canonical(gen uint64, op string, params any) (Key, error) {
+	var b strings.Builder
+	b.WriteString("g")
+	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteString("|")
+	b.WriteString(op)
+	b.WriteString("|")
+	if err := encode(&b, reflect.ValueOf(params), maxDepth); err != nil {
+		return "", fmt.Errorf("rescache: canonicalizing %s params: %w", op, err)
+	}
+	return Key(b.String()), nil
+}
+
+// encode writes one value's canonical form. Every emitted form carries
+// a kind tag so values of different kinds can never collide (e.g. the
+// string "1" encodes as `s1:1`, the int 1 as `i1`).
+func encode(b *strings.Builder, v reflect.Value, depth int) error {
+	if depth <= 0 {
+		return fmt.Errorf("value nests deeper than %d levels (cycle?)", maxDepth)
+	}
+	if !v.IsValid() {
+		b.WriteString("_")
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString("i")
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		b.WriteString("u")
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		// The exact bit pattern: two floats produce the same encoding
+		// iff they are the same value (NaNs collapse per their bits).
+		b.WriteString("f")
+		b.WriteString(strconv.FormatUint(math.Float64bits(v.Float()), 16))
+	case reflect.String:
+		s := v.String()
+		b.WriteString("s")
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteString(":")
+		b.WriteString(s)
+	case reflect.Slice, reflect.Array:
+		b.WriteString("l[")
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if err := encode(b, v.Index(i), depth-1); err != nil {
+				return err
+			}
+		}
+		b.WriteString("]")
+	case reflect.Map:
+		ents, err := mapEntries(v, depth)
+		if err != nil {
+			return err
+		}
+		b.WriteString("m{")
+		for i, e := range ents {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(e.k)
+			b.WriteString("=")
+			b.WriteString(e.v)
+		}
+		b.WriteString("}")
+	case reflect.Struct:
+		t := v.Type()
+		fields := make([]int, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" || strings.EqualFold(f.Name, workersField) {
+				continue
+			}
+			fields = append(fields, i)
+		}
+		sort.Slice(fields, func(a, c int) bool { return t.Field(fields[a]).Name < t.Field(fields[c]).Name })
+		b.WriteString("t")
+		b.WriteString(t.String())
+		b.WriteString("{")
+		for i, fi := range fields {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(t.Field(fi).Name)
+			b.WriteString("=")
+			if err := encode(b, v.Field(fi), depth-1); err != nil {
+				return err
+			}
+		}
+		b.WriteString("}")
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("_")
+			return nil
+		}
+		return encode(b, v.Elem(), depth-1)
+	default:
+		return fmt.Errorf("kind %v is not canonicalizable", v.Kind())
+	}
+	return nil
+}
+
+// mapEntries encodes a map's entries and sorts them by encoded key, so
+// iteration order — randomized by the runtime — never reaches the key.
+// Map keys named "Workers" (any case) are excluded like struct fields.
+type mapEntry struct{ k, v string }
+
+func mapEntries(v reflect.Value, depth int) ([]mapEntry, error) {
+	ents := make([]mapEntry, 0, v.Len())
+	iter := v.MapRange()
+	for iter.Next() {
+		if k := iter.Key(); k.Kind() == reflect.String && strings.EqualFold(k.String(), workersField) {
+			continue
+		}
+		var kb, vb strings.Builder
+		if err := encode(&kb, iter.Key(), depth-1); err != nil {
+			return nil, err
+		}
+		if err := encode(&vb, iter.Value(), depth-1); err != nil {
+			return nil, err
+		}
+		ents = append(ents, mapEntry{kb.String(), vb.String()})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].k < ents[j].k })
+	return ents, nil
+}

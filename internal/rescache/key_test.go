@@ -1,0 +1,251 @@
+package rescache
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The cache key is load-bearing: a collision serves one query's result
+// for another, an instability (same logical params, different key)
+// silently kills the hit rate. These are property tests over the
+// canonicalization, not example tests: each property is checked across
+// randomized inputs.
+
+// TestCanonicalParamOrderInsensitive pins map-order insensitivity: the
+// runtime randomizes map iteration, so the same logical params must
+// canonicalize identically across many constructions.
+func TestCanonicalParamOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(8)
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("p%02d", i)
+		}
+		build := func() map[string]string {
+			m := map[string]string{}
+			for i, k := range keys {
+				m[k] = fmt.Sprintf("v%d", i)
+			}
+			return m
+		}
+		want, err := Canonical(1, "op", build())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for rep := 0; rep < 5; rep++ {
+			got, err := Canonical(1, "op", build())
+			if err != nil {
+				t.Fatalf("round %d rep %d: %v", round, rep, err)
+			}
+			if got != want {
+				t.Fatalf("round %d: same params canonicalized differently:\n  %s\n  %s", round, want, got)
+			}
+		}
+	}
+}
+
+// TestCanonicalWorkersExcluded pins the worker-count exclusion: results
+// are bit-identical at any worker setting, so Workers — as a struct
+// field or a map key, any case — must not split the key space.
+func TestCanonicalWorkersExcluded(t *testing.T) {
+	type req struct {
+		Tissue  string
+		K       int
+		Workers int
+	}
+	a, err := Canonical(3, "mine", req{Tissue: "brain", K: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical(3, "mine", req{Tissue: "brain", K: 10, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("struct Workers field changed the key:\n  %s\n  %s", a, b)
+	}
+	c, err := Canonical(3, "mine", map[string]string{"tissue": "brain", "workers": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Canonical(3, "mine", map[string]string{"tissue": "brain", "Workers": "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != d {
+		t.Errorf("map workers key changed the key:\n  %s\n  %s", c, d)
+	}
+	// But a field that is not Workers must count.
+	e, err := Canonical(3, "mine", req{Tissue: "brain", K: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == e {
+		t.Errorf("K change did not change the key: %s", a)
+	}
+}
+
+// TestCanonicalGenerationMonotonicity pins the generation axis: the
+// same (op, params) at different generations must always produce
+// distinct keys — that is the entire invalidation mechanism — and the
+// same generation must reproduce the same key.
+func TestCanonicalGenerationMonotonicity(t *testing.T) {
+	params := map[string]string{"tissue": "brain"}
+	seen := map[Key]uint64{}
+	for gen := uint64(1); gen <= 64; gen++ {
+		k, err := Canonical(gen, "aggregate", params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("generations %d and %d collided on key %s", prev, gen, k)
+		}
+		seen[k] = gen
+		again, err := Canonical(gen, "aggregate", params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != k {
+			t.Fatalf("generation %d key not stable: %s vs %s", gen, k, again)
+		}
+	}
+}
+
+// TestCanonicalTypeTagging pins kind-tag injectivity on the edges where
+// naive string concatenation would collide.
+func TestCanonicalTypeTagging(t *testing.T) {
+	pairs := [][2]any{
+		{"1", 1},
+		{[]string{"ab"}, []string{"a", "b"}},
+		{map[string]string{"a": "b=c"}, map[string]string{"a=b": "c"}},
+		{[]any{"x", ""}, []any{"", "x"}},
+		{1, uint(1)},
+		{true, "true"},
+	}
+	for i, p := range pairs {
+		a, err := Canonical(1, "op", p[0])
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		b, err := Canonical(1, "op", p[1])
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if a == b {
+			t.Errorf("pair %d collided: %#v vs %#v -> %s", i, p[0], p[1], a)
+		}
+	}
+}
+
+// TestCanonicalRejectsNonData pins the uncacheable kinds: a params
+// value smuggling a func or channel must error, not silently encode.
+func TestCanonicalRejectsNonData(t *testing.T) {
+	if _, err := Canonical(1, "op", func() {}); err == nil {
+		t.Error("func canonicalized without error")
+	}
+	if _, err := Canonical(1, "op", map[string]any{"ch": make(chan int)}); err == nil {
+		t.Error("channel canonicalized without error")
+	}
+	type cyclic struct{ Self *cyclic }
+	c := &cyclic{}
+	c.Self = c
+	if _, err := Canonical(1, "op", c); err == nil {
+		t.Error("cyclic value canonicalized without error")
+	}
+}
+
+// randomParams builds a random params struct-and-map tree for the
+// no-collision fuzz. The generator returns both the value and a
+// fingerprint string that uniquely identifies the logical content, so
+// distinct fingerprints must yield distinct keys.
+func randomParams(rng *rand.Rand, depth int) (any, string) {
+	kind := rng.Intn(6)
+	if depth <= 0 {
+		kind = rng.Intn(3)
+	}
+	switch kind {
+	case 0:
+		v := rng.Intn(1000)
+		return v, fmt.Sprintf("i%d", v)
+	case 1:
+		v := fmt.Sprintf("s%d", rng.Intn(1000))
+		return v, "s:" + v
+	case 2:
+		v := float64(rng.Intn(100)) / 4
+		return v, fmt.Sprintf("f%g", v)
+	case 3:
+		n := rng.Intn(4)
+		vals := make([]any, n)
+		fps := make([]string, n)
+		for i := range vals {
+			vals[i], fps[i] = randomParams(rng, depth-1)
+		}
+		return vals, "l[" + strings.Join(fps, ",") + "]"
+	case 4:
+		n := rng.Intn(4)
+		m := map[string]any{}
+		fps := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%d", i)
+			var fp string
+			m[k], fp = randomParams(rng, depth-1)
+			fps = append(fps, k+"="+fp)
+		}
+		return m, "m{" + strings.Join(fps, ";") + "}"
+	default:
+		type leafStruct struct {
+			A int
+			B string
+		}
+		v := leafStruct{A: rng.Intn(100), B: fmt.Sprintf("b%d", rng.Intn(100))}
+		return v, fmt.Sprintf("st{%d,%s}", v.A, v.B)
+	}
+}
+
+// TestCanonicalNoCollisionFuzz generates thousands of randomized param
+// structures and checks that two of them share a key only when their
+// logical fingerprints agree.
+func TestCanonicalNoCollisionFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	byKey := map[Key]string{}
+	for i := 0; i < 5000; i++ {
+		params, fp := randomParams(rng, 3)
+		k, err := Canonical(1, "op", params)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if prev, ok := byKey[k]; ok && prev != fp {
+			t.Fatalf("collision: %q and %q both canonicalize to %s", prev, fp, k)
+		}
+		byKey[k] = fp
+	}
+}
+
+// FuzzCanonicalStability is the fuzz-native form: for seed-derived
+// params the canonicalization must be deterministic and must respect
+// the generation axis.
+func FuzzCanonicalStability(f *testing.F) {
+	f.Add(int64(1), uint64(1))
+	f.Add(int64(42), uint64(9))
+	f.Fuzz(func(t *testing.T, seed int64, gen uint64) {
+		params, _ := randomParams(rand.New(rand.NewSource(seed)), 3)
+		a, err := Canonical(gen, "op", params)
+		if err != nil {
+			t.Skip() // non-data kinds are not generated, but stay safe
+		}
+		b, err := Canonical(gen, "op", params)
+		if err != nil || a != b {
+			t.Fatalf("unstable canonicalization: %s vs %s (err=%v)", a, b, err)
+		}
+		c, err := Canonical(gen+1, "op", params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == c {
+			t.Fatalf("generation bump did not change the key: %s", a)
+		}
+	})
+}

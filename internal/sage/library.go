@@ -136,10 +136,13 @@ func (l *Library) Add(tag TagID, n float64) {
 func (l *Library) Count(tag TagID) float64 { return l.Counts[tag] }
 
 // Total returns the sum of all count values (the "total number of tags").
+// The sum runs in ascending tag order so the float result is bit-identical
+// across processes — map-order accumulation differs in the last ulp from
+// build to build, which breaks cross-process DeepEqual of derived results.
 func (l *Library) Total() float64 {
 	var sum float64
-	for _, c := range l.Counts {
-		sum += c
+	for _, t := range l.Tags() {
+		sum += l.Counts[t]
 	}
 	return sum
 }

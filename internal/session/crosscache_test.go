@@ -1,0 +1,197 @@
+package session
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"gea/internal/obs"
+	"gea/internal/rescache"
+	"gea/internal/sagegen"
+	"gea/internal/system"
+)
+
+// crossCachePair builds two managers over identical corpora (same
+// deterministic generator seed): one serving through the result cache,
+// one always computing cold. Comparing their results pins the
+// tentpole's core invariant — a cached result is reflect.DeepEqual-
+// identical to a fresh computation of the same request.
+func crossCachePair(t *testing.T) (cached, cold *Manager, reg *obs.Registry) {
+	t.Helper()
+	build := func(opts system.Options) *system.System {
+		res, err := sagegen.Generate(sagegen.SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := system.New(res.Corpus, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	reg = obs.NewRegistry()
+	cachedSys := build(system.Options{User: "crosscache", ResultCache: &rescache.Options{Metrics: reg}})
+	coldSys := build(system.Options{User: "crosscache"})
+	cached = NewManager(cachedSys, Options{})
+	cold = NewManager(coldSys, Options{})
+	if _, err := cached.Create("cc", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Create("cc", ""); err != nil {
+		t.Fatal(err)
+	}
+	return cached, cold, reg
+}
+
+// crossCacheOps is every operator family a session can run, with params
+// that exercise it on the small corpus.
+var crossCacheOps = []struct {
+	name   string
+	params map[string]string
+}{
+	{"mine", map[string]string{"tissue": "brain", "minsize": "2"}},
+	{"aggregate", map[string]string{"tissue": "brain", "median": "true"}},
+	{"diff", map[string]string{"a": "brain", "b": "breast"}},
+	{"populate", map[string]string{"tissue": "kidney"}},
+	{"select", map[string]string{"tissue": "breast", "minmean": "5"}},
+	{"rangesearch", map[string]string{"a": "brain", "b": "breast", "lo": "0", "hi": "50"}},
+	{"topgap", map[string]string{"a": "brain", "b": "kidney", "x": "5"}},
+}
+
+// TestCrossCacheDeepEqual is the acceptance suite: for every operator
+// family, at worker counts 1 and 4, the cold computation, the cache-
+// filling computation and the cache hit are all DeepEqual-identical,
+// and the hit reports the producing run's units.
+func TestCrossCacheDeepEqual(t *testing.T) {
+	cached, cold, _ := crossCachePair(t)
+	ctx := context.Background()
+	for _, op := range crossCacheOps {
+		for _, workers := range []int{1, 4} {
+			t.Run(op.name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				req := Request{Op: op.name, Params: op.params, Workers: workers}
+				coldResp, err := cold.Run(ctx, "cc", req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if coldResp.Cached || coldResp.Source != "computed" {
+					t.Fatalf("cache-less manager served source=%q", coldResp.Source)
+				}
+				warm, err := cached.Run(ctx, "cc", req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hit, err := cached.Run(ctx, "cc", req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The first warm run at workers=1 computes; at workers=4 the
+				// workers=1 pass already filled the key (workers are excluded
+				// from the key by design), so both warm and hit must be hits.
+				if hit.Source != "hit" || !hit.Cached {
+					t.Fatalf("repeat run source = %q, want hit", hit.Source)
+				}
+				if !reflect.DeepEqual(warm.Result, hit.Result) {
+					t.Errorf("%s: cache hit diverges from the computation that filled it", op.name)
+				}
+				if !reflect.DeepEqual(coldResp.Result, hit.Result) {
+					t.Errorf("%s workers=%d: cached result diverges from a cold computation", op.name, workers)
+				}
+				if hit.Units != warm.Units {
+					t.Errorf("%s: hit units %d != producing units %d", op.name, hit.Units, warm.Units)
+				}
+				if hit.Generation != warm.Generation {
+					t.Errorf("%s: hit generation %d != producing generation %d", op.name, hit.Generation, warm.Generation)
+				}
+				if hit.Partial || warm.Partial || coldResp.Partial {
+					t.Errorf("%s: unbudgeted run flagged partial", op.name)
+				}
+			})
+		}
+	}
+}
+
+// TestCrossCacheWorkersExcludedFromKey pins the key contract end to
+// end: the same request at a different worker count is the same cache
+// entry (workers shape execution, never results).
+func TestCrossCacheWorkersExcludedFromKey(t *testing.T) {
+	cached, _, reg := crossCachePair(t)
+	ctx := context.Background()
+	req := func(w int) Request {
+		return Request{Op: "aggregate", Params: map[string]string{"tissue": "brain"}, Workers: w}
+	}
+	first, err := cached.Run(ctx, "cc", req(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cached.Run(ctx, "cc", req(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != "computed" || second.Source != "hit" {
+		t.Fatalf("sources = %q, %q; want computed then hit across worker counts", first.Source, second.Source)
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Error("workers=4 hit diverges from workers=1 fill")
+	}
+	if got := counterOf(reg.Snapshot(), "cache.misses"); got != 1 {
+		t.Errorf("cache.misses = %d, want exactly 1 across both worker counts", got)
+	}
+}
+
+// TestCrossCachePartialNeverCached is the acceptance proof that budget-
+// flagged partials never enter the cache: a budget-starved aggregate
+// returns partial, the next full-budget identical request computes
+// fresh (a hit would have served the truncation), and only then does
+// the key serve hits.
+func TestCrossCachePartialNeverCached(t *testing.T) {
+	cached, _, reg := crossCachePair(t)
+	ctx := context.Background()
+	params := map[string]string{"tissue": "brain"}
+
+	starved, err := cached.Run(ctx, "cc", Request{Op: "aggregate", Params: params, Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !starved.Partial {
+		t.Fatalf("budget 3 aggregate not partial (units=%d); the starvation lever broke", starved.Units)
+	}
+	if starved.Cached {
+		t.Fatal("partial result reported as cached")
+	}
+
+	full, err := cached.Run(ctx, "cc", Request{Op: "aggregate", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Source != "computed" {
+		t.Fatalf("full-budget run after partial: source=%q — the partial was cached", full.Source)
+	}
+	if full.Partial {
+		t.Fatal("full-budget run flagged partial")
+	}
+
+	hit, err := cached.Run(ctx, "cc", Request{Op: "aggregate", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Source != "hit" {
+		t.Fatalf("third run source=%q, want hit", hit.Source)
+	}
+	if !reflect.DeepEqual(full.Result, hit.Result) {
+		t.Error("hit diverges from the full computation")
+	}
+	if hit.Partial {
+		t.Error("cache served a partial")
+	}
+
+	stats := counterOf(reg.Snapshot(), "cache.uncacheable_partial")
+	if stats < 1 {
+		t.Errorf("cache.uncacheable_partial = %d, want >= 1", stats)
+	}
+	// A different budget is the same key: Budget, like Workers, shapes
+	// execution only. The starved run must not have poisoned the key,
+	// and the hit above proves the full run filled it.
+	if mi := counterOf(reg.Snapshot(), "cache.misses"); mi != 2 {
+		t.Errorf("cache.misses = %d, want 2 (starved + refill)", mi)
+	}
+}

@@ -1,0 +1,339 @@
+// Package session is the HTTP-facing session lifecycle over a
+// system.System: a client creates a named session (scoped to a
+// tenant), runs read-only algebra operators by name through the
+// generation-keyed result cache, fetches the lineage its runs
+// recorded, and is expired after sitting idle. Sessions are a serving
+// construct — they own no corpus data, only identity, accounting and
+// lineage scope — so an expired session costs nothing to abandon.
+//
+// Error contract (what the serve layer maps to statuses):
+//
+//   - ErrSessionUnknown (errors.Is): the ID was never created → 404
+//   - ErrSessionExpired (errors.Is): the ID existed and is gone → 410
+//   - *ErrSessionExists (errors.As): double create → 409
+//   - *ParamError (errors.As): caller-fault request → 400
+//   - *admission.ErrOverload (errors.As): session table full → 503
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gea/internal/admission"
+	"gea/internal/obs"
+	"gea/internal/system"
+)
+
+// Lifecycle defaults.
+const (
+	// DefaultExpiry is the idle lifetime before a session is expired.
+	DefaultExpiry = 15 * time.Minute
+	// DefaultMaxSessions bounds live sessions; creation past it is an
+	// overload, not an error in the request.
+	DefaultMaxSessions = 64
+)
+
+// ErrSessionUnknown reports an ID that was never created. Typed for
+// errors.Is; the serve layer maps it to 404.
+var ErrSessionUnknown = errors.New("session: unknown session")
+
+// ErrSessionExpired reports an ID that existed but was expired or
+// closed. Typed for errors.Is; the serve layer maps it to 410.
+var ErrSessionExpired = errors.New("session: session expired")
+
+// ErrSessionExists reports a create for an ID that is already live.
+// Typed for errors.As; the serve layer maps it to 409.
+type ErrSessionExists struct{ ID string }
+
+func (e *ErrSessionExists) Error() string {
+	return fmt.Sprintf("session: %q already exists", e.ID)
+}
+
+// ParamError reports a caller-fault request parameter. Typed for
+// errors.As; the serve layer maps it to 400.
+type ParamError struct {
+	Param  string
+	Reason string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("session: bad parameter %q: %s", e.Param, e.Reason)
+}
+
+// Options configures a Manager; zero fields select the defaults.
+type Options struct {
+	// Expiry is the idle lifetime; zero means DefaultExpiry.
+	Expiry time.Duration
+	// MaxSessions bounds live sessions; zero means DefaultMaxSessions.
+	MaxSessions int
+	// Metrics optionally records the session.* series.
+	Metrics *obs.Registry
+	// Clock overrides time.Now, for deterministic expiry tests.
+	Clock func() time.Time
+}
+
+// Session is one live session. Fields are written only under the
+// manager's lock; Info snapshots them safely.
+type Session struct {
+	ID        string
+	Tenant    string
+	CreatedAt time.Time
+
+	lastUsed time.Time
+	runs     int
+}
+
+// Info is a Session snapshot, JSON-ready for the serve layer.
+type Info struct {
+	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	LastUsed  time.Time `json:"last_used"`
+	Runs      int       `json:"runs"`
+}
+
+// Manager owns the session table: create, lookup-with-touch, idle
+// expiry with tombstones (so an expired ID answers 410, not 404), and
+// operator dispatch through the System's cached query path.
+type Manager struct {
+	sys    *system.System
+	expiry time.Duration
+	max    int
+	now    func() time.Time
+
+	created, expired, closed, runs *obs.Counter
+	active                         *obs.Gauge
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	// tombstones remembers expired/closed IDs so their reads fail
+	// typed as expired rather than unknown.
+	tombstones map[string]bool
+	seq        int
+}
+
+// NewManager builds a session manager over sys.
+func NewManager(sys *system.System, opts Options) *Manager {
+	if opts.Expiry <= 0 {
+		opts.Expiry = DefaultExpiry
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	r := opts.Metrics
+	return &Manager{
+		sys:        sys,
+		expiry:     opts.Expiry,
+		max:        opts.MaxSessions,
+		now:        opts.Clock,
+		created:    r.Counter("session.created"),
+		expired:    r.Counter("session.expired"),
+		closed:     r.Counter("session.closed"),
+		runs:       r.Counter("session.runs"),
+		active:     r.Gauge("session.active"),
+		sessions:   map[string]*Session{},
+		tombstones: map[string]bool{},
+	}
+}
+
+// lineageRoot is the session's lineage namespace: every run node hangs
+// off it, so closing the session cascades all of them away.
+func lineageRoot(id string) string { return "session/" + id }
+
+// Create registers a session. An empty ID gets a generated one. A live
+// duplicate fails with *ErrSessionExists; a full table fails with
+// *admission.ErrOverload whose RetryAfter estimates when the oldest
+// session will expire. Re-creating an expired ID is allowed — the
+// tombstone is released.
+func (m *Manager) Create(id, tenant string) (Info, error) {
+	m.mu.Lock()
+	now := m.now()
+	m.sweepLocked(now)
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("s%d", m.seq)
+	}
+	if _, ok := m.sessions[id]; ok {
+		m.mu.Unlock()
+		return Info{}, &ErrSessionExists{ID: id}
+	}
+	if len(m.sessions) >= m.max {
+		retry := m.oldestExpiryLocked(now)
+		m.mu.Unlock()
+		return Info{}, &admission.ErrOverload{QueueLen: m.max, RetryAfter: retry}
+	}
+	delete(m.tombstones, id)
+	s := &Session{ID: id, Tenant: tenant, CreatedAt: now, lastUsed: now}
+	m.sessions[id] = s
+	m.created.Add(1)
+	m.active.Set(int64(len(m.sessions)))
+	info := m.infoLocked(s)
+	m.mu.Unlock()
+
+	// The lineage root is best-effort: a collision (e.g. a recreated
+	// expired ID whose cascade already removed the node) just reuses it.
+	_ = m.sys.RecordQueryRun(lineageRoot(id), 0, "session-create",
+		map[string]string{"tenant": tenant}, nil)
+	return info, nil
+}
+
+// Get returns a session's snapshot, touching its idle timer.
+func (m *Manager) Get(id string) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, err := m.lookupLocked(id)
+	if err != nil {
+		return Info{}, err
+	}
+	return m.infoLocked(s), nil
+}
+
+// Close ends a session explicitly. Its ID tombstones like an expiry
+// (subsequent reads answer expired) and its lineage subtree is
+// cascaded away.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	s, err := m.lookupLocked(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	delete(m.sessions, s.ID)
+	m.tombstones[s.ID] = true
+	m.closed.Add(1)
+	m.active.Set(int64(len(m.sessions)))
+	m.mu.Unlock()
+	_, _ = m.sys.DeleteCascade(lineageRoot(id))
+	return nil
+}
+
+// Sweep expires every idle session now; returns how many went.
+// Expiry is otherwise lazy (checked on each lookup and create).
+func (m *Manager) Sweep() int {
+	m.mu.Lock()
+	gone := m.sweepLocked(m.now())
+	m.mu.Unlock()
+	for _, id := range gone {
+		_, _ = m.sys.DeleteCascade(lineageRoot(id))
+	}
+	return len(gone)
+}
+
+// Active reports the live session count.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// List snapshots every live session, for /healthz.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, m.infoLocked(s))
+	}
+	return out
+}
+
+// lookupLocked resolves an ID, expiring it first if its idle timer ran
+// out, and touching it otherwise.
+func (m *Manager) lookupLocked(id string) (*Session, error) {
+	now := m.now()
+	s, ok := m.sessions[id]
+	if !ok {
+		if m.tombstones[id] {
+			return nil, fmt.Errorf("session %q: %w", id, ErrSessionExpired)
+		}
+		return nil, fmt.Errorf("session %q: %w", id, ErrSessionUnknown)
+	}
+	if now.Sub(s.lastUsed) > m.expiry {
+		delete(m.sessions, id)
+		m.tombstones[id] = true
+		m.expired.Add(1)
+		m.active.Set(int64(len(m.sessions)))
+		return nil, fmt.Errorf("session %q: %w", id, ErrSessionExpired)
+	}
+	s.lastUsed = now
+	return s, nil
+}
+
+// sweepLocked expires every over-idle session, returning their IDs so
+// the caller can cascade lineage outside the lock.
+func (m *Manager) sweepLocked(now time.Time) []string {
+	var gone []string
+	for id, s := range m.sessions {
+		if now.Sub(s.lastUsed) > m.expiry {
+			delete(m.sessions, id)
+			m.tombstones[id] = true
+			m.expired.Add(1)
+			gone = append(gone, id)
+		}
+	}
+	if len(gone) > 0 {
+		m.active.Set(int64(len(m.sessions)))
+	}
+	return gone
+}
+
+// oldestExpiryLocked estimates when the next session will free a slot.
+func (m *Manager) oldestExpiryLocked(now time.Time) time.Duration {
+	best := m.expiry
+	for _, s := range m.sessions {
+		if left := s.lastUsed.Add(m.expiry).Sub(now); left < best {
+			best = left
+		}
+	}
+	if best < time.Second {
+		best = time.Second
+	}
+	return best
+}
+
+func (m *Manager) infoLocked(s *Session) Info {
+	return Info{ID: s.ID, Tenant: s.Tenant, CreatedAt: s.CreatedAt,
+		LastUsed: s.lastUsed, Runs: s.runs}
+}
+
+// LineageNode is one recorded run of a session, JSON-ready.
+type LineageNode struct {
+	Name      string            `json:"name"`
+	Operation string            `json:"operation"`
+	Params    map[string]string `json:"params,omitempty"`
+	Runs      int               `json:"runs"`
+}
+
+// Lineage lists the session's recorded run nodes, oldest-first by
+// name. The session's idle timer is touched like any other use.
+func (m *Manager) Lineage(id string) ([]LineageNode, error) {
+	m.mu.Lock()
+	_, err := m.lookupLocked(id)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	children, err := m.sys.Lineage.Children(lineageRoot(id))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LineageNode, 0, len(children))
+	for _, name := range children {
+		node, err := m.sys.Lineage.Get(name)
+		if err != nil {
+			continue // raced with a concurrent close
+		}
+		out = append(out, LineageNode{
+			Name:      node.Name,
+			Operation: node.Operation,
+			Params:    node.Params,
+			Runs:      len(node.Runs),
+		})
+	}
+	return out, nil
+}

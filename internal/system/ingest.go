@@ -170,6 +170,11 @@ func (s *System) ingestAppend(c *exec.Ctl, batch ingest.Batch) (_ *ingest.Report
 	s.view = newView
 	s.generation++
 	gen := s.generation
+	if s.rescache != nil {
+		// Entries keyed below the new generation are unreachable by
+		// construction; sweep them now so memory follows reachability.
+		s.rescache.EvictBelow(gen)
+	}
 	s.Data = newView.Data
 	s.datasets[RootDataset] = newView.Data
 	s.CleanReport = newView.Report

@@ -402,6 +402,7 @@ func LoadSessionFS(fsys atomicio.FS, dir string, catalog *sagegen.Catalog, geneD
 		gaps:       map[string]*core.Gap{},
 		runCount:   m.RunCount,
 		foundPure:  m.FoundPure,
+		bornGen:    map[string]uint64{},
 	}
 	if sys.runCount == nil {
 		sys.runCount = map[string]int{}

@@ -1,0 +1,186 @@
+package system
+
+import (
+	"context"
+
+	"gea/internal/admission"
+	"gea/internal/exec"
+	"gea/internal/lineage"
+	"gea/internal/obs"
+	"gea/internal/rescache"
+	"gea/internal/sage"
+)
+
+// QueryResult is the outcome of a CachedQueryCtx call: the operator
+// value with the accounting that keeps cached and computed responses
+// reconcilable — the generation the result describes, the exec units
+// the producing run charged (reported identically on hits), and where
+// the result came from.
+type QueryResult struct {
+	// Value is the operator result; on a cache hit it is the very
+	// object the original compute returned, so it is
+	// reflect.DeepEqual-identical to a fresh computation at the same
+	// generation.
+	Value any
+	// Generation is the corpus generation the result was computed
+	// against.
+	Generation uint64
+	// Units is the exec work the producing run charged; a hit reports
+	// the original compute's units so span accounting reconciles.
+	Units int64
+	// Partial marks a budget-stopped result; partials are never cached.
+	Partial bool
+	// Source reports computed / hit / shared (single-flight join).
+	Source rescache.Source
+	// State is the admission state that shaped this request's limits.
+	State admission.State
+	// Throttled reports whether the tenant's envelope shaped the
+	// limits down.
+	Throttled bool
+	// Trace is this call's own execution trace: populated when this
+	// call ran the compute, zero for hits and shared joins (their work
+	// is accounted by Units and Record instead).
+	Trace exec.Trace
+	// Record is the producing run's span record when a collector was
+	// installed — served on hits too, for trace reconciliation.
+	Record *obs.Record
+}
+
+// CachedQueryCtx runs one read-only operator over the session's root
+// corpus through the result cache: the request takes an admission
+// slot, its limits are shaped by the queue-wide state and then by the
+// tenant's envelope, the (generation, op, params) key is canonicalized,
+// and identical in-flight requests single-flight onto one compute.
+// compute receives the metered Ctl and an immutable dataset snapshot;
+// it must derive everything from those two (never from the live
+// session registries) and return the value, its approximate byte size
+// and whether it was budget-stopped. Budget-stopped partials are
+// returned but never cached. A canonicalization error (non-data
+// params) is not fatal: the query simply runs uncached.
+func (s *System) CachedQueryCtx(ctx context.Context, tenant, op string, params any, lim exec.Limits, compute func(c *exec.Ctl, data *sage.Dataset) (value any, bytes int64, partial bool, err error)) (QueryResult, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer release()
+
+	lim = s.limits(lim)
+	state := admission.Healthy
+	if s.queue != nil {
+		lim, state = s.queue.Shape(lim)
+	}
+	lim, throttled := s.tenants.Shape(tenant, lim)
+
+	// One atomic snapshot of (data, generation): the key's generation
+	// always matches the corpus the compute reads, even while an append
+	// commits the next generation.
+	s.mu.Lock()
+	data := s.Data
+	gen := s.generation
+	s.mu.Unlock()
+
+	var trace exec.Trace
+	run := func() (rescache.Computed, error) {
+		c := exec.New(ctx, lim)
+		value, bytes, partial, err := compute(c, data)
+		trace = c.Snapshot(partial)
+		if err != nil {
+			return rescache.Computed{}, err
+		}
+		return rescache.Computed{
+			Value:   value,
+			Bytes:   bytes,
+			Units:   trace.Units,
+			Partial: partial,
+			Record:  c.RunRecord(),
+		}, nil
+	}
+
+	var res rescache.Computed
+	src := rescache.SourceComputed
+	if s.rescache != nil {
+		if key, kerr := rescache.Canonical(gen, op, params); kerr == nil {
+			res, src, err = s.rescache.Do(ctx, key, gen, run)
+		} else {
+			res, err = run()
+		}
+	} else {
+		res, err = run()
+	}
+	out := QueryResult{
+		Generation: gen,
+		State:      state,
+		Throttled:  throttled,
+		Source:     src,
+		Trace:      trace,
+	}
+	if err != nil {
+		return out, err
+	}
+	if src == rescache.SourceComputed {
+		// Only the caller that actually burned the units pays for them;
+		// hits and shared joins ride for free by design.
+		s.tenants.Charge(tenant, res.Units)
+	}
+	out.Value = res.Value
+	out.Units = res.Units
+	out.Partial = res.Partial
+	out.Record = res.Record
+	return out, nil
+}
+
+// ShapeLimitsFor is ShapeLimits with the tenant envelope applied on
+// top: the queue-wide policy shapes first, then the tenant's own
+// governor — so a heavy tenant degrades itself before the fleet
+// degrades everyone.
+func (s *System) ShapeLimitsFor(tenant string, lim exec.Limits) (exec.Limits, admission.State, bool) {
+	lim, state := s.ShapeLimits(lim)
+	lim, throttled := s.tenants.Shape(tenant, lim)
+	return lim, state, throttled
+}
+
+// ChargeTenant records completed work against a tenant's envelope for
+// paths that compute outside CachedQueryCtx (e.g. the uncached /mine
+// handler).
+func (s *System) ChargeTenant(tenant string, units int64) {
+	s.tenants.Charge(tenant, units)
+}
+
+// TenantStats snapshots the tenant governor; the zero value when
+// tenant shaping is disabled.
+func (s *System) TenantStats() admission.TenantsStats {
+	return s.tenants.Stats()
+}
+
+// ResultCacheStats snapshots the result cache; the zero value when
+// caching is disabled.
+func (s *System) ResultCacheStats() rescache.Stats {
+	if s.rescache == nil {
+		return rescache.Stats{}
+	}
+	return s.rescache.Stats()
+}
+
+// ResultCacheEnabled reports whether the session was built with a
+// result cache.
+func (s *System) ResultCacheEnabled() bool { return s.rescache != nil }
+
+// RecordQueryRun registers a lineage node for a session-run query and
+// attaches the producing run's record. Re-running the same node name
+// (a cached repeat of the same session op) only appends the record, so
+// provenance accumulates rather than erroring. Inputs default to the
+// root dataset.
+func (s *System) RecordQueryRun(name string, kind lineage.Kind, op string, params map[string]string, rec *obs.Record, inputs ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(inputs) == 0 {
+		inputs = []string{RootDataset}
+	}
+	if !s.Lineage.Has(name) {
+		if _, err := s.Lineage.Record(name, kind, op, params, inputs...); err != nil {
+			return err
+		}
+		s.noteBornLocked(name, s.generation)
+	}
+	return s.Lineage.AttachRun(name, rec)
+}

@@ -1,0 +1,51 @@
+package system
+
+import "fmt"
+
+// StaleError reports a read of a derived artifact (a mined fascicle or
+// a GAP-family table) after an ingestion commit moved the corpus past
+// the generation it was computed at. Before generation tracking this
+// was a silent-staleness bug: a fascicle mined at generation 2 would be
+// served unchanged at generation 5 as if it still described the
+// corpus. The artifact is not deleted — Fascicle and Gap return the
+// typed error with both generations so the caller can recompute, while
+// internal pipelines that already hold a consistent snapshot keep
+// using the *Locked accessors unchecked.
+type StaleError struct {
+	// Name is the artifact that went stale.
+	Name string
+	// ComputedAt is the corpus generation the artifact was computed at.
+	ComputedAt uint64
+	// Current is the generation the session serves now.
+	Current uint64
+}
+
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("system: %q is stale: computed at generation %d, corpus is at generation %d",
+		e.Name, e.ComputedAt, e.Current)
+}
+
+// noteBornLocked records the generation an artifact was computed at.
+// Generation 0 means ingestion is disabled and nothing ever goes stale.
+func (s *System) noteBornLocked(name string, gen uint64) {
+	if gen > 0 {
+		s.bornGen[name] = gen
+	}
+}
+
+// staleLocked reports whether name was computed at an older generation
+// than the session currently serves.
+func (s *System) staleLocked(name string) error {
+	if born, ok := s.bornGen[name]; ok && s.generation > born {
+		return &StaleError{Name: name, ComputedAt: born, Current: s.generation}
+	}
+	return nil
+}
+
+// BornGeneration reports the generation name was computed at; zero for
+// artifacts that predate ingestion or sessions without it.
+func (s *System) BornGeneration(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bornGen[name]
+}

@@ -1,0 +1,135 @@
+package system
+
+import (
+	"errors"
+	"testing"
+
+	"gea/internal/core"
+	"gea/internal/ingest"
+)
+
+// TestStaleAfterAppend is the regression test for the silent-staleness
+// bug: a fascicle mined (and a GAP table diffed) at one corpus
+// generation must not be served unchanged after an append commits the
+// next generation — the read fails with a typed *StaleError carrying
+// both generations.
+func TestStaleAfterAppend(t *testing.T) {
+	sys, _, _, _ := newIngestSystem(t)
+	batches := emitBatches(t, 2)
+	if _, err := sys.IngestAppend(ingest.BatchFromLibraries(batches[0])); err != nil {
+		t.Fatal(err)
+	}
+	// Mine at generation 2 and build a GAP table on top.
+	if err := sys.GenerateMetadata(RootDataset, 10); err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.Dataset(RootDataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := sys.CalculateFascicles(RootDataset, FascicleOptions{
+		K: d.NumTags() * 60 / 100, MinSize: 2, Algorithm: core.GreedyAlgorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no fascicles mined at generation 2")
+	}
+	fas := names[0]
+	node, err := sys.Lineage.Get(fas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Params["generation"] != "2" {
+		t.Errorf("lineage generation param = %q, want \"2\"", node.Params["generation"])
+	}
+	groups, err := sys.FormSUM(fas, RootDataset)
+	if err != nil {
+		t.Skipf("fascicle %s not pure; corpus too small for the GAP leg: %v", fas, err)
+	}
+	if _, err := sys.CreateGap("staleGap", groups.InFascicle, groups.Opposite); err != nil {
+		t.Fatal(err)
+	}
+	gapNode, err := sys.Lineage.Get("staleGap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gapNode.Params["generation"] != "2" {
+		t.Errorf("gap lineage generation param = %q, want \"2\"", gapNode.Params["generation"])
+	}
+
+	// Still generation 2: both reads are fresh.
+	if _, err := sys.Fascicle(fas); err != nil {
+		t.Fatalf("fresh fascicle read failed: %v", err)
+	}
+	if _, err := sys.Gap("staleGap"); err != nil {
+		t.Fatalf("fresh gap read failed: %v", err)
+	}
+
+	// Append → generation 3: both reads now fail typed.
+	if _, err := sys.IngestAppend(ingest.BatchFromLibraries(batches[1])); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Fascicle(fas)
+	var stale *StaleError
+	if !errors.As(err, &stale) {
+		t.Fatalf("fascicle read after append: err=%v, want *StaleError", err)
+	}
+	if stale.Name != fas || stale.ComputedAt != 2 || stale.Current != 3 {
+		t.Errorf("stale = %+v, want {%s 2 3}", stale, fas)
+	}
+	stale = nil
+	if _, err := sys.Gap("staleGap"); !errors.As(err, &stale) {
+		t.Fatalf("gap read after append: err=%v, want *StaleError", err)
+	} else if stale.ComputedAt != 2 || stale.Current != 3 {
+		t.Errorf("gap stale = %+v, want computed 2, current 3", stale)
+	}
+
+	// A fascicle mined at the new generation reads fresh, and deleting
+	// a stale artifact clears its generation record.
+	if got := sys.BornGeneration(fas); got != 2 {
+		t.Errorf("BornGeneration(%s) = %d, want 2", fas, got)
+	}
+	if _, err := sys.DeleteCascade(fas); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.BornGeneration(fas); got != 0 {
+		t.Errorf("BornGeneration after delete = %d, want 0", got)
+	}
+	names3, err := sys.CalculateFascicles(RootDataset, FascicleOptions{
+		K: sys.Data.NumTags() * 60 / 100, MinSize: 2, Algorithm: core.GreedyAlgorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names3) > 0 {
+		if _, err := sys.Fascicle(names3[0]); err != nil {
+			t.Errorf("generation-3 fascicle read failed: %v", err)
+		}
+	}
+}
+
+// TestStaleDisabledWithoutIngestion pins that classic frozen-corpus
+// sessions never see StaleError: generation stays 0 and nothing is
+// tracked.
+func TestStaleDisabledWithoutIngestion(t *testing.T) {
+	sys, _ := newSystem(t)
+	if _, err := sys.CreateTissueDataset("brain"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.GenerateMetadata("brain", 10); err != nil {
+		t.Fatal(err)
+	}
+	names, err := sys.CalculateFascicles("brain", FascicleOptions{
+		K: 10, MinSize: 2, Algorithm: core.GreedyAlgorithm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := sys.Fascicle(n); err != nil {
+			t.Fatalf("frozen-corpus fascicle read failed: %v", err)
+		}
+		if sys.BornGeneration(n) != 0 {
+			t.Errorf("frozen-corpus session tracked a generation for %s", n)
+		}
+	}
+}

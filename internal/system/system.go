@@ -18,6 +18,7 @@ import (
 	"gea/internal/lineage"
 	"gea/internal/obs"
 	"gea/internal/relational"
+	"gea/internal/rescache"
 	"gea/internal/sage"
 	"gea/internal/sagegen"
 )
@@ -62,6 +63,18 @@ type Options struct {
 	// AdmissionMetrics optionally records admission queue gauges,
 	// counters and wait times; nil disables instrumentation.
 	AdmissionMetrics *obs.Registry
+	// ResultCache enables the generation-keyed result cache behind
+	// CachedQueryCtx: identical (generation, operator, params) requests
+	// are served from cache and single-flighted while in flight. Nil
+	// (the default) disables caching; the pointed-to zero value selects
+	// the rescache defaults.
+	ResultCache *rescache.Options
+	// TenantPolicy enables per-tenant work-budget envelopes on top of
+	// the shared admission queue (ShapeLimitsFor, CachedQueryCtx): a
+	// tenant over its envelope has its budgets shaped down exactly like
+	// queue-wide degradation, so one heavy tenant degrades itself before
+	// degrading the fleet. Nil disables tenant shaping.
+	TenantPolicy *admission.TenantPolicy
 	// Ingest enables the streaming append path: the session is built on
 	// an incrementally maintained ingest.View instead of the one-shot
 	// clean.Clean + sage.Build pipeline, and IngestAppendCtx accepts
@@ -112,6 +125,11 @@ type System struct {
 	runCount map[string]int
 	// foundPure caches FindPureFascicle results per dataset+property.
 	foundPure map[string]string
+	// bornGen records the corpus generation each derived artifact was
+	// computed at (only when ingestion is enabled); Fascicle and Gap
+	// reads compare it against the live generation and return
+	// *StaleError after an append moves the corpus on.
+	bornGen map[string]uint64
 
 	// view is the maintained ingest view when Options.Ingest was set;
 	// generation counts committed corpus generations (starting at 1).
@@ -133,6 +151,12 @@ type System struct {
 	// queue is the bounded FIFO admission queue for heavy operations;
 	// see internal/admission.
 	queue *admission.Queue
+	// tenants is the per-tenant envelope governor; nil (the valid no-op
+	// governor) unless Options.TenantPolicy was set.
+	tenants *admission.Tenants
+	// rescache is the generation-keyed result cache; nil unless
+	// Options.ResultCache was set.
+	rescache *rescache.Cache
 	// workers is the session default for exec.Limits.Workers; see
 	// Options.Workers.
 	workers int
@@ -192,7 +216,14 @@ func New(corpus *sage.Corpus, opts Options) (*System, error) {
 		gaps:        map[string]*core.Gap{},
 		runCount:    map[string]int{},
 		foundPure:   map[string]string{},
+		bornGen:     map[string]uint64{},
 		workers:     opts.Workers,
+	}
+	if opts.ResultCache != nil {
+		sys.rescache = rescache.New(*opts.ResultCache)
+	}
+	if opts.TenantPolicy != nil {
+		sys.tenants = admission.NewTenants(*opts.TenantPolicy)
 	}
 	if view != nil {
 		sys.view = view
@@ -279,10 +310,16 @@ func (s *System) Enum(name string) (*core.Enum, error) {
 	return v, nil
 }
 
-// Gap returns a named GAP table.
+// Gap returns a named GAP table. After an ingestion commit moves the
+// corpus past the generation the table was computed at, the read fails
+// with *StaleError rather than silently serving results about an older
+// corpus; recompute (or read the generation-suffixed lineage) instead.
 func (s *System) Gap(name string) (*core.Gap, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.staleLocked(name); err != nil {
+		return nil, err
+	}
 	return s.gapLocked(name)
 }
 
@@ -294,10 +331,14 @@ func (s *System) gapLocked(name string) (*core.Gap, error) {
 	return v, nil
 }
 
-// Fascicle returns a named mined fascicle.
+// Fascicle returns a named mined fascicle. Like Gap, a read after the
+// corpus generation moved past the mine fails with *StaleError.
 func (s *System) Fascicle(name string) (*core.MineResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.staleLocked(name); err != nil {
+		return nil, err
+	}
 	return s.fascicleLocked(name)
 }
 
@@ -436,6 +477,10 @@ func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts Fascic
 		s.mu.Unlock()
 		return nil, false, err
 	}
+	// The generation the mine describes is the one d was snapshotted at,
+	// not the one current when registration finally runs — an append may
+	// commit while the mine computes.
+	genAtSnap := s.generation
 	tol, ok := s.tolerances[datasetName]
 	if !ok {
 		s.mu.Unlock()
@@ -495,6 +540,9 @@ func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts Fascic
 		// that the fascicle list may be incomplete.
 		lineageParams["partial"] = "true"
 	}
+	if genAtSnap > 0 {
+		lineageParams["generation"] = fmt.Sprint(genAtSnap)
+	}
 	var names []string
 	//lint:gea ctlcharge -- registers already-mined results; a mid-loop stop would strand half-registered fascicles in the lineage and relational stores
 	for i := range results {
@@ -507,6 +555,7 @@ func (s *System) calculateFascicles(c *exec.Ctl, datasetName string, opts Fascic
 			return nil, false, err
 		}
 		s.fascicles[name] = &r
+		s.noteBornLocked(name, genAtSnap)
 		fasInfo.MustInsert(relational.S(s.User), relational.S(name), relational.S(prefix),
 			relational.B(r.Enum.IsPure(sage.PropCancer)), relational.B(r.Enum.IsPure(sage.PropNormal)),
 			relational.B(r.Enum.IsPure(sage.PropBulkTissue)), relational.B(r.Enum.IsPure(sage.PropCellLine)))
@@ -694,6 +743,7 @@ func (s *System) createGap(c *exec.Ctl, name, sumy1, sumy2 string) (_ *core.Gap,
 		s.mu.Unlock()
 		return nil, false, err
 	}
+	genAtSnap := s.generation
 	s.mu.Unlock()
 
 	var g *core.Gap
@@ -713,14 +763,21 @@ func (s *System) createGap(c *exec.Ctl, name, sumy1, sumy2 string) (_ *core.Gap,
 	if err := s.checkFresh(name); err != nil {
 		return nil, false, err
 	}
-	var params map[string]string
+	params := map[string]string{}
 	if partial {
-		params = map[string]string{"partial": "true"}
+		params["partial"] = "true"
+	}
+	if genAtSnap > 0 {
+		params["generation"] = fmt.Sprint(genAtSnap)
+	}
+	if len(params) == 0 {
+		params = nil
 	}
 	if _, err := s.Lineage.Record(name, lineage.KindGap, "diff", params, sumy1, sumy2); err != nil {
 		return nil, false, err
 	}
 	s.gaps[name] = g
+	s.noteBornLocked(name, genAtSnap)
 	gapInfo, err := s.Store.Get(TblGapInfo)
 	if err != nil {
 		return nil, false, err
@@ -751,6 +808,7 @@ func (s *System) CalculateTopGap(gapName string, x int) (*core.Gap, error) {
 		return nil, err
 	}
 	s.gaps[name] = top
+	s.noteBornLocked(name, s.generation)
 	topRec, err := s.Store.Get(TblTopRec)
 	if err != nil {
 		return nil, err
@@ -783,6 +841,7 @@ func (s *System) CompareGaps(name, gap1, gap2 string, op core.CompareOp) (*core.
 		return nil, err
 	}
 	s.gaps[name] = g
+	s.noteBornLocked(name, s.generation)
 	compInfo, err := s.Store.Get(TblGapCompInfo)
 	if err != nil {
 		return nil, err
@@ -808,6 +867,7 @@ func (s *System) DeleteCascade(name string) ([]string, error) {
 		delete(s.sumys, n)
 		delete(s.enums, n)
 		delete(s.gaps, n)
+		delete(s.bornGen, n)
 	}
 	return deleted, nil
 }
@@ -867,11 +927,11 @@ func (s *System) findPureFascicle(c *exec.Ctl, datasetName string, prop sage.Pro
 	cacheKey := fmt.Sprintf("%s|%v|%d|%v", datasetName, prop, minSize, alg)
 	s.mu.Lock()
 	if name, ok := s.foundPure[cacheKey]; ok {
-		if _, err := s.fascicleLocked(name); err == nil {
+		if _, err := s.fascicleLocked(name); err == nil && s.staleLocked(name) == nil {
 			s.mu.Unlock()
 			return name, false, nil
 		}
-		delete(s.foundPure, cacheKey) // deleted since; redo the search
+		delete(s.foundPure, cacheKey) // deleted or gone stale since; redo the search
 	}
 	d, err := s.datasetLocked(datasetName)
 	if err != nil {
